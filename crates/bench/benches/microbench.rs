@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks for the FIRM reproduction's hot paths:
+//!
+//! * `critical_path` — Algorithm 1 extraction vs graph size;
+//! * `svm` — incremental SVM `partial_fit` / `predict` (§3.3);
+//! * `ddpg` — actor inference and one training update (§3.4 reports
+//!   0.21 ± 0.1 ms per update and 40.5 ± 4 ms per inference step, the
+//!   latter dominated by data collection in their deployment);
+//! * `simulator` — discrete-event throughput on Social Network;
+//! * `extractor` — Algorithm 2 feature computation over a window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use firm_core::estimator::{ACTION_DIM, ACTOR_STATE_DIM, STATE_DIM};
+use firm_core::extractor::CriticalComponentExtractor;
+use firm_ml::ddpg::{DdpgAgent, DdpgConfig, Transition};
+use firm_ml::svm::IncrementalSvm;
+use firm_sim::spec::ClusterSpec;
+use firm_sim::{PoissonArrivals, SimDuration, Simulation};
+use firm_trace::critical_path::critical_path;
+use firm_trace::graph::ExecutionHistoryGraph;
+use firm_trace::TracingCoordinator;
+use firm_workload::apps::Benchmark;
+
+fn social_traces(seconds: u64) -> Vec<firm_sim::CompletedRequest> {
+    let app = Benchmark::SocialNetwork.build();
+    let mut sim = Simulation::builder(ClusterSpec::small(4), app, 3)
+        .arrivals(Box::new(PoissonArrivals::new(200.0)))
+        .build();
+    sim.run_for(SimDuration::from_secs(seconds));
+    sim.drain_completed()
+}
+
+fn bench_critical_path(c: &mut Criterion) {
+    let traces = social_traces(2);
+    let mut group = c.benchmark_group("critical_path");
+    // Pick traces of distinct span counts (one per size bucket).
+    let mut seen = std::collections::BTreeSet::new();
+    for &target in &[5usize, 10, 15] {
+        let Some(t) = traces
+            .iter()
+            .filter(|t| t.spans.len() >= target)
+            .min_by_key(|t| t.spans.len())
+        else {
+            continue;
+        };
+        if !seen.insert(t.spans.len()) {
+            continue;
+        }
+        let graph = ExecutionHistoryGraph::build(t).expect("valid trace");
+        group.bench_with_input(
+            BenchmarkId::new("alg1_extract", graph.len()),
+            &graph,
+            |b, g| b.iter(|| critical_path(g)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let mut svm = IncrementalSvm::firm_default(1);
+    for i in 0..500 {
+        svm.partial_fit(&[0.5, (i % 7) as f64 / 7.0], i % 5 == 0);
+    }
+    c.bench_function("svm/partial_fit", |b| {
+        b.iter(|| svm.partial_fit(&[0.62, 0.8], true))
+    });
+    c.bench_function("svm/predict", |b| b.iter(|| svm.predict(&[0.62, 0.8])));
+}
+
+fn bench_ddpg(c: &mut Criterion) {
+    let mut agent = DdpgAgent::new(
+        DdpgConfig::paper(STATE_DIM, ACTOR_STATE_DIM, ACTION_DIM),
+        7,
+    );
+    let state = vec![0.4; STATE_DIM];
+    for i in 0..256 {
+        agent.observe(Transition {
+            state: state.clone(),
+            action: vec![0.1; ACTION_DIM],
+            reward: (i % 10) as f64 / 10.0,
+            next_state: state.clone(),
+            done: i % 50 == 0,
+        });
+    }
+    c.bench_function("ddpg/inference", |b| b.iter(|| agent.act(&state)));
+    c.bench_function("ddpg/train_step", |b| b.iter(|| agent.train_step()));
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("simulator/social_network_1s_at_200rps", |b| {
+        b.iter_batched(
+            || {
+                Simulation::builder(
+                    ClusterSpec::small(4),
+                    Benchmark::SocialNetwork.build(),
+                    11,
+                )
+                .arrivals(Box::new(PoissonArrivals::new(200.0)))
+                .build()
+            },
+            |mut sim| {
+                sim.run_for(SimDuration::from_secs(1));
+                sim.stats().completions
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_extractor(c: &mut Criterion) {
+    let traces = social_traces(2);
+    let mut coord = TracingCoordinator::new(100_000);
+    coord.ingest(traces);
+    let stored: Vec<_> = coord
+        .traces_since(firm_sim::SimTime::ZERO)
+        .into_iter()
+        .cloned()
+        .collect();
+    let extractor = CriticalComponentExtractor::new(5);
+    c.bench_function("extractor/alg2_features_400_traces", |b| {
+        b.iter(|| extractor.features(stored.iter().take(400)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_critical_path,
+    bench_svm,
+    bench_ddpg,
+    bench_simulator,
+    bench_extractor
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Fig. 3: distributions of end-to-end latency grouped by critical path
+//! — the min-latency CP vs the max-latency CP for each benchmark.
+//!
+//! The paper reports up to 1.6× difference in median and 2.5× in p99
+//! across CPs of the same application under anomaly injection.
+
+use std::collections::BTreeMap;
+
+use firm_bench::{banner, factor, paper_note, section, Args};
+use firm_core::injector::{AnomalyInjector, CampaignConfig};
+use firm_sim::spec::ClusterSpec;
+use firm_sim::{PoissonArrivals, SimDuration, SimTime, Simulation};
+use firm_trace::TracingCoordinator;
+use firm_workload::apps::{Benchmark, ALL_BENCHMARKS};
+
+fn run_benchmark(bench: Benchmark, seconds: u64, rate: f64, seed: u64) {
+    let app = bench.build();
+    let mut sim = Simulation::builder(ClusterSpec::paper_cluster(), app, seed)
+        .arrivals(Box::new(PoissonArrivals::new(rate)))
+        .build();
+    let mut coord = TracingCoordinator::new(400_000);
+    // Resource stressors only: workload surges congest every CP at once
+    // and blur the per-CP comparison the figure is after.
+    let mut injector = AnomalyInjector::new(CampaignConfig::stressors_only(), seed ^ 0xF1D);
+
+    let step = SimDuration::from_millis(500);
+    let end = sim.now() + SimDuration::from_secs(seconds);
+    while sim.now() < end {
+        injector.tick(&mut sim);
+        sim.run_for(step);
+        coord.ingest(sim.drain_completed());
+    }
+
+    // Group end-to-end latencies by CP signature (per request type so
+    // routes are comparable); pick the request type with the most
+    // distinct signatures.
+    let mut groups: BTreeMap<(u16, Vec<u16>), Vec<f64>> = BTreeMap::new();
+    for t in coord.traces_since(SimTime::ZERO) {
+        if t.dropped {
+            continue;
+        }
+        let sig: Vec<u16> = t.cp.signature().iter().map(|s| s.raw()).collect();
+        groups
+            .entry((t.request_type.raw(), sig))
+            .or_default()
+            .push(t.latency.as_micros() as f64);
+    }
+    let min_samples = 50;
+    let mut best: Option<(&(u16, Vec<u16>), f64)> = None;
+    let mut worst: Option<(&(u16, Vec<u16>), f64)> = None;
+    for (key, lats) in &groups {
+        if lats.len() < min_samples {
+            continue;
+        }
+        let mut sorted = lats.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let med = firm_sim::stats::sample_quantile(&sorted, 0.5);
+        if best.as_ref().map(|(_, m)| med < *m).unwrap_or(true) {
+            best = Some((key, med));
+        }
+        if worst.as_ref().map(|(_, m)| med > *m).unwrap_or(true) {
+            worst = Some((key, med));
+        }
+    }
+    let (Some((min_key, _)), Some((max_key, _))) = (best, worst) else {
+        println!("  (not enough CP diversity at this load)");
+        return;
+    };
+
+    let stats = |key: &(u16, Vec<u16>)| {
+        let mut lats = groups[key].clone();
+        lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        (
+            firm_sim::stats::sample_quantile(&lats, 0.5) / 1e3,
+            firm_sim::stats::sample_quantile(&lats, 0.99) / 1e3,
+            lats.len(),
+        )
+    };
+    let (min_med, min_p99, min_n) = stats(min_key);
+    let (max_med, max_p99, max_n) = stats(max_key);
+    println!(
+        "  Min-CP: median={min_med:>8.2}ms p99={min_p99:>8.2}ms (n={min_n}, {} spans)",
+        min_key.1.len()
+    );
+    println!(
+        "  Max-CP: median={max_med:>8.2}ms p99={max_p99:>8.2}ms (n={max_n}, {} spans)",
+        max_key.1.len()
+    );
+    println!(
+        "  spread: median {}  p99 {}  ({} distinct CPs observed)",
+        factor(max_med, min_med),
+        factor(max_p99, min_p99),
+        groups.len()
+    );
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seconds = args.u64("seconds", 60);
+    let rate = args.f64("rate", 150.0);
+    let seed = args.u64("seed", 23);
+    banner(
+        "Fig. 3",
+        "End-to-end latency distributions of min- vs max-latency critical paths",
+    );
+    for (i, bench) in ALL_BENCHMARKS.iter().enumerate() {
+        section(bench.name());
+        run_benchmark(*bench, seconds, rate, seed + i as u64);
+    }
+    println!();
+    paper_note("across CPs: up to 1.6x difference in median and 2.5x in p99 (Fig. 3a–d)");
+}

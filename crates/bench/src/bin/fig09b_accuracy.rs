@@ -1,0 +1,161 @@
+//! Fig. 9(b): localization accuracy under multi-anomaly injection, per
+//! benchmark and per processor architecture (x86 vs ppc64 clusters).
+//!
+//! The extractor trains online on single/multi-anomaly rounds, then its
+//! accuracy is evaluated on windows with two simultaneous container-level
+//! anomalies of random types — the paper reports 92.8–94.6% (overall
+//! 93.8%) with no difference between ISAs.
+
+use firm_bench::{banner, paper_note, Args};
+use firm_core::extractor::CriticalComponentExtractor;
+use firm_sim::instance::InstanceState;
+use firm_sim::spec::{ClusterSpec, NodeSpec};
+use firm_sim::{
+    anomaly::ANOMALY_KINDS,
+    AnomalySpec,
+    InstanceId,
+    PoissonArrivals,
+    SimDuration,
+    SimRng,
+    Simulation,
+};
+use firm_trace::TracingCoordinator;
+use firm_workload::apps::{Benchmark, ALL_BENCHMARKS};
+
+fn cluster_of(arch: &str) -> ClusterSpec {
+    let node = match arch {
+        "x86" => NodeSpec::x86_default(),
+        _ => NodeSpec::ppc64_default(),
+    };
+    ClusterSpec {
+        nodes: (0..6).map(|_| node.clone()).collect(),
+    }
+}
+
+/// Trains on `train_rounds` violating rounds, evaluates on `eval_rounds`
+/// multi-anomaly rounds; returns accuracy.
+fn run(bench: Benchmark, arch: &str, rounds: (usize, usize), rate: f64, seed: u64) -> f64 {
+    let (train_rounds, eval_rounds) = rounds;
+    let mut app = bench.build();
+    let cluster = cluster_of(arch);
+    firm_core::slo::calibrate_slos(&mut app, &cluster, rate, 1.4, seed);
+    let mut sim = Simulation::builder(cluster, app, seed)
+        .arrivals(Box::new(PoissonArrivals::new(rate)))
+        .build();
+    let mut coord = TracingCoordinator::new(300_000);
+    let mut extractor = CriticalComponentExtractor::new(seed ^ 0x9B);
+    let mut rng = SimRng::new(seed ^ 0xB00);
+    let stressors: Vec<_> = ANOMALY_KINDS
+        .iter()
+        .copied()
+        .filter(|k| k.contended_resource().is_some())
+        .collect();
+
+    sim.run_for(SimDuration::from_secs(4));
+    coord.ingest(sim.drain_completed());
+    let mut targets: Vec<InstanceId> = Vec::new();
+    for cp in coord.critical_paths_since(firm_sim::SimTime::ZERO) {
+        for e in &cp.entries {
+            if !targets.contains(&e.instance) {
+                targets.push(e.instance);
+            }
+        }
+    }
+
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    for round in 0..train_rounds + eval_rounds {
+        // One or two simultaneous anomalies (training mixes both so the
+        // SVM sees the multi-anomaly regime too).
+        let n_anoms = if round % 2 == 0 { 2 } else { 1 };
+        let mut victims = Vec::new();
+        for _ in 0..n_anoms {
+            let kind = stressors[rng.index(stressors.len())];
+            let target = targets[rng.index(targets.len())];
+            let running =
+                sim.instance(target).state == InstanceState::Running;
+            if !running || victims.contains(&target) {
+                continue;
+            }
+            sim.inject(AnomalySpec::at_instance(
+                kind,
+                target,
+                rng.uniform_range(0.7, 1.0),
+                SimDuration::from_secs(3),
+            ));
+            victims.push(target);
+        }
+
+        let window_start = sim.now();
+        sim.run_for(SimDuration::from_secs(5));
+        coord.ingest(sim.drain_completed());
+        let traces: Vec<_> = coord
+            .traces_since(window_start)
+            .into_iter()
+            .cloned()
+            .collect();
+        let features = extractor.features(traces.iter());
+        for f in &features {
+            let label = victims.contains(&f.instance);
+            if round < train_rounds {
+                extractor.train(f, label);
+            } else {
+                if extractor.classify(f) == label {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        coord.ingest(sim.drain_completed());
+        coord.evict_before(sim.now());
+    }
+    if total == 0 {
+        return f64::NAN;
+    }
+    correct as f64 / total as f64
+}
+
+fn main() {
+    let args = Args::from_env();
+    let train_rounds = args.u64("train-rounds", 40) as usize;
+    let eval_rounds = args.u64("rounds", 20) as usize;
+    let seed = args.u64("seed", 41);
+
+    banner(
+        "Fig. 9(b)",
+        "Multi-anomaly localization accuracy across benchmarks and ISAs",
+    );
+    println!(
+        "  {:<20} {:>12} {:>12}",
+        "benchmark", "Intel Xeon", "IBM Power"
+    );
+    let mut all = Vec::new();
+    for (i, bench) in ALL_BENCHMARKS.iter().enumerate() {
+        // Loads chosen so each app sits at moderate utilization.
+        let rate = match bench {
+            Benchmark::HotelReservation => 500.0,
+            Benchmark::TrainTicket => 250.0,
+            _ => 350.0,
+        };
+        let x86 = run(*bench, "x86", (train_rounds, eval_rounds), rate, seed + i as u64);
+        let ppc = run(
+            *bench,
+            "ppc64",
+            (train_rounds, eval_rounds),
+            rate,
+            seed + 100 + i as u64,
+        );
+        println!(
+            "  {:<20} {:>11.1}% {:>11.1}%",
+            bench.name(),
+            x86 * 100.0,
+            ppc * 100.0
+        );
+        all.push(x86);
+        all.push(ppc);
+    }
+    let overall = all.iter().sum::<f64>() / all.len() as f64;
+    println!("\n  overall average accuracy: {:.1}%", overall * 100.0);
+    paper_note("92.8–94.6% per benchmark, 93.8% overall; no difference between the two ISAs");
+}

@@ -1,0 +1,199 @@
+//! Fig. 10: end-to-end comparison — CDFs of end-to-end latency,
+//! requested CPU limit, and dropped requests under FIRM (single-RL and
+//! multi-RL), the AIMD baseline, and Kubernetes autoscaling.
+//!
+//! Following §4.3/§4.4, the RL agents are trained on Train-Ticket and
+//! validated on DeathStarBench (Social Network) under the §4.1 anomaly
+//! campaign.
+
+use firm_bench::{banner, factor, paper_note, print_cdf, section, Args};
+use firm_core::baselines::{AimdConfig, K8sConfig};
+use firm_core::estimator::AgentRegime;
+use firm_core::experiment::{run_scenario, ControllerKind, ScenarioConfig, ScenarioResult};
+use firm_core::injector::CampaignConfig;
+use firm_core::training::{train_firm, TrainingConfig};
+use firm_sim::spec::ClusterSpec;
+use firm_sim::{PoissonArrivals, SimDuration};
+use firm_workload::apps::Benchmark;
+
+fn scenario(
+    app: &firm_sim::spec::AppSpec,
+    controller: ControllerKind,
+    seconds: u64,
+    rate: f64,
+    seed: u64,
+) -> ScenarioResult {
+    let mut cfg = ScenarioConfig::new(app.clone(), controller);
+    cfg.cluster = ClusterSpec::small(6);
+    cfg.arrivals = Some(Box::new(PoissonArrivals::new(rate)));
+    cfg.duration = SimDuration::from_secs(seconds);
+    cfg.campaign = Some(CampaignConfig {
+        lambda: 0.33,
+        intensity: (0.6, 1.0),
+        ..Default::default()
+    });
+    cfg.seed = seed;
+    run_scenario(cfg)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seconds = args.u64("seconds", 120);
+    let rate = args.f64("rate", 350.0);
+    let seed = args.u64("seed", 47);
+    let episodes = args.u64("episodes", 80) as usize;
+
+    banner(
+        "Fig. 10",
+        "End-to-end latency, requested CPU limit, and dropped requests (CDFs)",
+    );
+
+    // Train on Train-Ticket (§4.3), validate on Social Network (§4.4).
+    let mut train_app = Benchmark::TrainTicket.build();
+    firm_core::slo::calibrate_slos(&mut train_app, &ClusterSpec::small(6), 250.0, 1.4, seed);
+    let train_cfg = |regime| TrainingConfig {
+        episodes,
+        max_steps: 30,
+        ramp_episodes: episodes / 3,
+        min_steps: 10,
+        arrival_rate: 250.0,
+        cluster: ClusterSpec::small(6),
+        regime,
+        campaign: CampaignConfig {
+            lambda: 0.6,
+            intensity: (0.6, 1.0),
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    };
+    eprintln!("[fig10] training single-RL (one-for-all) agent...");
+    let (_, mut single) = train_firm(&train_app, &train_cfg(AgentRegime::Shared));
+    single.config.explore = false;
+    eprintln!("[fig10] training multi-RL (one-for-each) agents...");
+    let (_, mut multi) = train_firm(&train_app, &train_cfg(AgentRegime::PerService));
+    multi.config.explore = false;
+
+    let mut validate_app = Benchmark::SocialNetwork.build();
+    firm_core::slo::calibrate_slos(
+        &mut validate_app,
+        &ClusterSpec::small(6),
+        rate,
+        1.4,
+        seed,
+    );
+
+    eprintln!("[fig10] running the four managed scenarios...");
+    let results = vec![
+        (
+            "FIRM (Single-RL)",
+            scenario(
+                &validate_app,
+                ControllerKind::Firm(Box::new(single)),
+                seconds,
+                rate,
+                seed,
+            ),
+        ),
+        (
+            "FIRM (Multi-RL)",
+            scenario(
+                &validate_app,
+                ControllerKind::Firm(Box::new(multi)),
+                seconds,
+                rate,
+                seed,
+            ),
+        ),
+        (
+            "AIMD",
+            scenario(
+                &validate_app,
+                ControllerKind::Aimd(AimdConfig::default()),
+                seconds,
+                rate,
+                seed,
+            ),
+        ),
+        (
+            "K8S Auto-scaling",
+            scenario(
+                &validate_app,
+                ControllerKind::K8s(K8sConfig::default()),
+                seconds,
+                rate,
+                seed,
+            ),
+        ),
+    ];
+
+    section("(a) end-to-end latency CDF");
+    for (name, r) in &results {
+        print_cdf(name, &r.latency);
+    }
+
+    section("(b) requested CPU limit over time (cores)");
+    for (name, r) in &results {
+        let mut cpus: Vec<f64> = r.timeline.iter().map(|p| p.requested_cpu).collect();
+        cpus.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        println!(
+            "  {:<22} p10={:>7.1} p50={:>7.1} p90={:>7.1}  mean={:>7.1}",
+            name,
+            firm_sim::stats::sample_quantile(&cpus, 0.1),
+            firm_sim::stats::sample_quantile(&cpus, 0.5),
+            firm_sim::stats::sample_quantile(&cpus, 0.9),
+            r.mean_requested_cpu
+        );
+    }
+
+    section("(c) dropped requests per control window");
+    for (name, r) in &results {
+        let mut drops: Vec<f64> = r.timeline.iter().map(|p| p.drops as f64).collect();
+        drops.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        println!(
+            "  {:<22} p50={:>6.0} p90={:>6.0} p99={:>6.0}  total={}",
+            name,
+            firm_sim::stats::sample_quantile(&drops, 0.5),
+            firm_sim::stats::sample_quantile(&drops, 0.9),
+            firm_sim::stats::sample_quantile(&drops, 0.99),
+            r.drops
+        );
+    }
+
+    section("summary vs baselines");
+    let p99 = |r: &ScenarioResult| r.latency.p99() as f64 / 1e3;
+    let firm_p99 = p99(&results[0].1).min(p99(&results[1].1));
+    let aimd = &results[2].1;
+    let k8s = &results[3].1;
+    println!(
+        "  tail latency:   FIRM best p99 {:.1} ms vs AIMD {} / K8s {}",
+        firm_p99,
+        factor(p99(aimd), firm_p99),
+        factor(p99(k8s), firm_p99),
+    );
+    let firm_viol = results[0].1.violation_rate().min(results[1].1.violation_rate());
+    println!(
+        "  SLO violations: FIRM {:.2}% vs AIMD {} / K8s {}",
+        firm_viol * 100.0,
+        factor(aimd.violation_rate(), firm_viol),
+        factor(k8s.violation_rate(), firm_viol),
+    );
+    let firm_cpu = results[0].1.mean_requested_cpu.min(results[1].1.mean_requested_cpu);
+    println!(
+        "  requested CPU:  FIRM {:.1} cores = {:.1}% below K8s ({:.1}), {:.1}% below AIMD ({:.1})",
+        firm_cpu,
+        (1.0 - firm_cpu / k8s.mean_requested_cpu) * 100.0,
+        k8s.mean_requested_cpu,
+        (1.0 - firm_cpu / aimd.mean_requested_cpu) * 100.0,
+        aimd.mean_requested_cpu,
+    );
+    let firm_drops = results[0].1.drops.min(results[1].1.drops).max(1);
+    println!(
+        "  dropped reqs:   FIRM {} vs AIMD {} / K8s {}",
+        results[0].1.drops.min(results[1].1.drops),
+        factor(aimd.drops as f64, firm_drops as f64),
+        factor(k8s.drops as f64, firm_drops as f64),
+    );
+    paper_note("FIRM beats baselines by up to 6.9x/11.5x on tails (9.8x/16.7x fewer violations),");
+    paper_note("cuts requested CPU 29.1-62.3%, drops 8.6x fewer requests; single-RL ≈ multi-RL");
+}

@@ -1,0 +1,124 @@
+//! Fig. 11(b): SLO-violation mitigation time as training progresses —
+//! FIRM checkpoints vs the flat K8s and AIMD baselines.
+//!
+//! For each checkpoint, an agent is trained from scratch for that many
+//! episodes (deterministic seeds make the prefix identical to continued
+//! training) and evaluated frozen on a fixed one-minute injection
+//! scenario, measuring the time from SLO violation to recovery.
+
+use firm_bench::{banner, paper_note, section, Args};
+use firm_core::baselines::{AimdConfig, K8sConfig};
+use firm_core::estimator::AgentRegime;
+use firm_core::experiment::{run_scenario, ControllerKind, ScenarioConfig};
+use firm_core::injector::CampaignConfig;
+use firm_core::manager::{FirmConfig, FirmManager};
+use firm_core::training::{train_into, TrainingConfig};
+use firm_sim::spec::{AppSpec, ClusterSpec};
+use firm_sim::{PoissonArrivals, SimDuration};
+use firm_workload::apps::Benchmark;
+
+/// Evaluates mean mitigation time of a controller on the fixed
+/// evaluation scenario (continuous injections for one minute, §4.3).
+fn evaluate(app: &AppSpec, controller: ControllerKind, seed: u64) -> f64 {
+    let mut cfg = ScenarioConfig::new(app.clone(), controller);
+    cfg.cluster = ClusterSpec::small(6);
+    cfg.arrivals = Some(Box::new(PoissonArrivals::new(250.0)));
+    cfg.duration = SimDuration::from_secs(60);
+    cfg.warmup = SimDuration::from_secs(3);
+    cfg.campaign = Some(CampaignConfig {
+        lambda: 0.5,
+        intensity: (0.7, 1.0),
+        ..Default::default()
+    });
+    cfg.seed = seed;
+    let r = run_scenario(cfg);
+    r.mean_mitigation_secs()
+}
+
+/// Trains a fresh manager for `episodes` episodes in the given regime
+/// and returns it frozen (no exploration, no learning).
+fn checkpoint(app: &AppSpec, regime: AgentRegime, episodes: usize, seed: u64) -> FirmManager {
+    let mut mgr = FirmManager::new(FirmConfig {
+        training: true,
+        regime,
+        seed,
+        ..FirmConfig::default()
+    });
+    if episodes > 0 {
+        let cfg = TrainingConfig {
+            episodes,
+            max_steps: 30,
+            ramp_episodes: (episodes / 3).max(1),
+            min_steps: 8,
+            arrival_rate: 250.0,
+            cluster: ClusterSpec::small(6),
+            regime,
+            campaign: CampaignConfig {
+                lambda: 0.6,
+                intensity: (0.6, 1.0),
+                ..Default::default()
+            },
+            seed,
+            ..Default::default()
+        };
+        train_into(app, &cfg, &mut mgr);
+    }
+    mgr.config.training = false;
+    mgr.config.explore = false;
+    mgr.reset_environment();
+    mgr
+}
+
+fn main() {
+    let args = Args::from_env();
+    let episodes = args.u64("episodes", 120) as usize;
+    let checkpoints = args.u64("checkpoints", 6) as usize;
+    let seed = args.u64("seed", 59);
+
+    banner(
+        "Fig. 11(b)",
+        "SLO mitigation time vs training episodes (checkpoint evaluation)",
+    );
+
+    let mut app = Benchmark::TrainTicket.build();
+    firm_core::slo::calibrate_slos(&mut app, &ClusterSpec::small(6), 250.0, 1.4, seed);
+
+    // Flat baselines.
+    let k8s = evaluate(&app, ControllerKind::K8s(K8sConfig::default()), seed);
+    let aimd = evaluate(&app, ControllerKind::Aimd(AimdConfig::default()), seed);
+
+    section("mitigation time by training progress (seconds; lower is better)");
+    println!(
+        "  {:>9} {:>14} {:>14}   (K8s flat: {:.1}s, AIMD flat: {:.1}s)",
+        "episode", "FIRM single-RL", "FIRM multi-RL", k8s, aimd
+    );
+
+    let per_chunk = (episodes / checkpoints).max(1);
+    let mut last_single = f64::NAN;
+    for c in 0..=checkpoints {
+        let n = c * per_chunk;
+        eprintln!("[fig11b] checkpoint at {n} episodes...");
+        let single = checkpoint(&app, AgentRegime::Shared, n, seed);
+        let multi = checkpoint(&app, AgentRegime::PerService, n, seed + 1);
+        let s = evaluate(
+            &app,
+            ControllerKind::Firm(Box::new(single)),
+            seed + 31 + c as u64,
+        );
+        let m = evaluate(
+            &app,
+            ControllerKind::Firm(Box::new(multi)),
+            seed + 61 + c as u64,
+        );
+        println!("  {:>9} {:>14.1} {:>14.1}", n, s, m);
+        last_single = s;
+    }
+
+    println!(
+        "\n  converged FIRM vs baselines: AIMD {} | K8s {}",
+        firm_bench::factor(aimd, last_single),
+        firm_bench::factor(k8s, last_single)
+    );
+    paper_note("FIRM converges to ≈1.7 s mitigation; up to 9.6x faster than AIMD, 30.1x than K8s;");
+    paper_note("early checkpoints (≲900 iters) are no better than K8s autoscaling");
+}

@@ -1,0 +1,58 @@
+//! Tables 2, 3, 4 and 5: the configuration surfaces of FIRM, printed
+//! from the live code so drift between paper and implementation is
+//! visible.
+
+use firm_bench::{banner, section};
+use firm_core::estimator::{ACTION_DIM, ACTOR_STATE_DIM, STATE_DIM};
+use firm_ml::ddpg::DdpgConfig;
+use firm_sim::anomaly::ANOMALY_KINDS;
+use firm_telemetry::metric::METRIC_KINDS;
+
+fn main() {
+    banner("Tables 2–5", "Configuration surfaces (telemetry, state-action, RL, anomalies)");
+
+    section("Table 2: collected telemetry data and sources");
+    println!("  {:<44} source", "metric");
+    for m in METRIC_KINDS {
+        println!("  {:<44} {}", m.name(), m.paper_source());
+    }
+
+    section("Table 3: state-action space of the RL agent");
+    println!("  state  (SVt, WCt, RCt, RUt[5])            -> actor inputs   = {ACTOR_STATE_DIM}");
+    println!("  state  ⊕ normalized limits and usage      -> full state dim = {STATE_DIM}");
+    println!("  action RLTi, i ∈ {{CPU, Mem, LLC, IO, Net}} -> action dim     = {ACTION_DIM}");
+    println!(
+        "  critic input = state ⊕ action             -> {} (Fig. 8: 23)",
+        STATE_DIM + ACTION_DIM
+    );
+
+    section("Table 4: RL training parameters");
+    let cfg = DdpgConfig::paper(STATE_DIM, ACTOR_STATE_DIM, ACTION_DIM);
+    println!("  # time steps x # minibatch      300 x {}", cfg.batch_size);
+    println!("  size of replay buffer           {}", cfg.replay_capacity);
+    println!(
+        "  learning rate                   actor {:.0e}, critic {:.0e}",
+        cfg.actor_lr, cfg.critic_lr
+    );
+    println!("  discount factor                 {}", cfg.gamma);
+    println!("  soft-target update coefficient  {} (Alg. 3 reuses gamma)", cfg.tau);
+    println!(
+        "  hidden layers                   {:?} (Fig. 8: two x 40, ReLU; actor output Tanh)",
+        cfg.hidden
+    );
+
+    section("Table 5: performance-anomaly types and the paper's tools");
+    println!("  {:<30} tools (paper) / model (here)", "anomaly");
+    for kind in ANOMALY_KINDS {
+        let model = match kind.contended_resource() {
+            Some(r) => format!("consumes node {r} pool"),
+            None => match kind {
+                firm_sim::AnomalyKind::WorkloadVariation => {
+                    "multiplies arrival rate".to_string()
+                }
+                _ => "adds per-RPC delay".to_string(),
+            },
+        };
+        println!("  {:<30} {} / {}", kind.label(), kind.paper_tools(), model);
+    }
+}

@@ -1,0 +1,188 @@
+//! Shared harness code for the figure/table reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index) and prints the rows/series
+//! the paper plots, plus a `paper:` reference line so the shapes can be
+//! compared at a glance. Binaries accept `--key value` arguments for the
+//! knobs that trade fidelity for runtime (episodes, seconds, rates).
+
+use firm_sim::Histogram;
+
+/// Parses `--key value` pairs from `std::env::args`.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Args {
+    /// Collects arguments from the process environment.
+    pub fn from_env() -> Self {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i + 1 < raw.len() {
+            if let Some(key) = raw[i].strip_prefix("--") {
+                pairs.push((key.to_string(), raw[i + 1].clone()));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Builds from explicit pairs (tests).
+    pub fn from_pairs(pairs: &[(&str, &str)]) -> Self {
+        Args {
+            pairs: pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// A `u64` argument with a default.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// An `f64` argument with a default.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A raw argument value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("{}", "=".repeat(74));
+    println!("{id} — {caption}");
+    println!("{}", "=".repeat(74));
+}
+
+/// Prints a sub-section rule.
+pub fn section(title: &str) {
+    println!("\n-- {title} {}", "-".repeat(68usize.saturating_sub(title.len())));
+}
+
+/// Prints a `paper:` reference line for shape comparison.
+pub fn paper_note(note: &str) {
+    println!("  [paper] {note}");
+}
+
+/// Summary statistics of a sample in milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub n: usize,
+    /// Mean, ms.
+    pub mean_ms: f64,
+    /// Median, ms.
+    pub p50_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+}
+
+/// Summarizes a latency sample given in microseconds.
+pub fn summarize_us(mut lats: Vec<f64>) -> LatencySummary {
+    if lats.is_empty() {
+        return LatencySummary {
+            n: 0,
+            mean_ms: 0.0,
+            p50_ms: 0.0,
+            p99_ms: 0.0,
+        };
+    }
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let n = lats.len();
+    let mean = lats.iter().sum::<f64>() / n as f64;
+    LatencySummary {
+        n,
+        mean_ms: mean / 1e3,
+        p50_ms: firm_sim::stats::sample_quantile(&lats, 0.5) / 1e3,
+        p99_ms: firm_sim::stats::sample_quantile(&lats, 0.99) / 1e3,
+    }
+}
+
+/// Prints the CDF of a histogram (values in us, printed in ms) at the
+/// canonical plotting quantiles.
+pub fn print_cdf(label: &str, hist: &Histogram) {
+    const QS: [f64; 9] = [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999];
+    print!("  {label:<22}");
+    for q in QS {
+        print!(" p{:<4}={:>9.2}ms", q * 100.0, hist.quantile(q) as f64 / 1e3);
+    }
+    println!("  (n={})", hist.count());
+}
+
+/// Prints a CDF from a raw sample in microseconds.
+pub fn print_sample_cdf(label: &str, mut lats: Vec<f64>) {
+    const QS: [f64; 9] = [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999];
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    print!("  {label:<22}");
+    for q in QS {
+        print!(
+            " p{:<4}={:>9.2}ms",
+            q * 100.0,
+            firm_sim::stats::sample_quantile(&lats, q) / 1e3
+        );
+    }
+    println!("  (n={})", lats.len());
+}
+
+/// Formats a ratio as `x.x×` with a guard for division by ~zero.
+pub fn factor(numerator: f64, denominator: f64) -> String {
+    if denominator.abs() < 1e-12 {
+        "n/a".into()
+    } else {
+        format!("{:.1}x", numerator / denominator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_pairs() {
+        let a = Args::from_pairs(&[("seconds", "30"), ("rate", "2.5")]);
+        assert_eq!(a.u64("seconds", 5), 30);
+        assert_eq!(a.f64("rate", 1.0), 2.5);
+        assert_eq!(a.u64("missing", 7), 7);
+        assert_eq!(a.get("rate"), Some("2.5"));
+    }
+
+    #[test]
+    fn summary_math() {
+        let s = summarize_us(vec![1_000.0, 2_000.0, 3_000.0, 100_000.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean_ms - 26.5).abs() < 1e-9);
+        assert!((s.p50_ms - 2.5).abs() < 1e-9);
+        assert!(s.p99_ms > 90.0);
+        assert_eq!(summarize_us(vec![]).n, 0);
+    }
+
+    #[test]
+    fn factor_formats() {
+        assert_eq!(factor(10.0, 2.0), "5.0x");
+        assert_eq!(factor(1.0, 0.0), "n/a");
+    }
+}

@@ -1,0 +1,525 @@
+//! The experiment harness behind the paper's evaluation figures.
+//!
+//! [`run_scenario`] drives one simulation under a chosen resource
+//! manager (FIRM, K8s HPA, AIMD, or none), an arrival process, and an
+//! optional anomaly campaign, and produces the measurements the figures
+//! plot: latency distributions (Fig. 10a), the requested-CPU-limit
+//! series (Fig. 10b), dropped requests (Fig. 10c), per-tick p99
+//! timelines (Fig. 1), and per-anomaly SLO mitigation times (Fig. 11b).
+
+use firm_sim::spec::{AppSpec, ClusterSpec};
+use firm_sim::{
+    AnomalyId,
+    ArrivalProcess,
+    Histogram,
+    PoissonArrivals,
+    SimDuration,
+    SimTime,
+    Simulation,
+};
+use firm_telemetry::TelemetryCollector;
+use firm_trace::TracingCoordinator;
+
+use crate::baselines::{AimdConfig, AimdController, K8sConfig, K8sHpaController};
+use crate::injector::{AnomalyInjector, CampaignConfig};
+use crate::manager::FirmManager;
+use crate::slo::SloMonitor;
+
+/// Which resource manager drives the scenario.
+pub enum ControllerKind {
+    /// No management (static allocation).
+    None,
+    /// FIRM (optionally pre-trained: pass a constructed manager).
+    Firm(Box<FirmManager>),
+    /// Kubernetes autoscaling.
+    K8s(K8sConfig),
+    /// AIMD limit control.
+    Aimd(AimdConfig),
+}
+
+/// A resource manager under test.
+pub enum Controller {
+    /// No-op.
+    None,
+    /// FIRM manager.
+    Firm(Box<FirmManager>),
+    /// K8s HPA with its own trace/telemetry plumbing.
+    K8s(K8sHpaController),
+    /// AIMD with its own trace/telemetry plumbing.
+    Aimd(AimdController, TracingCoordinator),
+}
+
+impl Controller {
+    fn name(&self) -> &'static str {
+        match self {
+            Controller::None => "none",
+            Controller::Firm(_) => "FIRM",
+            Controller::K8s(_) => "K8S",
+            Controller::Aimd(..) => "AIMD",
+        }
+    }
+}
+
+/// Scenario parameters.
+pub struct ScenarioConfig {
+    /// The application.
+    pub app: AppSpec,
+    /// The cluster.
+    pub cluster: ClusterSpec,
+    /// Arrival process (default: 100 req/s Poisson).
+    pub arrivals: Option<Box<dyn ArrivalProcess>>,
+    /// The manager under test.
+    pub controller: ControllerKind,
+    /// Anomaly campaign, if any.
+    pub campaign: Option<CampaignConfig>,
+    /// Scenario length.
+    pub duration: SimDuration,
+    /// Control-loop period for baselines and sampling.
+    pub control_interval: SimDuration,
+    /// Seed.
+    pub seed: u64,
+    /// Measurements start after this warmup.
+    pub warmup: SimDuration,
+}
+
+impl ScenarioConfig {
+    /// A scenario over the given app with sensible defaults.
+    pub fn new(app: AppSpec, controller: ControllerKind) -> Self {
+        ScenarioConfig {
+            app,
+            cluster: ClusterSpec::paper_cluster(),
+            arrivals: None,
+            controller,
+            campaign: None,
+            duration: SimDuration::from_secs(60),
+            control_interval: SimDuration::from_secs(1),
+            seed: 1,
+            warmup: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// One point of the per-tick timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelinePoint {
+    /// Tick end time.
+    pub at: SimTime,
+    /// p99 end-to-end latency in the tick window (us), 0 if no traffic.
+    pub p99_us: f64,
+    /// Mean end-to-end latency in the window (us).
+    pub mean_us: f64,
+    /// Sum of requested CPU limits (cores).
+    pub requested_cpu: f64,
+    /// Cluster-average CPU utilization of running instances.
+    pub cpu_utilization: f64,
+    /// Mean per-core DRAM access of instance 0's node (Fig. 1 series).
+    pub per_core_dram: f64,
+    /// Drops in the window.
+    pub drops: u64,
+}
+
+/// Result of one scenario run.
+pub struct ScenarioResult {
+    /// Manager name.
+    pub controller: &'static str,
+    /// End-to-end latency histogram (us), post-warmup, non-dropped.
+    pub latency: Histogram,
+    /// Per-tick timeline.
+    pub timeline: Vec<TimelinePoint>,
+    /// Total completed requests post-warmup.
+    pub completions: u64,
+    /// Total dropped requests post-warmup.
+    pub drops: u64,
+    /// Completed requests violating their SLO post-warmup.
+    pub slo_violations: u64,
+    /// Mean requested CPU limit over the run (cores).
+    pub mean_requested_cpu: f64,
+    /// Per-anomaly mitigation times: injection-to-recovery (capped at
+    /// the anomaly duration when never mitigated).
+    pub mitigation_times: Vec<SimDuration>,
+}
+
+impl ScenarioResult {
+    /// SLO violation rate among completed requests.
+    pub fn violation_rate(&self) -> f64 {
+        if self.completions == 0 {
+            0.0
+        } else {
+            self.slo_violations as f64 / self.completions as f64
+        }
+    }
+
+    /// Mean mitigation time in seconds (0 if no anomalies fired).
+    pub fn mean_mitigation_secs(&self) -> f64 {
+        if self.mitigation_times.is_empty() {
+            return 0.0;
+        }
+        self.mitigation_times
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum::<f64>()
+            / self.mitigation_times.len() as f64
+    }
+}
+
+struct MitigationTracker {
+    /// anomaly id → (violation first seen, resolved).
+    open: Vec<(AnomalyId, SimTime, bool)>,
+    times: Vec<SimDuration>,
+}
+
+impl MitigationTracker {
+    fn new() -> Self {
+        MitigationTracker {
+            open: Vec::new(),
+            times: Vec::new(),
+        }
+    }
+
+    /// Observes one tick: which anomalies are active and whether the SLO
+    /// held in this window.
+    fn observe(
+        &mut self,
+        active: &[AnomalyId],
+        violating: bool,
+        now: SimTime,
+        tick: SimDuration,
+    ) {
+        // Open trackers for new anomalies that coincide with violations.
+        for id in active {
+            if violating && !self.open.iter().any(|(a, _, _)| a == id) {
+                self.open.push((*id, now, false));
+            }
+        }
+        // A violation-free window while the anomaly is still active means
+        // the manager mitigated it.
+        if !violating {
+            for (_, started, resolved) in &mut self.open {
+                if !*resolved {
+                    *resolved = true;
+                    self.times.push((now - *started).saturating_sub(tick));
+                }
+            }
+        }
+        // Anomalies that ended unresolved count their full violation span.
+        let still_active = |id: &AnomalyId| active.contains(id);
+        let mut keep = Vec::new();
+        for (id, started, resolved) in self.open.drain(..) {
+            if still_active(&id) {
+                keep.push((id, started, resolved));
+            } else if !resolved {
+                self.times.push(now - started);
+            }
+        }
+        self.open = keep;
+    }
+}
+
+/// Runs one scenario to completion.
+pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
+    let ScenarioConfig {
+        app,
+        cluster,
+        arrivals,
+        controller,
+        campaign,
+        duration,
+        control_interval,
+        seed,
+        warmup,
+    } = config;
+
+    let mut sim = Simulation::builder(cluster, app, seed)
+        .arrivals(arrivals.unwrap_or_else(|| Box::new(PoissonArrivals::new(100.0))))
+        .build();
+
+    let services = sim.app().services.len();
+    let mut controller = match controller {
+        ControllerKind::None => Controller::None,
+        ControllerKind::Firm(mut mgr) => {
+            // The manager may arrive from training on another app; its
+            // environment-coupled state must not leak into this run.
+            mgr.reset_environment();
+            Controller::Firm(mgr)
+        }
+        ControllerKind::K8s(cfg) => Controller::K8s(K8sHpaController::new(cfg, services)),
+        ControllerKind::Aimd(cfg) => Controller::Aimd(
+            AimdController::new(cfg),
+            TracingCoordinator::new(100_000),
+        ),
+    };
+    let mut injector = campaign.map(|c| AnomalyInjector::new(c, seed ^ 0xF00D));
+
+    let monitor = SloMonitor::default();
+    let mut collector = TelemetryCollector::new(64);
+    let mut latency = Histogram::new();
+    let mut timeline = Vec::new();
+    let mut tracker = MitigationTracker::new();
+    let mut completions = 0u64;
+    let mut drops = 0u64;
+    let mut slo_violations = 0u64;
+    let mut cpu_sum = 0.0;
+    let mut cpu_n = 0u64;
+
+    let app_clone = sim.app().clone();
+    let end = sim.now() + duration;
+    let warm_until = sim.now() + warmup;
+
+    while sim.now() < end {
+        let window_start = sim.now();
+        if let Some(inj) = injector.as_mut() {
+            inj.tick(&mut sim);
+        }
+        sim.run_for(control_interval);
+        let measuring = sim.now() > warm_until;
+
+        // Manager-specific plumbing; each manager consumes the drains it
+        // needs, and we recover window measurements from what remains.
+        let (window_p99, window_mean, window_drops, violating, telemetry) = match &mut controller
+        {
+            Controller::Firm(mgr) => {
+                let assessment = mgr.tick(&mut sim);
+                // FIRM's coordinator holds the traces.
+                let mut lats: Vec<f64> = Vec::new();
+                let mut wdrops = 0;
+                for t in mgr.coordinator().traces_since(window_start) {
+                    if t.dropped {
+                        wdrops += 1;
+                    } else {
+                        lats.push(t.latency.as_micros() as f64);
+                        if measuring {
+                            latency.record(t.latency.as_micros());
+                            completions += 1;
+                            let slo = app_clone.request_types[t.request_type.index()]
+                                .slo_latency_us;
+                            if t.latency.as_micros() > slo {
+                                slo_violations += 1;
+                            }
+                        }
+                    }
+                }
+                if measuring {
+                    drops += wdrops;
+                    completions += wdrops;
+                }
+                lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let p99 = firm_sim::stats::sample_quantile(&lats, 0.99);
+                let mean = if lats.is_empty() {
+                    0.0
+                } else {
+                    lats.iter().sum::<f64>() / lats.len() as f64
+                };
+                // Telemetry was drained by the manager; read its copy.
+                let telemetry = mgr.last_telemetry().cloned().unwrap_or_default();
+                (p99, mean, wdrops, assessment.any_violation(), telemetry)
+            }
+            other => {
+                // Shared measurement path for None/K8s/AIMD.
+                let completed = sim.drain_completed();
+                let telemetry = sim.drain_telemetry();
+                let mut lats: Vec<f64> = Vec::new();
+                let mut wdrops = 0;
+                for r in &completed {
+                    if r.dropped {
+                        wdrops += 1;
+                    } else {
+                        lats.push(r.latency.as_micros() as f64);
+                        if measuring {
+                            latency.record(r.latency.as_micros());
+                            completions += 1;
+                            let slo =
+                                app_clone.request_types[r.request_type.index()].slo_latency_us;
+                            if r.latency.as_micros() > slo {
+                                slo_violations += 1;
+                            }
+                        }
+                    }
+                }
+                if measuring {
+                    drops += wdrops;
+                    completions += wdrops;
+                }
+                lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let p99 = firm_sim::stats::sample_quantile(&lats, 0.99);
+                let mean = if lats.is_empty() {
+                    0.0
+                } else {
+                    lats.iter().sum::<f64>() / lats.len() as f64
+                };
+                let violating = {
+                    // Assess against SLOs directly from window latencies.
+                    let mut v = false;
+                    for (i, rt) in app_clone.request_types.iter().enumerate() {
+                        let mut rt_lats: Vec<f64> = completed
+                            .iter()
+                            .filter(|r| !r.dropped && r.request_type.index() == i)
+                            .map(|r| r.latency.as_micros() as f64)
+                            .collect();
+                        if rt_lats.is_empty() {
+                            continue;
+                        }
+                        rt_lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                        let p99 =
+                            firm_sim::stats::sample_quantile(&rt_lats, monitor.quantile);
+                        if p99 > rt.slo_latency_us as f64 {
+                            v = true;
+                        }
+                    }
+                    v
+                };
+
+                match other {
+                    Controller::K8s(hpa) => hpa.tick(&mut sim, &telemetry),
+                    Controller::Aimd(aimd, coord) => {
+                        coord.ingest(completed);
+                        aimd.tick(&mut sim, coord, &telemetry, window_start);
+                        coord.evict_before(window_start);
+                    }
+                    _ => {}
+                }
+                (p99, mean, wdrops, violating, telemetry)
+            }
+        };
+        collector.collect(&telemetry);
+
+        // Timeline point.
+        let requested_cpu = sim.total_requested_cpu();
+        let cpu_util = {
+            let running: Vec<_> = telemetry
+                .instances
+                .iter()
+                .filter(|i| i.state == firm_sim::instance::InstanceState::Running)
+                .collect();
+            if running.is_empty() {
+                0.0
+            } else {
+                running
+                    .iter()
+                    .map(|i| i.utilization.get(firm_sim::ResourceKind::Cpu))
+                    .sum::<f64>()
+                    / running.len() as f64
+            }
+        };
+        let per_core_dram = telemetry
+            .instances
+            .first()
+            .map(|i| i.per_core_dram_mbps)
+            .unwrap_or(0.0);
+        if measuring {
+            cpu_sum += requested_cpu;
+            cpu_n += 1;
+        }
+        timeline.push(TimelinePoint {
+            at: sim.now(),
+            p99_us: window_p99,
+            mean_us: window_mean,
+            requested_cpu,
+            cpu_utilization: cpu_util,
+            per_core_dram,
+            drops: window_drops,
+        });
+
+        // Mitigation accounting.
+        let active: Vec<AnomalyId> = sim
+            .active_anomalies()
+            .iter()
+            .filter(|(_, _, at)| *at <= sim.now())
+            .map(|(id, _, _)| *id)
+            .collect();
+        tracker.observe(&active, violating, sim.now(), control_interval);
+    }
+
+    ScenarioResult {
+        controller: controller.name(),
+        latency,
+        timeline,
+        completions,
+        drops,
+        slo_violations,
+        mean_requested_cpu: if cpu_n == 0 { 0.0 } else { cpu_sum / cpu_n as f64 },
+        mitigation_times: tracker.times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::FirmConfig;
+    use firm_sim::spec::AppSpec;
+
+    fn tight_app() -> AppSpec {
+        let mut app = AppSpec::three_tier_demo();
+        app.request_types[0].slo_latency_us = 10_000;
+        app
+    }
+
+    fn base_config(controller: ControllerKind, seed: u64) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::new(tight_app(), controller);
+        cfg.cluster = ClusterSpec::small(2);
+        cfg.arrivals = Some(Box::new(PoissonArrivals::new(60.0)));
+        cfg.duration = SimDuration::from_secs(30);
+        cfg.seed = seed;
+        cfg
+    }
+
+    #[test]
+    fn unmanaged_scenario_collects_measurements() {
+        let mut cfg = base_config(ControllerKind::None, 1);
+        cfg.campaign = Some(CampaignConfig::stressors_only());
+        let res = run_scenario(cfg);
+        assert_eq!(res.controller, "none");
+        assert!(res.completions > 500);
+        assert!(res.latency.count() > 500);
+        assert_eq!(res.timeline.len(), 30);
+        assert!(res.mean_requested_cpu > 0.0);
+    }
+
+    #[test]
+    fn managed_scenarios_run_for_all_controllers() {
+        for (kind, name) in [
+            (
+                ControllerKind::Firm(Box::new(FirmManager::new(FirmConfig {
+                    training: true,
+                    ..FirmConfig::default()
+                }))),
+                "FIRM",
+            ),
+            (ControllerKind::K8s(K8sConfig::default()), "K8S"),
+            (ControllerKind::Aimd(AimdConfig::default()), "AIMD"),
+        ] {
+            let mut cfg = base_config(kind, 2);
+            cfg.campaign = Some(CampaignConfig::stressors_only());
+            let res = run_scenario(cfg);
+            assert_eq!(res.controller, name);
+            assert!(res.completions > 300, "{name}: {}", res.completions);
+            assert!(!res.timeline.is_empty());
+        }
+    }
+
+    #[test]
+    fn mitigation_tracker_measures_recovery() {
+        let mut t = MitigationTracker::new();
+        let tick = SimDuration::from_secs(1);
+        let id = AnomalyId(1);
+        // Anomaly active + violating for 3 ticks, then recovered.
+        t.observe(&[id], true, SimTime::from_secs(1), tick);
+        t.observe(&[id], true, SimTime::from_secs(2), tick);
+        t.observe(&[id], true, SimTime::from_secs(3), tick);
+        t.observe(&[id], false, SimTime::from_secs(4), tick);
+        assert_eq!(t.times.len(), 1);
+        assert_eq!(t.times[0], SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn unresolved_anomaly_counts_full_span() {
+        let mut t = MitigationTracker::new();
+        let tick = SimDuration::from_secs(1);
+        let id = AnomalyId(2);
+        t.observe(&[id], true, SimTime::from_secs(1), tick);
+        t.observe(&[id], true, SimTime::from_secs(2), tick);
+        // The anomaly ends while still violating.
+        t.observe(&[], true, SimTime::from_secs(3), tick);
+        assert_eq!(t.times.len(), 1);
+        assert_eq!(t.times[0], SimDuration::from_secs(2));
+    }
+}

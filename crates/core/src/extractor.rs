@@ -1,0 +1,345 @@
+//! Critical-component extraction — Algorithm 2 of the paper (§3.3).
+//!
+//! For every instance on a critical path in the control window, the
+//! extractor computes two variability features:
+//!
+//! * **Relative importance (RI)** — the Pearson correlation between the
+//!   instance's per-request latency `Ti` and the end-to-end CP latency
+//!   `TCP` ("variance explained"): how much of the tail is *this*
+//!   instance's doing.
+//! * **Congestion intensity (CI)** — the instance's `T99/T50` latency
+//!   ratio: how congested its request queue is, and therefore how much
+//!   scaling can help.
+//!
+//! An incremental SVM over `(RI, ln CI)` produces the binary
+//! candidate decision. During online training the injector's ground
+//! truth labels each instance, mirroring §3.6; before the SVM has seen
+//! enough examples, a conservative threshold heuristic stands in.
+
+use std::collections::BTreeMap;
+
+use firm_ml::svm::IncrementalSvm;
+use firm_sim::stats::{pearson, sample_quantile};
+use firm_sim::{InstanceId, ServiceId, SimTime};
+use firm_trace::store::StoredTrace;
+
+/// Per-instance Algorithm 2 features over one control window.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceFeatures {
+    /// The instance.
+    pub instance: InstanceId,
+    /// Its service.
+    pub service: ServiceId,
+    /// Relative importance: `PCC(Ti, TCP)` ∈ [−1, 1].
+    pub ri: f64,
+    /// Congestion intensity: `T99 / T50` ≥ 1.
+    pub ci: f64,
+    /// Number of CP appearances backing the features.
+    pub samples: usize,
+}
+
+impl InstanceFeatures {
+    /// The SVM input vector: `(RI, ln CI clamped to [0, 3])`.
+    pub fn svm_input(&self) -> [f64; 2] {
+        [self.ri, self.ci.max(1.0).ln().min(3.0)]
+    }
+}
+
+/// The Algorithm 2 extractor: features + incremental SVM.
+#[derive(Debug)]
+pub struct CriticalComponentExtractor {
+    svm: IncrementalSvm,
+    /// Examples the SVM must see before its decisions are trusted.
+    bootstrap: u64,
+    /// Minimum CP appearances for an instance to be classified.
+    min_samples: usize,
+    /// Heuristic thresholds used during bootstrap.
+    heuristic_ci: f64,
+    heuristic_ri: f64,
+}
+
+impl CriticalComponentExtractor {
+    /// Creates an extractor with an untrained SVM.
+    pub fn new(seed: u64) -> Self {
+        CriticalComponentExtractor {
+            svm: IncrementalSvm::firm_default(seed),
+            bootstrap: 200,
+            min_samples: 5,
+            heuristic_ci: 2.0,
+            heuristic_ri: 0.7,
+        }
+    }
+
+    /// Labelled examples consumed so far.
+    pub fn trained_examples(&self) -> u64 {
+        self.svm.seen()
+    }
+
+    /// True once the SVM is past its bootstrap phase.
+    pub fn svm_active(&self) -> bool {
+        self.svm.seen() >= self.bootstrap
+    }
+
+    /// Computes Algorithm 2's features for every instance appearing on a
+    /// critical path among `traces`.
+    ///
+    /// For each trace, an instance contributes its longest CP-span
+    /// duration as one `Ti` sample aligned with the trace's end-to-end
+    /// latency `TCP`.
+    pub fn features<'a>(
+        &self,
+        traces: impl IntoIterator<Item = &'a StoredTrace>,
+    ) -> Vec<InstanceFeatures> {
+        // instance → (service, Ti samples, TCP samples).
+        let mut acc: BTreeMap<u32, (ServiceId, Vec<f64>, Vec<f64>)> = BTreeMap::new();
+        for trace in traces {
+            if trace.dropped {
+                continue;
+            }
+            let tcp = trace.latency.as_micros() as f64;
+            // Largest *exclusive* time per instance on this trace's CP:
+            // a parent span's duration contains its children's latency,
+            // so full durations would make every ancestor of a culprit
+            // correlate perfectly with TCP; exclusive time isolates each
+            // instance's own contribution.
+            let mut per_instance: BTreeMap<u32, f64> = BTreeMap::new();
+            for entry in &trace.cp.entries {
+                let d = entry.exclusive.as_micros() as f64;
+                let slot = per_instance.entry(entry.instance.raw()).or_insert(0.0);
+                if d > *slot {
+                    *slot = d;
+                }
+                acc.entry(entry.instance.raw())
+                    .or_insert_with(|| (entry.service, Vec::new(), Vec::new()));
+            }
+            for (iid, ti) in per_instance {
+                let (_, tis, tcps) = acc.get_mut(&iid).expect("inserted above");
+                tis.push(ti);
+                tcps.push(tcp);
+            }
+        }
+
+        acc.into_iter()
+            .filter(|(_, (_, tis, _))| !tis.is_empty())
+            .map(|(iid, (service, mut tis, tcps))| {
+                let ri = pearson(&tis, &tcps);
+                tis.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+                let p99 = sample_quantile(&tis, 0.99);
+                let p50 = sample_quantile(&tis, 0.50);
+                let ci = if p50 <= 0.0 { 1.0 } else { (p99 / p50).max(1.0) };
+                InstanceFeatures {
+                    instance: InstanceId(iid),
+                    service,
+                    ri,
+                    ci,
+                    samples: tis.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Classifies features into SLO-violation candidates (Algorithm 2's
+    /// `SVM.classify`), ordered by decreasing congestion intensity.
+    pub fn candidates(&self, features: &[InstanceFeatures]) -> Vec<InstanceFeatures> {
+        let mut out: Vec<InstanceFeatures> = features
+            .iter()
+            .filter(|f| f.samples >= self.min_samples)
+            .filter(|f| self.classify(f))
+            .copied()
+            .collect();
+        out.sort_by(|a, b| b.ci.partial_cmp(&a.ci).expect("ci is finite"));
+        out
+    }
+
+    /// Binary decision for one instance.
+    pub fn classify(&self, f: &InstanceFeatures) -> bool {
+        if self.svm_active() {
+            self.svm.predict(&f.svm_input())
+        } else {
+            f.ci >= self.heuristic_ci || f.ri >= self.heuristic_ri
+        }
+    }
+
+    /// Raw SVM decision value (for ROC sweeps, Fig. 9a).
+    pub fn decision_value(&self, f: &InstanceFeatures) -> f64 {
+        self.svm.decision(&f.svm_input())
+    }
+
+    /// Online training step from injector ground truth (§3.6).
+    pub fn train(&mut self, f: &InstanceFeatures, is_culprit: bool) {
+        self.svm.partial_fit(&f.svm_input(), is_culprit);
+    }
+}
+
+/// Ground-truth labelling for online training (§3.6): an instance is a
+/// culprit if a container-level anomaly targets *it*, if a node-level
+/// resource/delay anomaly hits its node, or if a workload surge is
+/// active and the instance's CPU is saturated.
+pub fn ground_truth_label(
+    sim: &firm_sim::Simulation,
+    instance: InstanceId,
+    cpu_utilization: f64,
+    now: SimTime,
+) -> bool {
+    let node = sim.instance(instance).node;
+    for (_, spec, started) in sim.active_anomalies() {
+        if *started > now {
+            continue;
+        }
+        match (spec.kind, spec.target_instance) {
+            (firm_sim::AnomalyKind::WorkloadVariation, _) => {
+                if cpu_utilization > 0.85 {
+                    return true;
+                }
+            }
+            // Container-level: only the targeted container is guilty.
+            (_, Some(target)) => {
+                if target == instance {
+                    return true;
+                }
+            }
+            // Node-level: every container on the node is a victim.
+            (_, None) => {
+                if spec.node == node {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firm_sim::spec::{AppSpec, ClusterSpec};
+    use firm_sim::{AnomalyKind, AnomalySpec, NodeId, SimDuration, Simulation};
+    use firm_trace::TracingCoordinator;
+
+    fn window(
+        sim: &mut Simulation,
+        coord: &mut TracingCoordinator,
+        secs: u64,
+    ) -> Vec<StoredTrace> {
+        let since = sim.now();
+        sim.run_for(SimDuration::from_secs(secs));
+        coord.ingest(sim.drain_completed());
+        coord.traces_since(since).into_iter().cloned().collect()
+    }
+
+    #[test]
+    fn features_cover_cp_instances() {
+        let mut sim =
+            Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 31).build();
+        let mut coord = TracingCoordinator::new(100_000);
+        let traces = window(&mut sim, &mut coord, 2);
+        let ex = CriticalComponentExtractor::new(1);
+        let feats = ex.features(traces.iter());
+        assert!(feats.len() >= 3, "features for {} instances", feats.len());
+        for f in &feats {
+            assert!((-1.0..=1.0).contains(&f.ri), "ri {}", f.ri);
+            assert!(f.ci >= 1.0, "ci {}", f.ci);
+            assert!(f.samples > 0);
+        }
+        // The frontend (instance 0) is on every CP.
+        assert!(feats.iter().any(|f| f.instance == InstanceId(0)));
+    }
+
+    #[test]
+    fn congested_instance_has_higher_ci() {
+        let mut sim =
+            Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 32).build();
+        let mut coord = TracingCoordinator::new(100_000);
+        // Squeeze logic-a (instance 1) into *intermittent* congestion
+        // (utilization ≈ 0.5): bursts queue up, the median stays low —
+        // exactly the p99/p50 signature CI is built to expose. (Full
+        // saturation would flatten the distribution instead.)
+        sim.apply(firm_sim::Command::SetPartition {
+            instance: InstanceId(1),
+            kind: firm_sim::ResourceKind::Cpu,
+            amount: 0.2,
+        });
+        sim.run_for(SimDuration::from_secs(1));
+        sim.drain_completed();
+        let traces = window(&mut sim, &mut coord, 3);
+        let ex = CriticalComponentExtractor::new(1);
+        let feats = ex.features(traces.iter());
+        let victim = feats.iter().find(|f| f.instance == InstanceId(1));
+        let victim = victim.expect("victim on CP");
+        let others_max_ci = feats
+            .iter()
+            .filter(|f| f.instance != InstanceId(1))
+            .map(|f| f.ci)
+            .fold(1.0, f64::max);
+        assert!(
+            victim.ci > others_max_ci,
+            "victim ci {} vs others {}",
+            victim.ci,
+            others_max_ci
+        );
+        assert!(victim.ri > 0.5, "victim ri {}", victim.ri);
+    }
+
+    #[test]
+    fn bootstrap_heuristic_then_svm() {
+        let mut ex = CriticalComponentExtractor::new(2);
+        assert!(!ex.svm_active());
+        let congested = InstanceFeatures {
+            instance: InstanceId(1),
+            service: ServiceId(1),
+            ri: 0.9,
+            ci: 5.0,
+            samples: 50,
+        };
+        let calm = InstanceFeatures {
+            instance: InstanceId(2),
+            service: ServiceId(2),
+            ri: 0.1,
+            ci: 1.1,
+            samples: 50,
+        };
+        // Heuristic phase.
+        assert!(ex.classify(&congested));
+        assert!(!ex.classify(&calm));
+        // Train the SVM to the same decision boundary.
+        for _ in 0..150 {
+            ex.train(&congested, true);
+            ex.train(&calm, false);
+        }
+        assert!(ex.svm_active());
+        assert!(ex.classify(&congested));
+        assert!(!ex.classify(&calm));
+        let cands = ex.candidates(&[congested, calm]);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].instance, InstanceId(1));
+    }
+
+    #[test]
+    fn min_samples_filters_noise() {
+        let ex = CriticalComponentExtractor::new(3);
+        let noisy = InstanceFeatures {
+            instance: InstanceId(9),
+            service: ServiceId(9),
+            ri: 0.99,
+            ci: 9.0,
+            samples: 1,
+        };
+        assert!(ex.candidates(&[noisy]).is_empty());
+    }
+
+    #[test]
+    fn ground_truth_labels_anomalous_node() {
+        let mut sim =
+            Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 33).build();
+        sim.inject(AnomalySpec::new(
+            AnomalyKind::MemBwStress,
+            NodeId(0),
+            0.9,
+            SimDuration::from_secs(10),
+        ));
+        sim.run_for(SimDuration::from_millis(100));
+        // Instance 0 (frontend) is on node 0; logic-a (instance 1) on node 1.
+        assert!(ground_truth_label(&sim, InstanceId(0), 0.2, sim.now()));
+        assert!(!ground_truth_label(&sim, InstanceId(1), 0.2, sim.now()));
+    }
+}

@@ -1,0 +1,302 @@
+//! The Performance Anomaly Injector (§3.6) and its campaigns (§4.1).
+//!
+//! The injector creates resource-contention situations with configurable
+//! type, intensity, timing and duration, generating both the RL training
+//! signal and the ground truth for SVM training. The default campaign
+//! follows the paper's evaluation setup: injection inter-arrival times
+//! exponentially distributed with λ = 0.33 s⁻¹, anomaly type and
+//! intensity chosen uniformly at random, targets chosen uniformly across
+//! nodes.
+
+use firm_sim::anomaly::ANOMALY_KINDS;
+use firm_sim::{AnomalyId, AnomalyKind, AnomalySpec, NodeId, SimDuration, SimRng, SimTime, Simulation};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Injection rate λ (events per second); the paper uses 0.33 s⁻¹.
+    pub lambda: f64,
+    /// Anomaly kinds to draw from (uniformly).
+    pub kinds: Vec<AnomalyKind>,
+    /// Intensity range, drawn uniformly.
+    pub intensity: (f64, f64),
+    /// Duration range, drawn uniformly.
+    pub duration: (SimDuration, SimDuration),
+    /// Nodes eligible as targets (empty = all nodes); only used in
+    /// node-level mode.
+    pub target_nodes: Vec<NodeId>,
+    /// Inject into containers chosen uniformly at random (§4.1, the
+    /// paper's mode) instead of into nodes.
+    pub container_level: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            lambda: 0.33,
+            kinds: ANOMALY_KINDS.to_vec(),
+            intensity: (0.4, 1.0),
+            duration: (SimDuration::from_secs(2), SimDuration::from_secs(8)),
+            target_nodes: Vec::new(),
+            container_level: true,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A campaign restricted to resource stressors (no workload/network
+    /// delay), e.g. for localization experiments.
+    pub fn stressors_only() -> Self {
+        CampaignConfig {
+            kinds: vec![
+                AnomalyKind::CpuStress,
+                AnomalyKind::LlcStress,
+                AnomalyKind::MemBwStress,
+                AnomalyKind::IoStress,
+                AnomalyKind::NetBwStress,
+            ],
+            ..CampaignConfig::default()
+        }
+    }
+}
+
+/// A record of one injected anomaly (for ground truth and reports).
+#[derive(Debug, Clone, Copy)]
+pub struct InjectionRecord {
+    /// The injection id in the simulator.
+    pub id: AnomalyId,
+    /// What was injected.
+    pub spec: AnomalySpec,
+    /// When it started.
+    pub at: SimTime,
+}
+
+/// Drives anomaly injections into a simulation.
+#[derive(Debug)]
+pub struct AnomalyInjector {
+    config: CampaignConfig,
+    rng: SimRng,
+    next_at: Option<SimTime>,
+    history: Vec<InjectionRecord>,
+}
+
+impl AnomalyInjector {
+    /// Creates an injector with its own RNG stream.
+    pub fn new(config: CampaignConfig, seed: u64) -> Self {
+        AnomalyInjector {
+            config,
+            rng: SimRng::new(seed),
+            next_at: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// All injections performed so far.
+    pub fn history(&self) -> &[InjectionRecord] {
+        &self.history
+    }
+
+    /// Advances the campaign to `sim.now()`, injecting any anomalies
+    /// whose scheduled time has arrived. Call once per control tick.
+    pub fn tick(&mut self, sim: &mut Simulation) {
+        let now = sim.now();
+        let next = match self.next_at {
+            Some(t) => t,
+            None => {
+                let gap = self.rng.exponential(self.config.lambda);
+                let t = now + SimDuration::from_secs_f64(gap);
+                self.next_at = Some(t);
+                t
+            }
+        };
+        if now >= next {
+            self.inject_random(sim);
+            let gap = self.rng.exponential(self.config.lambda);
+            self.next_at = Some(now + SimDuration::from_secs_f64(gap));
+        }
+    }
+
+    /// Injects one random anomaly per the campaign config.
+    pub fn inject_random(&mut self, sim: &mut Simulation) -> InjectionRecord {
+        let kind = self.config.kinds[self.rng.index(self.config.kinds.len())];
+        let intensity = self
+            .rng
+            .uniform_range(self.config.intensity.0, self.config.intensity.1);
+        let duration = SimDuration::from_micros(self.rng.uniform_range(
+            self.config.duration.0.as_micros() as f64,
+            self.config.duration.1.as_micros() as f64,
+        ) as u64);
+
+        let spec = if self.config.container_level
+            && kind.contended_resource().is_some()
+        {
+            // §4.1: anomalies go into containers uniformly at random.
+            let running: Vec<firm_sim::InstanceId> = sim
+                .instances()
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| {
+                    i.state == firm_sim::instance::InstanceState::Running
+                })
+                .map(|(idx, _)| firm_sim::InstanceId(idx as u32))
+                .collect();
+            if running.is_empty() {
+                AnomalySpec::new(kind, NodeId(0), intensity, duration)
+            } else {
+                let target = running[self.rng.index(running.len())];
+                AnomalySpec::at_instance(kind, target, intensity, duration)
+            }
+        } else {
+            let node = if self.config.target_nodes.is_empty() {
+                NodeId(self.rng.index(sim.nodes().len()) as u16)
+            } else {
+                self.config.target_nodes[self.rng.index(self.config.target_nodes.len())]
+            };
+            AnomalySpec::new(kind, node, intensity, duration)
+        };
+        let id = sim.inject(spec);
+        let record = InjectionRecord {
+            id,
+            spec,
+            at: sim.now(),
+        };
+        self.history.push(record);
+        record
+    }
+
+    /// Injects a specific anomaly now (for targeted experiments).
+    pub fn inject(&mut self, sim: &mut Simulation, spec: AnomalySpec) -> InjectionRecord {
+        let id = sim.inject(spec);
+        let record = InjectionRecord {
+            id,
+            spec,
+            at: sim.now(),
+        };
+        self.history.push(record);
+        record
+    }
+}
+
+/// The Fig. 9(c) multi-anomaly campaign: the timeline is divided into
+/// fixed windows; in each window every anomaly source gets a fresh
+/// intensity drawn uniformly from `[0, 1]` (an intensity of zero is
+/// allowed — the source is quiet in that window).
+pub fn fig9c_campaign(
+    sim: &mut Simulation,
+    windows: usize,
+    window_len: SimDuration,
+    node: NodeId,
+    seed: u64,
+) -> Vec<Vec<(AnomalyKind, f64)>> {
+    let mut rng = SimRng::new(seed);
+    let mut timeline = Vec::with_capacity(windows);
+    let sources = [
+        AnomalyKind::WorkloadVariation,
+        AnomalyKind::CpuStress,
+        AnomalyKind::MemBwStress,
+        AnomalyKind::LlcStress,
+        AnomalyKind::IoStress,
+        AnomalyKind::NetBwStress,
+    ];
+    for w in 0..windows {
+        let at = sim.now() + window_len.mul_f64(w as f64);
+        let mut row = Vec::with_capacity(sources.len());
+        for kind in sources {
+            let intensity = rng.uniform();
+            row.push((kind, intensity));
+            if intensity > 0.05 {
+                sim.inject_at(
+                    AnomalySpec::new(kind, node, intensity, window_len),
+                    at,
+                );
+            }
+        }
+        timeline.push(row);
+    }
+    timeline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firm_sim::spec::{AppSpec, ClusterSpec};
+
+    fn sim(seed: u64) -> Simulation {
+        Simulation::builder(ClusterSpec::small(3), AppSpec::three_tier_demo(), seed).build()
+    }
+
+    #[test]
+    fn campaign_rate_approximates_lambda() {
+        let mut sim = sim(61);
+        let mut inj = AnomalyInjector::new(CampaignConfig::default(), 1);
+        // 120 simulated seconds at λ=0.33 ≈ 40 injections.
+        for _ in 0..1_200 {
+            sim.run_for(SimDuration::from_millis(100));
+            inj.tick(&mut sim);
+        }
+        let n = inj.history().len();
+        assert!((25..=60).contains(&n), "{n} injections");
+    }
+
+    #[test]
+    fn injections_land_on_configured_nodes() {
+        let mut sim = sim(62);
+        let cfg = CampaignConfig {
+            target_nodes: vec![NodeId(1)],
+            lambda: 5.0,
+            container_level: false,
+            ..CampaignConfig::default()
+        };
+        let mut inj = AnomalyInjector::new(cfg, 2);
+        for _ in 0..100 {
+            sim.run_for(SimDuration::from_millis(100));
+            inj.tick(&mut sim);
+        }
+        assert!(!inj.history().is_empty());
+        assert!(inj.history().iter().all(|r| r.spec.node == NodeId(1)));
+    }
+
+    #[test]
+    fn stressor_campaign_excludes_workload() {
+        let cfg = CampaignConfig::stressors_only();
+        assert!(!cfg.kinds.contains(&AnomalyKind::WorkloadVariation));
+        assert!(!cfg.kinds.contains(&AnomalyKind::NetworkDelay));
+        assert_eq!(cfg.kinds.len(), 5);
+    }
+
+    #[test]
+    fn fig9c_timeline_has_expected_shape() {
+        let mut sim = sim(63);
+        let timeline = fig9c_campaign(
+            &mut sim,
+            12,
+            SimDuration::from_secs(10),
+            NodeId(0),
+            3,
+        );
+        assert_eq!(timeline.len(), 12);
+        assert!(timeline.iter().all(|row| row.len() == 6));
+        for row in &timeline {
+            for (_, intensity) in row {
+                assert!((0.0..=1.0).contains(intensity));
+            }
+        }
+        // The scheduled anomalies actually activate over time.
+        sim.run_for(SimDuration::from_secs(5));
+        assert!(!sim.active_anomalies().is_empty());
+    }
+
+    #[test]
+    fn intensity_and_duration_within_ranges() {
+        let mut sim = sim(64);
+        let cfg = CampaignConfig::default();
+        let (ilo, ihi) = cfg.intensity;
+        let (dlo, dhi) = cfg.duration;
+        let mut inj = AnomalyInjector::new(cfg, 4);
+        for _ in 0..50 {
+            let r = inj.inject_random(&mut sim);
+            assert!((ilo..=ihi).contains(&r.spec.intensity));
+            assert!(r.spec.duration >= dlo && r.spec.duration <= dhi);
+        }
+    }
+}

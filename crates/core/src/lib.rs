@@ -1,0 +1,46 @@
+//! FIRM: fine-grained, ML-driven resource management for SLO-oriented
+//! microservices — the core framework of the reproduction.
+//!
+//! This crate wires the substrates together into the architecture of
+//! Fig. 6 of the paper:
+//!
+//! 1. the **Tracing Coordinator** (`firm-trace`) collects spans and
+//!    telemetry (`firm-telemetry`) — ①;
+//! 2. the **Extractor** ([`extractor`]) detects SLO violations
+//!    ([`slo`]), extracts critical paths (Algorithm 1, in `firm-trace`)
+//!    and localizes critical instances with per-CP/per-instance
+//!    variability features and an incremental SVM (Algorithm 2) — ② ③;
+//! 3. the **RL-based Resource Estimator** ([`estimator`]) maps the
+//!    Table 3 state of each culprit instance to fine-grained resource
+//!    actions with a DDPG agent (§3.4) — ④;
+//! 4. the **Deployment Module** ([`deployment`]) validates actions,
+//!    replacing oversubscribing ones with scale-out, and actuates them
+//!    with the Table 6 latencies — ⑤;
+//! 5. the **Performance Anomaly Injector** ([`injector`]) creates
+//!    resource contention with configurable type, intensity, timing and
+//!    duration for online training (§3.6) — ⑥.
+//!
+//! [`manager::FirmManager`] runs the full loop; [`baselines`] provides
+//! the Kubernetes-autoscaler and AIMD comparison points; [`experiment`]
+//! and [`training`] are the harnesses behind every figure and table of
+//! the evaluation.
+
+pub mod baselines;
+pub mod deployment;
+pub mod estimator;
+pub mod experiment;
+pub mod extractor;
+pub mod injector;
+pub mod manager;
+pub mod slo;
+pub mod training;
+
+pub use baselines::{AimdController, K8sHpaController};
+pub use deployment::DeploymentModule;
+pub use estimator::{ActionMapper, ResourceEstimator, StateBuilder};
+pub use experiment::{run_scenario, Controller, ControllerKind, ScenarioConfig, ScenarioResult};
+pub use extractor::{CriticalComponentExtractor, InstanceFeatures};
+pub use injector::{AnomalyInjector, CampaignConfig};
+pub use manager::{FirmConfig, FirmManager};
+pub use slo::{SloAssessment, SloMonitor};
+pub use training::{train_firm, EpisodeStats, TrainingConfig};

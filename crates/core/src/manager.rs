@@ -1,0 +1,522 @@
+//! The FIRM manager: the full Fig. 6 control loop.
+//!
+//! Each control tick the manager (1) ingests traces and telemetry, (2)
+//! assesses SLOs, (3) completes the reward/next-state half of pending RL
+//! transitions, (4) when violations exist, extracts critical paths and
+//! localizes culprit instances with Algorithm 2, (5) queries the RL
+//! estimator for per-culprit resource actions, and (6) validates and
+//! actuates them through the deployment module. In training mode the
+//! injector's ground truth also feeds the SVM online and the agent
+//! explores.
+
+use std::collections::BTreeMap;
+
+use firm_ml::ddpg::Transition;
+use firm_sim::telemetry_probe::{InstanceSnapshot, TelemetryWindow};
+use firm_sim::{InstanceId, ServiceId, SimDuration, SimTime, Simulation, RESOURCE_KINDS};
+use firm_telemetry::TelemetryCollector;
+use firm_trace::TracingCoordinator;
+
+use crate::deployment::DeploymentModule;
+use crate::estimator::{reward, AgentRegime, ResourceEstimator, StateBuilder};
+use crate::extractor::{ground_truth_label, CriticalComponentExtractor};
+use crate::slo::{SloAssessment, SloMonitor};
+
+/// FIRM configuration.
+#[derive(Debug, Clone)]
+pub struct FirmConfig {
+    /// Control-loop period.
+    pub control_interval: SimDuration,
+    /// Maximum culprit instances acted upon per tick.
+    pub max_candidates: usize,
+    /// Agent regime (§4.3: one-for-all / one-for-each / transferred).
+    pub regime: AgentRegime,
+    /// Training mode: label the SVM from ground truth and learn from
+    /// transitions.
+    pub training: bool,
+    /// Add exploration noise to actions (usually tied to `training`;
+    /// disable for deployed-but-still-learning operation).
+    pub explore: bool,
+    /// Use the SVM to filter culprits (the paper's two-level design).
+    /// With `false`, the RL agent sees *every* critical-path instance —
+    /// the §5 ablation ("Why Multi-level ML Framework?").
+    pub svm_filter: bool,
+    /// Reward trade-off α.
+    pub alpha: f64,
+    /// RNG seed for the ML components.
+    pub seed: u64,
+}
+
+impl Default for FirmConfig {
+    fn default() -> Self {
+        FirmConfig {
+            control_interval: SimDuration::from_secs(1),
+            max_candidates: 4,
+            regime: AgentRegime::Shared,
+            training: false,
+            explore: true,
+            svm_filter: true,
+            alpha: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+/// Counters exposed for reports and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ManagerStats {
+    /// Control ticks executed.
+    pub ticks: u64,
+    /// Ticks that observed an SLO violation.
+    pub violation_ticks: u64,
+    /// RL actions issued.
+    pub actions: u64,
+    /// Actions that became scale-outs (oversubscription rule).
+    pub scale_outs: u64,
+    /// Completed RL transitions.
+    pub transitions: u64,
+}
+
+#[derive(Debug)]
+struct Pending {
+    instance: InstanceId,
+    service: ServiceId,
+    state: Vec<f64>,
+    action: Vec<f64>,
+}
+
+/// The FIRM resource-management framework.
+#[derive(Debug)]
+pub struct FirmManager {
+    /// Configuration.
+    pub config: FirmConfig,
+    coordinator: TracingCoordinator,
+    collector: TelemetryCollector,
+    monitor: SloMonitor,
+    extractor: CriticalComponentExtractor,
+    estimator: ResourceEstimator,
+    deployment: DeploymentModule,
+    state_builder: StateBuilder,
+    pending: Vec<Pending>,
+    last_tick: SimTime,
+    episode_reward: f64,
+    stats: ManagerStats,
+    last_telemetry: Option<TelemetryWindow>,
+}
+
+impl FirmManager {
+    /// Creates a manager.
+    pub fn new(config: FirmConfig) -> Self {
+        FirmManager {
+            coordinator: TracingCoordinator::new(200_000),
+            collector: TelemetryCollector::new(256),
+            monitor: SloMonitor::default(),
+            extractor: CriticalComponentExtractor::new(config.seed ^ 0x5111),
+            estimator: ResourceEstimator::new(config.regime, config.seed),
+            deployment: DeploymentModule::new(),
+            state_builder: StateBuilder,
+            pending: Vec::new(),
+            last_tick: SimTime::ZERO,
+            episode_reward: 0.0,
+            stats: ManagerStats::default(),
+            last_telemetry: None,
+            config,
+        }
+    }
+
+    /// The telemetry window consumed by the most recent tick (the
+    /// manager drains the simulator; observers read it from here).
+    pub fn last_telemetry(&self) -> Option<&TelemetryWindow> {
+        self.last_telemetry.as_ref()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// The tracing coordinator (read access).
+    pub fn coordinator(&self) -> &TracingCoordinator {
+        &self.coordinator
+    }
+
+    /// The Algorithm 2 extractor (read access).
+    pub fn extractor(&self) -> &CriticalComponentExtractor {
+        &self.extractor
+    }
+
+    /// The RL estimator (mutable access for checkpointing/transfer).
+    pub fn estimator_mut(&mut self) -> &mut ResourceEstimator {
+        &mut self.estimator
+    }
+
+    /// Exports the shared agent's `(actor, critic)` weights — the
+    /// checkpoint used for transfer learning and Fig. 11(b) snapshots.
+    pub fn shared_weights(&self) -> (Vec<f64>, Vec<f64>) {
+        self.estimator.shared_agent().export_weights()
+    }
+
+    /// Reward accumulated since the last [`FirmManager::end_episode`].
+    pub fn episode_reward(&self) -> f64 {
+        self.episode_reward
+    }
+
+    /// Resets environment-coupled state (traces, pending transitions,
+    /// window clock) when the manager is pointed at a *new* simulation —
+    /// e.g. between training episodes. Learned state (SVM, RL weights,
+    /// replay buffers) is preserved.
+    pub fn reset_environment(&mut self) {
+        self.coordinator = TracingCoordinator::new(200_000);
+        self.collector = TelemetryCollector::new(256);
+        self.pending.clear();
+        self.last_tick = SimTime::ZERO;
+    }
+
+    /// Ends a training episode: flushes pending transitions as terminal,
+    /// resets exploration noise, and returns the episode's total reward.
+    pub fn end_episode(&mut self, telemetry: &TelemetryWindow, sv: f64) -> f64 {
+        let snapshots = Self::snapshot_map(telemetry);
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            self.complete_transition(p, &snapshots, sv, 1.0, &[], true);
+        }
+        self.estimator.episode_reset();
+        std::mem::take(&mut self.episode_reward)
+    }
+
+    fn snapshot_map(telemetry: &TelemetryWindow) -> BTreeMap<u32, &InstanceSnapshot> {
+        telemetry
+            .instances
+            .iter()
+            .map(|s| (s.instance.raw(), s))
+            .collect()
+    }
+
+    /// One control tick. Call after advancing the simulation by
+    /// [`FirmConfig::control_interval`].
+    pub fn tick(&mut self, sim: &mut Simulation) -> SloAssessment {
+        let window_start = self.last_tick;
+        self.last_tick = sim.now();
+        self.stats.ticks += 1;
+
+        // ① Ingest traces and telemetry.
+        self.coordinator.ingest(sim.drain_completed());
+        let telemetry = sim.drain_telemetry();
+        self.collector.collect(&telemetry);
+
+        // ② Detect SLO violations.
+        let app = sim.app().clone();
+        let assessment = self.monitor.assess(&app, &self.coordinator, window_start);
+        if assessment.any_violation() {
+            self.stats.violation_ticks += 1;
+        }
+        let wc = self.collector.workload_change();
+        let mix = telemetry.request_mix.clone();
+        let snapshots = Self::snapshot_map(&telemetry);
+
+        // ③ Complete pending transitions with this window's outcome.
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            self.complete_transition(p, &snapshots, assessment.sv, wc, &mix, false);
+        }
+
+        // ④ Localize culprits (Alg. 2) when violating — or, in training
+        // mode, on every tick so the SVM keeps learning.
+        let should_extract = assessment.any_violation() || self.config.training;
+        if should_extract {
+            let traces: Vec<_> = self
+                .coordinator
+                .traces_since(window_start)
+                .into_iter()
+                .cloned()
+                .collect();
+            let features = self.extractor.features(traces.iter());
+
+            if self.config.training {
+                for f in &features {
+                    // Traces can outlive instances (scale-in); skip stale
+                    // references.
+                    if f.instance.index() >= sim.instances().len() {
+                        continue;
+                    }
+                    let cpu_util = snapshots
+                        .get(&f.instance.raw())
+                        .map(|s| s.utilization.get(firm_sim::ResourceKind::Cpu))
+                        .unwrap_or(0.0);
+                    let label = ground_truth_label(sim, f.instance, cpu_util, sim.now());
+                    self.extractor.train(f, label);
+                }
+            }
+
+            let instance_count = sim.instances().len();
+            let in_sim =
+                move |f: &crate::extractor::InstanceFeatures| f.instance.index() < instance_count;
+
+            if assessment.any_violation() {
+                let candidates = if self.config.svm_filter {
+                    self.extractor.candidates(&features)
+                } else {
+                    // Ablation: no level-1 filter — every CP instance is
+                    // handed to the RL agent (highest CI first).
+                    let mut all: Vec<_> = features.clone();
+                    all.sort_by(|a, b| b.ci.partial_cmp(&a.ci).expect("ci is finite"));
+                    all
+                };
+                for cand in candidates
+                    .into_iter()
+                    .filter(in_sim)
+                    .take(self.config.max_candidates)
+                {
+                    let Some(snap) = snapshots.get(&cand.instance.raw()) else {
+                        continue;
+                    };
+                    // ⑤ RL action.
+                    let state =
+                        self.state_builder
+                            .build(snap, assessment.sv, wc, &mix);
+                    let action = if self.config.training && self.config.explore {
+                        self.estimator.act_explore(cand.service, &state)
+                    } else {
+                        self.estimator.act(cand.service, &state)
+                    };
+    let limits = self.estimator.mapper.to_limits(&action);
+                    // ⑥ Validate + actuate, floored by live demand so a
+                    // half-trained policy cannot choke a container. The
+                    // CPU floor is *concurrency* (Little's law), not CPU
+                    // work: workers block on downstream RPCs, so a
+                    // thread-per-request service needs ≈ arrival rate ×
+                    // mean latency worker slots regardless of CPU burn.
+                    let mut floors = snap.usage;
+                    let window_us = snap.window.as_micros().max(1) as f64;
+                    let concurrency =
+                        snap.arrivals as f64 * snap.mean_latency_us / window_us;
+                    floors.set(
+                        firm_sim::ResourceKind::Cpu,
+                        floors.get(firm_sim::ResourceKind::Cpu).max(concurrency),
+                    );
+                    let validated =
+                        self.deployment
+                            .execute(sim, cand.instance, &limits, Some(&floors));
+                    self.stats.actions += 1;
+                    let mut scaled_out = validated.scaled_out;
+                    // §3.4: "if the amount of resource reaches the total
+                    // available amount, then a scale-out operation is
+                    // needed" — an action pinned at the top of its range
+                    // is that request.
+                    let wants_max = action.iter().any(|a| *a > 0.9);
+                    if wants_max && !scaled_out && sim.replicas(cand.service).len() < 8 {
+                        sim.apply(firm_sim::Command::ScaleOut {
+                            service: cand.service,
+                            warm: true,
+                        });
+                        scaled_out = true;
+                    }
+                    if scaled_out {
+                        self.stats.scale_outs += 1;
+                    }
+                    self.pending.push(Pending {
+                        instance: cand.instance,
+                        service: cand.service,
+                        state,
+                        action,
+                    });
+                }
+            }
+        }
+
+        // Bound memory: keep two minutes of traces.
+        let horizon = SimDuration::from_secs(120);
+        if sim.now() > SimTime::ZERO + horizon {
+            let cutoff = SimTime::from_micros(sim.now().as_micros() - horizon.as_micros());
+            self.coordinator.evict_before(cutoff);
+        }
+        self.last_telemetry = Some(telemetry);
+        assessment
+    }
+
+    fn complete_transition(
+        &mut self,
+        p: Pending,
+        snapshots: &BTreeMap<u32, &InstanceSnapshot>,
+        sv: f64,
+        wc: f64,
+        mix: &[f64],
+        done: bool,
+    ) {
+        let Some(snap) = snapshots.get(&p.instance.raw()) else {
+            return;
+        };
+        let mut utils = [0.0; 5];
+        for kind in RESOURCE_KINDS {
+            utils[kind.index()] = snap.utilization.get(kind);
+        }
+        let r = reward(sv, &utils, self.config.alpha);
+        self.episode_reward += r;
+        let next_state = self.state_builder.build(snap, sv, wc, mix);
+        if self.config.training {
+            self.estimator.learn(
+                p.service,
+                Transition {
+                    state: p.state,
+                    action: p.action,
+                    reward: r,
+                    next_state,
+                    done,
+                },
+            );
+        }
+        self.stats.transitions += 1;
+    }
+}
+
+/// Convenience: run a FIRM-managed simulation for `duration`, ticking the
+/// manager at its control interval.
+pub fn run_managed(
+    sim: &mut Simulation,
+    manager: &mut FirmManager,
+    duration: SimDuration,
+) {
+    let deadline = sim.now() + duration;
+    while sim.now() < deadline {
+        sim.run_for(manager.config.control_interval);
+        manager.tick(sim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firm_sim::spec::{AppSpec, ClusterSpec};
+    use firm_sim::{AnomalyKind, AnomalySpec, NodeId, PoissonArrivals};
+
+    fn tight_app() -> AppSpec {
+        let mut app = AppSpec::three_tier_demo();
+        app.request_types[0].slo_latency_us = 5_000;
+        app
+    }
+
+    #[test]
+    fn healthy_loop_issues_no_actions() {
+        let mut sim = Simulation::builder(ClusterSpec::small(2), tight_app(), 81)
+            .arrivals(Box::new(PoissonArrivals::new(50.0)))
+            .build();
+        let mut mgr = FirmManager::new(FirmConfig::default());
+        run_managed(&mut sim, &mut mgr, SimDuration::from_secs(5));
+        let stats = mgr.stats();
+        assert_eq!(stats.ticks, 5);
+        assert_eq!(stats.actions, 0, "acted on a healthy system");
+    }
+
+    #[test]
+    fn violation_triggers_localization_and_action() {
+        let mut sim = Simulation::builder(ClusterSpec::small(2), tight_app(), 82)
+            .arrivals(Box::new(PoissonArrivals::new(50.0)))
+            .build();
+        let mut mgr = FirmManager::new(FirmConfig {
+            training: true,
+            ..FirmConfig::default()
+        });
+        // Warm up, then stress node 0 hard.
+        run_managed(&mut sim, &mut mgr, SimDuration::from_secs(3));
+        sim.inject(AnomalySpec::new(
+            AnomalyKind::MemBwStress,
+            NodeId(0),
+            1.0,
+            SimDuration::from_secs(15),
+        ));
+        sim.inject(AnomalySpec::new(
+            AnomalyKind::NetworkDelay,
+            NodeId(0),
+            0.15,
+            SimDuration::from_secs(15),
+        ));
+        run_managed(&mut sim, &mut mgr, SimDuration::from_secs(10));
+        let stats = mgr.stats();
+        assert!(stats.violation_ticks > 0, "no violations observed");
+        assert!(stats.actions > 0, "no mitigation actions");
+        assert!(stats.transitions > 0, "no completed transitions");
+        assert!(mgr.extractor().trained_examples() > 0, "SVM untouched");
+    }
+
+    #[test]
+    fn episode_accounting_resets() {
+        let mut sim = Simulation::builder(ClusterSpec::small(2), tight_app(), 83)
+            .arrivals(Box::new(PoissonArrivals::new(50.0)))
+            .build();
+        let mut mgr = FirmManager::new(FirmConfig {
+            training: true,
+            ..FirmConfig::default()
+        });
+        sim.inject(AnomalySpec::new(
+            AnomalyKind::CpuStress,
+            NodeId(0),
+            1.0,
+            SimDuration::from_secs(10),
+        ));
+        sim.inject(AnomalySpec::new(
+            AnomalyKind::NetworkDelay,
+            NodeId(0),
+            0.15,
+            SimDuration::from_secs(10),
+        ));
+        run_managed(&mut sim, &mut mgr, SimDuration::from_secs(6));
+        let telemetry = sim.drain_telemetry();
+        let total = mgr.end_episode(&telemetry, 1.0);
+        assert!(total != 0.0, "episode collected no reward");
+        assert_eq!(mgr.episode_reward(), 0.0);
+    }
+
+    #[test]
+    fn mitigation_restores_slo_under_contention() {
+        // End-to-end sanity: with FIRM managing, tail latency under a
+        // long memory-bandwidth anomaly ends up below the unmanaged tail.
+        let run = |managed: bool| -> f64 {
+            let mut sim = Simulation::builder(ClusterSpec::small(2), tight_app(), 84)
+                .arrivals(Box::new(PoissonArrivals::new(50.0)))
+                .build();
+            let mut mgr = FirmManager::new(FirmConfig {
+                training: true,
+                seed: 11,
+                ..FirmConfig::default()
+            });
+            sim.inject(AnomalySpec::new(
+                AnomalyKind::MemBwStress,
+                NodeId(0),
+                0.97,
+                SimDuration::from_secs(40),
+            ));
+            // Let the contention bite and the manager react, then
+            // measure the tail over the final stretch.
+            let mut lats = Vec::new();
+            let mut measure_from = SimTime::ZERO;
+            for tick in 0..40 {
+                sim.run_for(SimDuration::from_secs(1));
+                if tick == 20 {
+                    measure_from = sim.now();
+                }
+                if managed {
+                    mgr.tick(&mut sim);
+                } else if tick >= 20 {
+                    for r in sim.drain_completed() {
+                        if !r.dropped {
+                            lats.push(r.latency.as_micros() as f64);
+                        }
+                    }
+                }
+            }
+            if managed {
+                lats = mgr
+                    .coordinator()
+                    .latencies_since(measure_from, firm_sim::RequestTypeId(0));
+            }
+            lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            firm_sim::stats::sample_quantile(&lats, 0.95)
+        };
+        let unmanaged = run(false);
+        let managed = run(true);
+        assert!(
+            managed < unmanaged,
+            "managed p95 {managed} vs unmanaged {unmanaged}"
+        );
+    }
+}

@@ -1,0 +1,600 @@
+//! Deep deterministic policy gradient (DDPG) — §3.4 and Algorithm 3 of
+//! the paper.
+//!
+//! The agent follows the paper's setup exactly:
+//!
+//! * actor π(s): MLP with two hidden ReLU layers and a Tanh output
+//!   (Fig. 8), seeing the 8-dimensional state summary of Table 3;
+//! * critic Q(s, a): MLP with two hidden ReLU layers and a linear output,
+//!   seeing the full state ⊕ action (23 inputs in the paper's Fig. 8);
+//! * replay buffer, minibatch updates, Ornstein-Uhlenbeck exploration
+//!   noise, and soft target updates `w' ← τ·w + (1−τ)·w'` (Algorithm 3
+//!   reuses γ as the update coefficient; we expose it as `tau`);
+//! * Table 4 hyperparameters as defaults: batch 64, buffer 10⁵, actor lr
+//!   3·10⁻⁴, critic lr 3·10⁻³, γ = 0.9.
+//!
+//! The *actor-state prefix* device lets the critic condition on richer
+//! context than the actor: the paper's critic takes 23 inputs while the
+//! actor takes 8; here `state` is the full vector and the actor reads
+//! only its first [`DdpgConfig::actor_state_dim`] entries.
+
+use crate::linalg::Matrix;
+use crate::nn::{Activation, Mlp};
+use crate::optim::{Adam, Optimizer};
+use crate::rng::MlRng;
+
+/// One environment transition.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Full state (critic view); the actor reads the prefix.
+    pub state: Vec<f64>,
+    /// Action taken, each component in `[-1, 1]`.
+    pub action: Vec<f64>,
+    /// Immediate reward.
+    pub reward: f64,
+    /// Full successor state.
+    pub next_state: Vec<f64>,
+    /// Episode terminated at this transition.
+    pub done: bool,
+}
+
+/// Replay buffer: a fixed-capacity ring.
+#[derive(Debug)]
+pub struct ReplayBuffer {
+    data: Vec<Transition>,
+    capacity: usize,
+    cursor: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ReplayBuffer {
+            data: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            cursor: 0,
+        }
+    }
+
+    /// Stores a transition, overwriting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+        } else {
+            self.data[self.cursor] = t;
+        }
+        self.cursor = (self.cursor + 1) % self.capacity;
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no transitions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    pub fn sample<'a>(&'a self, n: usize, rng: &mut MlRng) -> Vec<&'a Transition> {
+        (0..n).map(|_| &self.data[rng.index(self.data.len())]).collect()
+    }
+}
+
+/// Ornstein-Uhlenbeck exploration noise (the paper's `N_t` process in
+/// Algorithm 3, line 8).
+#[derive(Debug, Clone)]
+pub struct OuNoise {
+    state: Vec<f64>,
+    theta: f64,
+    sigma: f64,
+}
+
+impl OuNoise {
+    /// Creates a zero-mean OU process for `dim`-dimensional actions.
+    pub fn new(dim: usize, theta: f64, sigma: f64) -> Self {
+        OuNoise {
+            state: vec![0.0; dim],
+            theta,
+            sigma,
+        }
+    }
+
+    /// Advances the process and returns the noise sample.
+    pub fn step(&mut self, rng: &mut MlRng) -> Vec<f64> {
+        for x in &mut self.state {
+            *x += self.theta * (0.0 - *x) + self.sigma * rng.normal();
+        }
+        self.state.clone()
+    }
+
+    /// Resets the process to zero (between episodes).
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Scales the noise magnitude (used when fine-tuning transferred
+    /// agents, which need less exploration).
+    pub fn scale_sigma(&mut self, k: f64) {
+        self.sigma *= k;
+    }
+}
+
+/// DDPG hyperparameters (defaults = Table 4 of the paper).
+#[derive(Debug, Clone)]
+pub struct DdpgConfig {
+    /// Full state dimension (critic view).
+    pub state_dim: usize,
+    /// Prefix of the state visible to the actor (8 in the paper).
+    pub actor_state_dim: usize,
+    /// Action dimension (5 in the paper: one limit per resource type).
+    pub action_dim: usize,
+    /// Hidden-layer sizes (Fig. 8: two layers of 40).
+    pub hidden: Vec<usize>,
+    /// Actor learning rate (Table 4: 3·10⁻⁴).
+    pub actor_lr: f64,
+    /// Critic learning rate (Table 4: 3·10⁻³).
+    pub critic_lr: f64,
+    /// Discount factor (Table 4: 0.9).
+    pub gamma: f64,
+    /// Soft-target-update coefficient toward the online weights
+    /// (Algorithm 3 reuses γ here).
+    pub tau: f64,
+    /// Replay-buffer capacity (Table 4: 10⁵).
+    pub replay_capacity: usize,
+    /// Minibatch size (Table 4: 64).
+    pub batch_size: usize,
+    /// OU noise mean-reversion rate.
+    pub noise_theta: f64,
+    /// OU noise volatility.
+    pub noise_sigma: f64,
+}
+
+impl DdpgConfig {
+    /// The paper's configuration for given dimensions.
+    pub fn paper(state_dim: usize, actor_state_dim: usize, action_dim: usize) -> Self {
+        DdpgConfig {
+            state_dim,
+            actor_state_dim,
+            action_dim,
+            hidden: vec![40, 40],
+            actor_lr: 3e-4,
+            critic_lr: 3e-3,
+            gamma: 0.9,
+            tau: 0.9,
+            replay_capacity: 100_000,
+            batch_size: 64,
+            noise_theta: 0.15,
+            noise_sigma: 0.2,
+        }
+    }
+}
+
+/// Statistics of one training step.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainStats {
+    /// Critic MSE loss on the minibatch.
+    pub critic_loss: f64,
+    /// Mean Q value under the current policy on the minibatch.
+    pub q_mean: f64,
+}
+
+/// The DDPG agent: actor, critic, targets, replay, and noise.
+#[derive(Debug)]
+pub struct DdpgAgent {
+    config: DdpgConfig,
+    actor: Mlp,
+    actor_target: Mlp,
+    critic: Mlp,
+    critic_target: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    replay: ReplayBuffer,
+    noise: OuNoise,
+    rng: MlRng,
+    train_steps: u64,
+}
+
+impl DdpgAgent {
+    /// Creates an agent with freshly initialized networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actor_state_dim > state_dim` or any dimension is zero.
+    pub fn new(config: DdpgConfig, seed: u64) -> Self {
+        assert!(config.actor_state_dim <= config.state_dim);
+        assert!(config.state_dim > 0 && config.action_dim > 0);
+
+        let mut actor_dims = vec![config.actor_state_dim];
+        actor_dims.extend(&config.hidden);
+        actor_dims.push(config.action_dim);
+        let mut critic_dims = vec![config.state_dim + config.action_dim];
+        critic_dims.extend(&config.hidden);
+        critic_dims.push(1);
+
+        let actor = Mlp::new(&actor_dims, Activation::Relu, Activation::Tanh, seed);
+        let critic = Mlp::new(
+            &critic_dims,
+            Activation::Relu,
+            Activation::Identity,
+            seed ^ 0xDDD0,
+        );
+        // Targets start as exact copies (Algorithm 3, line 2).
+        let mut actor_target = actor.clone();
+        actor_target.set_weights(&actor.get_weights());
+        let critic_target = critic.clone();
+
+        DdpgAgent {
+            replay: ReplayBuffer::new(config.replay_capacity),
+            noise: OuNoise::new(config.action_dim, config.noise_theta, config.noise_sigma),
+            actor_opt: Adam::new(config.actor_lr),
+            critic_opt: Adam::new(config.critic_lr),
+            rng: MlRng::new(seed ^ 0xA5A5),
+            actor,
+            actor_target,
+            critic,
+            critic_target,
+            config,
+            train_steps: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DdpgConfig {
+        &self.config
+    }
+
+    /// Training steps performed so far.
+    pub fn train_steps(&self) -> u64 {
+        self.train_steps
+    }
+
+    /// Stored transitions.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    fn actor_view<'a>(&self, state: &'a [f64]) -> &'a [f64] {
+        &state[..self.config.actor_state_dim]
+    }
+
+    /// Deterministic policy action, each component in `[-1, 1]`.
+    pub fn act(&self, state: &[f64]) -> Vec<f64> {
+        self.actor.forward_one(self.actor_view(state))
+    }
+
+    /// Policy action plus OU exploration noise (Algorithm 3, line 8),
+    /// clamped to `[-1, 1]`.
+    pub fn act_explore(&mut self, state: &[f64]) -> Vec<f64> {
+        let mut a = self.act(state);
+        let n = self.noise.step(&mut self.rng);
+        for (ai, ni) in a.iter_mut().zip(n) {
+            *ai = (*ai + ni).clamp(-1.0, 1.0);
+        }
+        a
+    }
+
+    /// Stores a transition in the replay buffer.
+    pub fn observe(&mut self, t: Transition) {
+        debug_assert_eq!(t.state.len(), self.config.state_dim);
+        debug_assert_eq!(t.action.len(), self.config.action_dim);
+        self.replay.push(t);
+    }
+
+    /// Resets the exploration-noise process (start of an episode).
+    pub fn episode_reset(&mut self) {
+        self.noise.reset();
+    }
+
+    /// Scales exploration noise (e.g. after transfer learning).
+    pub fn scale_exploration(&mut self, k: f64) {
+        self.noise.scale_sigma(k);
+    }
+
+    /// One minibatch update of critic, actor and targets (Algorithm 3,
+    /// lines 11–15). Returns `None` when the replay buffer holds fewer
+    /// than one batch.
+    pub fn train_step(&mut self) -> Option<TrainStats> {
+        let b = self.config.batch_size;
+        if self.replay.len() < b {
+            return None;
+        }
+        let sd = self.config.state_dim;
+        let asd = self.config.actor_state_dim;
+        let ad = self.config.action_dim;
+
+        // Assemble the minibatch.
+        let batch = self.replay.sample(b, &mut self.rng);
+        let mut s_full = Matrix::zeros(b, sd);
+        let mut s_actor2 = Matrix::zeros(b, asd);
+        let mut s_full2 = Matrix::zeros(b, sd);
+        let mut actions = Matrix::zeros(b, ad);
+        let mut rewards = vec![0.0; b];
+        let mut dones = vec![false; b];
+        for (i, t) in batch.iter().enumerate() {
+            s_full.row_mut(i).copy_from_slice(&t.state);
+            s_full2.row_mut(i).copy_from_slice(&t.next_state);
+            s_actor2.row_mut(i).copy_from_slice(&t.next_state[..asd]);
+            actions.row_mut(i).copy_from_slice(&t.action);
+            rewards[i] = t.reward;
+            dones[i] = t.done;
+        }
+
+        // Critic targets: y = r + γ(1−done)·Q'(s', π'(s')).
+        let a2 = self.actor_target.forward(&s_actor2, false);
+        let q2 = self.critic_target.forward(&s_full2.hstack(&a2), false);
+        let mut y = vec![0.0; b];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let bootstrap = if dones[i] { 0.0 } else { self.config.gamma * q2.get(i, 0) };
+            *yi = rewards[i] + bootstrap;
+        }
+
+        // Critic update: minimize MSE(Q(s, a), y).
+        self.critic.zero_grads();
+        let q = self.critic.forward(&s_full.hstack(&actions), true);
+        let mut grad = Matrix::zeros(b, 1);
+        let mut loss = 0.0;
+        for (i, &yi) in y.iter().enumerate() {
+            let d = q.get(i, 0) - yi;
+            loss += d * d / b as f64;
+            grad.set(i, 0, 2.0 * d / b as f64);
+        }
+        self.critic.backward(&grad);
+        self.critic_opt.step(&mut self.critic);
+
+        // Actor update: ascend ∇_θ E[Q(s, π(s))] via the chain rule
+        // through the critic input gradient.
+        self.actor.zero_grads();
+        let s_actor = s_full.slice_cols(0, asd);
+        let a_pred = self.actor.forward(&s_actor, true);
+        let q_pi = self.critic.forward(&s_full.hstack(&a_pred), true);
+        let q_mean =
+            (0..b).map(|i| q_pi.get(i, 0)).sum::<f64>() / b as f64;
+        let mut grad_q = Matrix::zeros(b, 1);
+        grad_q.map_inplace(|_| -1.0 / b as f64);
+        let gin = self.critic.backward(&grad_q);
+        // Discard the critic gradients from this pass; only the actor
+        // should learn from it.
+        self.critic.zero_grads();
+        let da = gin.slice_cols(sd, sd + ad);
+        self.actor.backward(&da);
+        self.actor_opt.step(&mut self.actor);
+
+        // Soft target updates (Algorithm 3, lines 14–15).
+        self.actor_target.soft_update_from(&self.actor, self.config.tau);
+        self.critic_target
+            .soft_update_from(&self.critic, self.config.tau);
+
+        self.train_steps += 1;
+        Some(TrainStats {
+            critic_loss: loss,
+            q_mean,
+        })
+    }
+
+    /// Exports `(actor, critic)` weights for checkpoints and transfer.
+    pub fn export_weights(&self) -> (Vec<f64>, Vec<f64>) {
+        (self.actor.get_weights(), self.critic.get_weights())
+    }
+
+    /// Imports weights exported from an agent of identical shape,
+    /// synchronizing the targets to them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn import_weights(&mut self, actor: &[f64], critic: &[f64]) {
+        self.actor.set_weights(actor);
+        self.critic.set_weights(critic);
+        self.actor_target.set_weights(actor);
+        self.critic_target.set_weights(critic);
+    }
+
+    /// Transfer learning (§3.4): initialize this agent from a trained
+    /// general agent, keep its replay, and damp exploration.
+    pub fn clone_weights_from(&mut self, other: &DdpgAgent) {
+        let (a, c) = other.export_weights();
+        self.import_weights(&a, &c);
+        self.scale_exploration(0.5);
+    }
+
+    /// Critic value estimate for a `(state, action)` pair.
+    pub fn q_value(&self, state: &[f64], action: &[f64]) -> f64 {
+        let mut input = state.to_vec();
+        input.extend_from_slice(action);
+        self.critic.forward_one(&input)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_config() -> DdpgConfig {
+        DdpgConfig {
+            hidden: vec![24, 24],
+            batch_size: 32,
+            replay_capacity: 5_000,
+            actor_lr: 1e-3,
+            critic_lr: 5e-3,
+            tau: 0.05,
+            ..DdpgConfig::paper(3, 2, 2)
+        }
+    }
+
+    #[test]
+    fn paper_dimensions_match_fig8() {
+        // State 18 (8 actor-visible), action 5 → critic 23 inputs.
+        let agent = DdpgAgent::new(DdpgConfig::paper(18, 8, 5), 1);
+        let state = vec![0.1; 18];
+        let a = agent.act(&state);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|v| (-1.0..=1.0).contains(v)));
+        let q = agent.q_value(&state, &a);
+        assert!(q.is_finite());
+    }
+
+    #[test]
+    fn replay_ring_overwrites_oldest() {
+        let mut buf = ReplayBuffer::new(4);
+        for i in 0..6 {
+            buf.push(Transition {
+                state: vec![i as f64],
+                action: vec![0.0],
+                reward: i as f64,
+                next_state: vec![0.0],
+                done: false,
+            });
+        }
+        assert_eq!(buf.len(), 4);
+        let rewards: Vec<f64> = buf.data.iter().map(|t| t.reward).collect();
+        assert!(rewards.contains(&5.0));
+        assert!(!rewards.contains(&0.0));
+        assert!(!rewards.contains(&1.0));
+    }
+
+    #[test]
+    fn ou_noise_is_zero_mean_and_resettable() {
+        let mut noise = OuNoise::new(2, 0.15, 0.2);
+        let mut rng = MlRng::new(5);
+        let mut sum = [0.0; 2];
+        let n = 20_000;
+        for _ in 0..n {
+            let s = noise.step(&mut rng);
+            sum[0] += s[0];
+            sum[1] += s[1];
+        }
+        assert!((sum[0] / n as f64).abs() < 0.05);
+        assert!((sum[1] / n as f64).abs() < 0.05);
+        noise.reset();
+        assert_eq!(noise.state, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn exploration_stays_in_bounds() {
+        let mut agent = DdpgAgent::new(toy_config(), 2);
+        for _ in 0..100 {
+            let a = agent.act_explore(&[0.3, -0.5, 0.9]);
+            assert!(a.iter().all(|v| (-1.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn train_step_requires_full_batch() {
+        let mut agent = DdpgAgent::new(toy_config(), 3);
+        assert!(agent.train_step().is_none());
+        for _ in 0..31 {
+            agent.observe(Transition {
+                state: vec![0.0; 3],
+                action: vec![0.0; 2],
+                reward: 0.0,
+                next_state: vec![0.0; 3],
+                done: true,
+            });
+        }
+        assert!(agent.train_step().is_none());
+        agent.observe(Transition {
+            state: vec![0.0; 3],
+            action: vec![0.0; 2],
+            reward: 0.0,
+            next_state: vec![0.0; 3],
+            done: true,
+        });
+        assert!(agent.train_step().is_some());
+        assert_eq!(agent.train_steps(), 1);
+    }
+
+    /// Contextual bandit: optimal action is a known function of the
+    /// state; the agent must learn it end-to-end through the critic.
+    #[test]
+    fn learns_contextual_bandit() {
+        let mut agent = DdpgAgent::new(toy_config(), 4);
+        let mut env_rng = MlRng::new(99);
+        let reward_of = |s: &[f64], a: &[f64]| -> f64 {
+            // Optimal: a0 = 0.8·s0, a1 = −0.5·s1.
+            let d0 = a[0] - 0.8 * s[0];
+            let d1 = a[1] + 0.5 * s[1];
+            1.0 - (d0 * d0 + d1 * d1)
+        };
+        for step in 0..4_000 {
+            let s = vec![
+                env_rng.uniform_range(-1.0, 1.0),
+                env_rng.uniform_range(-1.0, 1.0),
+                env_rng.uniform_range(-1.0, 1.0),
+            ];
+            let a = agent.act_explore(&s);
+            let r = reward_of(&s, &a);
+            agent.observe(Transition {
+                state: s.clone(),
+                action: a,
+                reward: r,
+                next_state: s,
+                done: true,
+            });
+            if step > 100 {
+                agent.train_step();
+            }
+        }
+        // Evaluate greedily.
+        let mut total = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            let s = vec![
+                env_rng.uniform_range(-1.0, 1.0),
+                env_rng.uniform_range(-1.0, 1.0),
+                env_rng.uniform_range(-1.0, 1.0),
+            ];
+            let a = agent.act(&s);
+            total += reward_of(&s, &a);
+        }
+        let mean = total / n as f64;
+        // Random actions average ≈ 0.1; optimal = 1.0.
+        assert!(mean > 0.8, "greedy mean reward {mean}");
+    }
+
+    #[test]
+    fn weight_transfer_reproduces_policy() {
+        let cfg = toy_config();
+        let mut teacher = DdpgAgent::new(cfg.clone(), 6);
+        for _ in 0..200 {
+            teacher.observe(Transition {
+                state: vec![0.1, 0.2, 0.3],
+                action: vec![0.5, -0.5],
+                reward: 1.0,
+                next_state: vec![0.1, 0.2, 0.3],
+                done: true,
+            });
+        }
+        teacher.train_step();
+        let mut student = DdpgAgent::new(cfg, 7);
+        let s = [0.4, -0.2, 0.6];
+        assert_ne!(teacher.act(&s), student.act(&s));
+        student.clone_weights_from(&teacher);
+        assert_eq!(teacher.act(&s), student.act(&s));
+        assert_eq!(
+            teacher.q_value(&s, &[0.1, 0.1]).to_bits(),
+            student.q_value(&s, &[0.1, 0.1]).to_bits()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = |seed| {
+            let mut agent = DdpgAgent::new(toy_config(), seed);
+            let mut out = Vec::new();
+            for i in 0..10 {
+                let s = vec![i as f64 / 10.0, 0.5, -0.5];
+                out.extend(agent.act_explore(&s));
+            }
+            out
+        };
+        assert_eq!(mk(11), mk(11));
+        assert_ne!(mk(11), mk(12));
+    }
+}

@@ -1,0 +1,292 @@
+//! Minimal dense linear algebra for the neural-network stack.
+
+/// A row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Wraps a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// A 1×n row matrix from a slice.
+    pub fn row_from(slice: &[f64]) -> Self {
+        Matrix::from_vec(1, slice.len(), slice.to_vec())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The flat row-major buffer, mutable.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `self · other` (m×k · k×n → m×n).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let dst = &mut out.data[r * other.cols..(r + 1) * other.cols];
+                for (d, &b) in dst.iter_mut().zip(orow) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (m×k · (n×k)ᵀ → m×n).
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transpose_b shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            for n in 0..other.rows {
+                let brow = other.row(n);
+                let mut acc = 0.0;
+                for (a, b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out.data[r * other.rows + n] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` ((m×k)ᵀ · m×n → k×n).
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "transpose_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for m in 0..self.rows {
+            let arow = self.row(m);
+            let brow = other.row(m);
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let dst = &mut out.data[k * other.cols..(k + 1) * other.cols];
+                for (d, &b) in dst.iter_mut().zip(brow) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds `v` to every row (broadcast bias add).
+    pub fn add_row_broadcast(&mut self, v: &[f64]) {
+        assert_eq!(v.len(), self.cols, "broadcast width mismatch");
+        for r in 0..self.rows {
+            for (x, b) in self.row_mut(r).iter_mut().zip(v) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Column sums (length = cols).
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise product in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard_inplace(&mut self, other: &Matrix) {
+        assert_eq!(self.rows, other.rows, "hadamard shape mismatch");
+        assert_eq!(self.cols, other.cols, "hadamard shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Copy of columns `[from, to)`.
+    pub fn slice_cols(&self, from: usize, to: usize) -> Matrix {
+        assert!(from <= to && to <= self.cols, "column range out of bounds");
+        let mut out = Matrix::zeros(self.rows, to - from);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[from..to]);
+        }
+        out
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let bt = Matrix::from_vec(2, 3, vec![7.0, 9.0, 11.0, 8.0, 10.0, 12.0]);
+        let c = a.matmul_transpose_b(&bt);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_matmul_matches() {
+        // aᵀ·b where a: 3×2, b: 3×2 → 2×2.
+        let a = Matrix::from_vec(3, 2, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 10.0, 8.0, 11.0, 9.0, 12.0]);
+        let c = a.transpose_matmul(&b);
+        assert_eq!(c.data(), &[50.0, 68.0, 122.0, 167.0]);
+    }
+
+    #[test]
+    fn broadcast_and_sums() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.col_sums(), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn hadamard_and_map() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, -2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![2.0, 2.0, 2.0]);
+        a.hadamard_inplace(&b);
+        assert_eq!(a.data(), &[2.0, -4.0, 6.0]);
+        a.map_inplace(f64::abs);
+        assert_eq!(a.data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn hstack_and_slice() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(2, 1, vec![3.0, 7.0]);
+        let c = a.hstack(&b);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.row(1), &[5.0, 6.0, 7.0]);
+        let s = c.slice_cols(1, 3);
+        assert_eq!(s.row(0), &[2.0, 3.0]);
+        assert_eq!(s.row(1), &[6.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Classifier evaluation metrics: ROC curves, AUC, accuracy.
+//!
+//! Fig. 9(a) of the paper evaluates SLO-violation localization with ROC
+//! curves (average AUC 0.978); Fig. 9(b) with per-benchmark accuracy.
+
+/// A point on a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate.
+    pub fpr: f64,
+    /// True-positive rate.
+    pub tpr: f64,
+    /// Decision threshold producing this point.
+    pub threshold: f64,
+}
+
+/// Computes the ROC curve from decision scores and binary labels.
+///
+/// Points are ordered from threshold `+∞` (0, 0) to `−∞` (1, 1).
+/// Returns an empty vector if either class is absent.
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return Vec::new();
+    }
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut points = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f64::INFINITY,
+    }];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume all examples tied at this threshold.
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            fpr: fp as f64 / negatives as f64,
+            tpr: tp as f64 / positives as f64,
+            threshold,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve (trapezoidal rule). Returns 0.5 for a
+/// degenerate curve.
+pub fn auc(curve: &[RocPoint]) -> f64 {
+    if curve.len() < 2 {
+        return 0.5;
+    }
+    let mut area = 0.0;
+    for w in curve.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) / 2.0;
+    }
+    area
+}
+
+/// Fraction of predictions matching the labels.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn accuracy(predictions: &[bool], labels: &[bool]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Confusion-matrix counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Builds counts from predictions and labels.
+    pub fn from_predictions(predictions: &[bool], labels: &[bool]) -> Self {
+        let mut c = Confusion::default();
+        for (&p, &l) in predictions.iter().zip(labels) {
+            match (p, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision (0 when no positives were predicted).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall / true-positive rate (0 when no positive labels exist).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        let curve = roc_curve(&scores, &labels);
+        assert!((auc(&curve) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_classifier_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        let curve = roc_curve(&scores, &labels);
+        assert!(auc(&curve) < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_auc_half() {
+        // Interleaved scores: AUC = 0.5.
+        let scores = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        let labels = [false, true, false, true, false, true, false, true];
+        let curve = roc_curve(&scores, &labels);
+        let a = auc(&curve);
+        assert!((a - 0.625).abs() < 1e-9, "auc {a}");
+    }
+
+    #[test]
+    fn curve_is_monotone_and_anchored() {
+        let scores = [0.3, 0.3, 0.7, 0.1, 0.9];
+        let labels = [false, true, true, false, true];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.first().unwrap().fpr, 0.0);
+        assert_eq!(curve.first().unwrap().tpr, 0.0);
+        assert_eq!(curve.last().unwrap().fpr, 1.0);
+        assert_eq!(curve.last().unwrap().tpr, 1.0);
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    #[test]
+    fn degenerate_labels_give_empty_curve() {
+        assert!(roc_curve(&[0.5, 0.6], &[true, true]).is_empty());
+        assert!(roc_curve(&[0.5, 0.6], &[false, false]).is_empty());
+        assert_eq!(auc(&[]), 0.5);
+    }
+
+    #[test]
+    fn accuracy_and_confusion() {
+        let preds = [true, true, false, false];
+        let labels = [true, false, false, true];
+        assert_eq!(accuracy(&preds, &labels), 0.5);
+        let c = Confusion::from_predictions(&preds, &labels);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,431 @@
+//! Dense feed-forward networks with manual backpropagation.
+//!
+//! The paper's actor and critic (Fig. 8) are small MLPs: two hidden
+//! layers of 40 ReLU units, with Tanh on the actor output. [`Mlp`]
+//! implements exactly that family: a stack of fully connected layers with
+//! per-layer activations, batch forward/backward, and flat weight
+//! import/export for target networks and transfer learning.
+
+use crate::linalg::Matrix;
+use crate::rng::MlRng;
+
+/// Element-wise activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// max(0, x).
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (linear output).
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, m: &mut Matrix) {
+        match self {
+            Activation::Relu => m.map_inplace(|x| x.max(0.0)),
+            Activation::Tanh => m.map_inplace(f64::tanh),
+            Activation::Identity => {}
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* value.
+    fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// One fully connected layer: `y = act(x·Wᵀ + b)`.
+#[derive(Debug, Clone)]
+struct Linear {
+    /// Weights, `out × in`.
+    w: Matrix,
+    /// Bias, length `out`.
+    b: Vec<f64>,
+    /// Activation applied after the affine map.
+    act: Activation,
+    /// Accumulated weight gradients.
+    grad_w: Matrix,
+    /// Accumulated bias gradients.
+    grad_b: Vec<f64>,
+    /// Cached input of the last forward pass.
+    input: Matrix,
+    /// Cached output of the last forward pass.
+    output: Matrix,
+}
+
+impl Linear {
+    fn new(fan_in: usize, fan_out: usize, act: Activation, rng: &mut MlRng) -> Self {
+        // Xavier-uniform initialization.
+        let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        let w = Matrix::from_fn(fan_out, fan_in, |_, _| rng.uniform_range(-limit, limit));
+        Linear {
+            grad_w: Matrix::zeros(fan_out, fan_in),
+            grad_b: vec![0.0; fan_out],
+            w,
+            b: vec![0.0; fan_out],
+            act,
+            input: Matrix::zeros(0, 0),
+            output: Matrix::zeros(0, 0),
+        }
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut z = x.matmul_transpose_b(&self.w);
+        z.add_row_broadcast(&self.b);
+        self.act.apply(&mut z);
+        if train {
+            self.input = x.clone();
+            self.output = z.clone();
+        }
+        z
+    }
+
+    /// Backpropagates `grad_out` (n × out), accumulating parameter
+    /// gradients; returns the input gradient (n × in).
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        // dz = grad_out ⊙ act'(output).
+        let mut dz = grad_out.clone();
+        for r in 0..dz.rows() {
+            for c in 0..dz.cols() {
+                let d = self.act.derivative_from_output(self.output.get(r, c));
+                dz.set(r, c, dz.get(r, c) * d);
+            }
+        }
+        // dW += dzᵀ · x; db += colsum(dz); dx = dz · W.
+        let dw = dz.transpose_matmul(&self.input);
+        for (g, d) in self.grad_w.data_mut().iter_mut().zip(dw.data()) {
+            *g += d;
+        }
+        for (g, d) in self.grad_b.iter_mut().zip(dz.col_sums()) {
+            *g += d;
+        }
+        dz.matmul(&self.w)
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.data_mut().iter_mut().for_each(|g| *g = 0.0);
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// A multilayer perceptron.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    input_dim: usize,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer `dims` (input first), `hidden`
+    /// activation on all but the last layer, and `output` activation on
+    /// the last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given.
+    pub fn new(dims: &[usize], hidden: Activation, output: Activation, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let mut rng = MlRng::new(seed);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let act = if i + 2 == dims.len() { output } else { hidden };
+            layers.push(Linear::new(dims[i], dims[i + 1], act, &mut rng));
+        }
+        Mlp {
+            layers,
+            input_dim: dims[0],
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").w.rows()
+    }
+
+    /// Batch forward pass; caches intermediates when `train` so a
+    /// following [`Mlp::backward`] can run.
+    pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, train);
+        }
+        h
+    }
+
+    /// Convenience single-sample forward (no caching).
+    pub fn forward_one(&self, x: &[f64]) -> Vec<f64> {
+        let mut h = Matrix::row_from(x);
+        // Immutable forward: recompute without caching.
+        for layer in &self.layers {
+            let mut z = h.matmul_transpose_b(&layer.w);
+            z.add_row_broadcast(&layer.b);
+            layer.act.apply(&mut z);
+            h = z;
+        }
+        h.row(0).to_vec()
+    }
+
+    /// Backpropagates the loss gradient w.r.t. the network output,
+    /// accumulating parameter gradients; returns the gradient w.r.t. the
+    /// input.
+    ///
+    /// Must follow a `forward(..., train = true)` pass with a matching
+    /// batch size.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Zeroes accumulated parameter gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Visits `(param, grad)` pairs in a deterministic order.
+    pub fn visit_params(&mut self, mut f: impl FnMut(&mut f64, f64)) {
+        for layer in &mut self.layers {
+            for (w, g) in layer.w.data_mut().iter_mut().zip(layer.grad_w.data()) {
+                f(w, *g);
+            }
+            for (b, g) in layer.b.iter_mut().zip(&layer.grad_b) {
+                f(b, *g);
+            }
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.data().len() + l.b.len())
+            .sum()
+    }
+
+    /// Exports all weights as a flat vector (deterministic order).
+    pub fn get_weights(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            out.extend_from_slice(layer.w.data());
+            out.extend_from_slice(&layer.b);
+        }
+        out
+    }
+
+    /// Imports weights exported by [`Mlp::get_weights`] from a network of
+    /// identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn set_weights(&mut self, weights: &[f64]) {
+        assert_eq!(weights.len(), self.param_count(), "weight count mismatch");
+        let mut i = 0;
+        for layer in &mut self.layers {
+            let wlen = layer.w.data().len();
+            layer.w.data_mut().copy_from_slice(&weights[i..i + wlen]);
+            i += wlen;
+            let blen = layer.b.len();
+            layer.b.copy_from_slice(&weights[i..i + blen]);
+            i += blen;
+        }
+    }
+
+    /// Soft update: `self ← tau · source + (1 − tau) · self` (the target-
+    /// network update of Algorithm 3, lines 14–15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
+        let src = source.get_weights();
+        assert_eq!(src.len(), self.param_count(), "shape mismatch");
+        let mut mine = self.get_weights();
+        for (m, s) in mine.iter_mut().zip(&src) {
+            *m = tau * s + (1.0 - tau) * *m;
+        }
+        self.set_weights(&mine);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mse_loss_grad(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+        let n = pred.rows() as f64;
+        let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+        let mut loss = 0.0;
+        for r in 0..pred.rows() {
+            for c in 0..pred.cols() {
+                let d = pred.get(r, c) - target.get(r, c);
+                loss += d * d / n;
+                grad.set(r, c, 2.0 * d / n);
+            }
+        }
+        (loss, grad)
+    }
+
+    #[test]
+    fn shapes_and_bounds() {
+        let net = Mlp::new(&[8, 40, 40, 5], Activation::Relu, Activation::Tanh, 1);
+        assert_eq!(net.input_dim(), 8);
+        assert_eq!(net.output_dim(), 5);
+        assert_eq!(net.param_count(), 8 * 40 + 40 + 40 * 40 + 40 + 40 * 5 + 5);
+        let y = net.forward_one(&[0.3; 8]);
+        assert!(y.iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn forward_one_matches_batch_forward() {
+        let mut net = Mlp::new(&[4, 16, 3], Activation::Relu, Activation::Identity, 2);
+        let x = [0.1, -0.2, 0.3, 0.9];
+        let single = net.forward_one(&x);
+        let batch = net.forward(&Matrix::row_from(&x), false);
+        for (a, b) in single.iter().zip(batch.row(0)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradient_check_against_numerical() {
+        // Small net, tanh everywhere for smoothness.
+        let mut net = Mlp::new(&[3, 5, 2], Activation::Tanh, Activation::Identity, 3);
+        let x = Matrix::from_vec(4, 3, (0..12).map(|i| (i as f64) / 7.0 - 0.8).collect());
+        let target = Matrix::from_vec(4, 2, (0..8).map(|i| ((i * 3) % 5) as f64 / 5.0).collect());
+
+        // Analytical gradients.
+        net.zero_grads();
+        let pred = net.forward(&x, true);
+        let (_, grad) = mse_loss_grad(&pred, &target);
+        net.backward(&grad);
+        let mut analytical = Vec::new();
+        net.visit_params(|_, g| analytical.push(g));
+
+        // Numerical gradients by central differences.
+        let eps = 1e-6;
+        let base = net.get_weights();
+        for (i, &a) in analytical.iter().enumerate() {
+            let mut wp = base.clone();
+            wp[i] += eps;
+            net.set_weights(&wp);
+            let (lp, _) = mse_loss_grad(&net.forward(&x, false), &target);
+            let mut wm = base.clone();
+            wm[i] -= eps;
+            net.set_weights(&wm);
+            let (lm, _) = mse_loss_grad(&net.forward(&x, false), &target);
+            let numerical = (lp - lm) / (2.0 * eps);
+            assert!(
+                (a - numerical).abs() < 1e-6,
+                "param {i}: analytical {a} vs numerical {numerical}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut net = Mlp::new(&[3, 6, 1], Activation::Tanh, Activation::Identity, 4);
+        let x = Matrix::row_from(&[0.2, -0.4, 0.7]);
+        net.zero_grads();
+        let pred = net.forward(&x, true);
+        // Loss = output itself → grad_out = 1.
+        let gin = net.backward(&Matrix::row_from(&[1.0]));
+
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.set(0, i, xp.get(0, i) + eps);
+            let fp = net.forward(&xp, false).get(0, 0);
+            let mut xm = x.clone();
+            xm.set(0, i, xm.get(0, i) - eps);
+            let fm = net.forward(&xm, false).get(0, 0);
+            let numerical = (fp - fm) / (2.0 * eps);
+            assert!(
+                (gin.get(0, i) - numerical).abs() < 1e-6,
+                "input {i}: analytical {} vs numerical {numerical}",
+                gin.get(0, i)
+            );
+        }
+        let _ = pred;
+    }
+
+    #[test]
+    fn sgd_learns_linear_map() {
+        // y = 2x0 - x1; a linear net should fit it quickly.
+        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Identity, 5);
+        let mut rng = MlRng::new(6);
+        let lr = 0.05;
+        let mut last_loss = f64::MAX;
+        for epoch in 0..400 {
+            let xs: Vec<f64> = (0..32).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+            let x = Matrix::from_vec(16, 2, xs);
+            let target = Matrix::from_fn(16, 1, |r, _| 2.0 * x.get(r, 0) - x.get(r, 1));
+            net.zero_grads();
+            let pred = net.forward(&x, true);
+            let (loss, grad) = mse_loss_grad(&pred, &target);
+            net.backward(&grad);
+            net.visit_params(|w, g| *w -= lr * g);
+            if epoch == 399 {
+                last_loss = loss;
+            }
+        }
+        assert!(last_loss < 0.01, "final loss {last_loss}");
+    }
+
+    #[test]
+    fn weight_roundtrip_and_soft_update() {
+        let mut a = Mlp::new(&[3, 4, 2], Activation::Relu, Activation::Identity, 7);
+        let b = Mlp::new(&[3, 4, 2], Activation::Relu, Activation::Identity, 8);
+        let wa = a.get_weights();
+        let wb = b.get_weights();
+        assert_ne!(wa, wb);
+
+        a.set_weights(&wb);
+        assert_eq!(a.get_weights(), wb);
+
+        // Full soft update (tau = 1) copies the source.
+        a.set_weights(&wa);
+        a.soft_update_from(&b, 1.0);
+        assert_eq!(a.get_weights(), wb);
+
+        // Partial update interpolates.
+        a.set_weights(&wa);
+        a.soft_update_from(&b, 0.25);
+        for ((w, s), t) in a.get_weights().iter().zip(&wa).zip(&wb) {
+            assert!((w - (0.25 * t + 0.75 * s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn relu_blocks_negative_gradients() {
+        let mut net = Mlp::new(&[1, 1], Activation::Relu, Activation::Relu, 9);
+        // Force a negative pre-activation.
+        net.set_weights(&[1.0, -5.0]);
+        let x = Matrix::row_from(&[1.0]);
+        net.zero_grads();
+        let y = net.forward(&x, true);
+        assert_eq!(y.get(0, 0), 0.0);
+        let gin = net.backward(&Matrix::row_from(&[1.0]));
+        assert_eq!(gin.get(0, 0), 0.0);
+    }
+}

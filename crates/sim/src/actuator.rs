@@ -1,0 +1,178 @@
+//! Resource actuation commands and their latencies (§3.5, Table 6).
+//!
+//! On the real cluster FIRM executes actions through cgroups (CPU, blkio),
+//! Intel MBA/CAT (memory bandwidth, LLC), and `tc` HTB (network), plus
+//! container start for scale-out. Each operation has a measured latency
+//! (Table 6) that lower-bounds how fast any SLO violation can be
+//! mitigated (§5). The simulator reproduces those delays: a command takes
+//! effect only after its sampled actuation latency elapses.
+
+use crate::ids::{InstanceId, ServiceId};
+use crate::resources::ResourceKind;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Mean/standard-deviation actuation latency of one operation class.
+#[derive(Debug, Clone, Copy)]
+pub struct ActuationLatency {
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Standard deviation in milliseconds.
+    pub sd_ms: f64,
+}
+
+impl ActuationLatency {
+    /// Samples a concrete latency (normal, truncated at 0.1 ms).
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_millis_f64(rng.normal_at_least(self.mean_ms, self.sd_ms, 0.1))
+    }
+}
+
+/// Table 6 of the paper: average latency for resource-management
+/// operations, per resource partition plus warm/cold container start.
+pub mod table6 {
+    use super::ActuationLatency;
+    use crate::resources::ResourceKind;
+
+    /// CPU quota update (`cpu.cfs_quota_us`): 2.1 ± 0.3 ms.
+    pub const CPU: ActuationLatency = ActuationLatency {
+        mean_ms: 2.1,
+        sd_ms: 0.3,
+    };
+    /// Memory-bandwidth partition (Intel MBA): 42.4 ± 11.0 ms.
+    pub const MEM: ActuationLatency = ActuationLatency {
+        mean_ms: 42.4,
+        sd_ms: 11.0,
+    };
+    /// LLC partition (Intel CAT): 39.8 ± 9.2 ms.
+    pub const LLC: ActuationLatency = ActuationLatency {
+        mean_ms: 39.8,
+        sd_ms: 9.2,
+    };
+    /// Disk I/O limit (cgroups blkio): 2.3 ± 0.4 ms.
+    pub const IO: ActuationLatency = ActuationLatency {
+        mean_ms: 2.3,
+        sd_ms: 0.4,
+    };
+    /// Network limit (tc HTB): 12.3 ± 1.1 ms.
+    pub const NET: ActuationLatency = ActuationLatency {
+        mean_ms: 12.3,
+        sd_ms: 1.1,
+    };
+    /// Warm container start: 45.7 ± 6.9 ms.
+    pub const CONTAINER_WARM: ActuationLatency = ActuationLatency {
+        mean_ms: 45.7,
+        sd_ms: 6.9,
+    };
+    /// Cold container start: 2050.8 ± 291.4 ms.
+    pub const CONTAINER_COLD: ActuationLatency = ActuationLatency {
+        mean_ms: 2050.8,
+        sd_ms: 291.4,
+    };
+
+    /// Partition-update latency for a resource kind.
+    pub const fn partition(kind: ResourceKind) -> ActuationLatency {
+        match kind {
+            ResourceKind::Cpu => CPU,
+            ResourceKind::MemBw => MEM,
+            ResourceKind::Llc => LLC,
+            ResourceKind::IoBw => IO,
+            ResourceKind::NetBw => NET,
+        }
+    }
+}
+
+/// A command issued to the cluster by a resource manager.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Command {
+    /// Set the partition (guarantee + cap) of one resource on one
+    /// instance; the CAT/MBA/cgroups/HTB write of §3.5.
+    SetPartition {
+        /// Target instance.
+        instance: InstanceId,
+        /// The resource to repartition.
+        kind: ResourceKind,
+        /// New partition size, in the resource's native units.
+        amount: f64,
+    },
+    /// Remove the partition of one resource (back to best-effort sharing).
+    ClearPartition {
+        /// Target instance.
+        instance: InstanceId,
+        /// The resource to release.
+        kind: ResourceKind,
+    },
+    /// Start one more replica of a service (scale-out).
+    ScaleOut {
+        /// The service to scale.
+        service: ServiceId,
+        /// Whether the image is warm on the chosen node (Table 6 warm vs
+        /// cold container-start latency).
+        warm: bool,
+    },
+    /// Remove one replica of a service (scale-in), if more than one runs.
+    ScaleIn {
+        /// The service to shrink.
+        service: ServiceId,
+    },
+}
+
+impl Command {
+    /// The actuation latency class for this command.
+    pub fn latency(&self) -> ActuationLatency {
+        match self {
+            Command::SetPartition { kind, .. } | Command::ClearPartition { kind, .. } => {
+                table6::partition(*kind)
+            }
+            Command::ScaleOut { warm: true, .. } => table6::CONTAINER_WARM,
+            Command::ScaleOut { warm: false, .. } => table6::CONTAINER_COLD,
+            // Scale-in is a deletion; model it like a CPU-quota write.
+            Command::ScaleIn { .. } => table6::CPU,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_values_match_paper() {
+        assert_eq!(table6::CPU.mean_ms, 2.1);
+        assert_eq!(table6::MEM.mean_ms, 42.4);
+        assert_eq!(table6::LLC.mean_ms, 39.8);
+        assert_eq!(table6::IO.mean_ms, 2.3);
+        assert_eq!(table6::NET.mean_ms, 12.3);
+        assert_eq!(table6::CONTAINER_WARM.mean_ms, 45.7);
+        assert_eq!(table6::CONTAINER_COLD.mean_ms, 2050.8);
+    }
+
+    #[test]
+    fn sample_is_positive_and_near_mean() {
+        let mut rng = SimRng::new(9);
+        let mut total = 0.0;
+        let n = 5_000;
+        for _ in 0..n {
+            let d = table6::MEM.sample(&mut rng);
+            assert!(d.as_micros() >= 100);
+            total += d.as_millis_f64();
+        }
+        let mean = total / n as f64;
+        assert!((mean - 42.4).abs() < 1.0, "mean was {mean}");
+    }
+
+    #[test]
+    fn command_latency_class() {
+        let cmd = Command::SetPartition {
+            instance: InstanceId(0),
+            kind: ResourceKind::Llc,
+            amount: 10.0,
+        };
+        assert_eq!(cmd.latency().mean_ms, 39.8);
+        let out = Command::ScaleOut {
+            service: ServiceId(0),
+            warm: false,
+        };
+        assert_eq!(out.latency().mean_ms, 2050.8);
+    }
+}

@@ -1,0 +1,208 @@
+//! Performance-anomaly model (§3.6 of the paper).
+//!
+//! The paper's injector bundles seven anomaly types (Table 5) built from
+//! iBench/pmbw/stress-ng/sysbench/tc/trickle/wrk2. Their *observable*
+//! effect on a victim is either (a) consuming part of a node's shared
+//! resource pool, (b) delaying network packets, or (c) inflating the
+//! offered load. The simulator models those effects directly; the
+//! `firm-core` injector builds campaigns (intensity, duration, timing) on
+//! top of [`AnomalySpec`].
+
+use crate::ids::{InstanceId, NodeId};
+use crate::resources::ResourceKind;
+use crate::time::SimDuration;
+
+/// The seven anomaly types of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyKind {
+    /// Workload variation (wrk2): multiplies the request arrival rate.
+    WorkloadVariation,
+    /// Network delay (tc netem): adds normally distributed delay to every
+    /// RPC touching the node.
+    NetworkDelay,
+    /// CPU stressor (iBench/stress-ng): consumes cores.
+    CpuStress,
+    /// LLC bandwidth & capacity stressor (iBench/pmbw): consumes LLC.
+    LlcStress,
+    /// Memory-bandwidth stressor (iBench/pmbw): consumes DRAM bandwidth.
+    MemBwStress,
+    /// Disk I/O stressor (sysbench): consumes disk bandwidth.
+    IoStress,
+    /// Network-bandwidth stressor (tc/trickle): consumes NIC bandwidth.
+    NetBwStress,
+}
+
+/// All anomaly kinds, in Table 5 order.
+pub const ANOMALY_KINDS: [AnomalyKind; 7] = [
+    AnomalyKind::WorkloadVariation,
+    AnomalyKind::NetworkDelay,
+    AnomalyKind::CpuStress,
+    AnomalyKind::LlcStress,
+    AnomalyKind::MemBwStress,
+    AnomalyKind::IoStress,
+    AnomalyKind::NetBwStress,
+];
+
+impl AnomalyKind {
+    /// The node resource this anomaly contends for, if it is a resource
+    /// stressor.
+    pub const fn contended_resource(self) -> Option<ResourceKind> {
+        match self {
+            AnomalyKind::CpuStress => Some(ResourceKind::Cpu),
+            AnomalyKind::LlcStress => Some(ResourceKind::Llc),
+            AnomalyKind::MemBwStress => Some(ResourceKind::MemBw),
+            AnomalyKind::IoStress => Some(ResourceKind::IoBw),
+            AnomalyKind::NetBwStress => Some(ResourceKind::NetBw),
+            AnomalyKind::WorkloadVariation | AnomalyKind::NetworkDelay => None,
+        }
+    }
+
+    /// Report label matching Table 5.
+    pub const fn label(self) -> &'static str {
+        match self {
+            AnomalyKind::WorkloadVariation => "Workload Variation",
+            AnomalyKind::NetworkDelay => "Network Delay",
+            AnomalyKind::CpuStress => "CPU Utilization",
+            AnomalyKind::LlcStress => "LLC Bandwidth & Capacity",
+            AnomalyKind::MemBwStress => "Memory Bandwidth",
+            AnomalyKind::IoStress => "I/O Bandwidth",
+            AnomalyKind::NetBwStress => "Network Bandwidth",
+        }
+    }
+
+    /// The tools the paper used for this anomaly (Table 5).
+    pub const fn paper_tools(self) -> &'static str {
+        match self {
+            AnomalyKind::WorkloadVariation => "wrk2",
+            AnomalyKind::NetworkDelay => "tc",
+            AnomalyKind::CpuStress => "iBench, stress-ng",
+            AnomalyKind::LlcStress => "iBench, pmbw",
+            AnomalyKind::MemBwStress => "iBench, pmbw",
+            AnomalyKind::IoStress => "Sysbench",
+            AnomalyKind::NetBwStress => "tc, Trickle",
+        }
+    }
+}
+
+/// A single anomaly injection: what, where, how hard, and for how long.
+#[derive(Debug, Clone, Copy)]
+pub struct AnomalySpec {
+    /// The anomaly type.
+    pub kind: AnomalyKind,
+    /// The node under attack (ignored for [`AnomalyKind::WorkloadVariation`],
+    /// which is cluster-wide).
+    pub node: NodeId,
+    /// For container-level injection (the paper's §3.6 injector is
+    /// bundled *into* the microservice containers): the stressed
+    /// instance. The contention then hits this instance directly, with
+    /// half-intensity spillover onto its node. `None` = node-level.
+    pub target_instance: Option<InstanceId>,
+    /// Intensity in `[0, 1]`: the fraction of the node's resource the
+    /// contender consumes, the relative arrival-rate increase (workload),
+    /// or the delay scale (network delay: intensity 1.0 ≈ 50 ms mean).
+    pub intensity: f64,
+    /// How long the anomaly lasts.
+    pub duration: SimDuration,
+}
+
+impl AnomalySpec {
+    /// Creates a node-level spec with intensity clamped to `[0, 1]`.
+    pub fn new(kind: AnomalyKind, node: NodeId, intensity: f64, duration: SimDuration) -> Self {
+        AnomalySpec {
+            kind,
+            node,
+            target_instance: None,
+            intensity: intensity.clamp(0.0, 1.0),
+            duration,
+        }
+    }
+
+    /// Creates a container-level spec; the engine resolves the node from
+    /// the instance at injection time.
+    pub fn at_instance(
+        kind: AnomalyKind,
+        instance: InstanceId,
+        intensity: f64,
+        duration: SimDuration,
+    ) -> Self {
+        AnomalySpec {
+            kind,
+            node: NodeId(0),
+            target_instance: Some(instance),
+            intensity: intensity.clamp(0.0, 1.0),
+            duration,
+        }
+    }
+
+    /// Mean added network delay for a [`AnomalyKind::NetworkDelay`]
+    /// anomaly of this intensity.
+    pub fn network_delay_mean(&self) -> SimDuration {
+        SimDuration::from_micros((self.intensity * 50_000.0) as u64)
+    }
+
+    /// Arrival-rate multiplier for a [`AnomalyKind::WorkloadVariation`]
+    /// anomaly of this intensity (1.0 → 3x load).
+    pub fn workload_multiplier(&self) -> f64 {
+        1.0 + 2.0 * self.intensity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_mapping_matches_table5() {
+        assert_eq!(
+            AnomalyKind::MemBwStress.contended_resource(),
+            Some(ResourceKind::MemBw)
+        );
+        assert_eq!(AnomalyKind::NetworkDelay.contended_resource(), None);
+        assert_eq!(AnomalyKind::WorkloadVariation.contended_resource(), None);
+        assert_eq!(ANOMALY_KINDS.len(), 7);
+    }
+
+    #[test]
+    fn intensity_clamped() {
+        let a = AnomalySpec::new(
+            AnomalyKind::CpuStress,
+            NodeId(0),
+            7.0,
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(a.intensity, 1.0);
+        let b = AnomalySpec::new(
+            AnomalyKind::CpuStress,
+            NodeId(0),
+            -1.0,
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(b.intensity, 0.0);
+    }
+
+    #[test]
+    fn derived_effects() {
+        let a = AnomalySpec::new(
+            AnomalyKind::NetworkDelay,
+            NodeId(0),
+            0.5,
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(a.network_delay_mean().as_micros(), 25_000);
+        let w = AnomalySpec::new(
+            AnomalyKind::WorkloadVariation,
+            NodeId(0),
+            1.0,
+            SimDuration::from_secs(1),
+        );
+        assert!((w.workload_multiplier() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_cover_all_kinds() {
+        for k in ANOMALY_KINDS {
+            assert!(!k.label().is_empty());
+            assert!(!k.paper_tools().is_empty());
+        }
+    }
+}

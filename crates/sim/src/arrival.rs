@@ -1,0 +1,113 @@
+//! Open-loop request arrival processes.
+//!
+//! The paper drives its benchmarks with wrk2-style open-loop generators
+//! using constant, diurnal, exponential, and spike-laden load shapes
+//! (§4.1). The concrete shapes live in `firm-workload`; this module
+//! defines the interface the engine pulls arrivals from, plus the two
+//! basic processes used by tests.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A source of request inter-arrival times.
+///
+/// The engine calls [`ArrivalProcess::next_interarrival`] after each
+/// arrival; implementations may shape the rate over time (diurnal
+/// patterns, spikes). A global load multiplier (workload-variation
+/// anomalies) is applied by the engine itself, not by implementations.
+pub trait ArrivalProcess {
+    /// Time until the next client request after `now`.
+    fn next_interarrival(&mut self, now: SimTime, rng: &mut SimRng) -> SimDuration;
+
+    /// The nominal request rate at `now`, in requests/second; used for
+    /// telemetry (the RL state's workload-change feature).
+    fn nominal_rate(&self, now: SimTime) -> f64;
+}
+
+/// Deterministic constant-rate arrivals.
+#[derive(Debug, Clone)]
+pub struct ConstantArrivals {
+    rate: f64,
+}
+
+impl ConstantArrivals {
+    /// Creates a constant process at `rate` requests/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        ConstantArrivals { rate }
+    }
+}
+
+impl ArrivalProcess for ConstantArrivals {
+    fn next_interarrival(&mut self, _now: SimTime, _rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.rate)
+    }
+
+    fn nominal_rate(&self, _now: SimTime) -> f64 {
+        self.rate
+    }
+}
+
+/// Poisson arrivals (exponential inter-arrival times) at a fixed rate.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a Poisson process at `rate` requests/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        PoissonArrivals { rate }
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_interarrival(&mut self, _now: SimTime, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.exponential(self.rate))
+    }
+
+    fn nominal_rate(&self, _now: SimTime) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_spacing() {
+        let mut p = ConstantArrivals::new(200.0);
+        let mut rng = SimRng::new(1);
+        let d = p.next_interarrival(SimTime::ZERO, &mut rng);
+        assert_eq!(d.as_micros(), 5_000);
+        assert_eq!(p.nominal_rate(SimTime::ZERO), 200.0);
+    }
+
+    #[test]
+    fn poisson_mean_close() {
+        let mut p = PoissonArrivals::new(100.0);
+        let mut rng = SimRng::new(2);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| p.next_interarrival(SimTime::ZERO, &mut rng).as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.01).abs() < 0.001, "mean was {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        ConstantArrivals::new(0.0);
+    }
+}

@@ -1,0 +1,1615 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulation`] owns the cluster, the application, all in-flight request
+//! state, and a time-ordered event queue. External controllers (FIRM, the
+//! baselines, the anomaly injector, experiment harnesses) interleave with
+//! it by running the clock forward ([`Simulation::run_until`] /
+//! [`Simulation::run_for`]), draining completed traces and telemetry
+//! windows, and applying [`Command`]s, which take effect after their
+//! Table 6 actuation latency.
+//!
+//! # Determinism
+//!
+//! Events are ordered by `(time, sequence)`, every random draw comes from
+//! one seeded [`SimRng`], and per-entity state lives in index-addressed
+//! vectors, so a `(spec, seed)` pair reproduces a run bit-for-bit.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::actuator::Command;
+use crate::anomaly::{AnomalyKind, AnomalySpec};
+use crate::arrival::ArrivalProcess;
+use crate::contention;
+use crate::ids::{
+    AnomalyId,
+    InstanceId,
+    NodeId,
+    RequestTypeId,
+    ServiceId,
+    SpanId,
+    TraceId,
+};
+use crate::instance::{Instance, InstanceState};
+use crate::node::{ActiveContender, ActiveDelay, Node};
+use crate::resources::{ResourceKind, ResourceVec, RESOURCE_KINDS};
+use crate::rng::SimRng;
+use crate::span::{CallRecord, CompletedRequest, SpanRecord};
+use crate::spec::{AppSpec, Call, ClusterSpec};
+use crate::telemetry_probe::{InstanceSnapshot, NodeSnapshot, TelemetryWindow};
+use crate::time::{SimDuration, SimTime};
+
+/// Tunable engine constants.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// One-way base latency of an inter-service RPC.
+    pub base_rtt: SimDuration,
+    /// One-way latency between the client and the entry service.
+    pub client_rtt: SimDuration,
+    /// Queue-length sampling period.
+    pub sample_period: SimDuration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            base_rtt: SimDuration::from_micros(150),
+            client_rtt: SimDuration::from_micros(250),
+            sample_period: SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// Cumulative run statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Client requests generated.
+    pub arrivals: u64,
+    /// Requests completed (including degraded ones that had internal
+    /// drops).
+    pub completions: u64,
+    /// Requests dropped somewhere on their path.
+    pub drops: u64,
+    /// Completed, non-dropped requests whose end-to-end latency exceeded
+    /// their type's SLO.
+    pub slo_violations: u64,
+    /// Sum of end-to-end latencies of completed, non-dropped requests, us.
+    pub latency_sum_us: u128,
+}
+
+impl RunStats {
+    /// Mean end-to-end latency of completed requests, us.
+    pub fn mean_latency_us(&self) -> f64 {
+        let ok = self.completions.saturating_sub(self.drops);
+        if ok == 0 {
+            0.0
+        } else {
+            self.latency_sum_us as f64 / ok as f64
+        }
+    }
+
+    /// Fraction of completed requests that violated their SLO.
+    pub fn violation_rate(&self) -> f64 {
+        if self.completions == 0 {
+            0.0
+        } else {
+            self.slo_violations as f64 / self.completions as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    Arrival,
+    HopDeliver { act: usize },
+    ComputeDone { act: usize },
+    ResponseDeliver { parent_act: usize, call_idx: usize },
+    RootResponse { trace_slot: usize },
+    AnomalyStart { id: AnomalyId },
+    AnomalyEnd { id: AnomalyId },
+    ActuationDone { cmd: Command },
+    Sample,
+}
+
+#[derive(Debug)]
+struct EventEntry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Activity {
+    trace_slot: usize,
+    span_id: SpanId,
+    parent: Option<(usize, usize)>,
+    parent_span: Option<SpanId>,
+    instance: InstanceId,
+    service: ServiceId,
+    rt: RequestTypeId,
+    background: bool,
+    arrived: SimTime,
+    work_start: SimTime,
+    stage: usize,
+    pending_children: u32,
+    calls: Vec<CallRecord>,
+    live: bool,
+}
+
+#[derive(Debug, Default)]
+struct TraceBuf {
+    trace_id: TraceId,
+    rt: RequestTypeId,
+    started: SimTime,
+    spans: Vec<SpanRecord>,
+    open_activities: u32,
+    root_response_at: Option<SimTime>,
+    dropped: bool,
+    live: bool,
+}
+
+#[derive(Debug, Default)]
+struct ServiceRuntime {
+    replicas: Vec<InstanceId>,
+    rr_cursor: usize,
+}
+
+/// Builder for [`Simulation`].
+pub struct SimulationBuilder {
+    cluster: ClusterSpec,
+    app: AppSpec,
+    seed: u64,
+    arrivals: Option<Box<dyn ArrivalProcess>>,
+    config: EngineConfig,
+}
+
+impl SimulationBuilder {
+    /// Sets the arrival process (default: 100 req/s Poisson).
+    pub fn arrivals(mut self, arrivals: Box<dyn ArrivalProcess>) -> Self {
+        self.arrivals = Some(arrivals);
+        self
+    }
+
+    /// Overrides engine constants.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds the simulation and places the initial replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application spec fails validation.
+    pub fn build(self) -> Simulation {
+        let SimulationBuilder {
+            cluster,
+            app,
+            seed,
+            arrivals,
+            config,
+        } = self;
+        app.validate().expect("invalid application spec");
+        assert!(!cluster.nodes.is_empty(), "cluster must have nodes");
+
+        let mut sim = Simulation {
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            rng: SimRng::new(seed),
+            config,
+            nodes: cluster.nodes.into_iter().map(Node::new).collect(),
+            app,
+            instances: Vec::new(),
+            services: Vec::new(),
+            arrivals: arrivals
+                .unwrap_or_else(|| Box::new(crate::arrival::PoissonArrivals::new(100.0))),
+            activities: Vec::new(),
+            free_activities: Vec::new(),
+            traces: Vec::new(),
+            free_traces: Vec::new(),
+            completed: Vec::new(),
+            active_anomalies: Vec::new(),
+            next_anomaly: 0,
+            next_trace: 0,
+            next_span: 0,
+            load_multipliers: Vec::new(),
+            stats: RunStats::default(),
+            window_started: SimTime::ZERO,
+            window_arrivals: 0,
+            window_mix: Vec::new(),
+            paused_arrivals: false,
+        };
+        sim.window_mix = vec![0u64; sim.app.request_types.len()];
+        sim.services = (0..sim.app.services.len())
+            .map(|_| ServiceRuntime::default())
+            .collect();
+
+        // Place the initial replicas round-robin across nodes.
+        let mut node_cursor = 0usize;
+        for sid in 0..sim.app.services.len() {
+            let spec = sim.app.services[sid].clone();
+            for _ in 0..spec.initial_replicas.max(1) {
+                let node = NodeId(node_cursor as u16);
+                node_cursor = (node_cursor + 1) % sim.nodes.len();
+                sim.spawn_instance(
+                    ServiceId(sid as u16),
+                    node,
+                    spec.initial_cpu,
+                    InstanceState::Running,
+                    SimTime::ZERO,
+                );
+            }
+        }
+
+        // Seed the arrival stream and the sampling tick.
+        let first = sim.next_arrival_gap();
+        sim.schedule(sim.now + first, EventKind::Arrival);
+        let sample = sim.config.sample_period;
+        sim.schedule(sim.now + sample, EventKind::Sample);
+        sim
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulation {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<EventEntry>>,
+    rng: SimRng,
+    config: EngineConfig,
+    nodes: Vec<Node>,
+    app: AppSpec,
+    instances: Vec<Instance>,
+    services: Vec<ServiceRuntime>,
+    arrivals: Box<dyn ArrivalProcess>,
+    activities: Vec<Activity>,
+    free_activities: Vec<usize>,
+    traces: Vec<TraceBuf>,
+    free_traces: Vec<usize>,
+    completed: Vec<CompletedRequest>,
+    active_anomalies: Vec<(AnomalyId, AnomalySpec, SimTime)>,
+    next_anomaly: u32,
+    next_trace: u64,
+    next_span: u64,
+    load_multipliers: Vec<(AnomalyId, f64)>,
+    stats: RunStats,
+    window_started: SimTime,
+    window_arrivals: u64,
+    window_mix: Vec<u64>,
+    paused_arrivals: bool,
+}
+
+impl Simulation {
+    /// Starts building a simulation.
+    pub fn builder(cluster: ClusterSpec, app: AppSpec, seed: u64) -> SimulationBuilder {
+        SimulationBuilder {
+            cluster,
+            app,
+            seed,
+            arrivals: None,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The application under simulation.
+    pub fn app(&self) -> &AppSpec {
+        &self.app
+    }
+
+    /// Cumulative run statistics.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// The cluster nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All instances ever created (including removed slots).
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// One instance by id.
+    pub fn instance(&self, id: InstanceId) -> &Instance {
+        &self.instances[id.index()]
+    }
+
+    /// Live (non-removed) replicas of a service.
+    pub fn replicas(&self, service: ServiceId) -> Vec<InstanceId> {
+        self.services[service.index()]
+            .replicas
+            .iter()
+            .copied()
+            .filter(|id| self.instances[id.index()].state != InstanceState::Removed)
+            .collect()
+    }
+
+    /// Sum of CPU quotas across live instances, in cores — the paper's
+    /// "requested CPU limit" (Fig. 10b).
+    pub fn total_requested_cpu(&self) -> f64 {
+        self.instances
+            .iter()
+            .filter(|i| i.state == InstanceState::Running || i.state == InstanceState::Starting)
+            .map(|i| i.cpu_limit())
+            .sum()
+    }
+
+    /// Currently active anomaly injections (ground truth for training).
+    pub fn active_anomalies(&self) -> &[(AnomalyId, AnomalySpec, SimTime)] {
+        &self.active_anomalies
+    }
+
+    /// The current workload multiplier from workload-variation anomalies.
+    pub fn load_multiplier(&self) -> f64 {
+        self.load_multipliers.iter().map(|(_, m)| m).product()
+    }
+
+    /// Pauses or resumes client arrivals (used by training harnesses to
+    /// reset the environment between episodes).
+    pub fn set_arrivals_paused(&mut self, paused: bool) {
+        if self.paused_arrivals && !paused {
+            let gap = self.next_arrival_gap();
+            self.schedule(self.now + gap, EventKind::Arrival);
+        }
+        self.paused_arrivals = paused;
+    }
+
+    /// Replaces the arrival process from now on.
+    pub fn set_arrivals(&mut self, arrivals: Box<dyn ArrivalProcess>) {
+        self.arrivals = arrivals;
+    }
+
+    fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(EventEntry { time, seq, kind }));
+    }
+
+    /// Runs the simulation until `deadline` (inclusive of events at it).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(head)) = self.events.peek() {
+            if head.time > deadline {
+                break;
+            }
+            let Reverse(entry) = self.events.pop().expect("peeked");
+            debug_assert!(entry.time >= self.now, "time went backwards");
+            self.now = entry.time;
+            self.dispatch(entry.kind);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs the simulation for `d` from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Takes all requests completed since the last drain.
+    pub fn drain_completed(&mut self) -> Vec<CompletedRequest> {
+        std::mem::take(&mut self.completed)
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Arrival => self.on_arrival(),
+            EventKind::HopDeliver { act } => self.on_hop_deliver(act),
+            EventKind::ComputeDone { act } => self.on_compute_done(act),
+            EventKind::ResponseDeliver {
+                parent_act,
+                call_idx,
+            } => self.on_response_deliver(parent_act, call_idx),
+            EventKind::RootResponse { trace_slot } => self.on_root_response(trace_slot),
+            EventKind::AnomalyStart { id } => self.on_anomaly_start(id),
+            EventKind::AnomalyEnd { id } => self.on_anomaly_end(id),
+            EventKind::ActuationDone { cmd } => self.on_actuation_done(cmd),
+            EventKind::Sample => self.on_sample(),
+        }
+    }
+
+    // ----- arrivals and request routing -------------------------------
+
+    fn next_arrival_gap(&mut self) -> SimDuration {
+        let gap = self.arrivals.next_interarrival(self.now, &mut self.rng);
+        let mult = self.load_multiplier();
+        if mult > 1.0 {
+            gap.mul_f64(1.0 / mult)
+        } else {
+            gap
+        }
+    }
+
+    fn on_arrival(&mut self) {
+        if !self.paused_arrivals {
+            let gap = self.next_arrival_gap();
+            self.schedule(self.now + gap, EventKind::Arrival);
+        } else {
+            return;
+        }
+
+        let weights: Vec<f64> = self.app.request_types.iter().map(|r| r.weight).collect();
+        let rt = RequestTypeId(self.rng.weighted_index(&weights) as u16);
+        self.stats.arrivals += 1;
+        self.window_arrivals += 1;
+        self.window_mix[rt.index()] += 1;
+
+        let trace_id = TraceId(self.next_trace);
+        self.next_trace += 1;
+        let trace_slot = self.alloc_trace(trace_id, rt);
+
+        let entry = self.app.request_types[rt.index()].entry;
+        let act = self.alloc_activity(trace_slot, None, None, entry, rt, false);
+        let delay = self.config.client_rtt + self.entry_delay(entry);
+        self.schedule(self.now + delay, EventKind::HopDeliver { act });
+    }
+
+    fn entry_delay(&mut self, service: ServiceId) -> SimDuration {
+        // Injected network delay on whichever node hosts a replica of the
+        // entry service (client traffic crosses its NIC).
+        if let Some(&iid) = self.services[service.index()].replicas.first() {
+            let node = self.instances[iid.index()].node;
+            return self.sample_node_delay(node);
+        }
+        SimDuration::ZERO
+    }
+
+    fn sample_node_delay(&mut self, node: NodeId) -> SimDuration {
+        let mean = self.nodes[node.index()].extra_delay_mean();
+        if mean == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let m = mean.as_micros() as f64;
+        SimDuration::from_micros(self.rng.normal_at_least(m, m / 4.0, 0.0) as u64)
+    }
+
+    fn alloc_trace(&mut self, trace_id: TraceId, rt: RequestTypeId) -> usize {
+        let buf = TraceBuf {
+            trace_id,
+            rt,
+            started: self.now,
+            spans: Vec::new(),
+            open_activities: 0,
+            root_response_at: None,
+            dropped: false,
+            live: true,
+        };
+        if let Some(slot) = self.free_traces.pop() {
+            self.traces[slot] = buf;
+            slot
+        } else {
+            self.traces.push(buf);
+            self.traces.len() - 1
+        }
+    }
+
+    fn alloc_activity(
+        &mut self,
+        trace_slot: usize,
+        parent: Option<(usize, usize)>,
+        parent_span: Option<SpanId>,
+        service: ServiceId,
+        rt: RequestTypeId,
+        background: bool,
+    ) -> usize {
+        let span_id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.traces[trace_slot].open_activities += 1;
+        let instance = self.pick_replica(service);
+        let act = Activity {
+            trace_slot,
+            span_id,
+            parent,
+            parent_span,
+            instance: instance.unwrap_or(InstanceId(u32::MAX)),
+            service,
+            rt,
+            background,
+            arrived: self.now,
+            work_start: self.now,
+            stage: 0,
+            pending_children: 0,
+            calls: Vec::new(),
+            live: true,
+        };
+        if let Some(slot) = self.free_activities.pop() {
+            self.activities[slot] = act;
+            slot
+        } else {
+            self.activities.push(act);
+            self.activities.len() - 1
+        }
+    }
+
+    fn free_activity(&mut self, idx: usize) {
+        self.activities[idx].live = false;
+        self.free_activities.push(idx);
+    }
+
+    /// Least-loaded replica of a service (ties broken round-robin).
+    fn pick_replica(&mut self, service: ServiceId) -> Option<InstanceId> {
+        let rt = &mut self.services[service.index()];
+        let live: Vec<InstanceId> = rt
+            .replicas
+            .iter()
+            .copied()
+            .filter(|id| self.instances[id.index()].accepts_load())
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        rt.rr_cursor = rt.rr_cursor.wrapping_add(1);
+        let start = rt.rr_cursor % live.len();
+        let mut best = live[start];
+        let mut best_load = self.instances[best.index()].load();
+        for k in 1..live.len() {
+            let cand = live[(start + k) % live.len()];
+            let load = self.instances[cand.index()].load();
+            if load < best_load {
+                best = cand;
+                best_load = load;
+            }
+        }
+        Some(best)
+    }
+
+    // ----- activity lifecycle -----------------------------------------
+
+    fn on_hop_deliver(&mut self, act_idx: usize) {
+        if !self.activities[act_idx].live {
+            return;
+        }
+        // Re-validate the chosen replica at delivery time.
+        let service = self.activities[act_idx].service;
+        let chosen = self.activities[act_idx].instance;
+        let ok = chosen != InstanceId(u32::MAX)
+            && self.instances[chosen.index()].accepts_load();
+        let target = if ok {
+            Some(chosen)
+        } else {
+            self.pick_replica(service)
+        };
+        let Some(iid) = target else {
+            self.drop_activity(act_idx);
+            return;
+        };
+        self.activities[act_idx].instance = iid;
+        self.activities[act_idx].arrived = self.now;
+
+        let inst = &mut self.instances[iid.index()];
+        inst.window.arrivals += 1;
+        if inst.free_workers() > 0 {
+            inst.busy_workers += 1;
+            self.begin_work(act_idx);
+        } else if inst.queue.len() < inst.queue_cap {
+            inst.queue.push_back(act_idx);
+        } else {
+            inst.window.drops += 1;
+            inst.total_drops += 1;
+            self.drop_activity(act_idx);
+        }
+    }
+
+    fn begin_work(&mut self, act_idx: usize) {
+        self.activities[act_idx].work_start = self.now;
+        self.activities[act_idx].stage = 0;
+        self.start_chunk(act_idx);
+    }
+
+    /// Computes the duration of the current compute chunk and schedules
+    /// its completion.
+    fn start_chunk(&mut self, act_idx: usize) {
+        let (iid, service, rt) = {
+            let a = &self.activities[act_idx];
+            (a.instance, a.service, a.rt)
+        };
+        let behavior = self
+            .app
+            .behavior(service, rt)
+            .expect("activity without behaviour");
+        let nstages = behavior.stages.len();
+        let demand = behavior.demand;
+        let chunk_frac = 1.0 / (nstages as f64 + 1.0);
+
+        let dur = if let Some(d) = demand {
+            let inst = &self.instances[iid.index()];
+            let node = &self.nodes[inst.node.index()];
+            let peers: Vec<&Instance> = node
+                .instances
+                .iter()
+                .map(|id| &self.instances[id.index()])
+                .filter(|i| i.state != InstanceState::Removed)
+                .collect();
+            let rates =
+                contention::effective_rates(node, &peers, inst, d.llc_ws_mb, d.llc_sensitivity);
+
+            // LLC misses stall the pipeline: compute time inflates with
+            // the same miss factor as DRAM traffic.
+            let cpu_t = d.cpu_us * chunk_frac * rates.mem_inflation / rates.cpu_per_worker;
+            let mem_mb = d.mem_mb * chunk_frac * rates.mem_inflation;
+            let mem_t = mem_mb / rates.mem_mbps * 1e6;
+            let io_t = d.io_mb * chunk_frac / rates.io_mbps * 1e6;
+            let mut noise = self.rng.lognormal_mean_cv(1.0, d.cv);
+            // In-container stressors fluctuate (iBench/pmbw phases), so
+            // the victim's slowdown wobbles — the latency-variance
+            // signature Algorithm 2's features are built to detect.
+            let stressed: f64 = self.instances[iid.index()].stress.iter().sum();
+            if stressed > 0.0 {
+                noise *= self.rng.lognormal_mean_cv(1.0, (stressed * 0.8).min(1.2));
+            }
+            let dur_us = (cpu_t + mem_t + io_t) * noise;
+
+            let inst = &mut self.instances[iid.index()];
+            inst.window.cpu_core_us += d.cpu_us * chunk_frac;
+            inst.window.mem_mb += mem_mb;
+            inst.window.io_mb += d.io_mb * chunk_frac;
+            inst.window.llc_share_sum += rates.llc_mb;
+            inst.window.inflation_sum += rates.mem_inflation;
+            inst.window.chunks += 1;
+
+            SimDuration::from_micros(dur_us.max(1.0) as u64)
+        } else {
+            SimDuration::from_micros(1)
+        };
+
+        self.schedule(self.now + dur, EventKind::ComputeDone { act: act_idx });
+    }
+
+    fn on_compute_done(&mut self, act_idx: usize) {
+        if !self.activities[act_idx].live {
+            return;
+        }
+        let (service, rt, stage) = {
+            let a = &self.activities[act_idx];
+            (a.service, a.rt, a.stage)
+        };
+        let nstages = self
+            .app
+            .behavior(service, rt)
+            .map(|b| b.stages.len())
+            .unwrap_or(0);
+
+        if stage < nstages {
+            let calls: Vec<Call> = self
+                .app
+                .behavior(service, rt)
+                .expect("checked above")
+                .stages[stage]
+                .calls
+                .clone();
+            let pending = self.fire_calls(act_idx, &calls);
+            if pending == 0 {
+                self.activities[act_idx].stage += 1;
+                self.start_chunk(act_idx);
+            } else {
+                self.activities[act_idx].pending_children = pending;
+            }
+        } else {
+            self.complete_activity(act_idx, false);
+        }
+    }
+
+    /// Issues the calls of one stage; returns the number of synchronous
+    /// children the caller must wait for.
+    fn fire_calls(&mut self, act_idx: usize, calls: &[Call]) -> u32 {
+        let (trace_slot, rt, my_span, my_instance) = {
+            let a = &self.activities[act_idx];
+            (a.trace_slot, a.rt, a.span_id, a.instance)
+        };
+        let src_node = self.instances[my_instance.index()].node;
+        let mut pending = 0u32;
+        for call in calls {
+            let child = self.alloc_activity(
+                trace_slot,
+                if call.background {
+                    None
+                } else {
+                    Some((act_idx, self.activities[act_idx].calls.len()))
+                },
+                Some(my_span),
+                call.target,
+                rt,
+                call.background,
+            );
+            let child_span = self.activities[child].span_id;
+            self.activities[act_idx].calls.push(CallRecord {
+                child_span,
+                target: call.target,
+                sent: self.now,
+                returned: None,
+                background: call.background,
+            });
+            if !call.background {
+                pending += 1;
+            }
+            let dst = self.activities[child].instance;
+            let transfer = self.transfer_time(call.req_kb, src_node, dst);
+            self.schedule(self.now + transfer, EventKind::HopDeliver { act: child });
+        }
+        pending
+    }
+
+    /// Network transfer time for `kb` from `src_node` to the node of
+    /// `dst` (if it resolves), including injected delays.
+    fn transfer_time(&mut self, kb: f64, src_node: NodeId, dst: InstanceId) -> SimDuration {
+        let mut t = self.config.base_rtt;
+        t += self.sample_node_delay(src_node);
+        let dst_node = if dst != InstanceId(u32::MAX) {
+            Some(self.instances[dst.index()].node)
+        } else {
+            None
+        };
+        if let Some(dn) = dst_node {
+            if dn != src_node {
+                t += self.sample_node_delay(dn);
+            }
+            let rate = self.net_rate_between(src_node, dn, dst);
+            let mb = kb / 1024.0;
+            t += SimDuration::from_micros((mb / rate * 1e6).max(0.0) as u64);
+            // Account network bytes to the sender-side instance window.
+            if let Some(&first) = self.nodes[src_node.index()].instances.first() {
+                self.instances[first.index()].window.net_mb += mb;
+            }
+        }
+        t
+    }
+
+    fn net_rate_between(&self, src: NodeId, dst: NodeId, dst_inst: InstanceId) -> f64 {
+        if src == dst {
+            // Loopback: far faster than the NIC.
+            return 20_000.0;
+        }
+        let node = &self.nodes[dst.index()];
+        let inst = &self.instances[dst_inst.index()];
+        let peers: Vec<&Instance> = node
+            .instances
+            .iter()
+            .map(|id| &self.instances[id.index()])
+            .filter(|i| i.state != InstanceState::Removed)
+            .collect();
+        contention::effective_rate(node, &peers, inst, ResourceKind::NetBw).max(1.0)
+    }
+
+    fn complete_activity(&mut self, act_idx: usize, dropped: bool) {
+        let (iid, trace_slot, parent, resp_kb) = {
+            let a = &self.activities[act_idx];
+            let resp = self
+                .app
+                .behavior(a.service, a.rt)
+                .and_then(|b| b.demand)
+                .map(|d| d.resp_kb)
+                .unwrap_or(1.0);
+            (a.instance, a.trace_slot, a.parent, resp)
+        };
+
+        self.emit_span(act_idx, dropped);
+
+        // Free the worker and admit queued work.
+        if iid != InstanceId(u32::MAX) && !dropped {
+            let inst = &mut self.instances[iid.index()];
+            inst.busy_workers = inst.busy_workers.saturating_sub(1);
+            inst.window.completions += 1;
+            inst.total_completions += 1;
+            let span_latency = (self.now - self.activities[act_idx].arrived).as_micros();
+            inst.window.latency_sum_us += span_latency;
+            if let Some(next) = self.instances[iid.index()].queue.pop_front() {
+                self.instances[iid.index()].busy_workers += 1;
+                self.begin_work(next);
+            }
+            self.maybe_finish_draining(iid);
+        }
+
+        // Deliver the response.
+        let is_background = self.activities[act_idx].background;
+        if let Some((p_act, call_idx)) = parent {
+            let src_node = if iid != InstanceId(u32::MAX) {
+                self.instances[iid.index()].node
+            } else {
+                NodeId(0)
+            };
+            let p_inst = self.activities[p_act].instance;
+            let transfer = if dropped {
+                self.config.base_rtt
+            } else {
+                self.transfer_time(resp_kb, src_node, p_inst)
+            };
+            self.schedule(
+                self.now + transfer,
+                EventKind::ResponseDeliver {
+                    parent_act: p_act,
+                    call_idx,
+                },
+            );
+        } else if !is_background {
+            // Root span: response to the client.
+            let transfer = self.config.client_rtt;
+            self.schedule(self.now + transfer, EventKind::RootResponse { trace_slot });
+        }
+
+        self.close_activity(act_idx);
+    }
+
+    fn drop_activity(&mut self, act_idx: usize) {
+        self.traces[self.activities[act_idx].trace_slot].dropped = true;
+        self.complete_activity(act_idx, true);
+    }
+
+    fn emit_span(&mut self, act_idx: usize, dropped: bool) {
+        let a = &self.activities[act_idx];
+        let span = SpanRecord {
+            trace_id: self.traces[a.trace_slot].trace_id,
+            span_id: a.span_id,
+            parent: a.parent_span,
+            service: a.service,
+            instance: a.instance,
+            request_type: a.rt,
+            start: a.arrived,
+            end: self.now,
+            work_start: a.work_start,
+            background: a.background,
+            dropped,
+            calls: a.calls.clone(),
+        };
+        self.traces[a.trace_slot].spans.push(span);
+    }
+
+    fn close_activity(&mut self, act_idx: usize) {
+        let trace_slot = self.activities[act_idx].trace_slot;
+        self.traces[trace_slot].open_activities -= 1;
+        self.free_activity(act_idx);
+        self.try_finalize_trace(trace_slot);
+    }
+
+    fn on_response_deliver(&mut self, parent_act: usize, call_idx: usize) {
+        if !self.activities[parent_act].live {
+            return;
+        }
+        self.activities[parent_act].calls[call_idx].returned = Some(self.now);
+        let a = &mut self.activities[parent_act];
+        a.pending_children = a.pending_children.saturating_sub(1);
+        if a.pending_children == 0 {
+            a.stage += 1;
+            self.start_chunk(parent_act);
+        }
+    }
+
+    fn on_root_response(&mut self, trace_slot: usize) {
+        if !self.traces[trace_slot].live {
+            return;
+        }
+        self.traces[trace_slot].root_response_at = Some(self.now);
+        self.try_finalize_trace(trace_slot);
+    }
+
+    fn try_finalize_trace(&mut self, trace_slot: usize) {
+        let buf = &self.traces[trace_slot];
+        if !buf.live || buf.open_activities > 0 || buf.root_response_at.is_none() {
+            return;
+        }
+        let finished = buf.root_response_at.expect("checked above");
+        let latency = finished - buf.started;
+        let rt = buf.rt;
+        let dropped = buf.dropped;
+
+        self.stats.completions += 1;
+        if dropped {
+            self.stats.drops += 1;
+        } else {
+            self.stats.latency_sum_us += latency.as_micros() as u128;
+            if latency.as_micros() > self.app.request_types[rt.index()].slo_latency_us {
+                self.stats.slo_violations += 1;
+            }
+        }
+
+        let buf = &mut self.traces[trace_slot];
+        let completed = CompletedRequest {
+            trace_id: buf.trace_id,
+            request_type: rt,
+            started: buf.started,
+            finished,
+            latency,
+            dropped,
+            spans: std::mem::take(&mut buf.spans),
+        };
+        buf.live = false;
+        self.free_traces.push(trace_slot);
+        self.completed.push(completed);
+    }
+
+    // ----- anomalies ----------------------------------------------------
+
+    /// Injects an anomaly now; returns its id. The anomaly ends after its
+    /// duration.
+    pub fn inject(&mut self, spec: AnomalySpec) -> AnomalyId {
+        self.inject_at(spec, self.now)
+    }
+
+    /// Injects an anomaly at a future time.
+    pub fn inject_at(&mut self, spec: AnomalySpec, at: SimTime) -> AnomalyId {
+        let id = AnomalyId(self.next_anomaly);
+        self.next_anomaly += 1;
+        let at = at.max(self.now);
+        // Container-level injections resolve their node now, so ground
+        // truth and node spillover agree.
+        let mut spec = spec;
+        if let Some(target) = spec.target_instance {
+            if target.index() < self.instances.len() {
+                spec.node = self.instances[target.index()].node;
+            } else {
+                spec.target_instance = None;
+            }
+        }
+        self.active_anomalies.push((id, spec, at));
+        self.schedule(at, EventKind::AnomalyStart { id });
+        self.schedule(at + spec.duration, EventKind::AnomalyEnd { id });
+        id
+    }
+
+    /// Cancels an anomaly immediately.
+    pub fn cancel_anomaly(&mut self, id: AnomalyId) {
+        self.on_anomaly_end(id);
+    }
+
+    fn on_anomaly_start(&mut self, id: AnomalyId) {
+        let Some(&(_, spec, _)) = self.active_anomalies.iter().find(|(a, _, _)| *a == id)
+        else {
+            return;
+        };
+        let node_idx = spec.node.index().min(self.nodes.len() - 1);
+        match spec.kind {
+            AnomalyKind::WorkloadVariation => {
+                self.load_multipliers.push((id, spec.workload_multiplier()));
+            }
+            AnomalyKind::NetworkDelay => {
+                self.nodes[node_idx].delays.push(ActiveDelay {
+                    anomaly: id,
+                    mean: spec.network_delay_mean(),
+                });
+            }
+            _ => {
+                if let Some(resource) = spec.kind.contended_resource() {
+                    match spec.target_instance {
+                        // Container-level: direct stress on the target,
+                        // half-intensity spillover onto the node pool.
+                        Some(target) if target.index() < self.instances.len() => {
+                            self.instances[target.index()].stress[resource.index()] +=
+                                spec.intensity;
+                            // An LLC stressor also saturates the victim's
+                            // LLC *bandwidth*, which manifests on its
+                            // memory path (Table 5 bundles both).
+                            if spec.kind == AnomalyKind::LlcStress {
+                                self.instances[target.index()].stress
+                                    [ResourceKind::MemBw.index()] += spec.intensity * 0.7;
+                            }
+                            self.nodes[node_idx].contenders.push(ActiveContender {
+                                anomaly: id,
+                                resource,
+                                intensity: spec.intensity * 0.5,
+                            });
+                        }
+                        _ => {
+                            self.nodes[node_idx].contenders.push(ActiveContender {
+                                anomaly: id,
+                                resource,
+                                intensity: spec.intensity,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_anomaly_end(&mut self, id: AnomalyId) {
+        // Undo direct container stress, if any.
+        if let Some(&(_, spec, _)) = self.active_anomalies.iter().find(|(a, _, _)| *a == id) {
+            if let (Some(target), Some(resource)) =
+                (spec.target_instance, spec.kind.contended_resource())
+            {
+                if target.index() < self.instances.len() {
+                    let s = &mut self.instances[target.index()].stress[resource.index()];
+                    *s = (*s - spec.intensity).max(0.0);
+                    if spec.kind == AnomalyKind::LlcStress {
+                        let m = &mut self.instances[target.index()].stress
+                            [ResourceKind::MemBw.index()];
+                        *m = (*m - spec.intensity * 0.7).max(0.0);
+                    }
+                }
+            }
+        }
+        self.load_multipliers.retain(|(a, _)| *a != id);
+        for node in &mut self.nodes {
+            node.remove_anomaly(id);
+        }
+        self.active_anomalies.retain(|(a, _, _)| *a != id);
+    }
+
+    // ----- actuation ------------------------------------------------------
+
+    /// Applies a command after its Table 6 actuation latency; returns the
+    /// sampled latency.
+    pub fn apply(&mut self, cmd: Command) -> SimDuration {
+        let latency = cmd.latency().sample(&mut self.rng);
+        if let Command::ScaleOut { service, .. } = cmd {
+            // The container starts now and becomes ready after the start
+            // latency.
+            let node = self.pick_node_for(service);
+            let template = self.template_limits(service);
+            let iid = self.spawn_instance(
+                service,
+                node,
+                template,
+                InstanceState::Starting,
+                self.now + latency,
+            );
+            // Copy non-CPU partitions from an existing replica.
+            if let Some(&src) = self
+                .services[service.index()]
+                .replicas
+                .iter()
+                .find(|id| self.instances[id.index()].state == InstanceState::Running)
+            {
+                for kind in RESOURCE_KINDS {
+                    if kind != ResourceKind::Cpu {
+                        let p = self.instances[src.index()].partition(kind);
+                        self.instances[iid.index()].set_partition(kind, p);
+                    }
+                }
+            }
+        }
+        self.schedule(self.now + latency, EventKind::ActuationDone { cmd });
+        latency
+    }
+
+    fn template_limits(&self, service: ServiceId) -> f64 {
+        self.services[service.index()]
+            .replicas
+            .iter()
+            .filter(|id| self.instances[id.index()].state == InstanceState::Running)
+            .map(|id| self.instances[id.index()].cpu_limit())
+            .next()
+            .unwrap_or(self.app.services[service.index()].initial_cpu)
+    }
+
+    /// The node with the most free (unallocated) CPU.
+    fn pick_node_for(&self, _service: ServiceId) -> NodeId {
+        let mut best = NodeId(0);
+        let mut best_free = f64::MIN;
+        for (ni, node) in self.nodes.iter().enumerate() {
+            let allocated: f64 = node
+                .instances
+                .iter()
+                .map(|id| &self.instances[id.index()])
+                .filter(|i| i.state != InstanceState::Removed)
+                .map(|i| i.cpu_limit())
+                .sum();
+            let free = node.capacity(ResourceKind::Cpu) - allocated;
+            if free > best_free {
+                best_free = free;
+                best = NodeId(ni as u16);
+            }
+        }
+        best
+    }
+
+    fn spawn_instance(
+        &mut self,
+        service: ServiceId,
+        node: NodeId,
+        cpu: f64,
+        state: InstanceState,
+        ready_at: SimTime,
+    ) -> InstanceId {
+        let spec = &self.app.services[service.index()];
+        let inst = Instance::new(
+            service,
+            node,
+            cpu,
+            spec.max_threads,
+            spec.queue_cap,
+            state,
+            ready_at,
+        );
+        let id = InstanceId(self.instances.len() as u32);
+        self.instances.push(inst);
+        self.nodes[node.index()].instances.push(id);
+        self.services[service.index()].replicas.push(id);
+        id
+    }
+
+    fn on_actuation_done(&mut self, cmd: Command) {
+        match cmd {
+            Command::SetPartition {
+                instance,
+                kind,
+                amount,
+            } => {
+                if instance.index() >= self.instances.len() {
+                    return;
+                }
+                let node = self.instances[instance.index()].node;
+                let cap = self.nodes[node.index()].capacity(kind);
+                let amount = amount.clamp(cap * 0.001, cap);
+                self.instances[instance.index()].set_partition(kind, Some(amount));
+            }
+            Command::ClearPartition { instance, kind } => {
+                // The CPU quota is structural (it defines the worker pool);
+                // it can be resized but not removed.
+                if kind != ResourceKind::Cpu && instance.index() < self.instances.len() {
+                    self.instances[instance.index()].set_partition(kind, None);
+                }
+            }
+            Command::ScaleOut { service, .. } => {
+                // Flip the newest starting replica to running.
+                if let Some(&iid) = self.services[service.index()]
+                    .replicas
+                    .iter()
+                    .rev()
+                    .find(|id| self.instances[id.index()].state == InstanceState::Starting)
+                {
+                    self.instances[iid.index()].state = InstanceState::Running;
+                }
+            }
+            Command::ScaleIn { service } => {
+                let live = self.replicas(service);
+                if live.len() <= 1 {
+                    return;
+                }
+                // Drain the least-loaded replica.
+                let victim = *live
+                    .iter()
+                    .min_by_key(|id| self.instances[id.index()].load())
+                    .expect("non-empty");
+                self.instances[victim.index()].state = InstanceState::Draining;
+                self.maybe_finish_draining(victim);
+            }
+        }
+    }
+
+    fn maybe_finish_draining(&mut self, iid: InstanceId) {
+        let inst = &mut self.instances[iid.index()];
+        if inst.state == InstanceState::Draining
+            && inst.busy_workers == 0
+            && inst.queue.is_empty()
+        {
+            inst.state = InstanceState::Removed;
+        }
+    }
+
+    // ----- telemetry ------------------------------------------------------
+
+    fn on_sample(&mut self) {
+        let period = self.config.sample_period;
+        self.schedule(self.now + period, EventKind::Sample);
+        for inst in &mut self.instances {
+            if inst.state != InstanceState::Removed {
+                inst.window.queue_len_sum += inst.queue.len() as u64;
+                inst.window.queue_samples += 1;
+            }
+        }
+    }
+
+    /// Drains the telemetry window accumulated since the previous drain,
+    /// resetting the accumulators.
+    pub fn drain_telemetry(&mut self) -> TelemetryWindow {
+        let window = self.now - self.window_started;
+        let window_s = window.as_secs_f64().max(1e-9);
+        let window_us = window.as_micros().max(1) as f64;
+
+        let mut out = TelemetryWindow {
+            instances: Vec::new(),
+            nodes: Vec::new(),
+            arrival_rate: self.window_arrivals as f64 / window_s,
+            request_mix: {
+                let total: u64 = self.window_mix.iter().sum();
+                self.window_mix
+                    .iter()
+                    .map(|&c| {
+                        if total == 0 {
+                            0.0
+                        } else {
+                            c as f64 / total as f64
+                        }
+                    })
+                    .collect()
+            },
+        };
+
+        let mut node_used = vec![ResourceVec::ZERO; self.nodes.len()];
+
+        for (ii, inst) in self.instances.iter_mut().enumerate() {
+            if inst.state == InstanceState::Removed {
+                inst.window.clear();
+                continue;
+            }
+            let node_cap = self.nodes[inst.node.index()].spec.capacity;
+            let rlt = inst.rlt(&node_cap);
+            let usage = ResourceVec::new(
+                inst.window.cpu_core_us / window_us,
+                inst.window.mem_mb / window_s,
+                inst.window.avg_llc_share(),
+                inst.window.io_mb / window_s,
+                inst.window.net_mb / window_s,
+            );
+            let mut utilization = ResourceVec::ZERO;
+            for kind in RESOURCE_KINDS {
+                let lim = rlt.get(kind).max(1e-9);
+                utilization.set(kind, (usage.get(kind) / lim).clamp(0.0, 1.0));
+            }
+            node_used[inst.node.index()] = node_used[inst.node.index()].add(&usage);
+
+            let w = &inst.window;
+            out.instances.push(InstanceSnapshot {
+                at: self.now,
+                window,
+                instance: InstanceId(ii as u32),
+                service: inst.service,
+                node: inst.node,
+                state: inst.state,
+                rlt,
+                usage,
+                utilization,
+                workers: inst.workers(),
+                avg_queue_len: w.avg_queue_len(),
+                arrivals: w.arrivals,
+                completions: w.completions,
+                drops: w.drops,
+                mean_latency_us: if w.completions == 0 {
+                    0.0
+                } else {
+                    w.latency_sum_us as f64 / w.completions as f64
+                },
+                mem_inflation: w.avg_inflation(),
+                per_core_dram_mbps: usage.get(ResourceKind::MemBw)
+                    / inst.cpu_limit().max(0.1),
+            });
+            inst.window.clear();
+        }
+
+        for (ni, node) in self.nodes.iter().enumerate() {
+            out.nodes.push(NodeSnapshot {
+                at: self.now,
+                node: NodeId(ni as u16),
+                arch: node.spec.arch,
+                capacity: node.spec.capacity,
+                anomaly_load: node.anomaly_load(),
+                used: node_used[ni],
+                live_instances: node
+                    .instances
+                    .iter()
+                    .filter(|id| self.instances[id.index()].state == InstanceState::Running)
+                    .count() as u32,
+            });
+        }
+
+        self.window_started = self.now;
+        self.window_arrivals = 0;
+        self.window_mix.iter_mut().for_each(|c| *c = 0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ConstantArrivals;
+    use crate::spec::AppSpec;
+
+    fn demo_sim(seed: u64) -> Simulation {
+        Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), seed)
+            .arrivals(Box::new(ConstantArrivals::new(200.0)))
+            .build()
+    }
+
+    #[test]
+    fn requests_flow_end_to_end() {
+        let mut sim = demo_sim(1);
+        sim.run_for(SimDuration::from_secs(2));
+        let done = sim.drain_completed();
+        assert!(done.len() > 300, "only {} completed", done.len());
+        let dropped = done.iter().filter(|r| r.dropped).count();
+        assert_eq!(dropped, 0, "unexpected drops in light load");
+        for r in &done {
+            assert!(r.latency > SimDuration::ZERO);
+            assert!(r.root_span().is_some());
+            // Three-tier demo: frontend + logic-a + logic-b + store + logger.
+            assert_eq!(r.spans.len(), 5, "trace had {} spans", r.spans.len());
+        }
+    }
+
+    #[test]
+    fn trace_structure_is_consistent() {
+        let mut sim = demo_sim(2);
+        sim.run_for(SimDuration::from_secs(1));
+        let done = sim.drain_completed();
+        let r = &done[done.len() / 2];
+        let root = r.root_span().unwrap();
+        assert_eq!(root.calls.len(), 3);
+        let background: Vec<_> = r.spans.iter().filter(|s| s.background).collect();
+        assert_eq!(background.len(), 1);
+        // Parent links resolve within the trace.
+        for s in &r.spans {
+            if let Some(p) = s.parent {
+                assert!(r.spans.iter().any(|o| o.span_id == p));
+            }
+        }
+        // Synchronous calls returned.
+        for c in &root.calls {
+            if !c.background {
+                assert!(c.returned.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed: u64| {
+            let mut sim = demo_sim(seed);
+            sim.run_for(SimDuration::from_secs(2));
+            let done = sim.drain_completed();
+            let lat: Vec<u64> = done.iter().map(|r| r.latency.as_micros()).collect();
+            (sim.stats().arrivals, lat)
+        };
+        let (a1, l1) = run(7);
+        let (a2, l2) = run(7);
+        assert_eq!(a1, a2);
+        assert_eq!(l1, l2);
+        let (_, l3) = run(8);
+        assert_ne!(l1, l3);
+    }
+
+    #[test]
+    fn anomaly_inflates_latency_and_recovers() {
+        let mut sim = demo_sim(3);
+        sim.run_for(SimDuration::from_secs(2));
+        let baseline: Vec<u64> = sim
+            .drain_completed()
+            .iter()
+            .filter(|r| !r.dropped)
+            .map(|r| r.latency.as_micros())
+            .collect();
+
+        // Memory-bandwidth stress on node 0 (frontend and friends).
+        sim.inject(AnomalySpec::new(
+            AnomalyKind::MemBwStress,
+            NodeId(0),
+            0.95,
+            SimDuration::from_secs(2),
+        ));
+        sim.run_for(SimDuration::from_secs(2));
+        let stressed: Vec<u64> = sim
+            .drain_completed()
+            .iter()
+            .filter(|r| !r.dropped)
+            .map(|r| r.latency.as_micros())
+            .collect();
+
+        sim.run_for(SimDuration::from_secs(2));
+        let recovered: Vec<u64> = sim
+            .drain_completed()
+            .iter()
+            .filter(|r| !r.dropped)
+            .map(|r| r.latency.as_micros())
+            .collect();
+
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64;
+        assert!(
+            mean(&stressed) > mean(&baseline) * 1.3,
+            "baseline {} stressed {}",
+            mean(&baseline),
+            mean(&stressed)
+        );
+        assert!(
+            mean(&recovered) < mean(&stressed),
+            "stressed {} recovered {}",
+            mean(&stressed),
+            mean(&recovered)
+        );
+    }
+
+    #[test]
+    fn workload_anomaly_scales_arrivals() {
+        let mut sim = demo_sim(4);
+        sim.run_for(SimDuration::from_secs(2));
+        let before = sim.stats().arrivals;
+        sim.inject(AnomalySpec::new(
+            AnomalyKind::WorkloadVariation,
+            NodeId(0),
+            1.0,
+            SimDuration::from_secs(2),
+        ));
+        sim.run_for(SimDuration::from_secs(2));
+        let during = sim.stats().arrivals - before;
+        assert!(
+            during as f64 > before as f64 * 2.0,
+            "before {before} during {during}"
+        );
+    }
+
+    #[test]
+    fn scale_out_becomes_ready_after_latency() {
+        let mut sim = demo_sim(5);
+        let svc = sim.app().service_by_name("logic-a").unwrap();
+        assert_eq!(sim.replicas(svc).len(), 1);
+        sim.apply(Command::ScaleOut {
+            service: svc,
+            warm: true,
+        });
+        // Before the warm-start latency the replica is not Running.
+        let starting = sim
+            .replicas(svc)
+            .iter()
+            .filter(|id| sim.instance(**id).state == InstanceState::Starting)
+            .count();
+        assert_eq!(starting, 1);
+        sim.run_for(SimDuration::from_millis(200));
+        let running = sim
+            .replicas(svc)
+            .iter()
+            .filter(|id| sim.instance(**id).state == InstanceState::Running)
+            .count();
+        assert_eq!(running, 2);
+    }
+
+    #[test]
+    fn scale_in_drains_to_removal() {
+        let mut sim = demo_sim(6);
+        let svc = sim.app().service_by_name("logic-a").unwrap();
+        sim.apply(Command::ScaleOut {
+            service: svc,
+            warm: true,
+        });
+        sim.run_for(SimDuration::from_millis(500));
+        assert_eq!(sim.replicas(svc).len(), 2);
+        sim.apply(Command::ScaleIn { service: svc });
+        sim.run_for(SimDuration::from_millis(500));
+        assert_eq!(sim.replicas(svc).len(), 1);
+    }
+
+    #[test]
+    fn scale_in_never_removes_last_replica() {
+        let mut sim = demo_sim(7);
+        let svc = sim.app().service_by_name("store").unwrap();
+        sim.apply(Command::ScaleIn { service: svc });
+        sim.run_for(SimDuration::from_millis(200));
+        assert_eq!(sim.replicas(svc).len(), 1);
+    }
+
+    #[test]
+    fn set_partition_takes_effect_after_latency() {
+        let mut sim = demo_sim(8);
+        let iid = InstanceId(0);
+        sim.apply(Command::SetPartition {
+            instance: iid,
+            kind: ResourceKind::MemBw,
+            amount: 4_000.0,
+        });
+        assert_eq!(sim.instance(iid).partition(ResourceKind::MemBw), None);
+        sim.run_for(SimDuration::from_millis(200));
+        assert_eq!(
+            sim.instance(iid).partition(ResourceKind::MemBw),
+            Some(4_000.0)
+        );
+        sim.apply(Command::ClearPartition {
+            instance: iid,
+            kind: ResourceKind::MemBw,
+        });
+        sim.run_for(SimDuration::from_millis(200));
+        assert_eq!(sim.instance(iid).partition(ResourceKind::MemBw), None);
+    }
+
+    #[test]
+    fn partition_amount_clamped_to_capacity() {
+        let mut sim = demo_sim(9);
+        let iid = InstanceId(0);
+        sim.apply(Command::SetPartition {
+            instance: iid,
+            kind: ResourceKind::MemBw,
+            amount: 1e9,
+        });
+        sim.run_for(SimDuration::from_millis(200));
+        let p = sim.instance(iid).partition(ResourceKind::MemBw).unwrap();
+        assert!(p <= 25_600.0 + 1e-9);
+    }
+
+    #[test]
+    fn telemetry_windows_report_usage() {
+        let mut sim = demo_sim(10);
+        sim.run_for(SimDuration::from_secs(1));
+        let t = sim.drain_telemetry();
+        assert_eq!(t.nodes.len(), 2);
+        assert!(!t.instances.is_empty());
+        assert!((t.arrival_rate - 200.0).abs() < 30.0, "rate {}", t.arrival_rate);
+        assert!((t.request_mix.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let frontend = &t.instances[0];
+        assert!(frontend.arrivals > 0);
+        assert!(frontend.usage.get(ResourceKind::Cpu) > 0.0);
+        assert!(frontend.utilization.get(ResourceKind::Cpu) <= 1.0);
+        // Second drain starts a fresh window.
+        sim.run_for(SimDuration::from_secs(1));
+        let t2 = sim.drain_telemetry();
+        assert!(t2.instances[0].arrivals > 0);
+    }
+
+    #[test]
+    fn cpu_quota_squeeze_causes_queueing() {
+        let mut sim = demo_sim(11);
+        sim.run_for(SimDuration::from_secs(1));
+        sim.drain_completed();
+        // Squeeze the frontend to a tiny quota: one worker at 0.05 cores
+        // serves ~150 req/s of this workload, below the 200 req/s offered.
+        sim.apply(Command::SetPartition {
+            instance: InstanceId(0),
+            kind: ResourceKind::Cpu,
+            amount: 0.05,
+        });
+        sim.run_for(SimDuration::from_secs(4));
+        let done = sim.drain_completed();
+        let p99 = {
+            let mut v: Vec<u64> = done
+                .iter()
+                .filter(|r| !r.dropped)
+                .map(|r| r.latency.as_micros())
+                .collect();
+            v.sort_unstable();
+            v[(v.len() as f64 * 0.99) as usize - 1]
+        };
+        assert!(p99 > 20_000, "p99 was {p99}us");
+    }
+
+    #[test]
+    fn run_stats_accumulate() {
+        let mut sim = demo_sim(12);
+        sim.run_for(SimDuration::from_secs(2));
+        let s = sim.stats();
+        assert!(s.arrivals > 300);
+        assert!(s.completions > 300);
+        assert!(s.mean_latency_us() > 0.0);
+        assert!(s.violation_rate() < 0.2);
+    }
+
+    #[test]
+    fn total_requested_cpu_tracks_quotas() {
+        let sim = demo_sim(13);
+        let total = sim.total_requested_cpu();
+        // 4.0 (frontend) + 2 + 2 + 2 + 2 from the demo defaults.
+        assert!((total - 12.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn paused_arrivals_stop_the_stream() {
+        let mut sim = demo_sim(14);
+        sim.run_for(SimDuration::from_secs(1));
+        let before = sim.stats().arrivals;
+        sim.set_arrivals_paused(true);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.stats().arrivals, before);
+        sim.set_arrivals_paused(false);
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.stats().arrivals > before);
+    }
+}

@@ -1,0 +1,99 @@
+//! Strongly-typed identifiers used across the simulator.
+//!
+//! All identifiers are small dense integers so that per-entity state can be
+//! stored in plain `Vec`s, which keeps the simulator fast and — importantly
+//! for reproducibility — free of hash-map iteration-order effects.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $raw:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $raw);
+
+        impl $name {
+            /// The raw integer value.
+            pub const fn raw(self) -> $raw {
+                self.0
+            }
+
+            /// The identifier as a `usize` index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$raw> for $name {
+            fn from(v: $raw) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A physical node (server) in the cluster.
+    NodeId,
+    u16
+);
+id_type!(
+    /// A microservice (logical service, possibly many replicas).
+    ServiceId,
+    u16
+);
+id_type!(
+    /// A deployed container instance of a microservice.
+    InstanceId,
+    u32
+);
+id_type!(
+    /// A request type (e.g. `post-compose`), indexing the workload mix.
+    RequestTypeId,
+    u16
+);
+id_type!(
+    /// A distributed trace: one end-to-end user request.
+    TraceId,
+    u64
+);
+id_type!(
+    /// A span within a trace: the work done at one instance.
+    SpanId,
+    u64
+);
+id_type!(
+    /// A performance-anomaly injection in flight.
+    AnomalyId,
+    u32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_and_index() {
+        let s = ServiceId(7);
+        assert_eq!(s.raw(), 7);
+        assert_eq!(s.index(), 7);
+        assert_eq!(ServiceId::from(7), s);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(format!("{}", NodeId(3)), "NodeId(3)");
+        assert_eq!(format!("{}", TraceId(12)), "TraceId(12)");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(InstanceId(1) < InstanceId(2));
+    }
+}

@@ -1,0 +1,156 @@
+//! Runtime state of a physical node.
+
+use crate::ids::{AnomalyId, InstanceId};
+use crate::resources::{ResourceKind, ResourceVec};
+use crate::spec::NodeSpec;
+use crate::time::SimDuration;
+
+/// A live anomaly contender pinned to this node.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveContender {
+    /// The injection that created it.
+    pub anomaly: AnomalyId,
+    /// The resource it stresses.
+    pub resource: ResourceKind,
+    /// Fraction of the node's capacity it tries to consume, in `[0, 1]`.
+    pub intensity: f64,
+}
+
+/// A live network-delay injection on this node.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveDelay {
+    /// The injection that created it.
+    pub anomaly: AnomalyId,
+    /// Mean added delay per RPC touching this node.
+    pub mean: SimDuration,
+}
+
+/// Runtime node state: spec plus dynamic contention and placement.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Static description.
+    pub spec: NodeSpec,
+    /// Instances currently placed here (includes starting/draining ones).
+    pub instances: Vec<InstanceId>,
+    /// Resource-stressing anomalies active on the node.
+    pub contenders: Vec<ActiveContender>,
+    /// Network-delay anomalies active on the node.
+    pub delays: Vec<ActiveDelay>,
+}
+
+impl Node {
+    /// Wraps a spec into an empty runtime node.
+    pub fn new(spec: NodeSpec) -> Self {
+        Node {
+            spec,
+            instances: Vec::new(),
+            contenders: Vec::new(),
+            delays: Vec::new(),
+        }
+    }
+
+    /// Capacity of one resource.
+    pub fn capacity(&self, kind: ResourceKind) -> f64 {
+        self.spec.capacity.get(kind)
+    }
+
+    /// Total anomaly pressure on `kind`, as a fraction of capacity in
+    /// `[0, 1]` (multiple stressors accumulate but saturate at 1).
+    pub fn anomaly_fraction(&self, kind: ResourceKind) -> f64 {
+        let total: f64 = self
+            .contenders
+            .iter()
+            .filter(|c| c.resource == kind)
+            .map(|c| c.intensity)
+            .sum();
+        total.min(1.0)
+    }
+
+    /// Anomaly pressure on every resource, as absolute units.
+    pub fn anomaly_load(&self) -> ResourceVec {
+        let mut v = ResourceVec::ZERO;
+        for (kind, cap) in self.spec.capacity.iter() {
+            v.set(kind, self.anomaly_fraction(kind) * cap);
+        }
+        v
+    }
+
+    /// Mean extra network delay for RPCs touching this node.
+    pub fn extra_delay_mean(&self) -> SimDuration {
+        let total: u64 = self.delays.iter().map(|d| d.mean.as_micros()).sum();
+        SimDuration::from_micros(total)
+    }
+
+    /// Removes every contender/delay created by `anomaly`.
+    pub fn remove_anomaly(&mut self, anomaly: AnomalyId) {
+        self.contenders.retain(|c| c.anomaly != anomaly);
+        self.delays.retain(|d| d.anomaly != anomaly);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anomaly_fraction_accumulates_and_saturates() {
+        let mut n = Node::new(NodeSpec::x86_default());
+        assert_eq!(n.anomaly_fraction(ResourceKind::MemBw), 0.0);
+        n.contenders.push(ActiveContender {
+            anomaly: AnomalyId(1),
+            resource: ResourceKind::MemBw,
+            intensity: 0.6,
+        });
+        n.contenders.push(ActiveContender {
+            anomaly: AnomalyId(2),
+            resource: ResourceKind::MemBw,
+            intensity: 0.7,
+        });
+        assert_eq!(n.anomaly_fraction(ResourceKind::MemBw), 1.0);
+        assert_eq!(n.anomaly_fraction(ResourceKind::Cpu), 0.0);
+    }
+
+    #[test]
+    fn remove_anomaly_clears_both_kinds() {
+        let mut n = Node::new(NodeSpec::x86_default());
+        n.contenders.push(ActiveContender {
+            anomaly: AnomalyId(1),
+            resource: ResourceKind::Cpu,
+            intensity: 0.5,
+        });
+        n.delays.push(ActiveDelay {
+            anomaly: AnomalyId(1),
+            mean: SimDuration::from_millis(5),
+        });
+        n.remove_anomaly(AnomalyId(1));
+        assert!(n.contenders.is_empty());
+        assert!(n.delays.is_empty());
+    }
+
+    #[test]
+    fn anomaly_load_absolute_units() {
+        let mut n = Node::new(NodeSpec::x86_default());
+        n.contenders.push(ActiveContender {
+            anomaly: AnomalyId(1),
+            resource: ResourceKind::Cpu,
+            intensity: 0.25,
+        });
+        let load = n.anomaly_load();
+        assert_eq!(load.get(ResourceKind::Cpu), 12.0);
+        assert_eq!(load.get(ResourceKind::IoBw), 0.0);
+    }
+
+    #[test]
+    fn delay_means_add() {
+        let mut n = Node::new(NodeSpec::x86_default());
+        n.delays.push(ActiveDelay {
+            anomaly: AnomalyId(1),
+            mean: SimDuration::from_millis(5),
+        });
+        n.delays.push(ActiveDelay {
+            anomaly: AnomalyId(2),
+            mean: SimDuration::from_millis(3),
+        });
+        assert_eq!(n.extra_delay_mean().as_micros(), 8_000);
+    }
+}

@@ -1,0 +1,228 @@
+//! Deterministic random-number generation for reproducible simulations.
+//!
+//! Every stochastic decision in a simulation run draws from a single
+//! [`SimRng`] seeded at construction, so a `(seed, spec)` pair fully
+//! determines a run. The distributions needed by the simulator and the
+//! workload generators (uniform, exponential, normal, log-normal, Pareto,
+//! weighted choice) are implemented here directly so that only the `rand`
+//! core crate is required.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG with the distribution helpers the simulator needs.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving
+    /// subsystems their own streams without coupling their draw counts.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.inner.gen::<u64>())
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() requires a non-empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential draw with the given rate (events per unit time).
+    ///
+    /// Returns `f64::INFINITY` for non-positive rates, which callers treat
+    /// as "never".
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        // Inverse-transform sampling; `1 - u` avoids ln(0).
+        let u: f64 = 1.0 - self.uniform();
+        -u.ln() / rate
+    }
+
+    /// Normal draw via the Box-Muller transform.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1: f64 = (1.0 - self.uniform()).max(f64::MIN_POSITIVE);
+        let u2: f64 = self.uniform();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        mean + std_dev * mag * (2.0 * core::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal draw truncated below at `floor`.
+    pub fn normal_at_least(&mut self, mean: f64, std_dev: f64, floor: f64) -> f64 {
+        self.normal(mean, std_dev).max(floor)
+    }
+
+    /// Log-normal draw parameterized by the mean and coefficient of
+    /// variation of the *resulting* distribution.
+    ///
+    /// Service-time variability in the simulator is log-normal, the usual
+    /// heavy-ish-tailed model for request service times.
+    pub fn lognormal_mean_cv(&mut self, mean: f64, cv: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        if cv <= 0.0 {
+            return mean;
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        (mu + sigma2.sqrt() * self.normal(0.0, 1.0)).exp()
+    }
+
+    /// Pareto draw with scale `x_m` and shape `alpha`; used for
+    /// heavy-tailed think/flow sizes.
+    pub fn pareto(&mut self, x_m: f64, alpha: f64) -> f64 {
+        let u: f64 = 1.0 - self.uniform();
+        x_m / u.powf(1.0 / alpha)
+    }
+
+    /// Weighted choice over `weights`; returns the chosen index.
+    ///
+    /// Non-positive weights are treated as zero. Falls back to the last
+    /// index if rounding leaves the cursor past the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or all weights are non-positive.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index() requires weights");
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        assert!(total > 0.0, "weighted_index() requires a positive weight");
+        let mut cursor = self.uniform() * total;
+        for (i, w) in weights.iter().enumerate() {
+            let w = w.max(0.0);
+            if cursor < w {
+                return i;
+            }
+            cursor -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = SimRng::new(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.02, "mean was {mean}");
+    }
+
+    #[test]
+    fn exponential_nonpositive_rate_is_never() {
+        let mut rng = SimRng::new(3);
+        assert!(rng.exponential(0.0).is_infinite());
+        assert!(rng.exponential(-1.0).is_infinite());
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = SimRng::new(5);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var was {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_cv_matches_target() {
+        let mut rng = SimRng::new(11);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.lognormal_mean_cv(5.0, 0.5)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean was {mean}");
+        assert!(xs.iter().all(|x| *x > 0.0));
+    }
+
+    #[test]
+    fn lognormal_degenerate_cases() {
+        let mut rng = SimRng::new(11);
+        assert_eq!(rng.lognormal_mean_cv(0.0, 0.5), 0.0);
+        assert_eq!(rng.lognormal_mean_cv(5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::new(13);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.weighted_index(&[1.0, 0.0, 3.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = SimRng::new(17);
+        let mut child = a.fork();
+        // The child stream must not simply mirror the parent.
+        let equal = (0..32)
+            .filter(|_| a.uniform() == child.uniform())
+            .count();
+        assert!(equal < 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(19);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

@@ -1,0 +1,236 @@
+//! The telemetry collector: folds simulator telemetry windows into the
+//! metric registry, synthesizing hardware counters.
+//!
+//! The synthetic perf counters are derived from the contention model:
+//! an instance's DRAM traffic splits into LLC hits and misses according
+//! to its observed memory-inflation factor (inflation 1.0 ≈ the working
+//! set fits, high hit rate; inflation `1+s` ≈ no cache, high miss rate).
+
+use firm_sim::telemetry_probe::TelemetryWindow;
+use firm_sim::{ResourceKind, SimTime};
+
+use crate::metric::MetricKind;
+use crate::registry::MetricRegistry;
+
+/// Nominal cache-line size used to convert MB/s into accesses/s.
+const LINE_BYTES: f64 = 64.0;
+
+/// Folds telemetry windows into metric series.
+#[derive(Debug)]
+pub struct TelemetryCollector {
+    registry: MetricRegistry,
+    windows: u64,
+}
+
+impl TelemetryCollector {
+    /// Creates a collector whose series hold `capacity` points each.
+    pub fn new(capacity: usize) -> Self {
+        TelemetryCollector {
+            registry: MetricRegistry::new(capacity),
+            windows: 0,
+        }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    /// Number of windows collected.
+    pub fn windows_collected(&self) -> u64 {
+        self.windows
+    }
+
+    /// Folds one telemetry window into the registry.
+    pub fn collect(&mut self, window: &TelemetryWindow) {
+        self.windows += 1;
+        let mut at = SimTime::ZERO;
+
+        for inst in &window.instances {
+            at = inst.at;
+            let id = inst.instance;
+            let r = &mut self.registry;
+            r.record_instance(MetricKind::CpuUsage, id, at, inst.usage.get(ResourceKind::Cpu));
+            r.record_instance(
+                MetricKind::MemoryUsageBytes,
+                id,
+                at,
+                inst.usage.get(ResourceKind::Llc) * 1e6,
+            );
+            r.record_instance(
+                MetricKind::FsThroughput,
+                id,
+                at,
+                inst.usage.get(ResourceKind::IoBw),
+            );
+            r.record_instance(
+                MetricKind::FsUsageBytes,
+                id,
+                at,
+                inst.usage.get(ResourceKind::IoBw) * inst.window.as_secs_f64() * 1e6,
+            );
+            r.record_instance(
+                MetricKind::NetworkThroughput,
+                id,
+                at,
+                inst.usage.get(ResourceKind::NetBw),
+            );
+            r.record_instance(MetricKind::Processes, id, at, inst.workers as f64);
+
+            // Synthetic offcore counters: split DRAM traffic into hits
+            // and misses by the inflation factor. Inflation i in
+            // [1, 1+s] maps to a miss fraction (i-1)/s when the demand
+            // has sensitivity s; absent per-demand s here, use i-1
+            // clamped, which preserves ordering (more inflation = more
+            // misses) — enough for detection purposes.
+            let dram_mbps = inst.usage.get(ResourceKind::MemBw);
+            let accesses = dram_mbps * 1e6 / LINE_BYTES;
+            let miss_frac = (inst.mem_inflation - 1.0).clamp(0.0, 1.0);
+            r.record_instance(MetricKind::LlcMisses, id, at, accesses * miss_frac);
+            r.record_instance(MetricKind::LlcHits, id, at, accesses * (1.0 - miss_frac));
+            r.record_instance(
+                MetricKind::PerCoreDramAccess,
+                id,
+                at,
+                inst.per_core_dram_mbps,
+            );
+
+            r.record_instance(MetricKind::SpanLatency, id, at, inst.mean_latency_us);
+            r.record_instance(MetricKind::QueueLength, id, at, inst.avg_queue_len);
+            r.record_instance(MetricKind::Drops, id, at, inst.drops as f64);
+            r.record_instance(
+                MetricKind::ArrivalRate,
+                id,
+                at,
+                inst.arrivals as f64 / inst.window.as_secs_f64().max(1e-9),
+            );
+        }
+
+        for node in &window.nodes {
+            at = at.max(node.at);
+            self.registry.record_node(
+                MetricKind::CpuUsage,
+                node.node,
+                node.at,
+                node.used.get(ResourceKind::Cpu),
+            );
+            self.registry.record_node(
+                MetricKind::PerCoreDramAccess,
+                node.node,
+                node.at,
+                node.used.get(ResourceKind::MemBw)
+                    / node.capacity.get(ResourceKind::Cpu).max(1.0),
+            );
+        }
+
+        self.registry
+            .record_cluster(MetricKind::ArrivalRate, at, window.arrival_rate);
+    }
+
+    /// The cluster-wide workload-change ratio (`WCt` of Table 3): current
+    /// vs previous window arrival rate.
+    pub fn workload_change(&self) -> f64 {
+        self.registry
+            .cluster_series(MetricKind::ArrivalRate)
+            .map(|s| s.change_ratio())
+            .unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firm_sim::{
+        spec::{AppSpec, ClusterSpec},
+        AnomalyKind,
+        AnomalySpec,
+        InstanceId,
+        NodeId,
+        SimDuration,
+        Simulation,
+    };
+
+    fn sim() -> Simulation {
+        Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 17).build()
+    }
+
+    #[test]
+    fn collects_all_metric_families() {
+        let mut s = sim();
+        let mut c = TelemetryCollector::new(128);
+        s.run_for(SimDuration::from_secs(1));
+        c.collect(&s.drain_telemetry());
+        assert_eq!(c.windows_collected(), 1);
+        let id = InstanceId(0);
+        for kind in [
+            MetricKind::CpuUsage,
+            MetricKind::NetworkThroughput,
+            MetricKind::Processes,
+            MetricKind::LlcHits,
+            MetricKind::LlcMisses,
+            MetricKind::SpanLatency,
+            MetricKind::ArrivalRate,
+        ] {
+            assert!(
+                c.registry().instance_series(kind, id).is_some(),
+                "{kind} missing"
+            );
+        }
+        assert!(c
+            .registry()
+            .node_series(MetricKind::CpuUsage, NodeId(0))
+            .is_some());
+        assert!(c.registry().cluster_series(MetricKind::ArrivalRate).is_some());
+    }
+
+    #[test]
+    fn llc_stress_raises_miss_counter() {
+        let mut s = sim();
+        let mut c = TelemetryCollector::new(128);
+        s.run_for(SimDuration::from_secs(1));
+        c.collect(&s.drain_telemetry());
+        // logic-b (mem-bound, on node 0) sees misses rise under LLC stress.
+        let victim = InstanceId(2);
+        let before = c
+            .registry()
+            .instance_series(MetricKind::LlcMisses, victim)
+            .unwrap()
+            .last()
+            .unwrap()
+            .1;
+        s.inject(AnomalySpec::new(
+            AnomalyKind::LlcStress,
+            NodeId(0),
+            0.95,
+            SimDuration::from_secs(2),
+        ));
+        s.run_for(SimDuration::from_secs(2));
+        c.collect(&s.drain_telemetry());
+        let after = c
+            .registry()
+            .instance_series(MetricKind::LlcMisses, victim)
+            .unwrap()
+            .last()
+            .unwrap()
+            .1;
+        assert!(after > before, "before={before} after={after}");
+    }
+
+    #[test]
+    fn workload_change_tracks_rate() {
+        let mut s = sim();
+        let mut c = TelemetryCollector::new(128);
+        s.run_for(SimDuration::from_secs(1));
+        c.collect(&s.drain_telemetry());
+        assert_eq!(c.workload_change(), 1.0);
+        s.inject(AnomalySpec::new(
+            AnomalyKind::WorkloadVariation,
+            NodeId(0),
+            1.0,
+            SimDuration::from_secs(2),
+        ));
+        s.run_for(SimDuration::from_secs(2));
+        c.collect(&s.drain_telemetry());
+        assert!(c.workload_change() > 2.0, "wc={}", c.workload_change());
+    }
+}

@@ -1,0 +1,48 @@
+//! Telemetry substrate for the FIRM reproduction.
+//!
+//! The paper's Tracing Coordinator scrapes cAdvisor/Prometheus container
+//! metrics and Linux `perf` hardware counters (Table 2). This crate
+//! provides the equivalent over the simulator's telemetry windows:
+//!
+//! * [`metric::MetricKind`] — the Table 2 metric names.
+//! * [`timeseries::TimeSeries`] — bounded time series with windowed
+//!   queries.
+//! * [`registry::MetricRegistry`] — the Prometheus-style store keyed by
+//!   metric and entity.
+//! * [`collector::TelemetryCollector`] — samples
+//!   [`firm_sim::telemetry_probe::TelemetryWindow`]s into the registry,
+//!   synthesizing the perf counters (LLC hit/miss, per-core DRAM access)
+//!   from the simulator's contention observables.
+//!
+//! # Examples
+//!
+//! ```
+//! use firm_sim::{
+//!     spec::{AppSpec, ClusterSpec},
+//!     SimDuration,
+//!     Simulation,
+//! };
+//! use firm_telemetry::collector::TelemetryCollector;
+//! use firm_telemetry::metric::MetricKind;
+//!
+//! let mut sim = Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 3)
+//!     .build();
+//! let mut collector = TelemetryCollector::new(1024);
+//! sim.run_for(SimDuration::from_secs(1));
+//! collector.collect(&sim.drain_telemetry());
+//! let cpu = collector
+//!     .registry()
+//!     .instance_series(MetricKind::CpuUsage, firm_sim::InstanceId(0))
+//!     .expect("cpu series exists");
+//! assert!(cpu.last().is_some());
+//! ```
+
+pub mod collector;
+pub mod metric;
+pub mod registry;
+pub mod timeseries;
+
+pub use collector::TelemetryCollector;
+pub use metric::MetricKind;
+pub use registry::MetricRegistry;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,122 @@
+//! Metric kinds collected by FIRM (Table 2 of the paper).
+
+use core::fmt;
+
+/// A telemetry metric.
+///
+/// The first group mirrors the cAdvisor/Prometheus container metrics of
+/// Table 2; the second group mirrors the Linux `perf` offcore counters.
+/// The simulator feeds them from its contention model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetricKind {
+    /// `cpu_usage_seconds_total` rate — cores in use.
+    CpuUsage,
+    /// `memory_usage_bytes` — approximated from the LLC working share.
+    MemoryUsageBytes,
+    /// `fs_write/read_seconds` rate — disk MB/s.
+    FsThroughput,
+    /// `fs_usage_bytes` — cumulative disk MB moved.
+    FsUsageBytes,
+    /// `network_transmit/receive_bytes_total` rate — NIC MB/s.
+    NetworkThroughput,
+    /// `processes` — worker threads configured.
+    Processes,
+    /// `offcore_response.*.llc_hit.*_DRAM` rate — synthetic LLC hits/s.
+    LlcHits,
+    /// `offcore_response.*.llc_miss.*_DRAM` rate — synthetic LLC misses/s.
+    LlcMisses,
+    /// Per-core DRAM access MB/s (the Fig. 1 bottom series).
+    PerCoreDramAccess,
+    /// Mean span latency observed at the instance, us.
+    SpanLatency,
+    /// Average queue length.
+    QueueLength,
+    /// Requests dropped in the window.
+    Drops,
+    /// Request arrival rate at the instance, req/s.
+    ArrivalRate,
+}
+
+/// All metric kinds, in declaration order.
+pub const METRIC_KINDS: [MetricKind; 13] = [
+    MetricKind::CpuUsage,
+    MetricKind::MemoryUsageBytes,
+    MetricKind::FsThroughput,
+    MetricKind::FsUsageBytes,
+    MetricKind::NetworkThroughput,
+    MetricKind::Processes,
+    MetricKind::LlcHits,
+    MetricKind::LlcMisses,
+    MetricKind::PerCoreDramAccess,
+    MetricKind::SpanLatency,
+    MetricKind::QueueLength,
+    MetricKind::Drops,
+    MetricKind::ArrivalRate,
+];
+
+impl MetricKind {
+    /// The Prometheus-style metric name (Table 2 naming).
+    pub const fn name(self) -> &'static str {
+        match self {
+            MetricKind::CpuUsage => "cpu_usage_seconds_total",
+            MetricKind::MemoryUsageBytes => "memory_usage_bytes",
+            MetricKind::FsThroughput => "fs_write_read_seconds",
+            MetricKind::FsUsageBytes => "fs_usage_bytes",
+            MetricKind::NetworkThroughput => "network_transmit_receive_bytes_total",
+            MetricKind::Processes => "processes",
+            MetricKind::LlcHits => "offcore_response.llc_hit.local_DRAM",
+            MetricKind::LlcMisses => "offcore_response.llc_miss.local_DRAM",
+            MetricKind::PerCoreDramAccess => "per_core_dram_access_mbps",
+            MetricKind::SpanLatency => "span_latency_us",
+            MetricKind::QueueLength => "queue_length",
+            MetricKind::Drops => "dropped_requests",
+            MetricKind::ArrivalRate => "arrival_rate_rps",
+        }
+    }
+
+    /// The collection source in the paper's deployment (Table 2).
+    pub const fn paper_source(self) -> &'static str {
+        match self {
+            MetricKind::CpuUsage
+            | MetricKind::MemoryUsageBytes
+            | MetricKind::FsThroughput
+            | MetricKind::FsUsageBytes
+            | MetricKind::NetworkThroughput
+            | MetricKind::Processes => "cAdvisor & Prometheus",
+            MetricKind::LlcHits | MetricKind::LlcMisses | MetricKind::PerCoreDramAccess => {
+                "Linux perf subsystem"
+            }
+            MetricKind::SpanLatency
+            | MetricKind::QueueLength
+            | MetricKind::Drops
+            | MetricKind::ArrivalRate => "tracing agents",
+        }
+    }
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_unique_and_nonempty() {
+        let mut names: Vec<&str> = METRIC_KINDS.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+
+    #[test]
+    fn sources_cover_table2() {
+        assert_eq!(MetricKind::CpuUsage.paper_source(), "cAdvisor & Prometheus");
+        assert_eq!(MetricKind::LlcMisses.paper_source(), "Linux perf subsystem");
+    }
+}

@@ -1,0 +1,138 @@
+//! The metric registry: a Prometheus-style store keyed by metric kind and
+//! entity (instance or node).
+
+use std::collections::BTreeMap;
+
+use firm_sim::{InstanceId, NodeId, SimTime};
+
+use crate::metric::MetricKind;
+use crate::timeseries::TimeSeries;
+
+/// Entity a metric series belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Entity {
+    /// A container instance.
+    Instance(u32),
+    /// A cluster node.
+    Node(u16),
+    /// The whole cluster (e.g. offered arrival rate).
+    Cluster,
+}
+
+/// Store of metric time series.
+#[derive(Debug)]
+pub struct MetricRegistry {
+    series: BTreeMap<(MetricKind, Entity), TimeSeries>,
+    capacity: usize,
+}
+
+impl MetricRegistry {
+    /// Creates a registry whose series each hold `capacity` points.
+    pub fn new(capacity: usize) -> Self {
+        MetricRegistry {
+            series: BTreeMap::new(),
+            capacity,
+        }
+    }
+
+    /// Records a point for an instance metric.
+    pub fn record_instance(
+        &mut self,
+        kind: MetricKind,
+        instance: InstanceId,
+        at: SimTime,
+        value: f64,
+    ) {
+        self.record(kind, Entity::Instance(instance.raw()), at, value);
+    }
+
+    /// Records a point for a node metric.
+    pub fn record_node(&mut self, kind: MetricKind, node: NodeId, at: SimTime, value: f64) {
+        self.record(kind, Entity::Node(node.raw()), at, value);
+    }
+
+    /// Records a point for a cluster-wide metric.
+    pub fn record_cluster(&mut self, kind: MetricKind, at: SimTime, value: f64) {
+        self.record(kind, Entity::Cluster, at, value);
+    }
+
+    fn record(&mut self, kind: MetricKind, entity: Entity, at: SimTime, value: f64) {
+        let cap = self.capacity;
+        self.series
+            .entry((kind, entity))
+            .or_insert_with(|| TimeSeries::new(cap))
+            .push(at, value);
+    }
+
+    /// The series of an instance metric, if recorded.
+    pub fn instance_series(&self, kind: MetricKind, instance: InstanceId) -> Option<&TimeSeries> {
+        self.series.get(&(kind, Entity::Instance(instance.raw())))
+    }
+
+    /// The series of a node metric, if recorded.
+    pub fn node_series(&self, kind: MetricKind, node: NodeId) -> Option<&TimeSeries> {
+        self.series.get(&(kind, Entity::Node(node.raw())))
+    }
+
+    /// The series of a cluster metric, if recorded.
+    pub fn cluster_series(&self, kind: MetricKind) -> Option<&TimeSeries> {
+        self.series.get(&(kind, Entity::Cluster))
+    }
+
+    /// Number of series held.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Iterates `(kind, entity)` keys in deterministic order.
+    pub fn keys(&self) -> impl Iterator<Item = (MetricKind, Entity)> + '_ {
+        self.series.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_fetch() {
+        let mut r = MetricRegistry::new(64);
+        r.record_instance(MetricKind::CpuUsage, InstanceId(3), SimTime::from_secs(1), 2.0);
+        r.record_node(MetricKind::CpuUsage, NodeId(0), SimTime::from_secs(1), 24.0);
+        r.record_cluster(MetricKind::ArrivalRate, SimTime::from_secs(1), 500.0);
+
+        assert_eq!(r.series_count(), 3);
+        assert_eq!(
+            r.instance_series(MetricKind::CpuUsage, InstanceId(3))
+                .unwrap()
+                .last()
+                .unwrap()
+                .1,
+            2.0
+        );
+        assert_eq!(
+            r.node_series(MetricKind::CpuUsage, NodeId(0))
+                .unwrap()
+                .last()
+                .unwrap()
+                .1,
+            24.0
+        );
+        assert_eq!(
+            r.cluster_series(MetricKind::ArrivalRate).unwrap().len(),
+            1
+        );
+        assert!(r.instance_series(MetricKind::Drops, InstanceId(3)).is_none());
+    }
+
+    #[test]
+    fn keys_are_deterministic() {
+        let mut r = MetricRegistry::new(8);
+        r.record_instance(MetricKind::Drops, InstanceId(2), SimTime::ZERO, 0.0);
+        r.record_instance(MetricKind::CpuUsage, InstanceId(1), SimTime::ZERO, 0.0);
+        let keys: Vec<_> = r.keys().collect();
+        assert_eq!(keys.len(), 2);
+        // BTreeMap ordering: CpuUsage sorts before Drops.
+        assert_eq!(keys[0].0, MetricKind::CpuUsage);
+    }
+}

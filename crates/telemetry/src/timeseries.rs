@@ -1,0 +1,171 @@
+//! Bounded time series with windowed queries.
+
+use std::collections::VecDeque;
+
+use firm_sim::SimTime;
+
+/// A bounded series of `(time, value)` points, oldest first.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    points: VecDeque<(SimTime, f64)>,
+    capacity: usize,
+}
+
+impl TimeSeries {
+    /// Creates a series holding at most `capacity` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        TimeSeries {
+            points: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Appends a point; evicts the oldest when full. Points must arrive
+    /// in non-decreasing time order; out-of-order points are dropped.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.back() {
+            if at < last {
+                return;
+            }
+        }
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+        }
+        self.points.push_back((at, value));
+    }
+
+    /// Number of points held.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The newest point.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.back().copied()
+    }
+
+    /// The point preceding the newest.
+    pub fn previous(&self) -> Option<(SimTime, f64)> {
+        if self.points.len() < 2 {
+            None
+        } else {
+            self.points.get(self.points.len() - 2).copied()
+        }
+    }
+
+    /// All points at or after `since`.
+    pub fn since(&self, since: SimTime) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points
+            .iter()
+            .copied()
+            .filter(move |(t, _)| *t >= since)
+    }
+
+    /// Mean of values at or after `since`; `None` if none.
+    pub fn mean_since(&self, since: SimTime) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (_, v) in self.since(since) {
+            sum += v;
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Maximum value at or after `since`; `None` if none.
+    pub fn max_since(&self, since: SimTime) -> Option<f64> {
+        self.since(since).map(|(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+
+    /// Ratio of the newest value to the previous one — the paper's
+    /// *workload change* feature (`WCt`, Table 3). Returns 1 when
+    /// undefined (fewer than two points or a zero denominator).
+    pub fn change_ratio(&self) -> f64 {
+        match (self.last(), self.previous()) {
+            (Some((_, cur)), Some((_, prev))) if prev.abs() > 1e-12 => cur / prev,
+            _ => 1.0,
+        }
+    }
+
+    /// Iterates all points, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new(16);
+        for i in 0..5 {
+            s.push(t(i), i as f64);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.last(), Some((t(4), 4.0)));
+        assert_eq!(s.previous(), Some((t(3), 3.0)));
+        assert_eq!(s.since(t(3)).count(), 2);
+        assert_eq!(s.mean_since(t(3)), Some(3.5));
+        assert_eq!(s.max_since(t(0)), Some(4.0));
+        assert_eq!(s.mean_since(t(99)), None);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut s = TimeSeries::new(3);
+        for i in 0..10 {
+            s.push(t(i), i as f64);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().next(), Some((t(7), 7.0)));
+    }
+
+    #[test]
+    fn out_of_order_points_dropped() {
+        let mut s = TimeSeries::new(8);
+        s.push(t(5), 1.0);
+        s.push(t(3), 2.0);
+        assert_eq!(s.len(), 1);
+        s.push(t(5), 3.0); // Equal time is allowed.
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn change_ratio_semantics() {
+        let mut s = TimeSeries::new(8);
+        assert_eq!(s.change_ratio(), 1.0);
+        s.push(t(1), 100.0);
+        assert_eq!(s.change_ratio(), 1.0);
+        s.push(t(2), 150.0);
+        assert!((s.change_ratio() - 1.5).abs() < 1e-12);
+        s.push(t(3), 0.0);
+        s.push(t(4), 10.0);
+        // Previous value zero → undefined → 1.
+        assert_eq!(s.change_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! The Tracing Coordinator (§3.1 of the paper).
+//!
+//! A stateless, replicable data-processing front-end that collects spans
+//! from tracing agents, combines them into execution history graphs, and
+//! stores them in the graph store. FIRM's Extractor queries it for
+//! critical paths and per-instance latency vectors over sliding windows.
+//!
+//! In the paper the coordinator also handles clock drift (via Jaeger);
+//! the simulator has a global clock, so that concern disappears.
+
+use firm_sim::{CompletedRequest, InstanceId, RequestTypeId, SimTime};
+
+use crate::critical_path::CriticalPath;
+use crate::depgraph::ServiceDependencyGraph;
+use crate::store::{StoredTrace, TraceStore};
+
+/// Span-collection and query front-end.
+#[derive(Debug)]
+pub struct TracingCoordinator {
+    store: TraceStore,
+    depgraph: ServiceDependencyGraph,
+    sampling: f64,
+    skipped: u64,
+}
+
+impl TracingCoordinator {
+    /// Creates a coordinator whose store holds at most `capacity` traces.
+    pub fn new(capacity: usize) -> Self {
+        TracingCoordinator {
+            store: TraceStore::new(capacity),
+            depgraph: ServiceDependencyGraph::new(),
+            sampling: 1.0,
+            skipped: 0,
+        }
+    }
+
+    /// Sets the trace sampling fraction in `[0, 1]` (head-based sampling,
+    /// as in Jaeger); traces are accepted deterministically by trace-id
+    /// hash so replicas agree.
+    pub fn set_sampling(&mut self, fraction: f64) {
+        self.sampling = fraction.clamp(0.0, 1.0);
+    }
+
+    /// Ingests a batch of completed requests.
+    pub fn ingest(&mut self, requests: Vec<CompletedRequest>) {
+        for r in requests {
+            if self.sampling < 1.0 {
+                // Cheap splitmix-style hash of the trace id.
+                let mut x = r.trace_id.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+                if u >= self.sampling {
+                    self.skipped += 1;
+                    continue;
+                }
+            }
+            self.depgraph.observe(&r);
+            self.store.ingest(r);
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
+    /// The aggregated service dependency graph.
+    pub fn dependency_graph(&self) -> &ServiceDependencyGraph {
+        &self.depgraph
+    }
+
+    /// Traces skipped by sampling.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Critical paths of traces finished at or after `since` (non-dropped
+    /// only), newest last.
+    pub fn critical_paths_since(&self, since: SimTime) -> Vec<&CriticalPath> {
+        self.store
+            .since(since)
+            .filter(|t| !t.dropped)
+            .map(|t| &t.cp)
+            .collect()
+    }
+
+    /// Stored traces finished at or after `since`.
+    pub fn traces_since(&self, since: SimTime) -> Vec<&StoredTrace> {
+        self.store.since(since).collect()
+    }
+
+    /// End-to-end latencies (us) per request type since `since`.
+    pub fn latencies_since(&self, since: SimTime, rt: RequestTypeId) -> Vec<f64> {
+        self.store
+            .since_of_type(since, rt)
+            .filter(|t| !t.dropped)
+            .map(|t| t.latency.as_micros() as f64)
+            .collect()
+    }
+
+    /// Aligned per-instance/per-CP latency pairs since `since` (Alg. 2's
+    /// `(Ti, TCP)`).
+    pub fn instance_latency_pairs(&self, since: SimTime, instance: InstanceId) -> Vec<(f64, f64)> {
+        self.store.instance_latency_pairs(since, instance)
+    }
+
+    /// Evicts traces finished before `before` to bound memory.
+    pub fn evict_before(&mut self, before: SimTime) {
+        self.store.evict_before(before);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firm_sim::{
+        spec::{AppSpec, ClusterSpec},
+        SimDuration,
+        Simulation,
+    };
+
+    fn run(seed: u64) -> Vec<CompletedRequest> {
+        let mut sim =
+            Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), seed).build();
+        sim.run_for(SimDuration::from_secs(1));
+        sim.drain_completed()
+    }
+
+    #[test]
+    fn ingest_and_query_cps() {
+        let rs = run(1);
+        let n = rs.len();
+        let mut c = TracingCoordinator::new(10_000);
+        c.ingest(rs);
+        assert_eq!(c.store().len(), n);
+        let cps = c.critical_paths_since(SimTime::ZERO);
+        assert_eq!(cps.len(), n);
+        // Every CP starts at the frontend.
+        assert!(cps.iter().all(|cp| cp.entries[0].service.raw() == 0));
+        assert_eq!(c.latencies_since(SimTime::ZERO, RequestTypeId(0)).len(), n);
+        assert!(!c.dependency_graph().services().is_empty());
+    }
+
+    #[test]
+    fn sampling_reduces_ingestion_deterministically() {
+        let rs = run(2);
+        let n = rs.len();
+        let mut a = TracingCoordinator::new(10_000);
+        a.set_sampling(0.5);
+        a.ingest(rs.clone());
+        let mut b = TracingCoordinator::new(10_000);
+        b.set_sampling(0.5);
+        b.ingest(rs);
+        assert_eq!(a.store().len(), b.store().len());
+        assert!(a.store().len() < n);
+        assert!(a.store().len() > n / 5);
+        assert_eq!(a.skipped() + a.store().total_ingested(), n as u64);
+    }
+
+    #[test]
+    fn windowed_queries_filter_by_time() {
+        let mut sim =
+            Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 3).build();
+        let mut c = TracingCoordinator::new(100_000);
+        sim.run_for(SimDuration::from_secs(1));
+        c.ingest(sim.drain_completed());
+        let early = c.traces_since(SimTime::ZERO).len();
+        sim.run_for(SimDuration::from_secs(1));
+        c.ingest(sim.drain_completed());
+        let recent = c.traces_since(SimTime::from_secs(1)).len();
+        let all = c.traces_since(SimTime::ZERO).len();
+        assert!(recent < all);
+        assert!(early > 0);
+        c.evict_before(SimTime::from_secs(1));
+        assert_eq!(c.traces_since(SimTime::ZERO).len(), recent);
+    }
+}

@@ -1,0 +1,141 @@
+//! Service dependency graphs (Definition 2.1 of the paper).
+//!
+//! The service dependency graph aggregates communication dependencies
+//! (RPC edges) between services across many traces — Fig. 2(a) of the
+//! paper. FIRM uses it for reporting and to reason about which services a
+//! request type touches.
+
+use std::collections::BTreeMap;
+
+use firm_sim::{CompletedRequest, RequestTypeId, ServiceId};
+
+/// An aggregated caller→callee edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DependencyEdge {
+    /// Calling service.
+    pub caller: ServiceId,
+    /// Called service.
+    pub callee: ServiceId,
+}
+
+/// Aggregated statistics of one dependency edge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeStats {
+    /// Number of calls observed.
+    pub calls: u64,
+    /// Number of background (fire-and-forget) calls among them.
+    pub background_calls: u64,
+}
+
+/// The service dependency graph, built incrementally from traces.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceDependencyGraph {
+    edges: BTreeMap<(u16, u16), EdgeStats>,
+    touched: BTreeMap<u16, Vec<RequestTypeId>>,
+}
+
+impl ServiceDependencyGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one trace into the graph.
+    pub fn observe(&mut self, request: &CompletedRequest) {
+        for span in &request.spans {
+            let rts = self.touched.entry(span.service.raw()).or_default();
+            if !rts.contains(&request.request_type) {
+                rts.push(request.request_type);
+            }
+            for call in &span.calls {
+                let stats = self
+                    .edges
+                    .entry((span.service.raw(), call.target.raw()))
+                    .or_default();
+                stats.calls += 1;
+                if call.background {
+                    stats.background_calls += 1;
+                }
+            }
+        }
+    }
+
+    /// Folds many traces into the graph.
+    pub fn observe_all<'a>(&mut self, requests: impl IntoIterator<Item = &'a CompletedRequest>) {
+        for r in requests {
+            self.observe(r);
+        }
+    }
+
+    /// Iterates edges with their statistics, in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (DependencyEdge, EdgeStats)> + '_ {
+        self.edges.iter().map(|(&(a, b), &stats)| {
+            (
+                DependencyEdge {
+                    caller: ServiceId(a),
+                    callee: ServiceId(b),
+                },
+                stats,
+            )
+        })
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Services observed anywhere in the graph.
+    pub fn services(&self) -> Vec<ServiceId> {
+        self.touched.keys().map(|&s| ServiceId(s)).collect()
+    }
+
+    /// The request types observed to traverse `service` — the darker
+    /// vertices of Fig. 2(a) for a given request type.
+    pub fn request_types_of(&self, service: ServiceId) -> &[RequestTypeId] {
+        self.touched
+            .get(&service.raw())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firm_sim::{
+        spec::{AppSpec, ClusterSpec},
+        SimDuration,
+        Simulation,
+    };
+
+    #[test]
+    fn aggregates_three_tier_edges() {
+        let mut sim =
+            Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 5).build();
+        sim.run_for(SimDuration::from_secs(1));
+        let traces = sim.drain_completed();
+        let n = traces.len() as u64;
+        let mut g = ServiceDependencyGraph::new();
+        g.observe_all(&traces);
+
+        // frontend→logic-a, frontend→logic-b, frontend→logger, logic-a→store.
+        assert_eq!(g.edge_count(), 4);
+        let edges: Vec<_> = g.edges().collect();
+        let logger_edge = edges
+            .iter()
+            .find(|(e, _)| e.callee == ServiceId(4))
+            .expect("logger edge");
+        assert_eq!(logger_edge.1.background_calls, logger_edge.1.calls);
+        let store_edge = edges
+            .iter()
+            .find(|(e, _)| e.caller == ServiceId(1) && e.callee == ServiceId(3))
+            .expect("store edge");
+        assert_eq!(store_edge.1.calls, n);
+        assert_eq!(store_edge.1.background_calls, 0);
+
+        assert_eq!(g.services().len(), 5);
+        assert_eq!(g.request_types_of(ServiceId(0)).len(), 1);
+        assert!(g.request_types_of(ServiceId(99)).is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! Execution history graphs (Definition 2.2 of the paper).
+//!
+//! An execution history graph is the space-time diagram of one distributed
+//! request: vertices are spans (send/receive/compute collapse into the
+//! span's timeline) and edges are the RPC invocations. The graph also
+//! classifies sibling spans into the paper's three workflow patterns
+//! (§3.2): *parallel* (overlapping), *sequential* (happens-before), and
+//! *background* (no return value).
+
+use firm_sim::{CompletedRequest, SimTime, SpanId, SpanRecord};
+
+/// Relation between two synchronous sibling calls (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiblingRelation {
+    /// Their active intervals overlap: `(st_j < st_i < et_j) ∨
+    /// (st_i < st_j < et_i)`.
+    Parallel,
+    /// The first returns before the second is sent (happens-before).
+    Sequential,
+    /// At least one is a background (fire-and-forget) call.
+    Background,
+}
+
+/// A node of the execution history graph: one span plus its resolved
+/// child links.
+#[derive(Debug, Clone)]
+pub struct GraphNode {
+    /// Index into [`ExecutionHistoryGraph::spans`].
+    pub span_idx: usize,
+    /// Indices of child nodes, in call order.
+    pub children: Vec<usize>,
+    /// Index of the parent node, if any.
+    pub parent: Option<usize>,
+}
+
+/// The execution history graph of one completed request.
+#[derive(Debug, Clone)]
+pub struct ExecutionHistoryGraph {
+    /// The spans, as recorded (completion order).
+    pub spans: Vec<SpanRecord>,
+    /// One node per span, same indexing as `spans`.
+    pub nodes: Vec<GraphNode>,
+    /// Index of the root span's node.
+    pub root: usize,
+}
+
+impl ExecutionHistoryGraph {
+    /// Builds the graph from a completed request's spans.
+    ///
+    /// Returns `None` if the trace has no root span or contains a parent
+    /// reference that never completed (partial traces are skipped by the
+    /// coordinator, matching how Jaeger drops incomplete traces).
+    pub fn build(request: &CompletedRequest) -> Option<Self> {
+        Self::from_spans(request.spans.clone())
+    }
+
+    /// Builds the graph from raw spans.
+    pub fn from_spans(spans: Vec<SpanRecord>) -> Option<Self> {
+        let mut root = None;
+        let mut nodes: Vec<GraphNode> = (0..spans.len())
+            .map(|i| GraphNode {
+                span_idx: i,
+                children: Vec::new(),
+                parent: None,
+            })
+            .collect();
+
+        // Resolve parent links through span ids.
+        let find = |id: SpanId, spans: &[SpanRecord]| -> Option<usize> {
+            spans.iter().position(|s| s.span_id == id)
+        };
+        for i in 0..spans.len() {
+            match spans[i].parent {
+                None => {
+                    if root.is_some() {
+                        return None; // Two roots: malformed.
+                    }
+                    root = Some(i);
+                }
+                Some(pid) => {
+                    let p = find(pid, &spans)?;
+                    nodes[i].parent = Some(p);
+                    nodes[p].children.push(i);
+                }
+            }
+        }
+        // Order children by send time so traversal is deterministic.
+        for p in 0..nodes.len() {
+            let mut children = std::mem::take(&mut nodes[p].children);
+            children.sort_by_key(|&c| {
+                spans[p]
+                    .calls
+                    .iter()
+                    .find(|call| call.child_span == spans[c].span_id)
+                    .map(|call| call.sent)
+                    .unwrap_or(SimTime::ZERO)
+            });
+            nodes[p].children = children;
+        }
+        let root = root?;
+        Some(ExecutionHistoryGraph { spans, nodes, root })
+    }
+
+    /// The root span.
+    pub fn root_span(&self) -> &SpanRecord {
+        &self.spans[self.root]
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when the graph has no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Classifies the relation between two child calls of `parent`
+    /// (identified by positions in the parent's call list).
+    ///
+    /// Returns `None` if the indexes are invalid or the calls never
+    /// resolved to spans.
+    pub fn sibling_relation(&self, parent: usize, a: usize, b: usize) -> Option<SiblingRelation> {
+        let p = &self.spans[self.nodes.get(parent)?.span_idx];
+        let ca = p.calls.get(a)?;
+        let cb = p.calls.get(b)?;
+        if ca.background || cb.background {
+            return Some(SiblingRelation::Background);
+        }
+        // Child activity interval: sent → returned. The paper's overlap
+        // test uses strict inequalities; we additionally treat calls sent
+        // at the same instant as overlapping (the simulator fires a
+        // stage's calls at one timestamp).
+        let (sa, ea) = (ca.sent, ca.returned?);
+        let (sb, eb) = (cb.sent, cb.returned?);
+        let overlap = sa.max(sb) < ea.min(eb);
+        if overlap {
+            Some(SiblingRelation::Parallel)
+        } else {
+            Some(SiblingRelation::Sequential)
+        }
+    }
+
+    /// Iterates `(parent_idx, child_idx)` edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(p, n)| n.children.iter().map(move |&c| (p, c)))
+    }
+
+    /// Depth of the graph (root = 1).
+    pub fn depth(&self) -> usize {
+        fn go(g: &ExecutionHistoryGraph, n: usize) -> usize {
+            1 + g.nodes[n]
+                .children
+                .iter()
+                .map(|&c| go(g, c))
+                .max()
+                .unwrap_or(0)
+        }
+        if self.is_empty() {
+            0
+        } else {
+            go(self, self.root)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firm_sim::{
+        spec::{AppSpec, ClusterSpec},
+        SimDuration,
+        Simulation,
+    };
+
+    fn one_trace() -> CompletedRequest {
+        let mut sim =
+            Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 42).build();
+        sim.run_for(SimDuration::from_secs(1));
+        let mut done = sim.drain_completed();
+        done.remove(done.len() / 2)
+    }
+
+    #[test]
+    fn builds_from_simulated_trace() {
+        let req = one_trace();
+        let g = ExecutionHistoryGraph::build(&req).expect("graph builds");
+        assert_eq!(g.len(), 5);
+        assert!(g.root_span().parent.is_none());
+        assert_eq!(g.depth(), 3); // frontend → logic-a → store.
+        assert_eq!(g.edges().count(), 4);
+    }
+
+    #[test]
+    fn children_sorted_by_send_time() {
+        let req = one_trace();
+        let g = ExecutionHistoryGraph::build(&req).expect("graph builds");
+        let root = &g.nodes[g.root];
+        let sent: Vec<_> = root
+            .children
+            .iter()
+            .map(|&c| {
+                g.root_span()
+                    .calls
+                    .iter()
+                    .find(|call| call.child_span == g.spans[c].span_id)
+                    .unwrap()
+                    .sent
+            })
+            .collect();
+        for w in sent.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn sibling_relations_classified() {
+        let req = one_trace();
+        let g = ExecutionHistoryGraph::build(&req).expect("graph builds");
+        // The three-tier frontend fires logic-a and logic-b in parallel
+        // (stage 0, calls 0 and 1), and a background logger (call 2).
+        assert_eq!(
+            g.sibling_relation(g.root, 0, 1),
+            Some(SiblingRelation::Parallel)
+        );
+        assert_eq!(
+            g.sibling_relation(g.root, 0, 2),
+            Some(SiblingRelation::Background)
+        );
+        assert_eq!(g.sibling_relation(g.root, 0, 9), None);
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        let req = one_trace();
+        // Remove the root: orphaned children make the build fail.
+        let spans: Vec<_> = req
+            .spans
+            .iter()
+            .filter(|s| s.parent.is_some())
+            .cloned()
+            .collect();
+        assert!(ExecutionHistoryGraph::from_spans(spans).is_none());
+        assert!(ExecutionHistoryGraph::from_spans(Vec::new()).is_none());
+    }
+
+    #[test]
+    fn rejects_two_roots() {
+        let req = one_trace();
+        let mut spans = req.spans.clone();
+        let mut extra = spans[0].clone();
+        extra.parent = None;
+        extra.span_id = firm_sim::SpanId(999_999);
+        spans.push(extra);
+        // Now two spans have no parent.
+        let roots = spans.iter().filter(|s| s.parent.is_none()).count();
+        assert_eq!(roots, 2);
+        assert!(ExecutionHistoryGraph::from_spans(spans).is_none());
+    }
+}

@@ -1,0 +1,254 @@
+//! A bounded in-memory trace/graph store.
+//!
+//! Stands in for the paper's Neo4j graph database (§3.1): it stores
+//! execution history graphs with their extracted critical paths and
+//! answers the time-windowed queries FIRM's Extractor issues (traces
+//! since t, latency vectors per instance, CP groupings). Capacity is
+//! bounded; the oldest traces are evicted first.
+
+use std::collections::VecDeque;
+
+use firm_sim::{CompletedRequest, InstanceId, RequestTypeId, SimDuration, SimTime, TraceId};
+
+use crate::critical_path::{critical_path, CriticalPath};
+use crate::graph::ExecutionHistoryGraph;
+
+/// A stored trace: the graph plus its pre-extracted critical path.
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    /// Trace identifier.
+    pub trace_id: TraceId,
+    /// Request type.
+    pub request_type: RequestTypeId,
+    /// Client-side start time.
+    pub started: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+    /// End-to-end latency.
+    pub latency: SimDuration,
+    /// Whether the request was dropped.
+    pub dropped: bool,
+    /// The execution history graph.
+    pub graph: ExecutionHistoryGraph,
+    /// The critical path (extracted at ingestion, as the paper folds CP
+    /// extraction into span construction).
+    pub cp: CriticalPath,
+}
+
+/// Bounded trace store with time-windowed queries.
+#[derive(Debug)]
+pub struct TraceStore {
+    traces: VecDeque<StoredTrace>,
+    capacity: usize,
+    ingested: u64,
+    rejected: u64,
+}
+
+impl TraceStore {
+    /// Creates a store holding at most `capacity` traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        TraceStore {
+            traces: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            ingested: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Ingests one completed request; returns `false` if the trace was
+    /// malformed (no root / dangling parent) and rejected.
+    pub fn ingest(&mut self, request: CompletedRequest) -> bool {
+        let Some(graph) = ExecutionHistoryGraph::build(&request) else {
+            self.rejected += 1;
+            return false;
+        };
+        let cp = critical_path(&graph);
+        if self.traces.len() == self.capacity {
+            self.traces.pop_front();
+        }
+        self.traces.push_back(StoredTrace {
+            trace_id: request.trace_id,
+            request_type: request.request_type,
+            started: request.started,
+            finished: request.finished,
+            latency: request.latency,
+            dropped: request.dropped,
+            graph,
+            cp,
+        });
+        self.ingested += 1;
+        true
+    }
+
+    /// Number of traces currently held.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True when the store holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Total traces ever ingested.
+    pub fn total_ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Traces rejected as malformed.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// All stored traces, oldest first.
+    pub fn all(&self) -> impl Iterator<Item = &StoredTrace> {
+        self.traces.iter()
+    }
+
+    /// Traces finished at or after `since`.
+    pub fn since(&self, since: SimTime) -> impl Iterator<Item = &StoredTrace> {
+        self.traces.iter().filter(move |t| t.finished >= since)
+    }
+
+    /// Traces of one request type finished at or after `since`.
+    pub fn since_of_type(
+        &self,
+        since: SimTime,
+        rt: RequestTypeId,
+    ) -> impl Iterator<Item = &StoredTrace> {
+        self.since(since).filter(move |t| t.request_type == rt)
+    }
+
+    /// Per-instance span-latency samples (us) across traces finished at
+    /// or after `since`, paired with the owning trace's end-to-end
+    /// latency (us) — the aligned `(Ti, TCP)` vectors of Alg. 2.
+    pub fn instance_latency_pairs(
+        &self,
+        since: SimTime,
+        instance: InstanceId,
+    ) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        for t in self.since(since) {
+            if t.dropped {
+                continue;
+            }
+            for span in &t.graph.spans {
+                if span.instance == instance {
+                    out.push((
+                        span.duration().as_micros() as f64,
+                        t.latency.as_micros() as f64,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Evicts traces finished before `before`.
+    pub fn evict_before(&mut self, before: SimTime) {
+        while let Some(front) = self.traces.front() {
+            if front.finished < before {
+                self.traces.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firm_sim::{
+        spec::{AppSpec, ClusterSpec},
+        Simulation,
+    };
+
+    fn traces(seed: u64, secs: u64) -> Vec<CompletedRequest> {
+        let mut sim =
+            Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), seed).build();
+        sim.run_for(SimDuration::from_secs(secs));
+        sim.drain_completed()
+    }
+
+    #[test]
+    fn ingest_and_query() {
+        let ts = traces(3, 1);
+        let n = ts.len();
+        let mut store = TraceStore::new(10_000);
+        for t in ts {
+            assert!(store.ingest(t));
+        }
+        assert_eq!(store.len(), n);
+        assert_eq!(store.total_ingested(), n as u64);
+        assert_eq!(store.since(SimTime::ZERO).count(), n);
+        assert_eq!(
+            store.since_of_type(SimTime::ZERO, RequestTypeId(0)).count(),
+            n
+        );
+        assert_eq!(
+            store.since_of_type(SimTime::ZERO, RequestTypeId(9)).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let ts = traces(4, 1);
+        let mut store = TraceStore::new(10);
+        let first_id = ts[0].trace_id;
+        for t in ts {
+            store.ingest(t);
+        }
+        assert_eq!(store.len(), 10);
+        assert!(store.all().all(|t| t.trace_id != first_id));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let mut ts = traces(5, 1);
+        let mut bad = ts.pop().unwrap();
+        bad.spans.retain(|s| s.parent.is_some());
+        let mut store = TraceStore::new(16);
+        assert!(!store.ingest(bad));
+        assert_eq!(store.total_rejected(), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn latency_pairs_align() {
+        let ts = traces(6, 1);
+        let mut store = TraceStore::new(10_000);
+        let n = ts.len();
+        for t in ts {
+            store.ingest(t);
+        }
+        // Instance 0 is the frontend; it appears in every trace.
+        let pairs = store.instance_latency_pairs(SimTime::ZERO, InstanceId(0));
+        assert_eq!(pairs.len(), n);
+        for (ti, tcp) in pairs {
+            assert!(ti > 0.0);
+            assert!(tcp >= ti * 0.5);
+        }
+    }
+
+    #[test]
+    fn evict_before_drops_old_traces() {
+        let ts = traces(7, 2);
+        let mut store = TraceStore::new(100_000);
+        for t in ts {
+            store.ingest(t);
+        }
+        let before = store.len();
+        store.evict_before(SimTime::from_secs(1));
+        assert!(store.len() < before);
+        assert!(store.all().all(|t| t.finished >= SimTime::from_secs(1)));
+    }
+
+    use firm_sim::SimDuration;
+}

@@ -1,0 +1,223 @@
+//! Open-loop load shapes (§4.1): diurnal, spiky, and stepped arrivals.
+//!
+//! Constant and exponential (Poisson) processes live in
+//! [`firm_sim::arrival`]; this module adds the time-varying shapes the
+//! paper drives its benchmarks with.
+
+use firm_sim::{ArrivalProcess, SimDuration, SimRng, SimTime};
+
+/// Sinusoidal diurnal load: `rate(t) = base · (1 + amplitude·sin(2πt/p))`.
+#[derive(Debug, Clone)]
+pub struct DiurnalArrivals {
+    base: f64,
+    amplitude: f64,
+    period: SimDuration,
+}
+
+impl DiurnalArrivals {
+    /// Creates a diurnal process.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base > 0`, `0 ≤ amplitude < 1`, and `period > 0`.
+    pub fn new(base: f64, amplitude: f64, period: SimDuration) -> Self {
+        assert!(base > 0.0, "base rate must be positive");
+        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        assert!(period > SimDuration::ZERO, "period must be positive");
+        DiurnalArrivals {
+            base,
+            amplitude,
+            period,
+        }
+    }
+
+    fn rate_at(&self, now: SimTime) -> f64 {
+        let phase = (now.as_secs_f64() / self.period.as_secs_f64()) * std::f64::consts::TAU;
+        self.base * (1.0 + self.amplitude * phase.sin())
+    }
+}
+
+impl ArrivalProcess for DiurnalArrivals {
+    fn next_interarrival(&mut self, now: SimTime, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.exponential(self.rate_at(now)))
+    }
+
+    fn nominal_rate(&self, now: SimTime) -> f64 {
+        self.rate_at(now)
+    }
+}
+
+/// Periodic load spikes: base Poisson rate with multiplicative bursts.
+#[derive(Debug, Clone)]
+pub struct SpikeArrivals {
+    base: f64,
+    spike_multiplier: f64,
+    spike_every: SimDuration,
+    spike_duration: SimDuration,
+}
+
+impl SpikeArrivals {
+    /// Creates a spiky process: every `spike_every`, the rate jumps to
+    /// `base · spike_multiplier` for `spike_duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless rates and durations are positive and the spike fits
+    /// in its period.
+    pub fn new(
+        base: f64,
+        spike_multiplier: f64,
+        spike_every: SimDuration,
+        spike_duration: SimDuration,
+    ) -> Self {
+        assert!(base > 0.0 && spike_multiplier >= 1.0, "invalid rates");
+        assert!(
+            SimDuration::ZERO < spike_duration && spike_duration < spike_every,
+            "spike must fit in its period"
+        );
+        SpikeArrivals {
+            base,
+            spike_multiplier,
+            spike_every,
+            spike_duration,
+        }
+    }
+
+    fn rate_at(&self, now: SimTime) -> f64 {
+        let into_period = now.as_micros() % self.spike_every.as_micros();
+        if into_period < self.spike_duration.as_micros() {
+            self.base * self.spike_multiplier
+        } else {
+            self.base
+        }
+    }
+}
+
+impl ArrivalProcess for SpikeArrivals {
+    fn next_interarrival(&mut self, now: SimTime, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.exponential(self.rate_at(now)))
+    }
+
+    fn nominal_rate(&self, now: SimTime) -> f64 {
+        self.rate_at(now)
+    }
+}
+
+/// Piecewise-constant rate steps, e.g. for load sweeps (Fig. 5).
+#[derive(Debug, Clone)]
+pub struct StepArrivals {
+    /// `(start_time, rate)` steps, sorted by time; the rate before the
+    /// first step is the first rate.
+    steps: Vec<(SimTime, f64)>,
+}
+
+impl StepArrivals {
+    /// Creates a stepped process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, unsorted, or contains a non-positive
+    /// rate.
+    pub fn new(steps: Vec<(SimTime, f64)>) -> Self {
+        assert!(!steps.is_empty(), "need at least one step");
+        assert!(
+            steps.windows(2).all(|w| w[0].0 <= w[1].0),
+            "steps must be sorted by time"
+        );
+        assert!(steps.iter().all(|(_, r)| *r > 0.0), "rates must be positive");
+        StepArrivals { steps }
+    }
+
+    fn rate_at(&self, now: SimTime) -> f64 {
+        let mut rate = self.steps[0].1;
+        for &(at, r) in &self.steps {
+            if at <= now {
+                rate = r;
+            } else {
+                break;
+            }
+        }
+        rate
+    }
+}
+
+impl ArrivalProcess for StepArrivals {
+    fn next_interarrival(&mut self, now: SimTime, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.exponential(self.rate_at(now)))
+    }
+
+    fn nominal_rate(&self, now: SimTime) -> f64 {
+        self.rate_at(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_rate(p: &mut dyn ArrivalProcess, from: SimTime, n: usize) -> f64 {
+        let mut rng = SimRng::new(7);
+        let total: f64 = (0..n)
+            .map(|_| p.next_interarrival(from, &mut rng).as_secs_f64())
+            .sum();
+        n as f64 / total
+    }
+
+    #[test]
+    fn diurnal_rate_oscillates() {
+        let p = DiurnalArrivals::new(100.0, 0.5, SimDuration::from_secs(100));
+        assert!((p.nominal_rate(SimTime::ZERO) - 100.0).abs() < 1e-9);
+        // Peak at a quarter period.
+        assert!((p.nominal_rate(SimTime::from_secs(25)) - 150.0).abs() < 0.1);
+        // Trough at three quarters.
+        assert!((p.nominal_rate(SimTime::from_secs(75)) - 50.0).abs() < 0.1);
+        let mut p = p;
+        let measured = mean_rate(&mut p, SimTime::from_secs(25), 20_000);
+        assert!((measured - 150.0).abs() < 7.0, "measured {measured}");
+    }
+
+    #[test]
+    fn spikes_multiply_rate() {
+        let p = SpikeArrivals::new(
+            100.0,
+            5.0,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(p.nominal_rate(SimTime::from_secs(5)), 500.0);
+        assert_eq!(p.nominal_rate(SimTime::from_secs(30)), 100.0);
+        assert_eq!(p.nominal_rate(SimTime::from_secs(65)), 500.0);
+    }
+
+    #[test]
+    fn steps_switch_rates() {
+        let p = StepArrivals::new(vec![
+            (SimTime::ZERO, 100.0),
+            (SimTime::from_secs(10), 300.0),
+            (SimTime::from_secs(20), 50.0),
+        ]);
+        assert_eq!(p.nominal_rate(SimTime::from_secs(5)), 100.0);
+        assert_eq!(p.nominal_rate(SimTime::from_secs(15)), 300.0);
+        assert_eq!(p.nominal_rate(SimTime::from_secs(99)), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_steps_rejected() {
+        StepArrivals::new(vec![
+            (SimTime::from_secs(10), 100.0),
+            (SimTime::ZERO, 300.0),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in its period")]
+    fn oversized_spike_rejected() {
+        SpikeArrivals::new(
+            100.0,
+            2.0,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Head-to-head: FIRM vs the Kubernetes autoscaler vs AIMD on the Hotel
+//! Reservation benchmark under an anomaly campaign.
+//!
+//! ```sh
+//! cargo run --release --example autoscaler_shootout
+//! ```
+
+use firm::core::baselines::{AimdConfig, K8sConfig};
+use firm::core::experiment::{run_scenario, ControllerKind, ScenarioConfig};
+use firm::core::injector::CampaignConfig;
+use firm::core::manager::{FirmConfig, FirmManager};
+use firm::sim::{spec::ClusterSpec, PoissonArrivals, SimDuration};
+use firm::workload::apps::Benchmark;
+
+fn main() {
+    let cluster = ClusterSpec::small(4);
+    let mut app = Benchmark::HotelReservation.build();
+    firm::core::slo::calibrate_slos(&mut app, &cluster, 400.0, 1.5, 3);
+
+    let contenders: Vec<(&str, ControllerKind)> = vec![
+        ("none", ControllerKind::None),
+        (
+            "FIRM",
+            ControllerKind::Firm(Box::new(FirmManager::new(FirmConfig {
+                training: true,
+                ..FirmConfig::default()
+            }))),
+        ),
+        ("K8s HPA", ControllerKind::K8s(K8sConfig::default())),
+        ("AIMD", ControllerKind::Aimd(AimdConfig::default())),
+    ];
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>10} {:>12}",
+        "manager", "p50 (ms)", "p99 (ms)", "violations", "drops", "mean CPU"
+    );
+    for (name, controller) in contenders {
+        let mut cfg = ScenarioConfig::new(app.clone(), controller);
+        cfg.cluster = cluster.clone();
+        cfg.arrivals = Some(Box::new(PoissonArrivals::new(400.0)));
+        cfg.duration = SimDuration::from_secs(45);
+        cfg.campaign = Some(CampaignConfig {
+            lambda: 0.4,
+            intensity: (0.6, 1.0),
+            ..Default::default()
+        });
+        cfg.seed = 11;
+        let r = run_scenario(cfg);
+        println!(
+            "{:<10} {:>10.2} {:>10.2} {:>11.1}% {:>10} {:>12.1}",
+            name,
+            r.latency.p50() as f64 / 1e3,
+            r.latency.p99() as f64 / 1e3,
+            r.violation_rate() * 100.0,
+            r.drops,
+            r.mean_requested_cpu
+        );
+    }
+    println!("\n(an untrained FIRM learns online during the run; see the fig10/fig11 binaries");
+    println!(" in crates/bench for the pre-trained comparison the paper reports)");
+}

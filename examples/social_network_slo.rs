@@ -1,0 +1,79 @@
+//! Inspect critical paths and Algorithm 2 features on the Social
+//! Network benchmark: which instances explain the tail?
+//!
+//! ```sh
+//! cargo run --release --example social_network_slo
+//! ```
+
+use firm::core::extractor::CriticalComponentExtractor;
+use firm::sim::{
+    spec::ClusterSpec,
+    AnomalyKind,
+    AnomalySpec,
+    PoissonArrivals,
+    SimDuration,
+    SimTime,
+    Simulation,
+};
+use firm::trace::TracingCoordinator;
+use firm::workload::apps::Benchmark;
+
+fn main() {
+    let app = Benchmark::SocialNetwork.build();
+    let names: Vec<String> = app.services.iter().map(|s| s.name.clone()).collect();
+    let mut sim = Simulation::builder(ClusterSpec::small(4), app, 9)
+        .arrivals(Box::new(PoissonArrivals::new(250.0)))
+        .build();
+    let mut coordinator = TracingCoordinator::new(200_000);
+    let extractor = CriticalComponentExtractor::new(5);
+
+    // Congest the text service so the tail has a culprit.
+    let text = sim.app().service_by_name("text").unwrap();
+    let victim = sim.replicas(text)[0];
+    sim.inject(AnomalySpec::at_instance(
+        AnomalyKind::CpuStress,
+        victim,
+        0.9,
+        SimDuration::from_secs(8),
+    ));
+
+    sim.run_for(SimDuration::from_secs(8));
+    coordinator.ingest(sim.drain_completed());
+
+    // Critical-path census.
+    let mut by_signature: std::collections::BTreeMap<Vec<u16>, (usize, f64)> =
+        Default::default();
+    for cp in coordinator.critical_paths_since(SimTime::ZERO) {
+        let sig: Vec<u16> = cp.signature().iter().map(|s| s.raw()).collect();
+        let e = by_signature.entry(sig).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += cp.total.as_millis_f64();
+    }
+    println!("top critical paths by frequency:");
+    let mut rows: Vec<_> = by_signature.into_iter().collect();
+    rows.sort_by_key(|(_, (n, _))| std::cmp::Reverse(*n));
+    for (sig, (n, total_ms)) in rows.into_iter().take(5) {
+        let path: Vec<&str> = sig.iter().map(|s| names[*s as usize].as_str()).collect();
+        println!("  {:>5} traces  mean {:>7.2} ms  {}", n, total_ms / n as f64, path.join(" -> "));
+    }
+
+    // Algorithm 2 features, ranked.
+    let traces: Vec<_> = coordinator
+        .traces_since(SimTime::ZERO)
+        .into_iter()
+        .cloned()
+        .collect();
+    let mut features = extractor.features(traces.iter());
+    features.sort_by(|a, b| (b.ri * b.ci).partial_cmp(&(a.ri * a.ci)).unwrap());
+    println!("\nAlg. 2 features (top 8 by RI x CI); culprit was instance {victim}:");
+    for f in features.iter().take(8) {
+        println!(
+            "  {:<28} instance={:<4} RI={:+.2} CI={:>5.2} samples={}",
+            names[f.service.index()],
+            f.instance.raw(),
+            f.ri,
+            f.ci,
+            f.samples
+        );
+    }
+}

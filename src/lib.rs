@@ -1,0 +1,45 @@
+//! # firm — a reproduction of FIRM (OSDI 2020) in Rust
+//!
+//! FIRM (Qiu, Banerjee, Jha, Kalbarczyk, Iyer — *FIRM: An Intelligent
+//! Fine-Grained Resource Management Framework for SLO-Oriented
+//! Microservices*, OSDI 2020) manages shared resources across
+//! microservices with a two-level ML pipeline: an incremental SVM
+//! localizes the instances responsible for SLO violations from
+//! critical-path features, and a DDPG reinforcement-learning agent maps
+//! each culprit's state to fine-grained reprovisioning actions (CPU
+//! quota, memory bandwidth, LLC capacity, disk and network bandwidth,
+//! scale-out).
+//!
+//! This crate is the facade over the workspace:
+//!
+//! * [`sim`] — deterministic discrete-event cluster/microservice
+//!   simulator (the Kubernetes-cluster substitute);
+//! * [`trace`] — spans, execution history graphs, graph store, and
+//!   Algorithm 1 critical-path extraction;
+//! * [`telemetry`] — Table 2 metrics and collectors;
+//! * [`ml`] — from-scratch MLP/DDPG/SVM substrate;
+//! * [`workload`] — the four benchmark topologies and load shapes;
+//! * [`core`] — FIRM itself: extractor, RL estimator, deployment
+//!   module, anomaly injector, baselines, training and experiment
+//!   harnesses.
+//!
+//! # Examples
+//!
+//! ```
+//! use firm::core::manager::{run_managed, FirmConfig, FirmManager};
+//! use firm::sim::{spec::ClusterSpec, SimDuration, Simulation};
+//! use firm::workload::apps::Benchmark;
+//!
+//! let app = Benchmark::HotelReservation.build();
+//! let mut sim = Simulation::builder(ClusterSpec::small(4), app, 7).build();
+//! let mut manager = FirmManager::new(FirmConfig::default());
+//! run_managed(&mut sim, &mut manager, SimDuration::from_secs(3));
+//! assert!(manager.stats().ticks >= 3);
+//! ```
+
+pub use firm_core as core;
+pub use firm_ml as ml;
+pub use firm_sim as sim;
+pub use firm_telemetry as telemetry;
+pub use firm_trace as trace;
+pub use firm_workload as workload;

@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: the full FIRM pipeline over the real
+//! benchmark topologies.
+
+use firm::core::baselines::{K8sConfig, K8sHpaController};
+use firm::core::experiment::{run_scenario, ControllerKind, ScenarioConfig};
+use firm::core::injector::CampaignConfig;
+use firm::core::manager::{FirmConfig, FirmManager};
+use firm::sim::{
+    spec::ClusterSpec,
+    AnomalyKind,
+    AnomalySpec,
+    PoissonArrivals,
+    SimDuration,
+    Simulation,
+};
+use firm::trace::TracingCoordinator;
+use firm::workload::apps::{Benchmark, ALL_BENCHMARKS};
+
+#[test]
+fn full_pipeline_detects_and_localizes_container_stress() {
+    let cluster = ClusterSpec::small(4);
+    let mut app = Benchmark::SocialNetwork.build();
+    firm::core::slo::calibrate_slos(&mut app, &cluster, 250.0, 1.4, 7);
+    let mut sim = Simulation::builder(cluster, app, 7)
+        .arrivals(Box::new(PoissonArrivals::new(250.0)))
+        .build();
+    let mut firm = FirmManager::new(FirmConfig {
+        training: true,
+        ..FirmConfig::default()
+    });
+
+    for _ in 0..4 {
+        sim.run_for(SimDuration::from_secs(1));
+        firm.tick(&mut sim);
+    }
+    let svc = sim.app().service_by_name("post-storage-memcached").unwrap();
+    let victim = sim.replicas(svc)[0];
+    sim.inject(AnomalySpec::at_instance(
+        AnomalyKind::MemBwStress,
+        victim,
+        0.95,
+        SimDuration::from_secs(12),
+    ));
+    let mut saw_violation = false;
+    for _ in 0..12 {
+        sim.run_for(SimDuration::from_secs(1));
+        let a = firm.tick(&mut sim);
+        saw_violation |= a.any_violation();
+    }
+    assert!(saw_violation, "the injected stress never broke the SLO");
+    assert!(firm.stats().actions > 0, "FIRM never acted");
+    assert!(
+        firm.extractor().trained_examples() > 100,
+        "the SVM saw no ground truth"
+    );
+}
+
+#[test]
+fn firm_mitigation_beats_no_management_under_stress() {
+    // p95 with FIRM managing must undercut the unmanaged p95 for the
+    // same seed and injection.
+    let run = |managed: bool| -> f64 {
+        let cluster = ClusterSpec::small(4);
+        let mut app = Benchmark::HotelReservation.build();
+        firm::core::slo::calibrate_slos(&mut app, &cluster, 400.0, 1.4, 11);
+        let mut sim = Simulation::builder(cluster, app, 11)
+            .arrivals(Box::new(PoissonArrivals::new(400.0)))
+            .build();
+        let mut firm = FirmManager::new(FirmConfig {
+            training: true,
+            ..FirmConfig::default()
+        });
+        let svc = sim.app().service_by_name("rate-memcached").unwrap();
+        let victim = sim.replicas(svc)[0];
+        sim.inject_at(
+            AnomalySpec::at_instance(
+                AnomalyKind::MemBwStress,
+                victim,
+                0.95,
+                SimDuration::from_secs(30),
+            ),
+            firm::sim::SimTime::from_secs(3),
+        );
+        let mut lats: Vec<f64> = Vec::new();
+        for tick in 0..30 {
+            sim.run_for(SimDuration::from_secs(1));
+            if managed {
+                firm.tick(&mut sim);
+            }
+            if tick >= 10 {
+                if managed {
+                    lats.extend(firm.coordinator().latencies_since(
+                        firm::sim::SimTime::from_secs(tick as u64),
+                        firm::sim::RequestTypeId(0),
+                    ));
+                } else {
+                    lats.extend(
+                        sim.drain_completed()
+                            .iter()
+                            .filter(|r| !r.dropped)
+                            .map(|r| r.latency.as_micros() as f64),
+                    );
+                }
+            }
+        }
+        lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        firm::sim::stats::sample_quantile(&lats, 0.95)
+    };
+    let unmanaged = run(false);
+    let managed = run(true);
+    assert!(
+        managed < unmanaged,
+        "FIRM p95 {managed} not better than unmanaged {unmanaged}"
+    );
+}
+
+#[test]
+fn scenario_harness_runs_every_benchmark_with_every_controller() {
+    for bench in ALL_BENCHMARKS {
+        let mut cfg = ScenarioConfig::new(
+            bench.build(),
+            ControllerKind::K8s(K8sConfig::default()),
+        );
+        cfg.cluster = ClusterSpec::small(4);
+        cfg.arrivals = Some(Box::new(PoissonArrivals::new(100.0)));
+        cfg.duration = SimDuration::from_secs(10);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.campaign = Some(CampaignConfig::stressors_only());
+        let r = run_scenario(cfg);
+        assert!(r.completions > 100, "{}: {}", bench.name(), r.completions);
+        assert_eq!(r.timeline.len(), 10);
+    }
+}
+
+#[test]
+fn coordinator_and_baselines_compose_across_crates() {
+    // Drive the Media Service, ingest into the coordinator, and let the
+    // HPA reconcile off the same telemetry — the plumbing the manager
+    // uses, assembled by hand.
+    let mut sim = Simulation::builder(
+        ClusterSpec::small(3),
+        Benchmark::MediaService.build(),
+        13,
+    )
+    .arrivals(Box::new(PoissonArrivals::new(150.0)))
+    .build();
+    let mut coord = TracingCoordinator::new(50_000);
+    let mut hpa = K8sHpaController::new(K8sConfig::default(), sim.app().services.len());
+    for _ in 0..5 {
+        sim.run_for(SimDuration::from_secs(1));
+        coord.ingest(sim.drain_completed());
+        let t = sim.drain_telemetry();
+        hpa.tick(&mut sim, &t);
+    }
+    assert!(coord.store().len() > 300);
+    let cps = coord.critical_paths_since(firm::sim::SimTime::ZERO);
+    assert!(!cps.is_empty());
+    // Every CP is rooted at nginx.
+    let nginx = Benchmark::MediaService.build().service_by_name("nginx").unwrap();
+    assert!(cps.iter().all(|cp| cp.entries[0].service == nginx));
+}

@@ -1,0 +1,136 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use firm::sim::{
+    spec::{AppSpec, ClusterSpec},
+    AnomalySpec,
+    NodeId,
+    PoissonArrivals,
+    SimDuration,
+    Simulation,
+};
+use firm::trace::critical_path::critical_path;
+use firm::trace::graph::ExecutionHistoryGraph;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Simulator runs are reproducible from a seed regardless of load,
+    /// and every trace yields a valid critical path whose exclusive sum
+    /// never exceeds the end-to-end latency.
+    #[test]
+    fn determinism_and_cp_invariants(seed in 0u64..500, rate in 20.0f64..150.0) {
+        let run = |seed| {
+            let mut sim = Simulation::builder(
+                ClusterSpec::small(2),
+                AppSpec::three_tier_demo(),
+                seed,
+            )
+            .arrivals(Box::new(PoissonArrivals::new(rate)))
+            .build();
+            sim.run_for(SimDuration::from_secs(1));
+            sim.drain_completed()
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.latency, y.latency);
+        }
+        for req in &a {
+            let graph = ExecutionHistoryGraph::build(req).expect("valid trace");
+            let cp = critical_path(&graph);
+            prop_assert!(!cp.entries.is_empty());
+            // Root first, ordered by start time.
+            prop_assert!(cp.entries[0].span_id == graph.root_span().span_id);
+            for w in cp.entries.windows(2) {
+                prop_assert!(w[0].start <= w[1].start);
+            }
+            // Exclusive times fit in the total.
+            prop_assert!(cp.exclusive_sum() <= cp.total);
+            // No background spans on the CP.
+            for e in &cp.entries {
+                prop_assert!(!graph.spans[e.span_idx].background);
+            }
+        }
+    }
+
+    /// Anomalies never deadlock the simulator and always clean up:
+    /// after the anomaly window plus slack, the active set is empty and
+    /// requests still flow.
+    #[test]
+    fn anomalies_always_clean_up(
+        seed in 0u64..200,
+        kind_idx in 0usize..7,
+        intensity in 0.1f64..1.0,
+    ) {
+        let kind = firm::sim::anomaly::ANOMALY_KINDS[kind_idx];
+        let mut sim = Simulation::builder(
+            ClusterSpec::small(2),
+            AppSpec::three_tier_demo(),
+            seed,
+        )
+        .build();
+        sim.inject(AnomalySpec::new(kind, NodeId(0), intensity, SimDuration::from_secs(1)));
+        sim.run_for(SimDuration::from_secs(3));
+        prop_assert!(sim.active_anomalies().is_empty());
+        let before = sim.stats().completions;
+        sim.run_for(SimDuration::from_secs(1));
+        prop_assert!(sim.stats().completions > before);
+        // Instance stress must be fully undone.
+        for inst in sim.instances() {
+            for s in inst.stress {
+                prop_assert!(s.abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The reward function is monotone in SV and in utilization.
+    #[test]
+    fn reward_monotonicity(
+        sv in 0.0f64..2.0,
+        util in 0.0f64..1.0,
+        alpha in 0.1f64..0.9,
+    ) {
+        use firm::core::estimator::reward;
+        let base = reward(sv, &[util; 5], alpha);
+        let better_sv = reward((sv + 0.1).min(2.0), &[util; 5], alpha);
+        let better_util = reward(sv, &[(util + 0.05).min(1.0); 5], alpha);
+        prop_assert!(better_sv >= base);
+        prop_assert!(better_util >= base);
+    }
+
+    /// Action-limit mapping is a bijection within bounds.
+    #[test]
+    fn action_mapping_roundtrips(a in proptest::array::uniform5(-1.0f64..1.0)) {
+        use firm::core::estimator::ActionMapper;
+        let m = ActionMapper::default();
+        let limits = m.to_limits(&a);
+        for (i, l) in limits.iter().enumerate() {
+            let (lo, hi) = m.bounds[i];
+            prop_assert!(*l >= lo - 1e-9 && *l <= hi + 1e-9);
+        }
+        let back = m.to_action(&limits);
+        for (x, y) in back.iter().zip(&a) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Histogram quantiles are bounded by min/max and monotone in q.
+    #[test]
+    fn histogram_quantile_invariants(values in proptest::collection::vec(1u64..10_000_000, 1..400)) {
+        let mut h = firm::sim::Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let lo = *values.iter().min().expect("non-empty");
+        let hi = *values.iter().max().expect("non-empty");
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let x = h.quantile(q);
+            prop_assert!(x >= lo.min(prev) && x <= hi, "q={q} x={x} lo={lo} hi={hi}");
+            prop_assert!(x >= prev);
+            prev = x;
+        }
+    }
+}
