@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks for the FIRM reproduction's hot paths:
+//! Micro-benchmarks for the FIRM reproduction's hot paths:
 //!
 //! * `critical_path` — Algorithm 1 extraction vs graph size;
 //! * `svm` — incremental SVM `partial_fit` / `predict` (§3.3);
@@ -7,8 +7,13 @@
 //!   latter dominated by data collection in their deployment);
 //! * `simulator` — discrete-event throughput on Social Network;
 //! * `extractor` — Algorithm 2 feature computation over a window.
+//!
+//! The container image carries no external crates, so this is a plain
+//! `harness = false` bench: each case is timed over a fixed iteration
+//! budget with `std::time::Instant` and reported as ns/iter. Run with
+//! `cargo bench -p firm-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use firm_core::estimator::{ACTION_DIM, ACTOR_STATE_DIM, STATE_DIM};
 use firm_core::extractor::CriticalComponentExtractor;
@@ -21,6 +26,19 @@ use firm_trace::graph::ExecutionHistoryGraph;
 use firm_trace::TracingCoordinator;
 use firm_workload::apps::Benchmark;
 
+/// Times `f` over `iters` iterations and prints a ns/iter line. The
+/// closure returns a value that is folded into a black-box accumulator
+/// so the optimizer cannot elide the work.
+fn bench<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {per_iter:>14.1} ns/iter   ({iters} iters)");
+}
+
 fn social_traces(seconds: u64) -> Vec<firm_sim::CompletedRequest> {
     let app = Benchmark::SocialNetwork.build();
     let mut sim = Simulation::builder(ClusterSpec::small(4), app, 3)
@@ -30,9 +48,8 @@ fn social_traces(seconds: u64) -> Vec<firm_sim::CompletedRequest> {
     sim.drain_completed()
 }
 
-fn bench_critical_path(c: &mut Criterion) {
+fn bench_critical_path() {
     let traces = social_traces(2);
-    let mut group = c.benchmark_group("critical_path");
     // Pick traces of distinct span counts (one per size bucket).
     let mut seen = std::collections::BTreeSet::new();
     for &target in &[5usize, 10, 15] {
@@ -47,31 +64,27 @@ fn bench_critical_path(c: &mut Criterion) {
             continue;
         }
         let graph = ExecutionHistoryGraph::build(t).expect("valid trace");
-        group.bench_with_input(
-            BenchmarkId::new("alg1_extract", graph.len()),
-            &graph,
-            |b, g| b.iter(|| critical_path(g)),
+        bench(
+            &format!("critical_path/alg1_extract/{}", graph.len()),
+            10_000,
+            || critical_path(&graph),
         );
     }
-    group.finish();
 }
 
-fn bench_svm(c: &mut Criterion) {
+fn bench_svm() {
     let mut svm = IncrementalSvm::firm_default(1);
     for i in 0..500 {
         svm.partial_fit(&[0.5, (i % 7) as f64 / 7.0], i % 5 == 0);
     }
-    c.bench_function("svm/partial_fit", |b| {
-        b.iter(|| svm.partial_fit(&[0.62, 0.8], true))
+    bench("svm/partial_fit", 100_000, || {
+        svm.partial_fit(&[0.62, 0.8], true)
     });
-    c.bench_function("svm/predict", |b| b.iter(|| svm.predict(&[0.62, 0.8])));
+    bench("svm/predict", 100_000, || svm.predict(&[0.62, 0.8]));
 }
 
-fn bench_ddpg(c: &mut Criterion) {
-    let mut agent = DdpgAgent::new(
-        DdpgConfig::paper(STATE_DIM, ACTOR_STATE_DIM, ACTION_DIM),
-        7,
-    );
+fn bench_ddpg() {
+    let mut agent = DdpgAgent::new(DdpgConfig::paper(STATE_DIM, ACTOR_STATE_DIM, ACTION_DIM), 7);
     let state = vec![0.4; STATE_DIM];
     for i in 0..256 {
         agent.observe(Transition {
@@ -82,32 +95,22 @@ fn bench_ddpg(c: &mut Criterion) {
             done: i % 50 == 0,
         });
     }
-    c.bench_function("ddpg/inference", |b| b.iter(|| agent.act(&state)));
-    c.bench_function("ddpg/train_step", |b| b.iter(|| agent.train_step()));
+    bench("ddpg/inference", 10_000, || agent.act(&state));
+    bench("ddpg/train_step", 1_000, || agent.train_step());
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    c.bench_function("simulator/social_network_1s_at_200rps", |b| {
-        b.iter_batched(
-            || {
-                Simulation::builder(
-                    ClusterSpec::small(4),
-                    Benchmark::SocialNetwork.build(),
-                    11,
-                )
+fn bench_simulator() {
+    bench("simulator/social_network_1s_at_200rps", 20, || {
+        let mut sim =
+            Simulation::builder(ClusterSpec::small(4), Benchmark::SocialNetwork.build(), 11)
                 .arrivals(Box::new(PoissonArrivals::new(200.0)))
-                .build()
-            },
-            |mut sim| {
-                sim.run_for(SimDuration::from_secs(1));
-                sim.stats().completions
-            },
-            criterion::BatchSize::LargeInput,
-        )
+                .build();
+        sim.run_for(SimDuration::from_secs(1));
+        sim.stats().completions
     });
 }
 
-fn bench_extractor(c: &mut Criterion) {
+fn bench_extractor() {
     let traces = social_traces(2);
     let mut coord = TracingCoordinator::new(100_000);
     coord.ingest(traces);
@@ -117,17 +120,17 @@ fn bench_extractor(c: &mut Criterion) {
         .cloned()
         .collect();
     let extractor = CriticalComponentExtractor::new(5);
-    c.bench_function("extractor/alg2_features_400_traces", |b| {
-        b.iter(|| extractor.features(stored.iter().take(400)))
+    bench("extractor/alg2_features_400_traces", 100, || {
+        extractor.features(stored.iter().take(400))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_critical_path,
-    bench_svm,
-    bench_ddpg,
-    bench_simulator,
-    bench_extractor
-);
-criterion_main!(benches);
+fn main() {
+    println!("firm micro-benchmarks (plain harness, ns/iter)");
+    println!("{}", "-".repeat(74));
+    bench_critical_path();
+    bench_svm();
+    bench_ddpg();
+    bench_simulator();
+    bench_extractor();
+}

@@ -13,13 +13,7 @@ use firm_core::baselines::{K8sConfig, K8sHpaController};
 use firm_core::manager::FirmManager;
 use firm_core::training::{train_firm, TrainingConfig};
 use firm_sim::spec::ClusterSpec;
-use firm_sim::{
-    AnomalyKind,
-    AnomalySpec,
-    PoissonArrivals,
-    SimDuration,
-    Simulation,
-};
+use firm_sim::{AnomalyKind, AnomalySpec, PoissonArrivals, SimDuration, Simulation};
 use firm_workload::apps::Benchmark;
 
 struct Timeline {
@@ -68,9 +62,9 @@ fn run(mode: &str, mgr: Option<FirmManager>, seconds: u64, rate: f64, seed: u64)
             match (mode, firm.as_mut()) {
                 ("FIRM", Some(m)) => {
                     m.tick(&mut sim);
-                    for tr in m.coordinator().traces_since(
-                        firm_sim::SimTime::from_secs(sim.now().as_micros() / 1_000_000 - 1),
-                    ) {
+                    for tr in m.coordinator().traces_since(firm_sim::SimTime::from_secs(
+                        sim.now().as_micros() / 1_000_000 - 1,
+                    )) {
                         if !tr.dropped {
                             lats.push(tr.latency.as_micros() as f64);
                         }
@@ -126,13 +120,7 @@ fn main() {
     // Pre-train FIRM online against the injector (§3.6/§4.3).
     eprintln!("[fig01] pre-training FIRM for {episodes} episodes...");
     let mut train_app = Benchmark::SocialNetwork.build();
-    firm_core::slo::calibrate_slos(
-        &mut train_app,
-        &ClusterSpec::small(6),
-        rate,
-        1.4,
-        seed,
-    );
+    firm_core::slo::calibrate_slos(&mut train_app, &ClusterSpec::small(6), rate, 1.4, seed);
     let cfg = TrainingConfig {
         episodes,
         max_steps: 30,

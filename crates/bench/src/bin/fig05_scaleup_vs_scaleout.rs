@@ -10,13 +10,7 @@
 use firm_bench::{banner, paper_note, section, summarize_us, Args};
 use firm_sim::spec::ClusterSpec;
 use firm_sim::{
-    AnomalyKind,
-    AnomalySpec,
-    Command,
-    PoissonArrivals,
-    ResourceKind,
-    SimDuration,
-    Simulation,
+    AnomalyKind, AnomalySpec, Command, PoissonArrivals, ResourceKind, SimDuration, Simulation,
 };
 use firm_workload::apps::Benchmark;
 
@@ -39,7 +33,10 @@ fn run_point(
     let mut sim = Simulation::builder(ClusterSpec::paper_cluster(), app, seed)
         .arrivals(Box::new(PoissonArrivals::new(load)))
         .build();
-    let svc = sim.app().service_by_name(hot_service).expect("service exists");
+    let svc = sim
+        .app()
+        .service_by_name(hot_service)
+        .expect("service exists");
     let inst = sim.replicas(svc)[0];
     let node = sim.instance(inst).node;
 
@@ -95,10 +92,42 @@ fn sweep(bench: Benchmark, hot: &str, loads: &[f64], seconds: u64, seed: u64) {
     );
     for (i, &load) in loads.iter().enumerate() {
         let s = seed + i as u64 * 10;
-        let up_cpu = run_point(bench, hot, load, AnomalyKind::CpuStress, Strategy::ScaleUp, seconds, s);
-        let out_cpu = run_point(bench, hot, load, AnomalyKind::CpuStress, Strategy::ScaleOut, seconds, s + 1);
-        let up_mem = run_point(bench, hot, load, AnomalyKind::MemBwStress, Strategy::ScaleUp, seconds, s + 2);
-        let out_mem = run_point(bench, hot, load, AnomalyKind::MemBwStress, Strategy::ScaleOut, seconds, s + 3);
+        let up_cpu = run_point(
+            bench,
+            hot,
+            load,
+            AnomalyKind::CpuStress,
+            Strategy::ScaleUp,
+            seconds,
+            s,
+        );
+        let out_cpu = run_point(
+            bench,
+            hot,
+            load,
+            AnomalyKind::CpuStress,
+            Strategy::ScaleOut,
+            seconds,
+            s + 1,
+        );
+        let up_mem = run_point(
+            bench,
+            hot,
+            load,
+            AnomalyKind::MemBwStress,
+            Strategy::ScaleUp,
+            seconds,
+            s + 2,
+        );
+        let out_mem = run_point(
+            bench,
+            hot,
+            load,
+            AnomalyKind::MemBwStress,
+            Strategy::ScaleOut,
+            seconds,
+            s + 3,
+        );
         let mark = |a: f64, b: f64| if a <= b { "*" } else { " " };
         println!(
             "  {:<10} | {:>8.2}{} {:>8.2}{} | {:>8.2}{} {:>8.2}{}",
@@ -120,10 +149,7 @@ fn main() {
     let seconds = args.u64("seconds", 20);
     let seed = args.u64("seed", 31);
     let loads: Vec<f64> = match args.get("loads") {
-        Some(s) => s
-            .split(',')
-            .filter_map(|x| x.parse().ok())
-            .collect(),
+        Some(s) => s.split(',').filter_map(|x| x.parse().ok()).collect(),
         None => vec![50.0, 100.0, 200.0, 300.0, 450.0, 600.0],
     };
 
@@ -132,9 +158,21 @@ fn main() {
         "Scale-up vs scale-out across load, per contended resource (* = winner)",
     );
     section("Social Network (upper)");
-    sweep(Benchmark::SocialNetwork, "compose-post", &loads, seconds, seed);
+    sweep(
+        Benchmark::SocialNetwork,
+        "compose-post",
+        &loads,
+        seconds,
+        seed,
+    );
     section("Train-Ticket Booking (lower)");
-    sweep(Benchmark::TrainTicket, "ts-travel", &loads, seconds, seed + 100);
+    sweep(
+        Benchmark::TrainTicket,
+        "ts-travel",
+        &loads,
+        seconds,
+        seed + 100,
+    );
     println!();
     paper_note("at low load scale-up wins for both resources; at high load scale-out takes over for CPU while scale-up holds for memory; inflection points differ across applications");
 }

@@ -14,13 +14,7 @@ use firm_core::extractor::CriticalComponentExtractor;
 use firm_ml::metrics::{auc, roc_curve};
 use firm_sim::spec::ClusterSpec;
 use firm_sim::{
-    AnomalyKind,
-    AnomalySpec,
-    InstanceId,
-    PoissonArrivals,
-    SimDuration,
-    SimRng,
-    Simulation,
+    AnomalyKind, AnomalySpec, InstanceId, PoissonArrivals, SimDuration, SimRng, Simulation,
 };
 use firm_trace::TracingCoordinator;
 use firm_workload::apps::Benchmark;
@@ -119,8 +113,7 @@ fn run_kind(
         // preceding quiet window (1.4x), not just against the SLO.
         let mut violated = false;
         for (rt, slo) in slos.iter().enumerate() {
-            let mut lats =
-                coord.latencies_since(window_start, firm_sim::RequestTypeId(rt as u16));
+            let mut lats = coord.latencies_since(window_start, firm_sim::RequestTypeId(rt as u16));
             if lats.is_empty() {
                 continue;
             }
@@ -139,8 +132,7 @@ fn run_kind(
                 .collect();
             // For workload surges the culprits are the instances that
             // actually degraded (≥1.5x their baseline span latency).
-            let mut window_mean: std::collections::BTreeMap<u32, (f64, u64)> =
-                Default::default();
+            let mut window_mean: std::collections::BTreeMap<u32, (f64, u64)> = Default::default();
             if is_workload {
                 for t in &traces {
                     for s in &t.graph.spans {
@@ -190,8 +182,7 @@ fn run_kind(
         sim.run_for(SimDuration::from_secs(3));
         coord.ingest(sim.drain_completed());
         for (rt, reference) in reference_p99.iter_mut().enumerate() {
-            let mut lats =
-                coord.latencies_since(cool_start, firm_sim::RequestTypeId(rt as u16));
+            let mut lats = coord.latencies_since(cool_start, firm_sim::RequestTypeId(rt as u16));
             if lats.len() >= 20 {
                 lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 *reference = firm_sim::stats::sample_quantile(&lats, 0.99);
@@ -225,10 +216,13 @@ fn main() {
     section("per-anomaly-type AUC (TPR at FPR in [0.10, 0.15, 0.25])");
     let mut aucs = Vec::new();
     for (i, (name, kind)) in kinds.iter().enumerate() {
-        let (scores, labels) =
-            run_kind(*kind, eval_rounds, train_rounds, rate, seed + i as u64);
+        let (scores, labels) = run_kind(*kind, eval_rounds, train_rounds, rate, seed + i as u64);
         let curve = roc_curve(&scores, &labels);
-        let a = if curve.is_empty() { f64::NAN } else { auc(&curve) };
+        let a = if curve.is_empty() {
+            f64::NAN
+        } else {
+            auc(&curve)
+        };
         let tpr_at = |fpr: f64| {
             curve
                 .iter()

@@ -11,12 +11,7 @@ use firm_core::extractor::CriticalComponentExtractor;
 use firm_sim::instance::InstanceState;
 use firm_sim::spec::{ClusterSpec, NodeSpec};
 use firm_sim::{
-    anomaly::ANOMALY_KINDS,
-    AnomalySpec,
-    InstanceId,
-    PoissonArrivals,
-    SimDuration,
-    SimRng,
+    anomaly::ANOMALY_KINDS, AnomalySpec, InstanceId, PoissonArrivals, SimDuration, SimRng,
     Simulation,
 };
 use firm_trace::TracingCoordinator;
@@ -72,8 +67,7 @@ fn run(bench: Benchmark, arch: &str, rounds: (usize, usize), rate: f64, seed: u6
         for _ in 0..n_anoms {
             let kind = stressors[rng.index(stressors.len())];
             let target = targets[rng.index(targets.len())];
-            let running =
-                sim.instance(target).state == InstanceState::Running;
+            let running = sim.instance(target).state == InstanceState::Running;
             if !running || victims.contains(&target) {
                 continue;
             }
@@ -138,7 +132,13 @@ fn main() {
             Benchmark::TrainTicket => 250.0,
             _ => 350.0,
         };
-        let x86 = run(*bench, "x86", (train_rounds, eval_rounds), rate, seed + i as u64);
+        let x86 = run(
+            *bench,
+            "x86",
+            (train_rounds, eval_rounds),
+            rate,
+            seed + i as u64,
+        );
         let ppc = run(
             *bench,
             "ppc64",

@@ -32,9 +32,7 @@ fn main() {
         print!(" T{:<4}", w + 1);
     }
     println!();
-    let sources = [
-        "Workload", "CPU", "Memory", "LLC", "Disk I/O", "Network",
-    ];
+    let sources = ["Workload", "CPU", "Memory", "LLC", "Disk I/O", "Network"];
     for (s, name) in sources.iter().enumerate() {
         print!("  {name:<22}");
         for row in &timeline {

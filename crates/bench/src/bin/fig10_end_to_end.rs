@@ -75,13 +75,7 @@ fn main() {
     multi.config.explore = false;
 
     let mut validate_app = Benchmark::SocialNetwork.build();
-    firm_core::slo::calibrate_slos(
-        &mut validate_app,
-        &ClusterSpec::small(6),
-        rate,
-        1.4,
-        seed,
-    );
+    firm_core::slo::calibrate_slos(&mut validate_app, &ClusterSpec::small(6), rate, 1.4, seed);
 
     eprintln!("[fig10] running the four managed scenarios...");
     let results = vec![
@@ -171,14 +165,20 @@ fn main() {
         factor(p99(aimd), firm_p99),
         factor(p99(k8s), firm_p99),
     );
-    let firm_viol = results[0].1.violation_rate().min(results[1].1.violation_rate());
+    let firm_viol = results[0]
+        .1
+        .violation_rate()
+        .min(results[1].1.violation_rate());
     println!(
         "  SLO violations: FIRM {:.2}% vs AIMD {} / K8s {}",
         firm_viol * 100.0,
         factor(aimd.violation_rate(), firm_viol),
         factor(k8s.violation_rate(), firm_viol),
     );
-    let firm_cpu = results[0].1.mean_requested_cpu.min(results[1].1.mean_requested_cpu);
+    let firm_cpu = results[0]
+        .1
+        .mean_requested_cpu
+        .min(results[1].1.mean_requested_cpu);
     println!(
         "  requested CPU:  FIRM {:.1} cores = {:.1}% below K8s ({:.1}), {:.1}% below AIMD ({:.1})",
         firm_cpu,

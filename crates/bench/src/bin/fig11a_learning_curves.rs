@@ -23,8 +23,8 @@ fn moving_avg(stats: &[EpisodeStats], window: usize) -> Vec<f64> {
 /// Episode at which the moving average first reaches 80% of its final
 /// plateau.
 fn convergence_episode(avg: &[f64]) -> usize {
-    let plateau = avg.iter().rev().take(avg.len() / 5 + 1).sum::<f64>()
-        / (avg.len() / 5 + 1) as f64;
+    let plateau =
+        avg.iter().rev().take(avg.len() / 5 + 1).sum::<f64>() / (avg.len() / 5 + 1) as f64;
     avg.iter()
         .position(|v| *v >= plateau * 0.8)
         .unwrap_or(avg.len())
@@ -86,7 +86,10 @@ fn main() {
         println!("  {:>8} {:>14.1} {:>14.1} {:>14.1}", i, a[i], e[i], t[i]);
     }
     let last = episodes - 1;
-    println!("  {:>8} {:>14.1} {:>14.1} {:>14.1}", last, a[last], e[last], t[last]);
+    println!(
+        "  {:>8} {:>14.1} {:>14.1} {:>14.1}",
+        last, a[last], e[last], t[last]
+    );
 
     section("convergence (episode reaching 80% of final plateau)");
     println!(

@@ -1,0 +1,148 @@
+//! Fleet throughput: wall-clock scaling of the multi-tenant fleet
+//! runtime, emitted as machine-readable JSON so later PRs have a perf
+//! trajectory to beat.
+//!
+//! Runs the built-in scenario catalog once per thread count, verifies
+//! the reports are bit-identical (the fleet's determinism contract),
+//! and writes `BENCH_fleet.json` with sim-ticks/sec, simulated
+//! requests/sec, and the wall-clock speedup of each thread count over
+//! 1 thread.
+//!
+//! ```sh
+//! cargo run --release -p firm-bench --bin fleet_throughput -- \
+//!     --seconds 20 --threads 4 --out BENCH_fleet.json
+//! ```
+//!
+//! Note: speedup is bounded by the host's core count; on a single-core
+//! container every thread count measures ≈1×. The JSON records
+//! `host_cores` so readers can judge the headroom.
+
+use std::time::Instant;
+
+use firm_bench::{banner, Args};
+use firm_fleet::{builtin_catalog, FleetConfig, FleetRunner, Scenario};
+use firm_sim::SimDuration;
+
+struct Measurement {
+    threads: usize,
+    wall_secs: f64,
+    sim_ticks: u64,
+    requests: u64,
+    digest: u64,
+}
+
+fn run_once(scenarios: &[Scenario], threads: usize, seed: u64) -> Measurement {
+    let runner = FleetRunner::new(FleetConfig {
+        threads,
+        seed,
+        train_steps: 128,
+    });
+    let start = Instant::now();
+    let result = runner.run(scenarios);
+    let wall_secs = start.elapsed().as_secs_f64();
+    Measurement {
+        threads,
+        wall_secs,
+        sim_ticks: result.report.scenarios.iter().map(|s| s.ticks).sum(),
+        requests: result.report.totals.completions,
+        digest: result.report.digest(),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seconds = args.u64("seconds", 20);
+    let max_threads = args.u64("threads", 4) as usize;
+    let seed = args.u64("seed", 7);
+    let out_path = args.get("out").unwrap_or("BENCH_fleet.json").to_string();
+
+    let scenarios: Vec<Scenario> = builtin_catalog()
+        .into_iter()
+        .map(|s| s.with_duration(SimDuration::from_secs(seconds)))
+        .collect();
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    banner(
+        "BENCH fleet_throughput",
+        "multi-tenant fleet runtime: sim throughput and thread scaling",
+    );
+    println!(
+        "catalog: {} scenarios x {seconds}s simulated; host cores: {host_cores}\n",
+        scenarios.len()
+    );
+
+    let mut thread_counts = vec![1usize];
+    let mut t = 2;
+    while t <= max_threads {
+        thread_counts.push(t);
+        t *= 2;
+    }
+
+    let mut measurements = Vec::new();
+    for &threads in &thread_counts {
+        let m = run_once(&scenarios, threads, seed);
+        println!(
+            "threads={:<2} wall={:>7.2}s sim-ticks/s={:>10.0} req/s={:>10.0}",
+            m.threads,
+            m.wall_secs,
+            m.sim_ticks as f64 / m.wall_secs,
+            m.requests as f64 / m.wall_secs,
+        );
+        measurements.push(m);
+    }
+
+    // Determinism contract: every thread count produced identical bytes.
+    let digest = measurements[0].digest;
+    assert!(
+        measurements.iter().all(|m| m.digest == digest),
+        "fleet reports diverged across thread counts"
+    );
+
+    let base = measurements[0].wall_secs;
+    let rows: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                concat!(
+                    "{{\"threads\":{},\"wall_secs\":{:.4},\"sim_ticks_per_sec\":{:.1},",
+                    "\"requests_per_sec\":{:.1},\"speedup_vs_1_thread\":{:.3}}}"
+                ),
+                m.threads,
+                m.wall_secs,
+                m.sim_ticks as f64 / m.wall_secs,
+                m.requests as f64 / m.wall_secs,
+                base / m.wall_secs,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"fleet_throughput\",\"scenarios\":{},",
+            "\"sim_seconds_each\":{},\"seed\":{},\"host_cores\":{},",
+            "\"report_digest\":\"{:016x}\",\"runs\":[{}]}}\n"
+        ),
+        scenarios.len(),
+        seconds,
+        seed,
+        host_cores,
+        digest,
+        rows.join(","),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_fleet.json");
+    println!(
+        "\nbest speedup: {:.2}x at {} threads (host has {host_cores} core(s))",
+        measurements
+            .iter()
+            .map(|m| base / m.wall_secs)
+            .fold(0.0, f64::max),
+        measurements
+            .iter()
+            .min_by(|a, b| a.wall_secs.partial_cmp(&b.wall_secs).expect("finite"))
+            .map(|m| m.threads)
+            .unwrap_or(1),
+    );
+    println!("wrote {out_path}");
+}

@@ -11,13 +11,7 @@ use std::collections::BTreeMap;
 use firm_bench::{banner, paper_note, section, Args};
 use firm_sim::spec::ClusterSpec;
 use firm_sim::{
-    AnomalyKind,
-    AnomalySpec,
-    NodeId,
-    PoissonArrivals,
-    SimDuration,
-    SimTime,
-    Simulation,
+    AnomalyKind, AnomalySpec, NodeId, PoissonArrivals, SimDuration, SimTime, Simulation,
 };
 use firm_trace::TracingCoordinator;
 use firm_workload::fig2_compose_post;
@@ -105,13 +99,23 @@ fn main() {
     );
     run_case(
         "<U,CP2>",
-        &[AnomalySpec::new(AnomalyKind::CpuStress, NodeId(2), 1.0, dur)],
+        &[AnomalySpec::new(
+            AnomalyKind::CpuStress,
+            NodeId(2),
+            1.0,
+            dur,
+        )],
         seconds,
         seed + 2,
     );
     run_case(
         "<T,CP3>",
-        &[AnomalySpec::new(AnomalyKind::CpuStress, NodeId(4), 1.0, dur)],
+        &[AnomalySpec::new(
+            AnomalyKind::CpuStress,
+            NodeId(4),
+            1.0,
+            dur,
+        )],
         seconds,
         seed + 3,
     );

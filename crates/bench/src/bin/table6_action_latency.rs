@@ -19,13 +19,23 @@ fn main() {
     );
 
     let classes = [
-        ("CPU partition (cgroups cpu.cfs_quota_us)", table6::CPU, 2.1, 0.3),
+        (
+            "CPU partition (cgroups cpu.cfs_quota_us)",
+            table6::CPU,
+            2.1,
+            0.3,
+        ),
         ("Mem partition (Intel MBA)", table6::MEM, 42.4, 11.0),
         ("LLC partition (Intel CAT)", table6::LLC, 39.8, 9.2),
         ("I/O partition (cgroups blkio)", table6::IO, 2.3, 0.4),
         ("Net partition (tc HTB)", table6::NET, 12.3, 1.1),
         ("Container start (warm)", table6::CONTAINER_WARM, 45.7, 6.9),
-        ("Container start (cold)", table6::CONTAINER_COLD, 2050.8, 291.4),
+        (
+            "Container start (cold)",
+            table6::CONTAINER_COLD,
+            2050.8,
+            291.4,
+        ),
     ];
 
     section("sampled actuation latencies");
@@ -39,8 +49,7 @@ fn main() {
             .map(|_| class.sample(&mut rng).as_millis_f64())
             .collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
         println!(
             "  {:<42} {:>10.1} {:>9.1} | {:>7.1} / {:.1}",
             name,

@@ -9,7 +9,10 @@ use firm_sim::anomaly::ANOMALY_KINDS;
 use firm_telemetry::metric::METRIC_KINDS;
 
 fn main() {
-    banner("Tables 2–5", "Configuration surfaces (telemetry, state-action, RL, anomalies)");
+    banner(
+        "Tables 2–5",
+        "Configuration surfaces (telemetry, state-action, RL, anomalies)",
+    );
 
     section("Table 2: collected telemetry data and sources");
     println!("  {:<44} source", "metric");
@@ -35,7 +38,10 @@ fn main() {
         cfg.actor_lr, cfg.critic_lr
     );
     println!("  discount factor                 {}", cfg.gamma);
-    println!("  soft-target update coefficient  {} (Alg. 3 reuses gamma)", cfg.tau);
+    println!(
+        "  soft-target update coefficient  {} (Alg. 3 reuses gamma)",
+        cfg.tau
+    );
     println!(
         "  hidden layers                   {:?} (Fig. 8: two x 40, ReLU; actor output Tanh)",
         cfg.hidden
@@ -47,9 +53,7 @@ fn main() {
         let model = match kind.contended_resource() {
             Some(r) => format!("consumes node {r} pool"),
             None => match kind {
-                firm_sim::AnomalyKind::WorkloadVariation => {
-                    "multiplies arrival rate".to_string()
-                }
+                firm_sim::AnomalyKind::WorkloadVariation => "multiplies arrival rate".to_string(),
                 _ => "adds per-RPC delay".to_string(),
             },
         };

@@ -80,7 +80,10 @@ pub fn banner(id: &str, caption: &str) {
 
 /// Prints a sub-section rule.
 pub fn section(title: &str) {
-    println!("\n-- {title} {}", "-".repeat(68usize.saturating_sub(title.len())));
+    println!(
+        "\n-- {title} {}",
+        "-".repeat(68usize.saturating_sub(title.len()))
+    );
 }
 
 /// Prints a `paper:` reference line for shape comparison.
@@ -128,7 +131,11 @@ pub fn print_cdf(label: &str, hist: &Histogram) {
     const QS: [f64; 9] = [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999];
     print!("  {label:<22}");
     for q in QS {
-        print!(" p{:<4}={:>9.2}ms", q * 100.0, hist.quantile(q) as f64 / 1e3);
+        print!(
+            " p{:<4}={:>9.2}ms",
+            q * 100.0,
+            hist.quantile(q) as f64 / 1e3
+        );
     }
     println!("  (n={})", hist.count());
 }

@@ -62,7 +62,11 @@ impl K8sHpaController {
 
     /// One reconciliation pass: inspect average CPU utilization per
     /// service and scale out/in.
-    pub fn tick(&mut self, sim: &mut Simulation, telemetry: &firm_sim::telemetry_probe::TelemetryWindow) {
+    pub fn tick(
+        &mut self,
+        sim: &mut Simulation,
+        telemetry: &firm_sim::telemetry_probe::TelemetryWindow,
+    ) {
         let n_services = sim.app().services.len();
         let mut util_sum = vec![0.0; n_services];
         let mut util_n = vec![0u32; n_services];
@@ -81,8 +85,7 @@ impl K8sHpaController {
             let replicas = sim.replicas(service).len() as u32;
             let target = self.config.target_utilization;
 
-            if avg > target * (1.0 + self.config.tolerance) && replicas < self.config.max_replicas
-            {
+            if avg > target * (1.0 + self.config.tolerance) && replicas < self.config.max_replicas {
                 // desired = ceil(current × avg/target), one step per tick.
                 sim.apply(Command::ScaleOut {
                     service,
@@ -206,13 +209,10 @@ mod tests {
     fn hpa_scales_out_under_cpu_pressure() {
         // A CPU-bound single service squeezed to a tiny quota: its
         // utilization saturates and the HPA must add replicas.
-        let mut sim = Simulation::builder(
-            ClusterSpec::small(2),
-            AppSpec::single_service_demo(),
-            71,
-        )
-        .arrivals(Box::new(PoissonArrivals::new(400.0)))
-        .build();
+        let mut sim =
+            Simulation::builder(ClusterSpec::small(2), AppSpec::single_service_demo(), 71)
+                .arrivals(Box::new(PoissonArrivals::new(400.0)))
+                .build();
         sim.apply(Command::SetPartition {
             instance: firm_sim::InstanceId(0),
             kind: ResourceKind::Cpu,
@@ -254,7 +254,10 @@ mod tests {
         let total_replicas: usize = (0..before)
             .map(|s| sim.replicas(ServiceId(s as u16)).len())
             .sum();
-        assert_eq!(total_replicas, before, "HPA scaled out on a non-CPU anomaly");
+        assert_eq!(
+            total_replicas, before,
+            "HPA scaled out on a non-CPU anomaly"
+        );
     }
 
     #[test]

@@ -75,7 +75,8 @@ impl DeploymentModule {
             // floor), so the limit is released to best-effort instead.
             if kind != ResourceKind::Cpu && target < capacity * 0.08 {
                 if inst.partition(kind).is_some() {
-                    out.commands.push(Command::ClearPartition { instance, kind });
+                    out.commands
+                        .push(Command::ClearPartition { instance, kind });
                 }
                 continue;
             }
@@ -86,9 +87,7 @@ impl DeploymentModule {
                 .iter()
                 .filter(|id| **id != instance)
                 .map(|id| sim.instance(*id))
-                .filter(|i| {
-                    i.state != firm_sim::instance::InstanceState::Removed
-                })
+                .filter(|i| i.state != firm_sim::instance::InstanceState::Removed)
                 .filter_map(|i| i.partition(kind))
                 .sum();
 
@@ -168,7 +167,12 @@ mod tests {
     fn in_bound_limits_become_partitions() {
         let mut sim = sim();
         let mut dep = DeploymentModule::new();
-        let action = dep.execute(&mut sim, InstanceId(0), &[3.0, 4_000.0, 8.0, 200.0, 200.0], None);
+        let action = dep.execute(
+            &mut sim,
+            InstanceId(0),
+            &[3.0, 4_000.0, 8.0, 200.0, 200.0],
+            None,
+        );
         assert!(!action.scaled_out);
         assert_eq!(action.commands.len(), 5);
         sim.run_for(SimDuration::from_millis(200));
@@ -183,7 +187,12 @@ mod tests {
         let mut sim = sim();
         let mut dep = DeploymentModule::new();
         // Reserve most of node 0's memory bandwidth for instance 0...
-        dep.execute(&mut sim, InstanceId(0), &[4.0, 20_000.0, 8.0, 200.0, 200.0], None);
+        dep.execute(
+            &mut sim,
+            InstanceId(0),
+            &[4.0, 20_000.0, 8.0, 200.0, 200.0],
+            None,
+        );
         sim.run_for(SimDuration::from_millis(200));
         // ... then ask for another 20 GB/s on a co-located instance
         // (instance 2 is on node 0 in the demo placement).
@@ -236,10 +245,20 @@ mod tests {
     fn noop_updates_skipped() {
         let mut sim = sim();
         let mut dep = DeploymentModule::new();
-        dep.execute(&mut sim, InstanceId(0), &[4.0, 4_000.0, 8.0, 200.0, 200.0], None);
+        dep.execute(
+            &mut sim,
+            InstanceId(0),
+            &[4.0, 4_000.0, 8.0, 200.0, 200.0],
+            None,
+        );
         sim.run_for(SimDuration::from_millis(200));
         // Re-proposing the same limits issues nothing.
-        let action = dep.validate(&sim, InstanceId(0), &[4.0, 4_000.0, 8.0, 200.0, 200.0], None);
+        let action = dep.validate(
+            &sim,
+            InstanceId(0),
+            &[4.0, 4_000.0, 8.0, 200.0, 200.0],
+            None,
+        );
         assert!(action.commands.is_empty());
     }
 }

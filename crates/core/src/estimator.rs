@@ -104,11 +104,11 @@ impl Default for ActionMapper {
     fn default() -> Self {
         ActionMapper {
             bounds: [
-                (0.5, 8.0),       // CPU cores.
+                (0.5, 8.0),        // CPU cores.
                 (256.0, 12_800.0), // Memory bandwidth MB/s.
-                (1.0, 20.0),      // LLC MB.
-                (50.0, 1_000.0),  // Disk MB/s.
-                (50.0, 800.0),    // Network MB/s.
+                (1.0, 20.0),       // LLC MB.
+                (50.0, 1_000.0),   // Disk MB/s.
+                (50.0, 800.0),     // Network MB/s.
             ],
         }
     }
@@ -238,6 +238,23 @@ impl ResourceEstimator {
         let agent = self.agent_mut(service);
         agent.observe(transition);
         agent.train_step();
+    }
+
+    /// Records a transition on the responsible agent's replay buffer
+    /// *without* training — the ingest half of an external experience
+    /// feed (a fleet trainer pools transitions from many simulations,
+    /// then trains in bulk with [`ResourceEstimator::train_shared`]).
+    pub fn observe(&mut self, service: ServiceId, transition: Transition) {
+        self.agent_mut(service).observe(transition);
+    }
+
+    /// Runs up to `steps` minibatch updates on the shared agent and
+    /// returns how many actually trained (the agent skips steps until
+    /// its replay buffer warms up).
+    pub fn train_shared(&mut self, steps: usize) -> usize {
+        (0..steps)
+            .filter(|_| self.shared.train_step().is_some())
+            .count()
     }
 
     /// Resets exploration noise on all agents (episode boundary).

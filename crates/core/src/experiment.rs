@@ -9,13 +9,7 @@
 
 use firm_sim::spec::{AppSpec, ClusterSpec};
 use firm_sim::{
-    AnomalyId,
-    ArrivalProcess,
-    Histogram,
-    PoissonArrivals,
-    SimDuration,
-    SimTime,
-    Simulation,
+    AnomalyId, ArrivalProcess, Histogram, PoissonArrivals, SimDuration, SimTime, Simulation,
 };
 use firm_telemetry::TelemetryCollector;
 use firm_trace::TracingCoordinator;
@@ -162,23 +156,38 @@ impl ScenarioResult {
     }
 }
 
-struct MitigationTracker {
+/// Tracks SLO-mitigation times across control ticks: for each anomaly
+/// that coincides with a violation, the time from the first violating
+/// window to the first violation-free window while the anomaly is still
+/// active (Fig. 11b's metric). Anomalies that end unresolved count
+/// their full violation span. Shared by the single-scenario harness and
+/// the fleet runtime.
+#[derive(Debug, Default)]
+pub struct MitigationTracker {
     /// anomaly id → (violation first seen, resolved).
     open: Vec<(AnomalyId, SimTime, bool)>,
     times: Vec<SimDuration>,
 }
 
 impl MitigationTracker {
-    fn new() -> Self {
-        MitigationTracker {
-            open: Vec::new(),
-            times: Vec::new(),
-        }
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        MitigationTracker::default()
+    }
+
+    /// Mitigation times measured so far.
+    pub fn times(&self) -> &[SimDuration] {
+        &self.times
+    }
+
+    /// Consumes the tracker, yielding the measured times.
+    pub fn into_times(self) -> Vec<SimDuration> {
+        self.times
     }
 
     /// Observes one tick: which anomalies are active and whether the SLO
     /// held in this window.
-    fn observe(
+    pub fn observe(
         &mut self,
         active: &[AnomalyId],
         violating: bool,
@@ -243,10 +252,9 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
             Controller::Firm(mgr)
         }
         ControllerKind::K8s(cfg) => Controller::K8s(K8sHpaController::new(cfg, services)),
-        ControllerKind::Aimd(cfg) => Controller::Aimd(
-            AimdController::new(cfg),
-            TracingCoordinator::new(100_000),
-        ),
+        ControllerKind::Aimd(cfg) => {
+            Controller::Aimd(AimdController::new(cfg), TracingCoordinator::new(100_000))
+        }
     };
     let mut injector = campaign.map(|c| AnomalyInjector::new(c, seed ^ 0xF00D));
 
@@ -275,14 +283,22 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
 
         // Manager-specific plumbing; each manager consumes the drains it
         // needs, and we recover window measurements from what remains.
-        let (window_p99, window_mean, window_drops, violating, telemetry) = match &mut controller
-        {
+        let (window_p99, window_mean, window_drops, violating, telemetry) = match &mut controller {
             Controller::Firm(mgr) => {
                 let assessment = mgr.tick(&mut sim);
                 // FIRM's coordinator holds the traces.
                 let mut lats: Vec<f64> = Vec::new();
                 let mut wdrops = 0;
-                for t in mgr.coordinator().traces_since(window_start) {
+                // `traces_since` is inclusive of its bound: a trace that
+                // finished exactly at the previous tick boundary was
+                // already counted there, so keep only strictly-later
+                // ones (nothing can finish at t=0, the first bound).
+                for t in mgr
+                    .coordinator()
+                    .traces_since(window_start)
+                    .into_iter()
+                    .filter(|t| t.finished > window_start)
+                {
                     if t.dropped {
                         wdrops += 1;
                     } else {
@@ -290,8 +306,8 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
                         if measuring {
                             latency.record(t.latency.as_micros());
                             completions += 1;
-                            let slo = app_clone.request_types[t.request_type.index()]
-                                .slo_latency_us;
+                            let slo =
+                                app_clone.request_types[t.request_type.index()].slo_latency_us;
                             if t.latency.as_micros() > slo {
                                 slo_violations += 1;
                             }
@@ -346,27 +362,8 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
                 } else {
                     lats.iter().sum::<f64>() / lats.len() as f64
                 };
-                let violating = {
-                    // Assess against SLOs directly from window latencies.
-                    let mut v = false;
-                    for (i, rt) in app_clone.request_types.iter().enumerate() {
-                        let mut rt_lats: Vec<f64> = completed
-                            .iter()
-                            .filter(|r| !r.dropped && r.request_type.index() == i)
-                            .map(|r| r.latency.as_micros() as f64)
-                            .collect();
-                        if rt_lats.is_empty() {
-                            continue;
-                        }
-                        rt_lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-                        let p99 =
-                            firm_sim::stats::sample_quantile(&rt_lats, monitor.quantile);
-                        if p99 > rt.slo_latency_us as f64 {
-                            v = true;
-                        }
-                    }
-                    v
-                };
+                let violating =
+                    crate::slo::window_violates(&app_clone, &completed, monitor.quantile);
 
                 match other {
                     Controller::K8s(hpa) => hpa.tick(&mut sim, &telemetry),
@@ -436,8 +433,12 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         completions,
         drops,
         slo_violations,
-        mean_requested_cpu: if cpu_n == 0 { 0.0 } else { cpu_sum / cpu_n as f64 },
-        mitigation_times: tracker.times,
+        mean_requested_cpu: if cpu_n == 0 {
+            0.0
+        } else {
+            cpu_sum / cpu_n as f64
+        },
+        mitigation_times: tracker.into_times(),
     }
 }
 

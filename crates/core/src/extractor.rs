@@ -126,7 +126,11 @@ impl CriticalComponentExtractor {
                 tis.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
                 let p99 = sample_quantile(&tis, 0.99);
                 let p50 = sample_quantile(&tis, 0.50);
-                let ci = if p50 <= 0.0 { 1.0 } else { (p99 / p50).max(1.0) };
+                let ci = if p50 <= 0.0 {
+                    1.0
+                } else {
+                    (p99 / p50).max(1.0)
+                };
                 InstanceFeatures {
                     instance: InstanceId(iid),
                     service,
@@ -216,11 +220,7 @@ mod tests {
     use firm_sim::{AnomalyKind, AnomalySpec, NodeId, SimDuration, Simulation};
     use firm_trace::TracingCoordinator;
 
-    fn window(
-        sim: &mut Simulation,
-        coord: &mut TracingCoordinator,
-        secs: u64,
-    ) -> Vec<StoredTrace> {
+    fn window(sim: &mut Simulation, coord: &mut TracingCoordinator, secs: u64) -> Vec<StoredTrace> {
         let since = sim.now();
         sim.run_for(SimDuration::from_secs(secs));
         coord.ingest(sim.drain_completed());

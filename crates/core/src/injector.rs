@@ -9,7 +9,9 @@
 //! nodes.
 
 use firm_sim::anomaly::ANOMALY_KINDS;
-use firm_sim::{AnomalyId, AnomalyKind, AnomalySpec, NodeId, SimDuration, SimRng, SimTime, Simulation};
+use firm_sim::{
+    AnomalyId, AnomalyKind, AnomalySpec, NodeId, SimDuration, SimRng, SimTime, Simulation,
+};
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -127,17 +129,13 @@ impl AnomalyInjector {
             self.config.duration.1.as_micros() as f64,
         ) as u64);
 
-        let spec = if self.config.container_level
-            && kind.contended_resource().is_some()
-        {
+        let spec = if self.config.container_level && kind.contended_resource().is_some() {
             // §4.1: anomalies go into containers uniformly at random.
             let running: Vec<firm_sim::InstanceId> = sim
                 .instances()
                 .iter()
                 .enumerate()
-                .filter(|(_, i)| {
-                    i.state == firm_sim::instance::InstanceState::Running
-                })
+                .filter(|(_, i)| i.state == firm_sim::instance::InstanceState::Running)
                 .map(|(idx, _)| firm_sim::InstanceId(idx as u32))
                 .collect();
             if running.is_empty() {
@@ -205,10 +203,7 @@ pub fn fig9c_campaign(
             let intensity = rng.uniform();
             row.push((kind, intensity));
             if intensity > 0.05 {
-                sim.inject_at(
-                    AnomalySpec::new(kind, node, intensity, window_len),
-                    at,
-                );
+                sim.inject_at(AnomalySpec::new(kind, node, intensity, window_len), at);
             }
         }
         timeline.push(row);
@@ -267,13 +262,7 @@ mod tests {
     #[test]
     fn fig9c_timeline_has_expected_shape() {
         let mut sim = sim(63);
-        let timeline = fig9c_campaign(
-            &mut sim,
-            12,
-            SimDuration::from_secs(10),
-            NodeId(0),
-            3,
-        );
+        let timeline = fig9c_campaign(&mut sim, 12, SimDuration::from_secs(10), NodeId(0), 3);
         assert_eq!(timeline.len(), 12);
         assert!(timeline.iter().all(|row| row.len() == 6));
         for row in &timeline {

@@ -38,9 +38,11 @@ pub mod training;
 pub use baselines::{AimdController, K8sHpaController};
 pub use deployment::DeploymentModule;
 pub use estimator::{ActionMapper, ResourceEstimator, StateBuilder};
-pub use experiment::{run_scenario, Controller, ControllerKind, ScenarioConfig, ScenarioResult};
+pub use experiment::{
+    run_scenario, Controller, ControllerKind, MitigationTracker, ScenarioConfig, ScenarioResult,
+};
 pub use extractor::{CriticalComponentExtractor, InstanceFeatures};
 pub use injector::{AnomalyInjector, CampaignConfig};
-pub use manager::{FirmConfig, FirmManager};
+pub use manager::{ExperienceLog, FirmConfig, FirmManager};
 pub use slo::{SloAssessment, SloMonitor};
-pub use training::{train_firm, EpisodeStats, TrainingConfig};
+pub use training::{replay_experience, train_firm, EpisodeStats, TrainingConfig};

@@ -41,6 +41,11 @@ pub struct FirmConfig {
     /// With `false`, the RL agent sees *every* critical-path instance —
     /// the §5 ablation ("Why Multi-level ML Framework?").
     pub svm_filter: bool,
+    /// Record completed RL transitions and SVM ground-truth examples
+    /// into an [`ExperienceLog`] for external (cross-simulation)
+    /// trainers to drain. Off by default: single-sim runs learn in
+    /// place and don't pay the copy.
+    pub record_experience: bool,
     /// Reward trade-off α.
     pub alpha: f64,
     /// RNG seed for the ML components.
@@ -56,9 +61,35 @@ impl Default for FirmConfig {
             training: false,
             explore: true,
             svm_filter: true,
+            record_experience: false,
             alpha: 0.5,
             seed: 7,
         }
+    }
+}
+
+/// Experience harvested from one managed run, in completion order: the
+/// raw material of the paper's §4.3 *one-for-all* regime when pooled
+/// across many simulations by a fleet runtime.
+#[derive(Debug, Clone, Default)]
+pub struct ExperienceLog {
+    /// Completed RL transitions, tagged with the acting service.
+    pub transitions: Vec<(ServiceId, Transition)>,
+    /// Algorithm 2 feature vectors with their ground-truth culprit
+    /// labels (SVM training pairs).
+    pub svm_examples: Vec<(crate::extractor::InstanceFeatures, bool)>,
+}
+
+impl ExperienceLog {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty() && self.svm_examples.is_empty()
+    }
+
+    /// Appends another log, preserving its internal order.
+    pub fn merge(&mut self, other: ExperienceLog) {
+        self.transitions.extend(other.transitions);
+        self.svm_examples.extend(other.svm_examples);
     }
 }
 
@@ -102,6 +133,7 @@ pub struct FirmManager {
     episode_reward: f64,
     stats: ManagerStats,
     last_telemetry: Option<TelemetryWindow>,
+    experience: ExperienceLog,
 }
 
 impl FirmManager {
@@ -120,8 +152,16 @@ impl FirmManager {
             episode_reward: 0.0,
             stats: ManagerStats::default(),
             last_telemetry: None,
+            experience: ExperienceLog::default(),
             config,
         }
+    }
+
+    /// Takes the experience recorded since the last drain (empty unless
+    /// [`FirmConfig::record_experience`] is set). Fleet runtimes stream
+    /// these logs to a central shared-agent trainer.
+    pub fn drain_experience(&mut self) -> ExperienceLog {
+        std::mem::take(&mut self.experience)
     }
 
     /// The telemetry window consumed by the most recent tick (the
@@ -245,6 +285,9 @@ impl FirmManager {
                         .unwrap_or(0.0);
                     let label = ground_truth_label(sim, f.instance, cpu_util, sim.now());
                     self.extractor.train(f, label);
+                    if self.config.record_experience {
+                        self.experience.svm_examples.push((*f, label));
+                    }
                 }
             }
 
@@ -271,15 +314,13 @@ impl FirmManager {
                         continue;
                     };
                     // ⑤ RL action.
-                    let state =
-                        self.state_builder
-                            .build(snap, assessment.sv, wc, &mix);
+                    let state = self.state_builder.build(snap, assessment.sv, wc, &mix);
                     let action = if self.config.training && self.config.explore {
                         self.estimator.act_explore(cand.service, &state)
                     } else {
                         self.estimator.act(cand.service, &state)
                     };
-    let limits = self.estimator.mapper.to_limits(&action);
+                    let limits = self.estimator.mapper.to_limits(&action);
                     // ⑥ Validate + actuate, floored by live demand so a
                     // half-trained policy cannot choke a container. The
                     // CPU floor is *concurrency* (Little's law), not CPU
@@ -288,8 +329,7 @@ impl FirmManager {
                     // mean latency worker slots regardless of CPU burn.
                     let mut floors = snap.usage;
                     let window_us = snap.window.as_micros().max(1) as f64;
-                    let concurrency =
-                        snap.arrivals as f64 * snap.mean_latency_us / window_us;
+                    let concurrency = snap.arrivals as f64 * snap.mean_latency_us / window_us;
                     floors.set(
                         firm_sim::ResourceKind::Cpu,
                         floors.get(firm_sim::ResourceKind::Cpu).max(concurrency),
@@ -353,17 +393,20 @@ impl FirmManager {
         let r = reward(sv, &utils, self.config.alpha);
         self.episode_reward += r;
         let next_state = self.state_builder.build(snap, sv, wc, mix);
+        let transition = Transition {
+            state: p.state,
+            action: p.action,
+            reward: r,
+            next_state,
+            done,
+        };
+        if self.config.record_experience {
+            self.experience
+                .transitions
+                .push((p.service, transition.clone()));
+        }
         if self.config.training {
-            self.estimator.learn(
-                p.service,
-                Transition {
-                    state: p.state,
-                    action: p.action,
-                    reward: r,
-                    next_state,
-                    done,
-                },
-            );
+            self.estimator.learn(p.service, transition);
         }
         self.stats.transitions += 1;
     }
@@ -371,11 +414,7 @@ impl FirmManager {
 
 /// Convenience: run a FIRM-managed simulation for `duration`, ticking the
 /// manager at its control interval.
-pub fn run_managed(
-    sim: &mut Simulation,
-    manager: &mut FirmManager,
-    duration: SimDuration,
-) {
+pub fn run_managed(sim: &mut Simulation, manager: &mut FirmManager, duration: SimDuration) {
     let deadline = sim.now() + duration;
     while sim.now() < deadline {
         sim.run_for(manager.config.control_interval);
@@ -436,6 +475,47 @@ mod tests {
         assert!(stats.actions > 0, "no mitigation actions");
         assert!(stats.transitions > 0, "no completed transitions");
         assert!(mgr.extractor().trained_examples() > 0, "SVM untouched");
+    }
+
+    #[test]
+    fn experience_tap_records_and_replays() {
+        let mut sim = Simulation::builder(ClusterSpec::small(2), tight_app(), 85)
+            .arrivals(Box::new(PoissonArrivals::new(50.0)))
+            .build();
+        let mut mgr = FirmManager::new(FirmConfig {
+            training: true,
+            record_experience: true,
+            ..FirmConfig::default()
+        });
+        sim.inject(AnomalySpec::new(
+            AnomalyKind::MemBwStress,
+            NodeId(0),
+            1.0,
+            SimDuration::from_secs(15),
+        ));
+        sim.inject(AnomalySpec::new(
+            AnomalyKind::NetworkDelay,
+            NodeId(0),
+            0.15,
+            SimDuration::from_secs(15),
+        ));
+        run_managed(&mut sim, &mut mgr, SimDuration::from_secs(10));
+        let log = mgr.drain_experience();
+        assert!(!log.transitions.is_empty(), "no transitions recorded");
+        assert!(!log.svm_examples.is_empty(), "no SVM examples recorded");
+        assert_eq!(log.transitions.len() as u64, mgr.stats().transitions);
+        // A second drain is empty.
+        assert!(mgr.drain_experience().is_empty());
+
+        // Replaying the log into a fresh shared estimator is
+        // deterministic: same log + seed → identical weights.
+        use crate::estimator::{AgentRegime, ResourceEstimator};
+        let train = |log: &ExperienceLog| {
+            let mut est = ResourceEstimator::new(AgentRegime::Shared, 3);
+            crate::training::replay_experience(&mut est, log, 32);
+            est.shared_agent().export_weights()
+        };
+        assert_eq!(train(&log), train(&log));
     }
 
     #[test]

@@ -87,6 +87,34 @@ impl SloMonitor {
     }
 }
 
+/// Assesses one window of already-drained completed requests: true when
+/// any request type's tail latency exceeds its SLO. The drained-trace
+/// counterpart of [`SloMonitor::assess`], shared by the non-FIRM paths
+/// of the single-scenario harness and the fleet executor so the two
+/// can never disagree on what "violating" means.
+pub fn window_violates(
+    app: &AppSpec,
+    completed: &[firm_sim::CompletedRequest],
+    quantile: f64,
+) -> bool {
+    for (i, rt) in app.request_types.iter().enumerate() {
+        let mut rt_lats: Vec<f64> = completed
+            .iter()
+            .filter(|r| !r.dropped && r.request_type.index() == i)
+            .map(|r| r.latency.as_micros() as f64)
+            .collect();
+        if rt_lats.is_empty() {
+            continue;
+        }
+        rt_lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let p99 = firm_sim::stats::sample_quantile(&rt_lats, quantile);
+        if p99 > rt.slo_latency_us as f64 {
+            return true;
+        }
+    }
+    false
+}
+
 /// Calibrates each request type's SLO to `factor ×` its measured healthy
 /// p99 at the given load — the usual way operators pick tail SLOs. Runs
 /// a short unmanaged, anomaly-free simulation and mutates `app`.
@@ -126,12 +154,8 @@ mod tests {
     use firm_sim::{AnomalyKind, AnomalySpec, NodeId, SimDuration, Simulation};
 
     fn setup() -> (Simulation, TracingCoordinator) {
-        let sim = Simulation::builder(
-            ClusterSpec::small(2),
-            AppSpec::three_tier_demo(),
-            21,
-        )
-        .build();
+        let sim =
+            Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 21).build();
         (sim, TracingCoordinator::new(100_000))
     }
 

@@ -11,9 +11,9 @@
 use firm_sim::spec::{AppSpec, ClusterSpec};
 use firm_sim::{PoissonArrivals, SimDuration, Simulation};
 
-use crate::estimator::AgentRegime;
+use crate::estimator::{AgentRegime, ResourceEstimator};
 use crate::injector::{AnomalyInjector, CampaignConfig};
-use crate::manager::{FirmConfig, FirmManager};
+use crate::manager::{ExperienceLog, FirmConfig, FirmManager};
 
 /// Training configuration.
 #[derive(Debug, Clone)]
@@ -65,8 +65,7 @@ impl TrainingConfig {
             return self.max_steps;
         }
         let frac = episode as f64 / self.ramp_episodes.max(1) as f64;
-        let steps =
-            self.min_steps as f64 + frac * (self.max_steps - self.min_steps) as f64;
+        let steps = self.min_steps as f64 + frac * (self.max_steps - self.min_steps) as f64;
         steps.round() as usize
     }
 }
@@ -134,6 +133,27 @@ pub fn train_into(
         });
     }
     all_stats
+}
+
+/// Trains a shared-regime estimator from pooled, already-collected
+/// experience — the paper's §4.3 *one-for-all* regime fed offline.
+///
+/// Transitions are replayed into the shared agent's buffer in log
+/// order, then `train_steps` minibatch updates run. Because the replay
+/// order and the estimator's RNG stream are both deterministic, the
+/// resulting weights depend only on `(log, estimator seed)` — which is
+/// what lets a fleet runtime pool experience from worker threads and
+/// still produce bit-identical trained agents at any thread count.
+/// Returns the number of updates that actually trained.
+pub fn replay_experience(
+    estimator: &mut ResourceEstimator,
+    log: &ExperienceLog,
+    train_steps: usize,
+) -> usize {
+    for (service, t) in &log.transitions {
+        estimator.observe(*service, t.clone());
+    }
+    estimator.train_shared(train_steps)
 }
 
 #[cfg(test)]

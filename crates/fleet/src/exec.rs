@@ -1,0 +1,258 @@
+//! Deterministic execution of one [`Scenario`].
+//!
+//! [`run_one`] is the unit of work a fleet worker owns: it builds the
+//! simulation from the scenario's plain data and a derived seed, drives
+//! the chosen controller tick by tick, and returns the measurements
+//! plus whatever experience the controller harvested. Nothing here
+//! touches shared state, so the result depends only on
+//! `(scenario, seed)` — the property the fleet's bit-identity guarantee
+//! rests on.
+
+use firm_core::baselines::{AimdController, K8sHpaController};
+use firm_core::experiment::MitigationTracker;
+use firm_core::injector::AnomalyInjector;
+use firm_core::manager::{ExperienceLog, FirmConfig, FirmManager};
+use firm_core::slo::{calibrate_slos, window_violates, SloMonitor};
+use firm_sim::spec::ClusterSpec;
+use firm_sim::{AnomalyId, Histogram, Simulation};
+use firm_trace::TracingCoordinator;
+
+use crate::report::ScenarioOutcome;
+use crate::scenario::{FleetController, Scenario};
+
+enum Ctl {
+    None,
+    Firm(Box<FirmManager>),
+    K8s(K8sHpaController),
+    Aimd(AimdController, TracingCoordinator),
+}
+
+/// Runs one scenario to completion; returns its measurements and the
+/// experience log (empty for non-FIRM controllers).
+pub fn run_one(scenario: &Scenario, seed: u64) -> (ScenarioOutcome, ExperienceLog) {
+    let cluster = ClusterSpec::small(scenario.nodes.max(1));
+    let mut app = scenario.benchmark.build();
+    if let Some(factor) = scenario.slo_factor {
+        calibrate_slos(
+            &mut app,
+            &cluster,
+            scenario.load.mean_rate(),
+            factor,
+            seed ^ 0x510C_A11B,
+        );
+    }
+    let mut sim = Simulation::builder(cluster, app, seed)
+        .arrivals(scenario.load.build())
+        .build();
+    let app = sim.app().clone();
+
+    let mut ctl = match scenario.controller {
+        FleetController::Unmanaged => Ctl::None,
+        FleetController::Firm => Ctl::Firm(Box::new(FirmManager::new(FirmConfig {
+            control_interval: scenario.control_interval,
+            training: true,
+            record_experience: true,
+            seed: seed ^ 0xF12A,
+            ..FirmConfig::default()
+        }))),
+        FleetController::K8sHpa => Ctl::K8s(K8sHpaController::new(
+            scenario.k8s.clone(),
+            app.services.len(),
+        )),
+        FleetController::Aimd => Ctl::Aimd(
+            AimdController::new(scenario.aimd.clone()),
+            TracingCoordinator::new(100_000),
+        ),
+    };
+    let mut injector = scenario
+        .campaign
+        .clone()
+        .map(|c| AnomalyInjector::new(c, seed ^ 0xF00D));
+    let monitor = SloMonitor::default();
+
+    let mut latency = Histogram::new();
+    let mut tracker = MitigationTracker::new();
+    let mut ticks = 0u64;
+    let mut completions = 0u64;
+    let mut drops = 0u64;
+    let mut slo_violations = 0u64;
+    let mut latency_sum_us = 0u128;
+
+    let end = sim.now() + scenario.duration;
+    let warm_until = sim.now() + scenario.warmup;
+
+    while sim.now() < end {
+        let window_start = sim.now();
+        if let Some(inj) = injector.as_mut() {
+            inj.tick(&mut sim);
+        }
+        sim.run_for(scenario.control_interval);
+        ticks += 1;
+        let measuring = sim.now() > warm_until;
+
+        // Each controller consumes the drains it needs; the window's
+        // latencies are recovered from whichever side holds the traces.
+        let violating = match &mut ctl {
+            Ctl::Firm(mgr) => {
+                let assessment = mgr.tick(&mut sim);
+                // `traces_since` is inclusive of its bound: a trace that
+                // finished exactly at the previous tick boundary was
+                // already counted there, so keep only strictly-later
+                // ones (nothing can finish at t=0, the first bound).
+                for t in mgr
+                    .coordinator()
+                    .traces_since(window_start)
+                    .into_iter()
+                    .filter(|t| t.finished > window_start)
+                {
+                    if t.dropped {
+                        if measuring {
+                            drops += 1;
+                            completions += 1;
+                            // A dropped request failed its SLO by
+                            // definition; counting it keeps shedding
+                            // controllers comparable to slow ones.
+                            slo_violations += 1;
+                        }
+                    } else if measuring {
+                        completions += 1;
+                        let us = t.latency.as_micros();
+                        latency.record(us);
+                        latency_sum_us += us as u128;
+                        if us > app.request_types[t.request_type.index()].slo_latency_us {
+                            slo_violations += 1;
+                        }
+                    }
+                }
+                assessment.any_violation()
+            }
+            other => {
+                let completed = sim.drain_completed();
+                let telemetry = sim.drain_telemetry();
+                let violating = window_violates(&app, &completed, monitor.quantile);
+                for r in &completed {
+                    if r.dropped {
+                        if measuring {
+                            drops += 1;
+                            completions += 1;
+                            slo_violations += 1;
+                        }
+                    } else if measuring {
+                        completions += 1;
+                        let us = r.latency.as_micros();
+                        latency.record(us);
+                        latency_sum_us += us as u128;
+                        if us > app.request_types[r.request_type.index()].slo_latency_us {
+                            slo_violations += 1;
+                        }
+                    }
+                }
+                match other {
+                    Ctl::K8s(hpa) => hpa.tick(&mut sim, &telemetry),
+                    Ctl::Aimd(aimd, coord) => {
+                        coord.ingest(completed);
+                        aimd.tick(&mut sim, coord, &telemetry, window_start);
+                        coord.evict_before(window_start);
+                    }
+                    _ => {}
+                }
+                violating
+            }
+        };
+
+        let active: Vec<AnomalyId> = sim
+            .active_anomalies()
+            .iter()
+            .filter(|(_, _, at)| *at <= sim.now())
+            .map(|(id, _, _)| *id)
+            .collect();
+        tracker.observe(&active, violating, sim.now(), scenario.control_interval);
+    }
+
+    let experience = match &mut ctl {
+        Ctl::Firm(mgr) => mgr.drain_experience(),
+        _ => ExperienceLog::default(),
+    };
+
+    let mitigation_times = tracker.into_times();
+    let ok = completions.saturating_sub(drops);
+    let outcome = ScenarioOutcome {
+        name: scenario.name.clone(),
+        benchmark: scenario.benchmark.name(),
+        controller: scenario.controller.label(),
+        load: scenario.load.label(),
+        seed,
+        ticks,
+        arrivals: sim.stats().arrivals,
+        completions,
+        drops,
+        slo_violations,
+        p50_us: latency.p50(),
+        p99_us: latency.p99(),
+        mean_latency_us: if ok == 0 {
+            0.0
+        } else {
+            latency_sum_us as f64 / ok as f64
+        },
+        anomalies_injected: injector.map(|i| i.history().len() as u64).unwrap_or(0),
+        mitigations: mitigation_times.len() as u64,
+        mean_mitigation_secs: if mitigation_times.is_empty() {
+            0.0
+        } else {
+            mitigation_times
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .sum::<f64>()
+                / mitigation_times.len() as f64
+        },
+        transitions: experience.transitions.len() as u64,
+        svm_examples: experience.svm_examples.len() as u64,
+    };
+    (outcome, experience)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::builtin_catalog;
+    use firm_sim::SimDuration;
+
+    #[test]
+    fn firm_scenario_serves_traffic_and_harvests_experience() {
+        let scenario = builtin_catalog()
+            .remove(0)
+            .with_duration(SimDuration::from_secs(10));
+        let (outcome, log) = run_one(&scenario, 42);
+        assert!(
+            outcome.completions > 200,
+            "{} completed",
+            outcome.completions
+        );
+        assert!(outcome.p99_us > 0);
+        assert_eq!(outcome.ticks, 10);
+        assert_eq!(outcome.transitions as usize, log.transitions.len());
+        assert!(!log.svm_examples.is_empty(), "FIRM harvested no labels");
+    }
+
+    #[test]
+    fn run_one_is_deterministic() {
+        let scenario = builtin_catalog()
+            .remove(4)
+            .with_duration(SimDuration::from_secs(8));
+        let (a, _) = run_one(&scenario, 7);
+        let (b, _) = run_one(&scenario, 7);
+        assert_eq!(a, b);
+        let (c, _) = run_one(&scenario, 8);
+        assert_ne!(a, c, "different seeds gave identical outcomes");
+    }
+
+    #[test]
+    fn unmanaged_scenarios_harvest_nothing() {
+        let mut scenario = builtin_catalog().remove(4);
+        scenario = scenario.with_duration(SimDuration::from_secs(6));
+        assert_eq!(scenario.controller, FleetController::Unmanaged);
+        let (outcome, log) = run_one(&scenario, 3);
+        assert!(log.is_empty());
+        assert_eq!(outcome.transitions, 0);
+    }
+}

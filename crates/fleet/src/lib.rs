@@ -1,0 +1,63 @@
+//! Parallel multi-tenant fleet runtime for the FIRM reproduction.
+//!
+//! FIRM's headline claim (§4.3 of the paper) is that one *shared*
+//! SVM + DDPG pipeline generalizes across microservice applications and
+//! anomaly types. A single simulation can only ever show that pipeline
+//! one tenant at a time; this crate makes scenario *diversity* and
+//! scale-out *throughput* first-class instead:
+//!
+//! * [`scenario`] — a declarative [`Scenario`] type (benchmark, cluster
+//!   size, arrival shape, anomaly campaign, controller) plus
+//!   [`builtin_catalog`], nine named scenarios spanning all four §4.1
+//!   benchmarks, steady/diurnal/flash-crowd load, the seven anomaly
+//!   kinds, and all four controllers;
+//! * [`exec`] — deterministic execution of one scenario from plain data
+//!   and a derived seed;
+//! * [`runner`] — [`FleetRunner`] shards the catalog across N OS
+//!   worker threads (`std::thread::scope` + channels; no extra
+//!   dependencies). Workers stream completed RL transitions and SVM
+//!   ground-truth labels back to a central trainer that fits one shared
+//!   agent on the pooled, heterogeneous experience — the paper's
+//!   one-for-all regime fed by many apps at once;
+//! * [`report`] — the aggregated [`FleetReport`]: per-scenario SLO
+//!   violation rates, p99 latencies, mitigation times, and total
+//!   requests served, with stable JSON rendering and an FNV digest.
+//!
+//! # Determinism
+//!
+//! Per-scenario seeds derive from `(fleet seed, catalog index)`,
+//! workers share no mutable state, and all aggregation happens in
+//! catalog order — so a fleet run's report bytes *and* its trained
+//! shared-agent weights are bit-identical at any thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use firm_fleet::{builtin_catalog, FleetConfig, FleetRunner};
+//! use firm_sim::SimDuration;
+//!
+//! // Two scenarios, shortened for doctest speed.
+//! let scenarios: Vec<_> = builtin_catalog()
+//!     .into_iter()
+//!     .take(2)
+//!     .map(|s| s.with_duration(SimDuration::from_secs(6)))
+//!     .collect();
+//! let result = FleetRunner::new(FleetConfig {
+//!     threads: 2,
+//!     seed: 7,
+//!     train_steps: 16,
+//! })
+//! .run(&scenarios);
+//! assert_eq!(result.report.scenarios.len(), 2);
+//! assert!(result.report.totals.completions > 0);
+//! ```
+
+pub mod exec;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use exec::run_one;
+pub use report::{FleetReport, FleetTotals, ScenarioOutcome};
+pub use runner::{scenario_seed, FleetConfig, FleetResult, FleetRunner};
+pub use scenario::{builtin_catalog, FleetController, Scenario};

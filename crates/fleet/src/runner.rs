@@ -1,0 +1,256 @@
+//! The fleet runtime: shard scenarios across OS workers, stream
+//! experience home, train the shared agent.
+//!
+//! # Determinism
+//!
+//! Each scenario's seed is derived from the fleet seed and the
+//! scenario's *catalog index* (never from thread identity or timing),
+//! and [`crate::exec::run_one`] touches no shared state. Workers claim
+//! indices from an atomic counter and stream `(index, outcome, log)`
+//! messages over a channel; the collector slots them back into catalog
+//! order. Aggregation, experience pooling, and shared-agent training
+//! all consume that ordered view — so the [`FleetReport`] bytes and the
+//! trained weights are identical whether the fleet ran on 1 thread or
+//! 64. Thread count changes wall-clock time, nothing else.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use firm_core::estimator::{AgentRegime, ResourceEstimator};
+use firm_core::extractor::CriticalComponentExtractor;
+use firm_core::manager::ExperienceLog;
+use firm_core::training::replay_experience;
+
+use crate::exec::run_one;
+use crate::report::{FleetReport, ScenarioOutcome};
+use crate::scenario::Scenario;
+
+/// Fleet-runtime parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads; 0 means one per available core.
+    pub threads: usize,
+    /// Fleet seed; per-scenario seeds derive from it.
+    pub seed: u64,
+    /// Minibatch updates to run on the shared agent after pooling
+    /// (§4.3 one-for-all training from the fleet's experience).
+    pub train_steps: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            threads: 0,
+            seed: 1,
+            train_steps: 256,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The effective worker count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// The result of one fleet run: the aggregated report plus the
+/// centrally trained shared pipeline.
+pub struct FleetResult {
+    /// Per-scenario measurements and fleet totals.
+    pub report: FleetReport,
+    /// The shared (one-for-all) DDPG estimator trained on the pooled
+    /// experience.
+    pub estimator: ResourceEstimator,
+    /// The SVM-backed extractor trained on the pooled ground truth.
+    pub extractor: CriticalComponentExtractor,
+    /// The pooled experience, in catalog order.
+    pub pooled: ExperienceLog,
+    /// Shared-agent updates that actually trained.
+    pub trained_updates: usize,
+}
+
+/// Mixes the fleet seed with a scenario's catalog index into its
+/// decorrelated per-scenario seed, with no dependence on scheduling.
+pub fn scenario_seed(fleet_seed: u64, index: usize) -> u64 {
+    firm_rng::mix64(fleet_seed, index as u64)
+}
+
+/// Runs scenario fleets.
+#[derive(Debug, Clone, Default)]
+pub struct FleetRunner {
+    config: FleetConfig,
+}
+
+impl FleetRunner {
+    /// Creates a runner.
+    pub fn new(config: FleetConfig) -> Self {
+        FleetRunner { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Executes every scenario across the worker pool and aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (a scenario run itself panicked)
+    /// or if `scenarios` is empty.
+    pub fn run(&self, scenarios: &[Scenario]) -> FleetResult {
+        assert!(!scenarios.is_empty(), "fleet needs at least one scenario");
+        let threads = self.config.effective_threads().min(scenarios.len());
+        let fleet_seed = self.config.seed;
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, ScenarioOutcome, ExperienceLog)>();
+        let mut slots: Vec<Option<(ScenarioOutcome, ExperienceLog)>> =
+            (0..scenarios.len()).map(|_| None).collect();
+
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(scenario) = scenarios.get(i) else {
+                        break;
+                    };
+                    let seed = scenario_seed(fleet_seed, i);
+                    let (outcome, log) = run_one(scenario, seed);
+                    // The collector hanging up is impossible while the
+                    // scope lives; a send error would mean a collector
+                    // bug, so surface it.
+                    tx.send((i, outcome, log)).expect("collector alive");
+                });
+            }
+            drop(tx);
+            // Collect on the scope's owning thread while workers run.
+            for (i, outcome, log) in rx {
+                slots[i] = Some((outcome, log));
+            }
+        });
+
+        // Catalog-order aggregation: the only ordering the results ever
+        // see, regardless of which worker finished first.
+        let mut outcomes = Vec::with_capacity(scenarios.len());
+        let mut pooled = ExperienceLog::default();
+        for slot in slots {
+            let (outcome, log) = slot.expect("every scenario ran");
+            outcomes.push(outcome);
+            pooled.merge(log);
+        }
+        let report = FleetReport::new(fleet_seed, outcomes);
+
+        // Central shared-agent training from the pooled, ordered
+        // experience (the paper's one-for-all regime, fed by
+        // heterogeneous tenants instead of one app).
+        let mut estimator = ResourceEstimator::new(AgentRegime::Shared, fleet_seed ^ 0x0A11);
+        let trained_updates = replay_experience(&mut estimator, &pooled, self.config.train_steps);
+        let mut extractor = CriticalComponentExtractor::new(fleet_seed ^ 0x51FE);
+        for (features, label) in &pooled.svm_examples {
+            extractor.train(features, *label);
+        }
+
+        FleetResult {
+            report,
+            estimator,
+            extractor,
+            pooled,
+            trained_updates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::builtin_catalog;
+    use firm_sim::SimDuration;
+
+    fn short_catalog(n: usize, secs: u64) -> Vec<Scenario> {
+        builtin_catalog()
+            .into_iter()
+            .take(n)
+            .map(|s| s.with_duration(SimDuration::from_secs(secs)))
+            .collect()
+    }
+
+    #[test]
+    fn seeds_are_decorrelated() {
+        let a = scenario_seed(1, 0);
+        let b = scenario_seed(1, 1);
+        let c = scenario_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stable across calls.
+        assert_eq!(a, scenario_seed(1, 0));
+    }
+
+    #[test]
+    fn fleet_runs_and_pools_experience() {
+        let scenarios = short_catalog(3, 8);
+        let runner = FleetRunner::new(FleetConfig {
+            threads: 2,
+            seed: 11,
+            train_steps: 64,
+        });
+        let result = runner.run(&scenarios);
+        assert_eq!(result.report.scenarios.len(), 3);
+        // Catalog order is preserved.
+        for (s, o) in scenarios.iter().zip(&result.report.scenarios) {
+            assert_eq!(s.name, o.name);
+        }
+        assert!(result.report.totals.completions > 500);
+        // The two FIRM scenarios in the prefix contribute experience.
+        assert!(!result.pooled.transitions.is_empty());
+        assert!(!result.pooled.svm_examples.is_empty());
+        assert!(result.extractor.trained_examples() > 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let scenarios = short_catalog(4, 6);
+        let run = |threads| {
+            FleetRunner::new(FleetConfig {
+                threads,
+                seed: 5,
+                train_steps: 32,
+            })
+            .run(&scenarios)
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.report.to_json(), four.report.to_json());
+        assert_eq!(one.report.digest(), four.report.digest());
+        assert_eq!(
+            one.estimator.shared_agent().export_weights(),
+            four.estimator.shared_agent().export_weights(),
+            "pooled training diverged across thread counts"
+        );
+    }
+
+    #[test]
+    fn different_fleet_seeds_differ() {
+        let scenarios = short_catalog(2, 6);
+        let run = |seed| {
+            FleetRunner::new(FleetConfig {
+                threads: 2,
+                seed,
+                train_steps: 0,
+            })
+            .run(&scenarios)
+            .report
+            .digest()
+        };
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -83,7 +83,9 @@ impl ReplayBuffer {
 
     /// Samples `n` transitions uniformly with replacement.
     pub fn sample<'a>(&'a self, n: usize, rng: &mut MlRng) -> Vec<&'a Transition> {
-        (0..n).map(|_| &self.data[rng.index(self.data.len())]).collect()
+        (0..n)
+            .map(|_| &self.data[rng.index(self.data.len())])
+            .collect()
     }
 }
 
@@ -331,7 +333,11 @@ impl DdpgAgent {
         let q2 = self.critic_target.forward(&s_full2.hstack(&a2), false);
         let mut y = vec![0.0; b];
         for (i, yi) in y.iter_mut().enumerate() {
-            let bootstrap = if dones[i] { 0.0 } else { self.config.gamma * q2.get(i, 0) };
+            let bootstrap = if dones[i] {
+                0.0
+            } else {
+                self.config.gamma * q2.get(i, 0)
+            };
             *yi = rewards[i] + bootstrap;
         }
 
@@ -354,8 +360,7 @@ impl DdpgAgent {
         let s_actor = s_full.slice_cols(0, asd);
         let a_pred = self.actor.forward(&s_actor, true);
         let q_pi = self.critic.forward(&s_full.hstack(&a_pred), true);
-        let q_mean =
-            (0..b).map(|i| q_pi.get(i, 0)).sum::<f64>() / b as f64;
+        let q_mean = (0..b).map(|i| q_pi.get(i, 0)).sum::<f64>() / b as f64;
         let mut grad_q = Matrix::zeros(b, 1);
         grad_q.map_inplace(|_| -1.0 / b as f64);
         let gin = self.critic.backward(&grad_q);
@@ -367,7 +372,8 @@ impl DdpgAgent {
         self.actor_opt.step(&mut self.actor);
 
         // Soft target updates (Algorithm 3, lines 14–15).
-        self.actor_target.soft_update_from(&self.actor, self.config.tau);
+        self.actor_target
+            .soft_update_from(&self.actor, self.config.tau);
         self.critic_target
             .soft_update_from(&self.critic, self.config.tau);
 

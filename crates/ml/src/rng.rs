@@ -1,26 +1,26 @@
 //! Deterministic RNG for ML components (weight init, minibatch sampling,
-//! exploration noise).
+//! exploration noise). The generator core is the workspace's canonical
+//! [`firm_rng::Xoshiro256`].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use firm_rng::Xoshiro256;
 
 /// Seeded RNG with the draws the ML stack needs.
 #[derive(Debug, Clone)]
 pub struct MlRng {
-    inner: StdRng,
+    inner: Xoshiro256,
 }
 
 impl MlRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         MlRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256::new(seed),
         }
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.next_f64()
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -42,13 +42,13 @@ impl MlRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() requires a non-empty range");
-        self.inner.gen_range(0..n)
+        self.inner.next_below(n as u64) as usize
     }
 
     /// Fisher-Yates shuffle.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.inner.next_below(i as u64 + 1) as usize;
             xs.swap(i, j);
         }
     }

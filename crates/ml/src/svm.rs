@@ -152,8 +152,13 @@ impl IncrementalSvm {
         let y = if label { 1.0 } else { -1.0 };
         let step = self.lr * if label { self.pos_weight } else { 1.0 };
         let phi = self.rff.map(x);
-        let f: f64 =
-            self.weights.iter().zip(&phi).map(|(w, p)| w * p).sum::<f64>() + self.bias;
+        let f: f64 = self
+            .weights
+            .iter()
+            .zip(&phi)
+            .map(|(w, p)| w * p)
+            .sum::<f64>()
+            + self.bias;
         // Regularization shrink.
         let shrink = 1.0 - self.lr * self.lambda;
         for w in &mut self.weights {
@@ -170,13 +175,7 @@ impl IncrementalSvm {
     }
 
     /// Fits a batch by shuffled passes over the data.
-    pub fn fit_epochs(
-        &mut self,
-        xs: &[Vec<f64>],
-        labels: &[bool],
-        epochs: usize,
-        rng: &mut MlRng,
-    ) {
+    pub fn fit_epochs(&mut self, xs: &[Vec<f64>], labels: &[bool], epochs: usize, rng: &mut MlRng) {
         assert_eq!(xs.len(), labels.len(), "example/label length mismatch");
         let mut order: Vec<usize> = (0..xs.len()).collect();
         for _ in 0..epochs {

@@ -15,7 +15,11 @@ use crate::time::{SimDuration, SimTime};
 /// arrival; implementations may shape the rate over time (diurnal
 /// patterns, spikes). A global load multiplier (workload-variation
 /// anomalies) is applied by the engine itself, not by implementations.
-pub trait ArrivalProcess {
+///
+/// The `Send` supertrait keeps [`crate::Simulation`] (which boxes its
+/// arrival process) movable across threads, so fleet runtimes can shard
+/// independent simulations over OS workers.
+pub trait ArrivalProcess: Send {
     /// Time until the next client request after `now`.
     fn next_interarrival(&mut self, now: SimTime, rng: &mut SimRng) -> SimDuration;
 

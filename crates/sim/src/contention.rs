@@ -97,8 +97,7 @@ pub fn effective_rate(
         match inst.partition(kind) {
             Some(p) if is_reservation(kind) => {
                 reserved_sum += p;
-                let activity_share =
-                    weight(inst) / all_weight_sum.max(1.0) * capacity * 1.5;
+                let activity_share = weight(inst) / all_weight_sum.max(1.0) * capacity * 1.5;
                 reserved_carve += p.min(activity_share);
             }
             _ => be_weight_sum += weight(inst),

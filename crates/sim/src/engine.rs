@@ -21,15 +21,7 @@ use crate::actuator::Command;
 use crate::anomaly::{AnomalyKind, AnomalySpec};
 use crate::arrival::ArrivalProcess;
 use crate::contention;
-use crate::ids::{
-    AnomalyId,
-    InstanceId,
-    NodeId,
-    RequestTypeId,
-    ServiceId,
-    SpanId,
-    TraceId,
-};
+use crate::ids::{AnomalyId, InstanceId, NodeId, RequestTypeId, ServiceId, SpanId, TraceId};
 use crate::instance::{Instance, InstanceState};
 use crate::node::{ActiveContender, ActiveDelay, Node};
 use crate::resources::{ResourceKind, ResourceVec, RESOURCE_KINDS};
@@ -586,8 +578,7 @@ impl Simulation {
         // Re-validate the chosen replica at delivery time.
         let service = self.activities[act_idx].service;
         let chosen = self.activities[act_idx].instance;
-        let ok = chosen != InstanceId(u32::MAX)
-            && self.instances[chosen.index()].accepts_load();
+        let ok = chosen != InstanceId(u32::MAX) && self.instances[chosen.index()].accepts_load();
         let target = if ok {
             Some(chosen)
         } else {
@@ -975,8 +966,7 @@ impl Simulation {
     }
 
     fn on_anomaly_start(&mut self, id: AnomalyId) {
-        let Some(&(_, spec, _)) = self.active_anomalies.iter().find(|(a, _, _)| *a == id)
-        else {
+        let Some(&(_, spec, _)) = self.active_anomalies.iter().find(|(a, _, _)| *a == id) else {
             return;
         };
         let node_idx = spec.node.index().min(self.nodes.len() - 1);
@@ -1034,8 +1024,8 @@ impl Simulation {
                     let s = &mut self.instances[target.index()].stress[resource.index()];
                     *s = (*s - spec.intensity).max(0.0);
                     if spec.kind == AnomalyKind::LlcStress {
-                        let m = &mut self.instances[target.index()].stress
-                            [ResourceKind::MemBw.index()];
+                        let m =
+                            &mut self.instances[target.index()].stress[ResourceKind::MemBw.index()];
                         *m = (*m - spec.intensity * 0.7).max(0.0);
                     }
                 }
@@ -1067,8 +1057,7 @@ impl Simulation {
                 self.now + latency,
             );
             // Copy non-CPU partitions from an existing replica.
-            if let Some(&src) = self
-                .services[service.index()]
+            if let Some(&src) = self.services[service.index()]
                 .replicas
                 .iter()
                 .find(|id| self.instances[id.index()].state == InstanceState::Running)
@@ -1192,9 +1181,7 @@ impl Simulation {
 
     fn maybe_finish_draining(&mut self, iid: InstanceId) {
         let inst = &mut self.instances[iid.index()];
-        if inst.state == InstanceState::Draining
-            && inst.busy_workers == 0
-            && inst.queue.is_empty()
+        if inst.state == InstanceState::Draining && inst.busy_workers == 0 && inst.queue.is_empty()
         {
             inst.state = InstanceState::Removed;
         }
@@ -1284,8 +1271,7 @@ impl Simulation {
                     w.latency_sum_us as f64 / w.completions as f64
                 },
                 mem_inflation: w.avg_inflation(),
-                per_core_dram_mbps: usage.get(ResourceKind::MemBw)
-                    / inst.cpu_limit().max(0.1),
+                per_core_dram_mbps: usage.get(ResourceKind::MemBw) / inst.cpu_limit().max(0.1),
             });
             inst.window.clear();
         }
@@ -1323,6 +1309,15 @@ mod tests {
         Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), seed)
             .arrivals(Box::new(ConstantArrivals::new(200.0)))
             .build()
+    }
+
+    #[test]
+    fn simulation_is_send() {
+        // Fleet runtimes move whole simulations (and their builders)
+        // onto worker threads; a regression here breaks `firm-fleet`.
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulation>();
+        assert_send::<SimulationBuilder>();
     }
 
     #[test]
@@ -1543,7 +1538,11 @@ mod tests {
         let t = sim.drain_telemetry();
         assert_eq!(t.nodes.len(), 2);
         assert!(!t.instances.is_empty());
-        assert!((t.arrival_rate - 200.0).abs() < 30.0, "rate {}", t.arrival_rate);
+        assert!(
+            (t.arrival_rate - 200.0).abs() < 30.0,
+            "rate {}",
+            t.arrival_rate
+        );
         assert!((t.request_mix.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         let frontend = &t.instances[0];
         assert!(frontend.arrivals > 0);

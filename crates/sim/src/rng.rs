@@ -2,37 +2,38 @@
 //!
 //! Every stochastic decision in a simulation run draws from a single
 //! [`SimRng`] seeded at construction, so a `(seed, spec)` pair fully
-//! determines a run. The distributions needed by the simulator and the
-//! workload generators (uniform, exponential, normal, log-normal, Pareto,
-//! weighted choice) are implemented here directly so that only the `rand`
-//! core crate is required.
+//! determines a run. The generator core is the workspace's canonical
+//! [`firm_rng::Xoshiro256`]; the distributions the simulator and the
+//! workload generators need (uniform, exponential, normal, log-normal,
+//! Pareto, weighted choice) are implemented here directly, so no
+//! external dependencies are involved and the byte-level stream is
+//! stable across toolchains.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use firm_rng::Xoshiro256;
 
 /// Deterministic RNG with the distribution helpers the simulator needs.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256,
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256::new(seed),
         }
     }
 
     /// Derives an independent child generator; useful for giving
     /// subsystems their own streams without coupling their draw counts.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::new(self.inner.gen::<u64>())
+        SimRng::new(self.inner.next_u64())
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.next_f64()
     }
 
     /// Uniform draw in `[lo, hi)`. Returns `lo` when the range is empty.
@@ -50,7 +51,7 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() requires a non-empty range");
-        self.inner.gen_range(0..n)
+        self.inner.next_below(n as u64) as usize
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -213,9 +214,7 @@ mod tests {
         let mut a = SimRng::new(17);
         let mut child = a.fork();
         // The child stream must not simply mirror the parent.
-        let equal = (0..32)
-            .filter(|_| a.uniform() == child.uniform())
-            .count();
+        let equal = (0..32).filter(|_| a.uniform() == child.uniform()).count();
         assert!(equal < 4);
     }
 

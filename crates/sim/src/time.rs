@@ -221,7 +221,10 @@ mod tests {
     fn mul_f64_scales() {
         let d = SimDuration::from_millis(10).mul_f64(2.5);
         assert_eq!(d.as_micros(), 25_000);
-        assert_eq!(SimDuration::from_millis(10).mul_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_millis(10).mul_f64(-1.0),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -50,7 +50,12 @@ impl TelemetryCollector {
             at = inst.at;
             let id = inst.instance;
             let r = &mut self.registry;
-            r.record_instance(MetricKind::CpuUsage, id, at, inst.usage.get(ResourceKind::Cpu));
+            r.record_instance(
+                MetricKind::CpuUsage,
+                id,
+                at,
+                inst.usage.get(ResourceKind::Cpu),
+            );
             r.record_instance(
                 MetricKind::MemoryUsageBytes,
                 id,
@@ -118,8 +123,7 @@ impl TelemetryCollector {
                 MetricKind::PerCoreDramAccess,
                 node.node,
                 node.at,
-                node.used.get(ResourceKind::MemBw)
-                    / node.capacity.get(ResourceKind::Cpu).max(1.0),
+                node.used.get(ResourceKind::MemBw) / node.capacity.get(ResourceKind::Cpu).max(1.0),
             );
         }
 
@@ -142,12 +146,7 @@ mod tests {
     use super::*;
     use firm_sim::{
         spec::{AppSpec, ClusterSpec},
-        AnomalyKind,
-        AnomalySpec,
-        InstanceId,
-        NodeId,
-        SimDuration,
-        Simulation,
+        AnomalyKind, AnomalySpec, InstanceId, NodeId, SimDuration, Simulation,
     };
 
     fn sim() -> Simulation {
@@ -180,7 +179,10 @@ mod tests {
             .registry()
             .node_series(MetricKind::CpuUsage, NodeId(0))
             .is_some());
-        assert!(c.registry().cluster_series(MetricKind::ArrivalRate).is_some());
+        assert!(c
+            .registry()
+            .cluster_series(MetricKind::ArrivalRate)
+            .is_some());
     }
 
     #[test]

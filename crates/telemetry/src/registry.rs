@@ -97,7 +97,12 @@ mod tests {
     #[test]
     fn record_and_fetch() {
         let mut r = MetricRegistry::new(64);
-        r.record_instance(MetricKind::CpuUsage, InstanceId(3), SimTime::from_secs(1), 2.0);
+        r.record_instance(
+            MetricKind::CpuUsage,
+            InstanceId(3),
+            SimTime::from_secs(1),
+            2.0,
+        );
         r.record_node(MetricKind::CpuUsage, NodeId(0), SimTime::from_secs(1), 24.0);
         r.record_cluster(MetricKind::ArrivalRate, SimTime::from_secs(1), 500.0);
 
@@ -118,11 +123,10 @@ mod tests {
                 .1,
             24.0
         );
-        assert_eq!(
-            r.cluster_series(MetricKind::ArrivalRate).unwrap().len(),
-            1
-        );
-        assert!(r.instance_series(MetricKind::Drops, InstanceId(3)).is_none());
+        assert_eq!(r.cluster_series(MetricKind::ArrivalRate).unwrap().len(), 1);
+        assert!(r
+            .instance_series(MetricKind::Drops, InstanceId(3))
+            .is_none());
     }
 
     #[test]

@@ -117,8 +117,7 @@ mod tests {
     use super::*;
     use firm_sim::{
         spec::{AppSpec, ClusterSpec},
-        SimDuration,
-        Simulation,
+        SimDuration, Simulation,
     };
 
     fn run(seed: u64) -> Vec<CompletedRequest> {

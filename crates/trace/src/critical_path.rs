@@ -293,14 +293,7 @@ mod tests {
         // Root → A → B; A's child B dominates A's time.
         let g = graph(vec![
             span(1, None, 0, 0, 1000, vec![(2, 1, 10, Some(950), false)]),
-            span(
-                2,
-                Some(1),
-                1,
-                20,
-                940,
-                vec![(3, 2, 40, Some(900), false)],
-            ),
+            span(2, Some(1), 1, 20, 940, vec![(3, 2, 40, Some(900), false)]),
             span(3, Some(2), 2, 50, 890, vec![]),
         ]);
         let cp = critical_path(&g);
@@ -337,8 +330,7 @@ mod tests {
     fn cp_on_simulated_traces_is_sane() {
         use firm_sim::{
             spec::{AppSpec, ClusterSpec},
-            SimDuration,
-            Simulation,
+            SimDuration, Simulation,
         };
         let mut sim =
             Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 11).build();

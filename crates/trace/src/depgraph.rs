@@ -105,8 +105,7 @@ mod tests {
     use super::*;
     use firm_sim::{
         spec::{AppSpec, ClusterSpec},
-        SimDuration,
-        Simulation,
+        SimDuration, Simulation,
     };
 
     #[test]

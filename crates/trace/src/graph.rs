@@ -173,8 +173,7 @@ mod tests {
     use super::*;
     use firm_sim::{
         spec::{AppSpec, ClusterSpec},
-        SimDuration,
-        Simulation,
+        SimDuration, Simulation,
     };
 
     fn one_trace() -> CompletedRequest {

@@ -127,11 +127,7 @@ impl TraceStore {
     /// Per-instance span-latency samples (us) across traces finished at
     /// or after `since`, paired with the owning trace's end-to-end
     /// latency (us) — the aligned `(Ti, TCP)` vectors of Alg. 2.
-    pub fn instance_latency_pairs(
-        &self,
-        since: SimTime,
-        instance: InstanceId,
-    ) -> Vec<(f64, f64)> {
+    pub fn instance_latency_pairs(&self, since: SimTime, instance: InstanceId) -> Vec<(f64, f64)> {
         let mut out = Vec::new();
         for t in self.since(since) {
             if t.dropped {

@@ -617,11 +617,7 @@ pub fn fig2_compose_post() -> AppSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use firm_sim::{
-        spec::ClusterSpec,
-        SimDuration,
-        Simulation,
-    };
+    use firm_sim::{spec::ClusterSpec, SimDuration, Simulation};
 
     #[test]
     fn service_counts_match_paper() {
@@ -662,8 +658,7 @@ mod tests {
             // Every request type flows.
             for rt in 0..n_rts {
                 assert!(
-                    done.iter()
-                        .any(|r| r.request_type.index() == rt),
+                    done.iter().any(|r| r.request_type.index() == rt),
                     "{}: request type {rt} never completed",
                     bench.name()
                 );
@@ -698,8 +693,7 @@ mod tests {
                     }
                     if sync.iter().any(|a| {
                         sync.iter().any(|b| {
-                            b.sent > a.sent
-                                && a.returned.map(|r| r <= b.sent).unwrap_or(false)
+                            b.sent > a.sent && a.returned.map(|r| r <= b.sent).unwrap_or(false)
                         })
                     }) {
                         saw_sequential_stages = true;

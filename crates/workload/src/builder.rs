@@ -1,14 +1,6 @@
 //! A small builder DSL for assembling application topologies.
 
-use firm_sim::spec::{
-    AppSpec,
-    Behavior,
-    Call,
-    DemandProfile,
-    RequestTypeSpec,
-    ServiceSpec,
-    Stage,
-};
+use firm_sim::spec::{AppSpec, Behavior, Call, DemandProfile, RequestTypeSpec, ServiceSpec, Stage};
 use firm_sim::ServiceId;
 
 /// Service tier; determines the default resource-demand profile.
@@ -155,14 +147,20 @@ impl AppBuilder {
         stages: Vec<Stage>,
     ) -> &mut Self {
         let demand = self.tiers[service.index()].demand(work);
-        self.services[service.index()].behaviors[rt] =
-            Some(Behavior::with_stages(demand, stages));
+        self.services[service.index()].behaviors[rt] = Some(Behavior::with_stages(demand, stages));
         self
     }
 
     /// Convenience: a cache-then-db lookaside pattern — call the cache,
     /// then the database, sequentially (two stages).
-    pub fn lookaside(&mut self, service: ServiceId, rt: usize, work: f64, cache: ServiceId, db: ServiceId) -> &mut Self {
+    pub fn lookaside(
+        &mut self,
+        service: ServiceId,
+        rt: usize,
+        work: f64,
+        cache: ServiceId,
+        db: ServiceId,
+    ) -> &mut Self {
         self.stages(
             service,
             rt,
@@ -187,8 +185,15 @@ impl AppBuilder {
         weight: f64,
         slo_ms: u64,
     ) -> &mut Self {
-        assert_eq!(idx, self.request_types.len(), "register request types in order");
-        assert!(idx < self.n_request_types, "request-type index out of range");
+        assert_eq!(
+            idx,
+            self.request_types.len(),
+            "register request types in order"
+        );
+        assert!(
+            idx < self.n_request_types,
+            "request-type index out of range"
+        );
         self.request_types.push(RequestTypeSpec {
             name: name.into(),
             entry,

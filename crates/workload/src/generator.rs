@@ -22,7 +22,10 @@ impl DiurnalArrivals {
     /// Panics unless `base > 0`, `0 ≤ amplitude < 1`, and `period > 0`.
     pub fn new(base: f64, amplitude: f64, period: SimDuration) -> Self {
         assert!(base > 0.0, "base rate must be positive");
-        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
         assert!(period > SimDuration::ZERO, "period must be positive");
         DiurnalArrivals {
             base,
@@ -124,7 +127,10 @@ impl StepArrivals {
             steps.windows(2).all(|w| w[0].0 <= w[1].0),
             "steps must be sorted by time"
         );
-        assert!(steps.iter().all(|(_, r)| *r > 0.0), "rates must be positive");
+        assert!(
+            steps.iter().all(|(_, r)| *r > 0.0),
+            "rates must be positive"
+        );
         StepArrivals { steps }
     }
 
@@ -148,6 +154,112 @@ impl ArrivalProcess for StepArrivals {
 
     fn nominal_rate(&self, now: SimTime) -> f64 {
         self.rate_at(now)
+    }
+}
+
+/// A declarative arrival-shape specification, the load half of a fleet
+/// scenario.
+///
+/// Scenario catalogs need load shapes that can be written down as plain
+/// data (named, compared, stored in tables) and only turned into a live
+/// [`ArrivalProcess`] when a simulation is built. The three shapes cover
+/// the paper's §4.1 regimes: steady Poisson traffic, diurnal
+/// (sinusoidal) variation, and flash crowds (periodic multiplicative
+/// bursts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadShape {
+    /// Poisson arrivals at a fixed rate (req/s).
+    Steady {
+        /// Mean arrival rate, req/s.
+        rate: f64,
+    },
+    /// Sinusoidal rate: `base · (1 + amplitude·sin(2πt/period))`.
+    Diurnal {
+        /// Mean arrival rate, req/s.
+        base: f64,
+        /// Relative swing in `[0, 1)`.
+        amplitude: f64,
+        /// Oscillation period, seconds.
+        period_secs: u64,
+    },
+    /// Flash crowd: every `every_secs`, the rate jumps to
+    /// `base · multiplier` for `crest_secs`.
+    FlashCrowd {
+        /// Baseline arrival rate, req/s.
+        base: f64,
+        /// Burst multiplier (≥ 1).
+        multiplier: f64,
+        /// Burst period, seconds.
+        every_secs: u64,
+        /// Burst length, seconds (must be < `every_secs`).
+        crest_secs: u64,
+    },
+}
+
+impl LoadShape {
+    /// Instantiates the live arrival process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape parameters violate the constructor contracts
+    /// of the underlying processes (non-positive rates, oversized
+    /// bursts, amplitude outside `[0, 1)`).
+    pub fn build(&self) -> Box<dyn ArrivalProcess> {
+        match *self {
+            LoadShape::Steady { rate } => Box::new(firm_sim::PoissonArrivals::new(rate)),
+            LoadShape::Diurnal {
+                base,
+                amplitude,
+                period_secs,
+            } => Box::new(DiurnalArrivals::new(
+                base,
+                amplitude,
+                SimDuration::from_secs(period_secs),
+            )),
+            LoadShape::FlashCrowd {
+                base,
+                multiplier,
+                every_secs,
+                crest_secs,
+            } => Box::new(SpikeArrivals::new(
+                base,
+                multiplier,
+                SimDuration::from_secs(every_secs),
+                SimDuration::from_secs(crest_secs),
+            )),
+        }
+    }
+
+    /// The time-averaged arrival rate of the shape, req/s.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            LoadShape::Steady { rate } => rate,
+            // The sinusoid integrates to its base over a full period.
+            LoadShape::Diurnal { base, .. } => base,
+            LoadShape::FlashCrowd {
+                base,
+                multiplier,
+                every_secs,
+                crest_secs,
+            } => {
+                let crest_frac = crest_secs as f64 / every_secs as f64;
+                base * (1.0 + (multiplier - 1.0) * crest_frac)
+            }
+        }
+    }
+
+    /// A short label for reports (`steady@100`, `diurnal@80±50%`,
+    /// `flash@60x4`).
+    pub fn label(&self) -> String {
+        match *self {
+            LoadShape::Steady { rate } => format!("steady@{rate:.0}"),
+            LoadShape::Diurnal {
+                base, amplitude, ..
+            } => format!("diurnal@{base:.0}\u{b1}{:.0}%", amplitude * 100.0),
+            LoadShape::FlashCrowd {
+                base, multiplier, ..
+            } => format!("flash@{base:.0}x{multiplier:.0}"),
+        }
     }
 }
 
@@ -219,5 +331,33 @@ mod tests {
             SimDuration::from_secs(10),
             SimDuration::from_secs(20),
         );
+    }
+
+    #[test]
+    fn load_shapes_build_and_report_rates() {
+        let shapes = [
+            LoadShape::Steady { rate: 100.0 },
+            LoadShape::Diurnal {
+                base: 80.0,
+                amplitude: 0.5,
+                period_secs: 120,
+            },
+            LoadShape::FlashCrowd {
+                base: 60.0,
+                multiplier: 4.0,
+                every_secs: 60,
+                crest_secs: 15,
+            },
+        ];
+        for shape in shapes {
+            let p = shape.build();
+            assert!(p.nominal_rate(SimTime::ZERO) > 0.0, "{}", shape.label());
+            assert!(shape.mean_rate() > 0.0);
+            assert!(!shape.label().is_empty());
+        }
+        assert_eq!(shapes[0].mean_rate(), 100.0);
+        assert_eq!(shapes[1].mean_rate(), 80.0);
+        // 60·(1 + 3·0.25) = 105.
+        assert!((shapes[2].mean_rate() - 105.0).abs() < 1e-9);
     }
 }

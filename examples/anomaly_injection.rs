@@ -6,14 +6,7 @@
 //! ```
 
 use firm::sim::anomaly::ANOMALY_KINDS;
-use firm::sim::{
-    spec::ClusterSpec,
-    AnomalySpec,
-    NodeId,
-    PoissonArrivals,
-    SimDuration,
-    Simulation,
-};
+use firm::sim::{spec::ClusterSpec, AnomalySpec, NodeId, PoissonArrivals, SimDuration, Simulation};
 use firm::workload::apps::Benchmark;
 
 fn p99(lats: &mut [f64]) -> f64 {

@@ -1,0 +1,64 @@
+//! Run the built-in scenario catalog across worker threads and print
+//! the fleet report: per-tenant SLO outcomes plus the shared pipeline
+//! trained on the pooled experience.
+//!
+//! ```sh
+//! cargo run --release --example fleet_catalog
+//! ```
+
+use firm::fleet::{builtin_catalog, FleetConfig, FleetRunner};
+
+fn main() {
+    let scenarios = builtin_catalog();
+    let config = FleetConfig {
+        threads: 0, // one worker per core
+        seed: 7,
+        train_steps: 256,
+    };
+    let threads = config.effective_threads();
+    let runner = FleetRunner::new(config);
+
+    println!(
+        "fleet: {} scenarios on {} worker thread(s)\n",
+        scenarios.len(),
+        threads
+    );
+    let start = std::time::Instant::now();
+    let result = runner.run(&scenarios);
+    let wall = start.elapsed();
+
+    println!(
+        "{:<22} {:<18} {:>5} {:>6} {:>10} {:>9} {:>8} {:>7} {:>6}",
+        "scenario", "benchmark", "ctl", "load", "completed", "viol%", "p99 ms", "mitig", "xp"
+    );
+    for s in &result.report.scenarios {
+        println!(
+            "{:<22} {:<18} {:>5} {:>6} {:>10} {:>8.2}% {:>8.1} {:>7} {:>6}",
+            s.name,
+            s.benchmark,
+            s.controller,
+            s.load.split('@').next().unwrap_or("?"),
+            s.completions,
+            s.violation_rate() * 100.0,
+            s.p99_us as f64 / 1e3,
+            s.mitigations,
+            s.transitions,
+        );
+    }
+    let t = &result.report.totals;
+    println!(
+        "\ntotals: {} requests served, {:.2}% SLO violations, worst p99 {:.1} ms",
+        t.completions,
+        t.violation_rate() * 100.0,
+        t.worst_p99_us as f64 / 1e3
+    );
+    println!(
+        "shared trainer: {} transitions + {} SVM labels pooled, {} DDPG updates",
+        t.transitions, t.svm_examples, result.trained_updates
+    );
+    println!(
+        "report digest: {:016x} (bit-identical at any thread count)",
+        result.report.digest()
+    );
+    println!("wall clock: {:.2} s", wall.as_secs_f64());
+}

@@ -10,12 +10,7 @@
 
 use firm::core::manager::{FirmConfig, FirmManager};
 use firm::sim::{
-    spec::ClusterSpec,
-    AnomalyKind,
-    AnomalySpec,
-    PoissonArrivals,
-    SimDuration,
-    Simulation,
+    spec::ClusterSpec, AnomalyKind, AnomalySpec, PoissonArrivals, SimDuration, Simulation,
 };
 use firm::workload::apps::Benchmark;
 

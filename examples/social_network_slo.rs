@@ -7,13 +7,7 @@
 
 use firm::core::extractor::CriticalComponentExtractor;
 use firm::sim::{
-    spec::ClusterSpec,
-    AnomalyKind,
-    AnomalySpec,
-    PoissonArrivals,
-    SimDuration,
-    SimTime,
-    Simulation,
+    spec::ClusterSpec, AnomalyKind, AnomalySpec, PoissonArrivals, SimDuration, SimTime, Simulation,
 };
 use firm::trace::TracingCoordinator;
 use firm::workload::apps::Benchmark;
@@ -41,8 +35,7 @@ fn main() {
     coordinator.ingest(sim.drain_completed());
 
     // Critical-path census.
-    let mut by_signature: std::collections::BTreeMap<Vec<u16>, (usize, f64)> =
-        Default::default();
+    let mut by_signature: std::collections::BTreeMap<Vec<u16>, (usize, f64)> = Default::default();
     for cp in coordinator.critical_paths_since(SimTime::ZERO) {
         let sig: Vec<u16> = cp.signature().iter().map(|s| s.raw()).collect();
         let e = by_signature.entry(sig).or_insert((0, 0.0));
@@ -54,7 +47,12 @@ fn main() {
     rows.sort_by_key(|(_, (n, _))| std::cmp::Reverse(*n));
     for (sig, (n, total_ms)) in rows.into_iter().take(5) {
         let path: Vec<&str> = sig.iter().map(|s| names[*s as usize].as_str()).collect();
-        println!("  {:>5} traces  mean {:>7.2} ms  {}", n, total_ms / n as f64, path.join(" -> "));
+        println!(
+            "  {:>5} traces  mean {:>7.2} ms  {}",
+            n,
+            total_ms / n as f64,
+            path.join(" -> ")
+        );
     }
 
     // Algorithm 2 features, ranked.

@@ -37,8 +37,8 @@ fn main() {
 
     println!("training the general (one-for-all) teacher agent...");
     let (teacher_stats, teacher) = train_firm(&app, &cfg(AgentRegime::Shared, 100));
-    let teacher_avg = teacher_stats.iter().map(|s| s.total_reward).sum::<f64>()
-        / teacher_stats.len() as f64;
+    let teacher_avg =
+        teacher_stats.iter().map(|s| s.total_reward).sum::<f64>() / teacher_stats.len() as f64;
     println!("teacher mean episode reward: {teacher_avg:.1}");
 
     println!("\ntraining per-service agents from scratch...");

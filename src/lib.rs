@@ -21,7 +21,11 @@
 //! * [`workload`] — the four benchmark topologies and load shapes;
 //! * [`core`] — FIRM itself: extractor, RL estimator, deployment
 //!   module, anomaly injector, baselines, training and experiment
-//!   harnesses.
+//!   harnesses;
+//! * [`fleet`] — the parallel multi-tenant fleet runtime: a scenario
+//!   catalog over all four benchmarks, a sharded `FleetRunner` with
+//!   bit-identical results at any thread count, and cross-simulation
+//!   experience aggregation into one shared agent (§4.3 one-for-all).
 //!
 //! # Examples
 //!
@@ -38,6 +42,7 @@
 //! ```
 
 pub use firm_core as core;
+pub use firm_fleet as fleet;
 pub use firm_ml as ml;
 pub use firm_sim as sim;
 pub use firm_telemetry as telemetry;

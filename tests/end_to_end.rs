@@ -6,12 +6,7 @@ use firm::core::experiment::{run_scenario, ControllerKind, ScenarioConfig};
 use firm::core::injector::CampaignConfig;
 use firm::core::manager::{FirmConfig, FirmManager};
 use firm::sim::{
-    spec::ClusterSpec,
-    AnomalyKind,
-    AnomalySpec,
-    PoissonArrivals,
-    SimDuration,
-    Simulation,
+    spec::ClusterSpec, AnomalyKind, AnomalySpec, PoissonArrivals, SimDuration, Simulation,
 };
 use firm::trace::TracingCoordinator;
 use firm::workload::apps::{Benchmark, ALL_BENCHMARKS};
@@ -117,10 +112,7 @@ fn firm_mitigation_beats_no_management_under_stress() {
 #[test]
 fn scenario_harness_runs_every_benchmark_with_every_controller() {
     for bench in ALL_BENCHMARKS {
-        let mut cfg = ScenarioConfig::new(
-            bench.build(),
-            ControllerKind::K8s(K8sConfig::default()),
-        );
+        let mut cfg = ScenarioConfig::new(bench.build(), ControllerKind::K8s(K8sConfig::default()));
         cfg.cluster = ClusterSpec::small(4);
         cfg.arrivals = Some(Box::new(PoissonArrivals::new(100.0)));
         cfg.duration = SimDuration::from_secs(10);
@@ -137,13 +129,9 @@ fn coordinator_and_baselines_compose_across_crates() {
     // Drive the Media Service, ingest into the coordinator, and let the
     // HPA reconcile off the same telemetry — the plumbing the manager
     // uses, assembled by hand.
-    let mut sim = Simulation::builder(
-        ClusterSpec::small(3),
-        Benchmark::MediaService.build(),
-        13,
-    )
-    .arrivals(Box::new(PoissonArrivals::new(150.0)))
-    .build();
+    let mut sim = Simulation::builder(ClusterSpec::small(3), Benchmark::MediaService.build(), 13)
+        .arrivals(Box::new(PoissonArrivals::new(150.0)))
+        .build();
     let mut coord = TracingCoordinator::new(50_000);
     let mut hpa = K8sHpaController::new(K8sConfig::default(), sim.app().services.len());
     for _ in 0..5 {
@@ -156,6 +144,9 @@ fn coordinator_and_baselines_compose_across_crates() {
     let cps = coord.critical_paths_since(firm::sim::SimTime::ZERO);
     assert!(!cps.is_empty());
     // Every CP is rooted at nginx.
-    let nginx = Benchmark::MediaService.build().service_by_name("nginx").unwrap();
+    let nginx = Benchmark::MediaService
+        .build()
+        .service_by_name("nginx")
+        .unwrap();
     assert!(cps.iter().all(|cp| cp.entries[0].service == nginx));
 }
