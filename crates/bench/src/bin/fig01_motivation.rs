@@ -10,7 +10,7 @@
 
 use firm_bench::{banner, paper_note, section, Args};
 use firm_core::baselines::{K8sConfig, K8sHpaController};
-use firm_core::manager::FirmManager;
+use firm_core::controller::{Controller, TickContext};
 use firm_core::training::{train_firm, TrainingConfig};
 use firm_sim::spec::ClusterSpec;
 use firm_sim::{AnomalyKind, AnomalySpec, PoissonArrivals, SimDuration, Simulation};
@@ -20,18 +20,16 @@ struct Timeline {
     rows: Vec<(u64, f64, f64, f64)>,
 }
 
-fn run(mode: &str, mgr: Option<FirmManager>, seconds: u64, rate: f64, seed: u64) -> Timeline {
+/// Drives any [`Controller`] through the Fig. 1 timeline: one shared
+/// code path, window traces drained exactly once (no per-controller
+/// measurement forks, no boundary double-counts).
+fn run(controller: &mut dyn Controller, seconds: u64, rate: f64, seed: u64) -> Timeline {
     let mut app = Benchmark::SocialNetwork.build();
     let cluster = ClusterSpec::small(6);
     firm_core::slo::calibrate_slos(&mut app, &cluster, rate, 1.4, seed);
     let mut sim = Simulation::builder(cluster, app, seed)
         .arrivals(Box::new(PoissonArrivals::new(rate)))
         .build();
-    let mut firm = mgr;
-    if let Some(m) = firm.as_mut() {
-        m.reset_environment();
-    }
-    let mut hpa = K8sHpaController::new(K8sConfig::default(), sim.app().services.len());
 
     // The anomaly: memory-bandwidth contention on the node hosting the
     // post-storage memcached, from t=60 s to t=240 s (like Fig. 1).
@@ -50,6 +48,7 @@ fn run(mode: &str, mgr: Option<FirmManager>, seconds: u64, rate: f64, seed: u64)
 
     let mut rows = Vec::new();
     let window = 5u64;
+    let interval = SimDuration::from_secs(1);
     let mut t = 0;
     while t < seconds {
         // Controllers tick at 1 s inside each 5 s reporting window.
@@ -58,44 +57,31 @@ fn run(mode: &str, mgr: Option<FirmManager>, seconds: u64, rate: f64, seed: u64)
         let mut dram = 0.0;
         let mut n_util = 0.0f64;
         for _ in 0..window {
-            sim.run_for(SimDuration::from_secs(1));
-            match (mode, firm.as_mut()) {
-                ("FIRM", Some(m)) => {
-                    m.tick(&mut sim);
-                    for tr in m.coordinator().traces_since(firm_sim::SimTime::from_secs(
-                        sim.now().as_micros() / 1_000_000 - 1,
-                    )) {
-                        if !tr.dropped {
-                            lats.push(tr.latency.as_micros() as f64);
-                        }
-                    }
-                    if let Some(tel) = m.last_telemetry() {
-                        for i in &tel.instances {
-                            cpu_util_sum += i.utilization.get(firm_sim::ResourceKind::Cpu);
-                            n_util += 1.0;
-                            if i.instance == victim {
-                                dram = i.per_core_dram_mbps;
-                            }
-                        }
-                    }
-                }
-                _ => {
-                    for r in sim.drain_completed() {
-                        if !r.dropped {
-                            lats.push(r.latency.as_micros() as f64);
-                        }
-                    }
-                    let tel = sim.drain_telemetry();
-                    hpa.tick(&mut sim, &tel);
-                    for i in &tel.instances {
-                        cpu_util_sum += i.utilization.get(firm_sim::ResourceKind::Cpu);
-                        n_util += 1.0;
-                        if i.instance == victim {
-                            dram = i.per_core_dram_mbps;
-                        }
-                    }
+            let window_start = sim.now();
+            sim.run_for(interval);
+            let completed = sim.drain_completed();
+            let telemetry = sim.drain_telemetry();
+            for r in &completed {
+                if !r.dropped {
+                    lats.push(r.latency.as_micros() as f64);
                 }
             }
+            for i in &telemetry.instances {
+                cpu_util_sum += i.utilization.get(firm_sim::ResourceKind::Cpu);
+                n_util += 1.0;
+                if i.instance == victim {
+                    dram = i.per_core_dram_mbps;
+                }
+            }
+            controller.tick(
+                &mut sim,
+                TickContext {
+                    window_start,
+                    control_interval: interval,
+                    completed,
+                    telemetry,
+                },
+            );
         }
         t += window;
         lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -138,9 +124,11 @@ fn main() {
     };
     let (_, mut manager) = train_firm(&train_app, &cfg);
     manager.config.explore = false;
+    manager.reset_environment();
 
-    let k8s = run("K8S", None, seconds, rate, seed);
-    let firm = run("FIRM", Some(manager), seconds, rate, seed);
+    let mut hpa = K8sHpaController::new(K8sConfig::default(), train_app.services.len());
+    let k8s = run(&mut hpa, seconds, rate, seed);
+    let firm = run(&mut manager, seconds, rate, seed);
 
     section("timeline (anomaly active in the middle three-fifths of the run)");
     println!(

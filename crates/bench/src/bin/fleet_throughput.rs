@@ -13,6 +13,10 @@
 //!     --seconds 20 --threads 4 --out BENCH_fleet.json
 //! ```
 //!
+//! `--scenarios N` truncates the catalog to its first N entries — the
+//! CI smoke mode, so the binary can't silently rot without burning
+//! minutes.
+//!
 //! Note: speedup is bounded by the host's core count; on a single-core
 //! container every thread count measures ≈1×. The JSON records
 //! `host_cores` so readers can judge the headroom.
@@ -54,10 +58,12 @@ fn main() {
     let seconds = args.u64("seconds", 20);
     let max_threads = args.u64("threads", 4) as usize;
     let seed = args.u64("seed", 7);
+    let take = args.u64("scenarios", u64::MAX) as usize;
     let out_path = args.get("out").unwrap_or("BENCH_fleet.json").to_string();
 
     let scenarios: Vec<Scenario> = builtin_catalog()
         .into_iter()
+        .take(take.max(1))
         .map(|s| s.with_duration(SimDuration::from_secs(seconds)))
         .collect();
 

@@ -10,7 +10,7 @@
 //!   limit while its SLO is violated and multiplicatively decreases it
 //!   when the container is underutilized.
 
-use firm_sim::{Command, ResourceKind, ServiceId, SimTime, Simulation};
+use firm_sim::{Command, CompletedRequest, ResourceKind, ServiceId, SimTime, Simulation};
 use firm_trace::TracingCoordinator;
 
 use crate::slo::SloMonitor;
@@ -131,11 +131,14 @@ impl Default for AimdConfig {
     }
 }
 
-/// The AIMD baseline: per-container CPU-limit control.
+/// The AIMD baseline: per-container CPU-limit control. Owns its own
+/// tracing view: feed each window's completed traces in with
+/// [`AimdController::ingest`], then [`AimdController::tick`].
 #[derive(Debug)]
 pub struct AimdController {
     config: AimdConfig,
     monitor: SloMonitor,
+    coordinator: TracingCoordinator,
     /// Limit updates issued.
     pub limit_ops: u64,
 }
@@ -146,22 +149,29 @@ impl AimdController {
         AimdController {
             config,
             monitor: SloMonitor::default(),
+            coordinator: TracingCoordinator::new(100_000),
             limit_ops: 0,
         }
     }
 
+    /// Feeds one window's completed traces into the controller's
+    /// tracing view (call before [`AimdController::tick`]).
+    pub fn ingest(&mut self, completed: Vec<CompletedRequest>) {
+        self.coordinator.ingest(completed);
+    }
+
     /// One control pass: additive increase on SLO violation (on every
     /// running container of a violating request path), multiplicative
-    /// decrease on low utilization.
+    /// decrease on low utilization. Evicts traces older than
+    /// `window_start` afterwards.
     pub fn tick(
         &mut self,
         sim: &mut Simulation,
-        coordinator: &TracingCoordinator,
         telemetry: &firm_sim::telemetry_probe::TelemetryWindow,
         window_start: SimTime,
     ) {
         let app = sim.app().clone();
-        let assessment = self.monitor.assess(&app, coordinator, window_start);
+        let assessment = self.monitor.assess(&app, &self.coordinator, window_start);
         let violating = assessment.any_violation();
 
         for inst in &telemetry.instances {
@@ -190,6 +200,9 @@ impl AimdController {
                 self.limit_ops += 1;
             }
         }
+        // The assessment window never looks back past its start; keep
+        // the trace store bounded.
+        self.coordinator.evict_before(window_start);
     }
 }
 
@@ -267,7 +280,6 @@ mod tests {
         let mut sim = Simulation::builder(ClusterSpec::small(2), app, 73)
             .arrivals(Box::new(PoissonArrivals::new(50.0)))
             .build();
-        let mut coord = TracingCoordinator::new(100_000);
         let mut aimd = AimdController::new(AimdConfig::default());
 
         // Idle-ish phase: limits decay multiplicatively.
@@ -275,9 +287,9 @@ mod tests {
         for _ in 0..8 {
             let start = sim.now();
             sim.run_for(SimDuration::from_secs(1));
-            coord.ingest(sim.drain_completed());
+            aimd.ingest(sim.drain_completed());
             let t = sim.drain_telemetry();
-            aimd.tick(&mut sim, &coord, &t, start);
+            aimd.tick(&mut sim, &t, start);
         }
         let decayed = sim.total_requested_cpu();
         assert!(decayed < initial, "no decay: {initial} → {decayed}");
@@ -304,9 +316,9 @@ mod tests {
         for _ in 0..6 {
             let start = sim.now();
             sim.run_for(SimDuration::from_secs(1));
-            coord.ingest(sim.drain_completed());
+            aimd.ingest(sim.drain_completed());
             let t = sim.drain_telemetry();
-            aimd.tick(&mut sim, &coord, &t, start);
+            aimd.tick(&mut sim, &t, start);
         }
         let raised = sim.total_requested_cpu();
         assert!(raised > decayed, "no increase: {decayed} → {raised}");

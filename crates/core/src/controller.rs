@@ -1,0 +1,627 @@
+//! The unified controller layer: one trait, one episode driver.
+//!
+//! Every resource manager in the workspace — [`FirmManager`], the
+//! [`K8sHpaController`] and [`AimdController`] baselines, and the no-op
+//! [`Unmanaged`] control group — implements the [`Controller`] trait,
+//! and every harness (the single-scenario experiment runner, the fleet
+//! executor, the examples) drives it through one [`run_episode`] loop.
+//!
+//! The driver owns the parts that used to be duplicated and drift:
+//!
+//! * **window measurement** — each control window's completed traces
+//!   are drained from the simulator exactly once and measured before
+//!   the controller sees them, so a trace finishing exactly on a tick
+//!   boundary can never be counted in two windows;
+//! * **warmup gating** — measurements start only after the warmup;
+//! * **drop accounting** — a dropped request counts as a completion
+//!   *and* an SLO violation, so load-shedding controllers never flatter
+//!   their violation rate;
+//! * **mitigation tracking** — the Fig. 11b injection-to-recovery
+//!   accounting via [`MitigationTracker`];
+//! * **the latency histogram and per-tick timeline** behind Fig. 10/1.
+//!
+//! Controllers export and import their learned policy through
+//! [`PolicyCheckpoint`], which is what lets a fleet deploy a trained
+//! shared agent back onto its catalog (the paper's round-trip claim).
+
+use firm_sim::telemetry_probe::TelemetryWindow;
+use firm_sim::{
+    AnomalyId, CompletedRequest, Histogram, ResourceKind, SimDuration, SimTime, Simulation,
+};
+
+use crate::baselines::{AimdController, K8sHpaController};
+use crate::injector::AnomalyInjector;
+use crate::manager::{ExperienceLog, FirmManager};
+use crate::slo::{window_violates, SloMonitor};
+
+/// A frozen, serializable policy: the shared DDPG agent's
+/// `(actor, critic)` weights. What a trained fleet exports and a
+/// deployed controller imports.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolicyCheckpoint {
+    /// Flattened actor weights.
+    pub actor: Vec<f64>,
+    /// Flattened critic weights.
+    pub critic: Vec<f64>,
+}
+
+impl PolicyCheckpoint {
+    /// FNV-1a 64 over the weights' IEEE-754 bit patterns — a cheap
+    /// fingerprint for bit-identity checks in tests and CI.
+    pub fn digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for w in self.actor.iter().chain(&self.critic) {
+            for b in w.to_bits().to_le_bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+}
+
+/// Everything one control tick hands a controller: the window's drained
+/// traces and telemetry.
+#[derive(Debug)]
+pub struct TickContext {
+    /// Start of the control window that just elapsed.
+    pub window_start: SimTime,
+    /// The control-loop period.
+    pub control_interval: SimDuration,
+    /// End-to-end requests completed in the window (drained exactly
+    /// once; ownership passes to the controller).
+    pub completed: Vec<CompletedRequest>,
+    /// The window's telemetry snapshot.
+    pub telemetry: TelemetryWindow,
+}
+
+impl TickContext {
+    /// The shared tail-latency verdict over the window's drained
+    /// traces, for controllers without their own assessment (FIRM's
+    /// coordinator-based [`crate::slo::SloMonitor`] supersedes it).
+    pub fn window_violates(&self, sim: &Simulation) -> bool {
+        window_violates(sim.app(), &self.completed, SloMonitor::default().quantile)
+    }
+}
+
+/// What a controller concluded about the window it just acted on.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlDecision {
+    /// Whether the controller considers the window SLO-violating (feeds
+    /// the Fig. 11b mitigation accounting).
+    pub violating: bool,
+}
+
+/// A resource manager under test: one tick per control window.
+pub trait Controller {
+    /// Report label ("FIRM", "K8S", "AIMD", "none").
+    fn name(&self) -> &'static str;
+
+    /// One control pass: observe the window, actuate on the simulation.
+    fn tick(&mut self, sim: &mut Simulation, ctx: TickContext) -> ControlDecision;
+
+    /// Takes the experience recorded since the last drain (empty for
+    /// controllers that don't learn).
+    fn drain_experience(&mut self) -> ExperienceLog {
+        ExperienceLog::default()
+    }
+
+    /// The controller's current learned policy, if it has one.
+    fn export_policy(&self) -> Option<PolicyCheckpoint> {
+        None
+    }
+
+    /// Loads a frozen policy (no-op for policy-free controllers).
+    fn import_policy(&mut self, _policy: &PolicyCheckpoint) {}
+}
+
+/// The control group: no management, static allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unmanaged;
+
+impl Controller for Unmanaged {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn tick(&mut self, sim: &mut Simulation, ctx: TickContext) -> ControlDecision {
+        ControlDecision {
+            violating: ctx.window_violates(sim),
+        }
+    }
+}
+
+impl Controller for FirmManager {
+    fn name(&self) -> &'static str {
+        "FIRM"
+    }
+
+    fn tick(&mut self, sim: &mut Simulation, ctx: TickContext) -> ControlDecision {
+        let assessment = self.tick_window(sim, ctx.completed, ctx.telemetry);
+        ControlDecision {
+            violating: assessment.any_violation(),
+        }
+    }
+
+    fn drain_experience(&mut self) -> ExperienceLog {
+        FirmManager::drain_experience(self)
+    }
+
+    fn export_policy(&self) -> Option<PolicyCheckpoint> {
+        let (actor, critic) = self.shared_weights();
+        Some(PolicyCheckpoint { actor, critic })
+    }
+
+    fn import_policy(&mut self, policy: &PolicyCheckpoint) {
+        self.estimator_mut()
+            .import_shared(&policy.actor, &policy.critic);
+    }
+}
+
+impl Controller for K8sHpaController {
+    fn name(&self) -> &'static str {
+        "K8S"
+    }
+
+    fn tick(&mut self, sim: &mut Simulation, ctx: TickContext) -> ControlDecision {
+        let violating = ctx.window_violates(sim);
+        K8sHpaController::tick(self, sim, &ctx.telemetry);
+        ControlDecision { violating }
+    }
+}
+
+impl Controller for AimdController {
+    fn name(&self) -> &'static str {
+        "AIMD"
+    }
+
+    fn tick(&mut self, sim: &mut Simulation, ctx: TickContext) -> ControlDecision {
+        let violating = ctx.window_violates(sim);
+        self.ingest(ctx.completed);
+        AimdController::tick(self, sim, &ctx.telemetry, ctx.window_start);
+        ControlDecision { violating }
+    }
+}
+
+/// One point of the per-tick timeline (Fig. 1 / Fig. 10 series).
+#[derive(Debug, Clone, Copy)]
+pub struct TimelinePoint {
+    /// Tick end time.
+    pub at: SimTime,
+    /// p99 end-to-end latency in the tick window (us), 0 if no traffic.
+    pub p99_us: f64,
+    /// Mean end-to-end latency in the window (us).
+    pub mean_us: f64,
+    /// Sum of requested CPU limits (cores).
+    pub requested_cpu: f64,
+    /// Cluster-average CPU utilization of running instances.
+    pub cpu_utilization: f64,
+    /// Mean per-core DRAM access of instance 0's node (Fig. 1 series).
+    pub per_core_dram: f64,
+    /// Drops in the window.
+    pub drops: u64,
+}
+
+/// Tracks SLO-mitigation times across control ticks: for each anomaly
+/// that coincides with a violation, the time from the first violating
+/// window to the first violation-free window while the anomaly is still
+/// active (Fig. 11b's metric). Anomalies that end unresolved count
+/// their full violation span.
+#[derive(Debug, Default)]
+pub struct MitigationTracker {
+    /// anomaly id → (violation first seen, resolved).
+    open: Vec<(AnomalyId, SimTime, bool)>,
+    times: Vec<SimDuration>,
+}
+
+impl MitigationTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        MitigationTracker::default()
+    }
+
+    /// Mitigation times measured so far.
+    pub fn times(&self) -> &[SimDuration] {
+        &self.times
+    }
+
+    /// Consumes the tracker, yielding the measured times.
+    pub fn into_times(self) -> Vec<SimDuration> {
+        self.times
+    }
+
+    /// Observes one tick: which anomalies are active and whether the SLO
+    /// held in this window.
+    pub fn observe(
+        &mut self,
+        active: &[AnomalyId],
+        violating: bool,
+        now: SimTime,
+        tick: SimDuration,
+    ) {
+        // Open trackers for new anomalies that coincide with violations.
+        for id in active {
+            if violating && !self.open.iter().any(|(a, _, _)| a == id) {
+                self.open.push((*id, now, false));
+            }
+        }
+        // A violation-free window while the anomaly is still active means
+        // the manager mitigated it.
+        if !violating {
+            for (_, started, resolved) in &mut self.open {
+                if !*resolved {
+                    *resolved = true;
+                    self.times.push((now - *started).saturating_sub(tick));
+                }
+            }
+        }
+        // Anomalies that ended unresolved count their full violation span.
+        let still_active = |id: &AnomalyId| active.contains(id);
+        let mut keep = Vec::new();
+        for (id, started, resolved) in self.open.drain(..) {
+            if still_active(&id) {
+                keep.push((id, started, resolved));
+            } else if !resolved {
+                self.times.push(now - started);
+            }
+        }
+        self.open = keep;
+    }
+}
+
+/// Episode timing: how long to run, how often to tick, when to start
+/// measuring.
+#[derive(Debug, Clone, Copy)]
+pub struct EpisodeSpec {
+    /// Episode length.
+    pub duration: SimDuration,
+    /// Control-loop period (and measurement window).
+    pub control_interval: SimDuration,
+    /// Measurements start after this warmup.
+    pub warmup: SimDuration,
+}
+
+/// Everything one episode measured.
+#[derive(Debug)]
+pub struct EpisodeResult {
+    /// Control ticks executed.
+    pub ticks: u64,
+    /// End-to-end latency histogram (us), post-warmup, non-dropped.
+    pub latency: Histogram,
+    /// Sum of recorded latencies, us (for exact means).
+    pub latency_sum_us: u128,
+    /// Per-tick timeline.
+    pub timeline: Vec<TimelinePoint>,
+    /// Requests finished post-warmup — served *or* dropped.
+    pub completions: u64,
+    /// Requests dropped post-warmup.
+    pub drops: u64,
+    /// SLO violations post-warmup (drops included).
+    pub slo_violations: u64,
+    /// Mean requested CPU limit over the measured window (cores).
+    pub mean_requested_cpu: f64,
+    /// Per-anomaly mitigation times (Fig. 11b).
+    pub mitigation_times: Vec<SimDuration>,
+}
+
+impl EpisodeResult {
+    /// SLO violation rate among completed requests.
+    pub fn violation_rate(&self) -> f64 {
+        if self.completions == 0 {
+            0.0
+        } else {
+            self.slo_violations as f64 / self.completions as f64
+        }
+    }
+
+    /// Mean end-to-end latency of served (non-dropped) requests, us.
+    pub fn mean_latency_us(&self) -> f64 {
+        let ok = self.completions.saturating_sub(self.drops);
+        if ok == 0 {
+            0.0
+        } else {
+            self.latency_sum_us as f64 / ok as f64
+        }
+    }
+
+    /// Mean mitigation time in seconds (0 if no anomalies fired).
+    pub fn mean_mitigation_secs(&self) -> f64 {
+        if self.mitigation_times.is_empty() {
+            return 0.0;
+        }
+        self.mitigation_times
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .sum::<f64>()
+            / self.mitigation_times.len() as f64
+    }
+}
+
+/// Drives one episode: the single tick/measurement/mitigation loop the
+/// whole workspace shares. The caller keeps ownership of the
+/// simulation, the controller, and the injector, so it can read
+/// whatever else it needs afterwards (run stats, arrival logs,
+/// injection history, harvested experience).
+pub fn run_episode(
+    sim: &mut Simulation,
+    controller: &mut dyn Controller,
+    mut injector: Option<&mut AnomalyInjector>,
+    spec: &EpisodeSpec,
+) -> EpisodeResult {
+    let app = sim.app().clone();
+
+    let mut latency = Histogram::new();
+    let mut timeline = Vec::new();
+    let mut tracker = MitigationTracker::new();
+    let mut ticks = 0u64;
+    let mut completions = 0u64;
+    let mut drops = 0u64;
+    let mut slo_violations = 0u64;
+    let mut latency_sum_us = 0u128;
+    let mut cpu_sum = 0.0;
+    let mut cpu_n = 0u64;
+
+    let end = sim.now() + spec.duration;
+    let warm_until = sim.now() + spec.warmup;
+
+    while sim.now() < end {
+        let window_start = sim.now();
+        if let Some(inj) = injector.as_deref_mut() {
+            inj.tick(sim);
+        }
+        sim.run_for(spec.control_interval);
+        ticks += 1;
+        let measuring = sim.now() > warm_until;
+
+        // The single measurement pass. Completed traces are *drained*
+        // (each appears in exactly one window), which is what makes a
+        // trace finishing exactly on a tick boundary count once — the
+        // bug the old per-harness loops fixed independently or not at
+        // all.
+        let completed = sim.drain_completed();
+        let telemetry = sim.drain_telemetry();
+
+        let mut lats: Vec<f64> = Vec::new();
+        let mut window_drops = 0u64;
+        for r in &completed {
+            if r.dropped {
+                window_drops += 1;
+                if measuring {
+                    drops += 1;
+                    completions += 1;
+                    // A dropped request failed its SLO by definition;
+                    // counting it keeps shedding controllers comparable
+                    // to slow ones.
+                    slo_violations += 1;
+                }
+            } else {
+                let us = r.latency.as_micros();
+                lats.push(us as f64);
+                if measuring {
+                    latency.record(us);
+                    latency_sum_us += us as u128;
+                    completions += 1;
+                    if us > app.request_types[r.request_type.index()].slo_latency_us {
+                        slo_violations += 1;
+                    }
+                }
+            }
+        }
+        lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let window_p99 = firm_sim::stats::sample_quantile(&lats, 0.99);
+        let window_mean = if lats.is_empty() {
+            0.0
+        } else {
+            lats.iter().sum::<f64>() / lats.len() as f64
+        };
+
+        // Timeline inputs that come from the window's telemetry, read
+        // before ownership moves into the tick.
+        let cpu_util = {
+            let running: Vec<_> = telemetry
+                .instances
+                .iter()
+                .filter(|i| i.state == firm_sim::instance::InstanceState::Running)
+                .collect();
+            if running.is_empty() {
+                0.0
+            } else {
+                running
+                    .iter()
+                    .map(|i| i.utilization.get(ResourceKind::Cpu))
+                    .sum::<f64>()
+                    / running.len() as f64
+            }
+        };
+        let per_core_dram = telemetry
+            .instances
+            .first()
+            .map(|i| i.per_core_dram_mbps)
+            .unwrap_or(0.0);
+
+        let decision = controller.tick(
+            sim,
+            TickContext {
+                window_start,
+                control_interval: spec.control_interval,
+                completed,
+                telemetry,
+            },
+        );
+
+        // Requested CPU reflects the controller's actions this tick.
+        let requested_cpu = sim.total_requested_cpu();
+        if measuring {
+            cpu_sum += requested_cpu;
+            cpu_n += 1;
+        }
+        timeline.push(TimelinePoint {
+            at: sim.now(),
+            p99_us: window_p99,
+            mean_us: window_mean,
+            requested_cpu,
+            cpu_utilization: cpu_util,
+            per_core_dram,
+            drops: window_drops,
+        });
+
+        // Mitigation accounting.
+        let active: Vec<AnomalyId> = sim
+            .active_anomalies()
+            .iter()
+            .filter(|(_, _, at)| *at <= sim.now())
+            .map(|(id, _, _)| *id)
+            .collect();
+        tracker.observe(
+            &active,
+            decision.violating,
+            sim.now(),
+            spec.control_interval,
+        );
+    }
+
+    EpisodeResult {
+        ticks,
+        latency,
+        latency_sum_us,
+        timeline,
+        completions,
+        drops,
+        slo_violations,
+        mean_requested_cpu: if cpu_n == 0 {
+            0.0
+        } else {
+            cpu_sum / cpu_n as f64
+        },
+        mitigation_times: tracker.into_times(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{AimdConfig, K8sConfig};
+    use crate::manager::FirmConfig;
+    use firm_sim::spec::{AppSpec, ClusterSpec};
+    use firm_sim::PoissonArrivals;
+
+    fn tight_sim(seed: u64) -> Simulation {
+        let mut app = AppSpec::three_tier_demo();
+        app.request_types[0].slo_latency_us = 10_000;
+        Simulation::builder(ClusterSpec::small(2), app, seed)
+            .arrivals(Box::new(PoissonArrivals::new(60.0)))
+            .build()
+    }
+
+    fn no_warmup_spec(secs: u64) -> EpisodeSpec {
+        EpisodeSpec {
+            duration: SimDuration::from_secs(secs),
+            control_interval: SimDuration::from_secs(1),
+            warmup: SimDuration::ZERO,
+        }
+    }
+
+    /// Regression pin for the window-boundary double-count: with zero
+    /// warmup, everything the simulator finalized must be measured
+    /// exactly once, for every controller — including FIRM, whose old
+    /// coordinator-side measurement loop counted a trace finishing
+    /// exactly on a tick boundary in two windows until each harness
+    /// patched it by hand.
+    #[test]
+    fn window_boundary_traces_are_counted_exactly_once() {
+        let controllers: Vec<Box<dyn Controller>> = vec![
+            Box::new(Unmanaged),
+            Box::new(FirmManager::new(FirmConfig {
+                training: true,
+                ..FirmConfig::default()
+            })),
+            Box::new(K8sHpaController::new(K8sConfig::default(), 5)),
+            Box::new(AimdController::new(AimdConfig::default())),
+        ];
+        for mut ctl in controllers {
+            let mut sim = tight_sim(31);
+            let result = run_episode(&mut sim, ctl.as_mut(), None, &no_warmup_spec(12));
+            let stats = sim.stats();
+            assert_eq!(
+                result.completions,
+                stats.completions,
+                "{}: measured {} but the sim finalized {}",
+                ctl.name(),
+                result.completions,
+                stats.completions
+            );
+            assert_eq!(
+                result.drops,
+                stats.drops,
+                "{}: drop count drifted",
+                ctl.name()
+            );
+            assert!(
+                result.completions > 300,
+                "{}: too little traffic",
+                ctl.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unmanaged_episode_measures_and_tracks_timeline() {
+        let mut sim = tight_sim(32);
+        let mut ctl = Unmanaged;
+        let result = run_episode(&mut sim, &mut ctl, None, &no_warmup_spec(8));
+        assert_eq!(result.ticks, 8);
+        assert_eq!(result.timeline.len(), 8);
+        assert!(result.mean_requested_cpu > 0.0);
+        assert!(result.latency.count() > 0);
+        assert!(result.violation_rate() <= 1.0);
+    }
+
+    #[test]
+    fn warmup_gates_measurement_but_not_the_timeline() {
+        let mut sim = tight_sim(33);
+        let mut ctl = Unmanaged;
+        let spec = EpisodeSpec {
+            duration: SimDuration::from_secs(6),
+            control_interval: SimDuration::from_secs(1),
+            warmup: SimDuration::from_secs(3),
+        };
+        let result = run_episode(&mut sim, &mut ctl, None, &spec);
+        assert_eq!(result.timeline.len(), 6);
+        // Only the post-warmup half was measured.
+        assert!(result.completions < sim.stats().completions);
+    }
+
+    #[test]
+    fn firm_policy_checkpoint_round_trips() {
+        let trained = FirmManager::new(FirmConfig {
+            training: true,
+            seed: 5,
+            ..FirmConfig::default()
+        });
+        let policy = Controller::export_policy(&trained).expect("FIRM has a policy");
+        assert!(!policy.actor.is_empty() && !policy.critic.is_empty());
+
+        let mut fresh = FirmManager::new(FirmConfig {
+            seed: 99,
+            ..FirmConfig::default()
+        });
+        let before = Controller::export_policy(&fresh).expect("policy");
+        assert_ne!(before.digest(), policy.digest(), "seeds collide");
+        fresh.import_policy(&policy);
+        let after = Controller::export_policy(&fresh).expect("policy");
+        assert_eq!(after, policy);
+        assert_eq!(after.digest(), policy.digest());
+    }
+
+    #[test]
+    fn policy_free_controllers_export_nothing() {
+        assert!(Controller::export_policy(&Unmanaged).is_none());
+        let hpa = K8sHpaController::new(K8sConfig::default(), 3);
+        assert!(Controller::export_policy(&hpa).is_none());
+        let mut aimd = AimdController::new(AimdConfig::default());
+        assert!(Controller::export_policy(&aimd).is_none());
+        // Importing into a policy-free controller is a harmless no-op.
+        aimd.import_policy(&PolicyCheckpoint::default());
+        assert!(Controller::drain_experience(&mut aimd).is_empty());
+    }
+}

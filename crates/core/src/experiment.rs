@@ -6,18 +6,21 @@
 //! plot: latency distributions (Fig. 10a), the requested-CPU-limit
 //! series (Fig. 10b), dropped requests (Fig. 10c), per-tick p99
 //! timelines (Fig. 1), and per-anomaly SLO mitigation times (Fig. 11b).
+//!
+//! The tick/measurement loop itself lives in [`crate::controller`]:
+//! this module only declares the scenario (`ScenarioConfig`), builds
+//! the controller from its [`ControllerKind`], and repackages the
+//! shared driver's [`EpisodeResult`] as a [`ScenarioResult`].
 
 use firm_sim::spec::{AppSpec, ClusterSpec};
-use firm_sim::{
-    AnomalyId, ArrivalProcess, Histogram, PoissonArrivals, SimDuration, SimTime, Simulation,
-};
-use firm_telemetry::TelemetryCollector;
-use firm_trace::TracingCoordinator;
+use firm_sim::{ArrivalProcess, Histogram, PoissonArrivals, SimDuration, Simulation};
 
 use crate::baselines::{AimdConfig, AimdController, K8sConfig, K8sHpaController};
+use crate::controller::{run_episode, Controller, EpisodeSpec, Unmanaged};
 use crate::injector::{AnomalyInjector, CampaignConfig};
 use crate::manager::FirmManager;
-use crate::slo::SloMonitor;
+
+pub use crate::controller::{MitigationTracker, TimelinePoint};
 
 /// Which resource manager drives the scenario.
 pub enum ControllerKind {
@@ -31,25 +34,20 @@ pub enum ControllerKind {
     Aimd(AimdConfig),
 }
 
-/// A resource manager under test.
-pub enum Controller {
-    /// No-op.
-    None,
-    /// FIRM manager.
-    Firm(Box<FirmManager>),
-    /// K8s HPA with its own trace/telemetry plumbing.
-    K8s(K8sHpaController),
-    /// AIMD with its own trace/telemetry plumbing.
-    Aimd(AimdController, TracingCoordinator),
-}
-
-impl Controller {
-    fn name(&self) -> &'static str {
+impl ControllerKind {
+    /// Builds the live controller for an application with `services`
+    /// services.
+    pub fn into_controller(self, services: usize) -> Box<dyn Controller> {
         match self {
-            Controller::None => "none",
-            Controller::Firm(_) => "FIRM",
-            Controller::K8s(_) => "K8S",
-            Controller::Aimd(..) => "AIMD",
+            ControllerKind::None => Box::new(Unmanaged),
+            ControllerKind::Firm(mut mgr) => {
+                // The manager may arrive from training on another app; its
+                // environment-coupled state must not leak into this run.
+                mgr.reset_environment();
+                mgr
+            }
+            ControllerKind::K8s(cfg) => Box::new(K8sHpaController::new(cfg, services)),
+            ControllerKind::Aimd(cfg) => Box::new(AimdController::new(cfg)),
         }
     }
 }
@@ -93,25 +91,6 @@ impl ScenarioConfig {
     }
 }
 
-/// One point of the per-tick timeline.
-#[derive(Debug, Clone, Copy)]
-pub struct TimelinePoint {
-    /// Tick end time.
-    pub at: SimTime,
-    /// p99 end-to-end latency in the tick window (us), 0 if no traffic.
-    pub p99_us: f64,
-    /// Mean end-to-end latency in the window (us).
-    pub mean_us: f64,
-    /// Sum of requested CPU limits (cores).
-    pub requested_cpu: f64,
-    /// Cluster-average CPU utilization of running instances.
-    pub cpu_utilization: f64,
-    /// Mean per-core DRAM access of instance 0's node (Fig. 1 series).
-    pub per_core_dram: f64,
-    /// Drops in the window.
-    pub drops: u64,
-}
-
 /// Result of one scenario run.
 pub struct ScenarioResult {
     /// Manager name.
@@ -120,11 +99,11 @@ pub struct ScenarioResult {
     pub latency: Histogram,
     /// Per-tick timeline.
     pub timeline: Vec<TimelinePoint>,
-    /// Total completed requests post-warmup.
+    /// Total completed requests post-warmup (drops included).
     pub completions: u64,
     /// Total dropped requests post-warmup.
     pub drops: u64,
-    /// Completed requests violating their SLO post-warmup.
+    /// Post-warmup SLO violations (a dropped request counts as one).
     pub slo_violations: u64,
     /// Mean requested CPU limit over the run (cores).
     pub mean_requested_cpu: f64,
@@ -156,74 +135,6 @@ impl ScenarioResult {
     }
 }
 
-/// Tracks SLO-mitigation times across control ticks: for each anomaly
-/// that coincides with a violation, the time from the first violating
-/// window to the first violation-free window while the anomaly is still
-/// active (Fig. 11b's metric). Anomalies that end unresolved count
-/// their full violation span. Shared by the single-scenario harness and
-/// the fleet runtime.
-#[derive(Debug, Default)]
-pub struct MitigationTracker {
-    /// anomaly id → (violation first seen, resolved).
-    open: Vec<(AnomalyId, SimTime, bool)>,
-    times: Vec<SimDuration>,
-}
-
-impl MitigationTracker {
-    /// Creates an empty tracker.
-    pub fn new() -> Self {
-        MitigationTracker::default()
-    }
-
-    /// Mitigation times measured so far.
-    pub fn times(&self) -> &[SimDuration] {
-        &self.times
-    }
-
-    /// Consumes the tracker, yielding the measured times.
-    pub fn into_times(self) -> Vec<SimDuration> {
-        self.times
-    }
-
-    /// Observes one tick: which anomalies are active and whether the SLO
-    /// held in this window.
-    pub fn observe(
-        &mut self,
-        active: &[AnomalyId],
-        violating: bool,
-        now: SimTime,
-        tick: SimDuration,
-    ) {
-        // Open trackers for new anomalies that coincide with violations.
-        for id in active {
-            if violating && !self.open.iter().any(|(a, _, _)| a == id) {
-                self.open.push((*id, now, false));
-            }
-        }
-        // A violation-free window while the anomaly is still active means
-        // the manager mitigated it.
-        if !violating {
-            for (_, started, resolved) in &mut self.open {
-                if !*resolved {
-                    *resolved = true;
-                    self.times.push((now - *started).saturating_sub(tick));
-                }
-            }
-        }
-        // Anomalies that ended unresolved count their full violation span.
-        let still_active = |id: &AnomalyId| active.contains(id);
-        let mut keep = Vec::new();
-        for (id, started, resolved) in self.open.drain(..) {
-            if still_active(&id) {
-                keep.push((id, started, resolved));
-            } else if !resolved {
-                self.times.push(now - started);
-            }
-        }
-        self.open = keep;
-    }
-}
-
 /// Runs one scenario to completion.
 pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
     let ScenarioConfig {
@@ -243,202 +154,25 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         .build();
 
     let services = sim.app().services.len();
-    let mut controller = match controller {
-        ControllerKind::None => Controller::None,
-        ControllerKind::Firm(mut mgr) => {
-            // The manager may arrive from training on another app; its
-            // environment-coupled state must not leak into this run.
-            mgr.reset_environment();
-            Controller::Firm(mgr)
-        }
-        ControllerKind::K8s(cfg) => Controller::K8s(K8sHpaController::new(cfg, services)),
-        ControllerKind::Aimd(cfg) => {
-            Controller::Aimd(AimdController::new(cfg), TracingCoordinator::new(100_000))
-        }
-    };
+    let mut controller = controller.into_controller(services);
     let mut injector = campaign.map(|c| AnomalyInjector::new(c, seed ^ 0xF00D));
 
-    let monitor = SloMonitor::default();
-    let mut collector = TelemetryCollector::new(64);
-    let mut latency = Histogram::new();
-    let mut timeline = Vec::new();
-    let mut tracker = MitigationTracker::new();
-    let mut completions = 0u64;
-    let mut drops = 0u64;
-    let mut slo_violations = 0u64;
-    let mut cpu_sum = 0.0;
-    let mut cpu_n = 0u64;
-
-    let app_clone = sim.app().clone();
-    let end = sim.now() + duration;
-    let warm_until = sim.now() + warmup;
-
-    while sim.now() < end {
-        let window_start = sim.now();
-        if let Some(inj) = injector.as_mut() {
-            inj.tick(&mut sim);
-        }
-        sim.run_for(control_interval);
-        let measuring = sim.now() > warm_until;
-
-        // Manager-specific plumbing; each manager consumes the drains it
-        // needs, and we recover window measurements from what remains.
-        let (window_p99, window_mean, window_drops, violating, telemetry) = match &mut controller {
-            Controller::Firm(mgr) => {
-                let assessment = mgr.tick(&mut sim);
-                // FIRM's coordinator holds the traces.
-                let mut lats: Vec<f64> = Vec::new();
-                let mut wdrops = 0;
-                // `traces_since` is inclusive of its bound: a trace that
-                // finished exactly at the previous tick boundary was
-                // already counted there, so keep only strictly-later
-                // ones (nothing can finish at t=0, the first bound).
-                for t in mgr
-                    .coordinator()
-                    .traces_since(window_start)
-                    .into_iter()
-                    .filter(|t| t.finished > window_start)
-                {
-                    if t.dropped {
-                        wdrops += 1;
-                    } else {
-                        lats.push(t.latency.as_micros() as f64);
-                        if measuring {
-                            latency.record(t.latency.as_micros());
-                            completions += 1;
-                            let slo =
-                                app_clone.request_types[t.request_type.index()].slo_latency_us;
-                            if t.latency.as_micros() > slo {
-                                slo_violations += 1;
-                            }
-                        }
-                    }
-                }
-                if measuring {
-                    drops += wdrops;
-                    completions += wdrops;
-                }
-                lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-                let p99 = firm_sim::stats::sample_quantile(&lats, 0.99);
-                let mean = if lats.is_empty() {
-                    0.0
-                } else {
-                    lats.iter().sum::<f64>() / lats.len() as f64
-                };
-                // Telemetry was drained by the manager; read its copy.
-                let telemetry = mgr.last_telemetry().cloned().unwrap_or_default();
-                (p99, mean, wdrops, assessment.any_violation(), telemetry)
-            }
-            other => {
-                // Shared measurement path for None/K8s/AIMD.
-                let completed = sim.drain_completed();
-                let telemetry = sim.drain_telemetry();
-                let mut lats: Vec<f64> = Vec::new();
-                let mut wdrops = 0;
-                for r in &completed {
-                    if r.dropped {
-                        wdrops += 1;
-                    } else {
-                        lats.push(r.latency.as_micros() as f64);
-                        if measuring {
-                            latency.record(r.latency.as_micros());
-                            completions += 1;
-                            let slo =
-                                app_clone.request_types[r.request_type.index()].slo_latency_us;
-                            if r.latency.as_micros() > slo {
-                                slo_violations += 1;
-                            }
-                        }
-                    }
-                }
-                if measuring {
-                    drops += wdrops;
-                    completions += wdrops;
-                }
-                lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-                let p99 = firm_sim::stats::sample_quantile(&lats, 0.99);
-                let mean = if lats.is_empty() {
-                    0.0
-                } else {
-                    lats.iter().sum::<f64>() / lats.len() as f64
-                };
-                let violating =
-                    crate::slo::window_violates(&app_clone, &completed, monitor.quantile);
-
-                match other {
-                    Controller::K8s(hpa) => hpa.tick(&mut sim, &telemetry),
-                    Controller::Aimd(aimd, coord) => {
-                        coord.ingest(completed);
-                        aimd.tick(&mut sim, coord, &telemetry, window_start);
-                        coord.evict_before(window_start);
-                    }
-                    _ => {}
-                }
-                (p99, mean, wdrops, violating, telemetry)
-            }
-        };
-        collector.collect(&telemetry);
-
-        // Timeline point.
-        let requested_cpu = sim.total_requested_cpu();
-        let cpu_util = {
-            let running: Vec<_> = telemetry
-                .instances
-                .iter()
-                .filter(|i| i.state == firm_sim::instance::InstanceState::Running)
-                .collect();
-            if running.is_empty() {
-                0.0
-            } else {
-                running
-                    .iter()
-                    .map(|i| i.utilization.get(firm_sim::ResourceKind::Cpu))
-                    .sum::<f64>()
-                    / running.len() as f64
-            }
-        };
-        let per_core_dram = telemetry
-            .instances
-            .first()
-            .map(|i| i.per_core_dram_mbps)
-            .unwrap_or(0.0);
-        if measuring {
-            cpu_sum += requested_cpu;
-            cpu_n += 1;
-        }
-        timeline.push(TimelinePoint {
-            at: sim.now(),
-            p99_us: window_p99,
-            mean_us: window_mean,
-            requested_cpu,
-            cpu_utilization: cpu_util,
-            per_core_dram,
-            drops: window_drops,
-        });
-
-        // Mitigation accounting.
-        let active: Vec<AnomalyId> = sim
-            .active_anomalies()
-            .iter()
-            .filter(|(_, _, at)| *at <= sim.now())
-            .map(|(id, _, _)| *id)
-            .collect();
-        tracker.observe(&active, violating, sim.now(), control_interval);
-    }
+    let spec = EpisodeSpec {
+        duration,
+        control_interval,
+        warmup,
+    };
+    let episode = run_episode(&mut sim, controller.as_mut(), injector.as_mut(), &spec);
 
     ScenarioResult {
         controller: controller.name(),
-        latency,
-        timeline,
-        completions,
-        drops,
-        slo_violations,
-        mean_requested_cpu: if cpu_n == 0 {
-            0.0
-        } else {
-            cpu_sum / cpu_n as f64
-        },
-        mitigation_times: tracker.into_times(),
+        latency: episode.latency,
+        timeline: episode.timeline,
+        completions: episode.completions,
+        drops: episode.drops,
+        slo_violations: episode.slo_violations,
+        mean_requested_cpu: episode.mean_requested_cpu,
+        mitigation_times: episode.mitigation_times,
     }
 }
 
@@ -447,6 +181,7 @@ mod tests {
     use super::*;
     use crate::manager::FirmConfig;
     use firm_sim::spec::AppSpec;
+    use firm_sim::{AnomalyId, SimTime};
 
     fn tight_app() -> AppSpec {
         let mut app = AppSpec::three_tier_demo();
@@ -507,8 +242,8 @@ mod tests {
         t.observe(&[id], true, SimTime::from_secs(2), tick);
         t.observe(&[id], true, SimTime::from_secs(3), tick);
         t.observe(&[id], false, SimTime::from_secs(4), tick);
-        assert_eq!(t.times.len(), 1);
-        assert_eq!(t.times[0], SimDuration::from_secs(2));
+        assert_eq!(t.times().len(), 1);
+        assert_eq!(t.times()[0], SimDuration::from_secs(2));
     }
 
     #[test]
@@ -520,7 +255,7 @@ mod tests {
         t.observe(&[id], true, SimTime::from_secs(2), tick);
         // The anomaly ends while still violating.
         t.observe(&[], true, SimTime::from_secs(3), tick);
-        assert_eq!(t.times.len(), 1);
-        assert_eq!(t.times[0], SimDuration::from_secs(2));
+        assert_eq!(t.times().len(), 1);
+        assert_eq!(t.times()[0], SimDuration::from_secs(2));
     }
 }

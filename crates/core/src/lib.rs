@@ -21,11 +21,13 @@
 //!    duration for online training (§3.6) — ⑥.
 //!
 //! [`manager::FirmManager`] runs the full loop; [`baselines`] provides
-//! the Kubernetes-autoscaler and AIMD comparison points; [`experiment`]
-//! and [`training`] are the harnesses behind every figure and table of
-//! the evaluation.
+//! the Kubernetes-autoscaler and AIMD comparison points; [`controller`]
+//! unifies them behind one [`controller::Controller`] trait and one
+//! [`controller::run_episode`] driver; [`experiment`] and [`training`]
+//! are the harnesses behind every figure and table of the evaluation.
 
 pub mod baselines;
+pub mod controller;
 pub mod deployment;
 pub mod estimator;
 pub mod experiment;
@@ -36,11 +38,13 @@ pub mod slo;
 pub mod training;
 
 pub use baselines::{AimdController, K8sHpaController};
+pub use controller::{
+    run_episode, ControlDecision, Controller, EpisodeResult, EpisodeSpec, MitigationTracker,
+    PolicyCheckpoint, TickContext, TimelinePoint, Unmanaged,
+};
 pub use deployment::DeploymentModule;
 pub use estimator::{ActionMapper, ResourceEstimator, StateBuilder};
-pub use experiment::{
-    run_scenario, Controller, ControllerKind, MitigationTracker, ScenarioConfig, ScenarioResult,
-};
+pub use experiment::{run_scenario, ControllerKind, ScenarioConfig, ScenarioResult};
 pub use extractor::{CriticalComponentExtractor, InstanceFeatures};
 pub use injector::{AnomalyInjector, CampaignConfig};
 pub use manager::{ExperienceLog, FirmConfig, FirmManager};

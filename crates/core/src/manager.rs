@@ -233,15 +233,31 @@ impl FirmManager {
     }
 
     /// One control tick. Call after advancing the simulation by
-    /// [`FirmConfig::control_interval`].
+    /// [`FirmConfig::control_interval`]. Drains the simulator's traces
+    /// and telemetry itself; harnesses that drain centrally (the
+    /// [`crate::controller::run_episode`] driver) use
+    /// [`FirmManager::tick_window`] instead.
     pub fn tick(&mut self, sim: &mut Simulation) -> SloAssessment {
+        let completed = sim.drain_completed();
+        let telemetry = sim.drain_telemetry();
+        self.tick_window(sim, completed, telemetry)
+    }
+
+    /// One control tick over an already-drained window: the window's
+    /// completed traces and telemetry snapshot are handed in by the
+    /// caller (who may have measured them first).
+    pub fn tick_window(
+        &mut self,
+        sim: &mut Simulation,
+        completed: Vec<firm_sim::CompletedRequest>,
+        telemetry: TelemetryWindow,
+    ) -> SloAssessment {
         let window_start = self.last_tick;
         self.last_tick = sim.now();
         self.stats.ticks += 1;
 
         // ① Ingest traces and telemetry.
-        self.coordinator.ingest(sim.drain_completed());
-        let telemetry = sim.drain_telemetry();
+        self.coordinator.ingest(completed);
         self.collector.collect(&telemetry);
 
         // ② Detect SLO violations.

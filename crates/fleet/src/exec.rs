@@ -1,35 +1,73 @@
 //! Deterministic execution of one [`Scenario`].
 //!
 //! [`run_one`] is the unit of work a fleet worker owns: it builds the
-//! simulation from the scenario's plain data and a derived seed, drives
-//! the chosen controller tick by tick, and returns the measurements
-//! plus whatever experience the controller harvested. Nothing here
-//! touches shared state, so the result depends only on
-//! `(scenario, seed)` — the property the fleet's bit-identity guarantee
-//! rests on.
+//! simulation from the scenario's plain data and a derived seed, builds
+//! the controller as a `Box<dyn Controller>`, and hands both to the
+//! workspace-wide [`run_episode`] driver — there is no fleet-local tick
+//! or measurement loop. Nothing here touches shared state, so the
+//! result depends only on `(scenario, seed, policy)` — the property the
+//! fleet's bit-identity guarantee rests on.
+//!
+//! [`run_one_with`] additionally accepts a frozen [`PolicyCheckpoint`]:
+//! FIRM scenarios then run the shared agent in pure inference mode
+//! (no training, no exploration, no experience tap) — the deployment
+//! half of [`crate::runner::FleetRunner::run_round_trip`].
 
 use firm_core::baselines::{AimdController, K8sHpaController};
-use firm_core::experiment::MitigationTracker;
+use firm_core::controller::{run_episode, Controller, EpisodeSpec, PolicyCheckpoint, Unmanaged};
 use firm_core::injector::AnomalyInjector;
 use firm_core::manager::{ExperienceLog, FirmConfig, FirmManager};
-use firm_core::slo::{calibrate_slos, window_violates, SloMonitor};
+use firm_core::slo::calibrate_slos;
 use firm_sim::spec::ClusterSpec;
-use firm_sim::{AnomalyId, Histogram, Simulation};
-use firm_trace::TracingCoordinator;
+use firm_sim::Simulation;
 
 use crate::report::ScenarioOutcome;
 use crate::scenario::{FleetController, Scenario};
 
-enum Ctl {
-    None,
-    Firm(Box<FirmManager>),
-    K8s(K8sHpaController),
-    Aimd(AimdController, TracingCoordinator),
+/// Builds the live controller for a scenario. With `policy` set, a FIRM
+/// scenario deploys the frozen shared agent (inference mode) instead of
+/// training a fresh one.
+fn build_controller(
+    scenario: &Scenario,
+    seed: u64,
+    services: usize,
+    policy: Option<&PolicyCheckpoint>,
+) -> Box<dyn Controller> {
+    match scenario.controller {
+        FleetController::Unmanaged => Box::new(Unmanaged),
+        FleetController::Firm => {
+            let deployed = policy.is_some();
+            let mut mgr = Box::new(FirmManager::new(FirmConfig {
+                control_interval: scenario.control_interval,
+                training: !deployed,
+                explore: !deployed,
+                record_experience: !deployed,
+                seed: seed ^ 0xF12A,
+                ..FirmConfig::default()
+            }));
+            if let Some(p) = policy {
+                Controller::import_policy(mgr.as_mut(), p);
+            }
+            mgr
+        }
+        FleetController::K8sHpa => Box::new(K8sHpaController::new(scenario.k8s.clone(), services)),
+        FleetController::Aimd => Box::new(AimdController::new(scenario.aimd.clone())),
+    }
 }
 
 /// Runs one scenario to completion; returns its measurements and the
 /// experience log (empty for non-FIRM controllers).
 pub fn run_one(scenario: &Scenario, seed: u64) -> (ScenarioOutcome, ExperienceLog) {
+    run_one_with(scenario, seed, None)
+}
+
+/// Runs one scenario, optionally deploying a frozen policy into its
+/// FIRM controller (the round-trip inference pass).
+pub fn run_one_with(
+    scenario: &Scenario,
+    seed: u64,
+    policy: Option<&PolicyCheckpoint>,
+) -> (ScenarioOutcome, ExperienceLog) {
     let cluster = ClusterSpec::small(scenario.nodes.max(1));
     let mut app = scenario.benchmark.build();
     if let Some(factor) = scenario.slo_factor {
@@ -44,167 +82,39 @@ pub fn run_one(scenario: &Scenario, seed: u64) -> (ScenarioOutcome, ExperienceLo
     let mut sim = Simulation::builder(cluster, app, seed)
         .arrivals(scenario.load.build())
         .build();
-    let app = sim.app().clone();
+    let services = sim.app().services.len();
 
-    let mut ctl = match scenario.controller {
-        FleetController::Unmanaged => Ctl::None,
-        FleetController::Firm => Ctl::Firm(Box::new(FirmManager::new(FirmConfig {
-            control_interval: scenario.control_interval,
-            training: true,
-            record_experience: true,
-            seed: seed ^ 0xF12A,
-            ..FirmConfig::default()
-        }))),
-        FleetController::K8sHpa => Ctl::K8s(K8sHpaController::new(
-            scenario.k8s.clone(),
-            app.services.len(),
-        )),
-        FleetController::Aimd => Ctl::Aimd(
-            AimdController::new(scenario.aimd.clone()),
-            TracingCoordinator::new(100_000),
-        ),
-    };
+    let mut controller = build_controller(scenario, seed, services, policy);
     let mut injector = scenario
         .campaign
         .clone()
         .map(|c| AnomalyInjector::new(c, seed ^ 0xF00D));
-    let monitor = SloMonitor::default();
 
-    let mut latency = Histogram::new();
-    let mut tracker = MitigationTracker::new();
-    let mut ticks = 0u64;
-    let mut completions = 0u64;
-    let mut drops = 0u64;
-    let mut slo_violations = 0u64;
-    let mut latency_sum_us = 0u128;
-
-    let end = sim.now() + scenario.duration;
-    let warm_until = sim.now() + scenario.warmup;
-
-    while sim.now() < end {
-        let window_start = sim.now();
-        if let Some(inj) = injector.as_mut() {
-            inj.tick(&mut sim);
-        }
-        sim.run_for(scenario.control_interval);
-        ticks += 1;
-        let measuring = sim.now() > warm_until;
-
-        // Each controller consumes the drains it needs; the window's
-        // latencies are recovered from whichever side holds the traces.
-        let violating = match &mut ctl {
-            Ctl::Firm(mgr) => {
-                let assessment = mgr.tick(&mut sim);
-                // `traces_since` is inclusive of its bound: a trace that
-                // finished exactly at the previous tick boundary was
-                // already counted there, so keep only strictly-later
-                // ones (nothing can finish at t=0, the first bound).
-                for t in mgr
-                    .coordinator()
-                    .traces_since(window_start)
-                    .into_iter()
-                    .filter(|t| t.finished > window_start)
-                {
-                    if t.dropped {
-                        if measuring {
-                            drops += 1;
-                            completions += 1;
-                            // A dropped request failed its SLO by
-                            // definition; counting it keeps shedding
-                            // controllers comparable to slow ones.
-                            slo_violations += 1;
-                        }
-                    } else if measuring {
-                        completions += 1;
-                        let us = t.latency.as_micros();
-                        latency.record(us);
-                        latency_sum_us += us as u128;
-                        if us > app.request_types[t.request_type.index()].slo_latency_us {
-                            slo_violations += 1;
-                        }
-                    }
-                }
-                assessment.any_violation()
-            }
-            other => {
-                let completed = sim.drain_completed();
-                let telemetry = sim.drain_telemetry();
-                let violating = window_violates(&app, &completed, monitor.quantile);
-                for r in &completed {
-                    if r.dropped {
-                        if measuring {
-                            drops += 1;
-                            completions += 1;
-                            slo_violations += 1;
-                        }
-                    } else if measuring {
-                        completions += 1;
-                        let us = r.latency.as_micros();
-                        latency.record(us);
-                        latency_sum_us += us as u128;
-                        if us > app.request_types[r.request_type.index()].slo_latency_us {
-                            slo_violations += 1;
-                        }
-                    }
-                }
-                match other {
-                    Ctl::K8s(hpa) => hpa.tick(&mut sim, &telemetry),
-                    Ctl::Aimd(aimd, coord) => {
-                        coord.ingest(completed);
-                        aimd.tick(&mut sim, coord, &telemetry, window_start);
-                        coord.evict_before(window_start);
-                    }
-                    _ => {}
-                }
-                violating
-            }
-        };
-
-        let active: Vec<AnomalyId> = sim
-            .active_anomalies()
-            .iter()
-            .filter(|(_, _, at)| *at <= sim.now())
-            .map(|(id, _, _)| *id)
-            .collect();
-        tracker.observe(&active, violating, sim.now(), scenario.control_interval);
-    }
-
-    let experience = match &mut ctl {
-        Ctl::Firm(mgr) => mgr.drain_experience(),
-        _ => ExperienceLog::default(),
+    let spec = EpisodeSpec {
+        duration: scenario.duration,
+        control_interval: scenario.control_interval,
+        warmup: scenario.warmup,
     };
+    let episode = run_episode(&mut sim, controller.as_mut(), injector.as_mut(), &spec);
+    let experience = controller.drain_experience();
 
-    let mitigation_times = tracker.into_times();
-    let ok = completions.saturating_sub(drops);
     let outcome = ScenarioOutcome {
         name: scenario.name.clone(),
         benchmark: scenario.benchmark.name(),
-        controller: scenario.controller.label(),
+        controller: controller.name(),
         load: scenario.load.label(),
         seed,
-        ticks,
+        ticks: episode.ticks,
         arrivals: sim.stats().arrivals,
-        completions,
-        drops,
-        slo_violations,
-        p50_us: latency.p50(),
-        p99_us: latency.p99(),
-        mean_latency_us: if ok == 0 {
-            0.0
-        } else {
-            latency_sum_us as f64 / ok as f64
-        },
+        completions: episode.completions,
+        drops: episode.drops,
+        slo_violations: episode.slo_violations,
+        p50_us: episode.latency.p50(),
+        p99_us: episode.latency.p99(),
+        mean_latency_us: episode.mean_latency_us(),
         anomalies_injected: injector.map(|i| i.history().len() as u64).unwrap_or(0),
-        mitigations: mitigation_times.len() as u64,
-        mean_mitigation_secs: if mitigation_times.is_empty() {
-            0.0
-        } else {
-            mitigation_times
-                .iter()
-                .map(|d| d.as_secs_f64())
-                .sum::<f64>()
-                / mitigation_times.len() as f64
-        },
+        mitigations: episode.mitigation_times.len() as u64,
+        mean_mitigation_secs: episode.mean_mitigation_secs(),
         transitions: experience.transitions.len() as u64,
         svm_examples: experience.svm_examples.len() as u64,
     };
@@ -254,5 +164,44 @@ mod tests {
         let (outcome, log) = run_one(&scenario, 3);
         assert!(log.is_empty());
         assert_eq!(outcome.transitions, 0);
+    }
+
+    #[test]
+    fn deployed_firm_runs_inference_without_experience() {
+        let scenario = builtin_catalog()
+            .remove(0)
+            .with_duration(SimDuration::from_secs(8));
+        assert_eq!(scenario.controller, FleetController::Firm);
+        let (_, log) = run_one(&scenario, 9);
+        assert!(!log.is_empty(), "training pass harvested nothing");
+        // Deploy a correctly-shaped frozen policy.
+        let mgr = FirmManager::new(FirmConfig::default());
+        let frozen = Controller::export_policy(&mgr).expect("policy");
+        let (deployed, deployed_log) = run_one_with(&scenario, 9, Some(&frozen));
+        assert!(
+            deployed_log.is_empty(),
+            "inference mode recorded experience"
+        );
+        assert_eq!(deployed.transitions, 0);
+        assert_eq!(deployed.svm_examples, 0);
+        assert!(deployed.completions > 100);
+        // The deploy pass itself is deterministic.
+        let (again, _) = run_one_with(&scenario, 9, Some(&frozen));
+        assert_eq!(deployed, again);
+    }
+
+    #[test]
+    fn replay_scenarios_run_and_are_deterministic() {
+        let catalog = builtin_catalog();
+        let replay = catalog
+            .iter()
+            .find(|s| s.name.contains("replay"))
+            .expect("catalog has replay scenarios")
+            .clone()
+            .with_duration(SimDuration::from_secs(8));
+        let (a, _) = run_one(&replay, 5);
+        let (b, _) = run_one(&replay, 5);
+        assert_eq!(a, b);
+        assert!(a.completions > 100, "replay served {}", a.completions);
     }
 }

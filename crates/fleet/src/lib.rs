@@ -8,19 +8,26 @@
 //!
 //! * [`scenario`] — a declarative [`Scenario`] type (benchmark, cluster
 //!   size, arrival shape, anomaly campaign, controller) plus
-//!   [`builtin_catalog`], nine named scenarios spanning all four §4.1
-//!   benchmarks, steady/diurnal/flash-crowd load, the seven anomaly
-//!   kinds, and all four controllers;
+//!   [`builtin_catalog`], twelve named scenarios spanning all four §4.1
+//!   benchmarks, steady/diurnal/flash-crowd load, a recorded
+//!   flash-crowd incident replayed under three controllers
+//!   (`LoadShape::Replay`), the seven anomaly kinds, and all four
+//!   controllers;
 //! * [`exec`] — deterministic execution of one scenario from plain data
-//!   and a derived seed;
+//!   and a derived seed, through the workspace's single
+//!   [`firm_core::controller::run_episode`] driver;
 //! * [`runner`] — [`FleetRunner`] shards the catalog across N OS
 //!   worker threads (`std::thread::scope` + channels; no extra
 //!   dependencies). Workers stream completed RL transitions and SVM
 //!   ground-truth labels back to a central trainer that fits one shared
 //!   agent on the pooled, heterogeneous experience — the paper's
-//!   one-for-all regime fed by many apps at once;
-//! * [`report`] — the aggregated [`FleetReport`]: per-scenario SLO
-//!   violation rates, p99 latencies, mitigation times, and total
+//!   one-for-all regime fed by many apps at once.
+//!   [`FleetRunner::run_round_trip`] then freezes that agent and
+//!   re-runs the catalog in inference mode, reporting per-scenario
+//!   train-vs-deploy deltas (Fig. 11b at fleet scale);
+//! * [`report`] — the aggregated [`FleetReport`] and the round-trip
+//!   [`RoundTripReport`]: per-scenario SLO violation rates, p99
+//!   latencies, mitigation times, train-vs-deploy deltas, and total
 //!   requests served, with stable JSON rendering and an FNV digest.
 //!
 //! # Determinism
@@ -57,7 +64,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use exec::run_one;
-pub use report::{FleetReport, FleetTotals, ScenarioOutcome};
-pub use runner::{scenario_seed, FleetConfig, FleetResult, FleetRunner};
+pub use exec::{run_one, run_one_with};
+pub use report::{FleetReport, FleetTotals, RoundTripReport, ScenarioDelta, ScenarioOutcome};
+pub use runner::{scenario_seed, FleetConfig, FleetResult, FleetRunner, RoundTripResult};
 pub use scenario::{builtin_catalog, FleetController, Scenario};

@@ -8,6 +8,17 @@
 //! image), and [`FleetReport::digest`] folds those bytes through
 //! FNV-1a for cheap equality checks in tests and CI.
 
+/// FNV-1a 64 over a byte string — the workspace's cheap fingerprint
+/// for bit-identity checks.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Escapes a string for embedding in a JSON document: quotes,
 /// backslashes, and control characters.
 fn escape_json(s: &str) -> String {
@@ -220,12 +231,126 @@ impl FleetReport {
     /// FNV-1a 64 over the JSON bytes — a cheap fingerprint for the
     /// bit-identity guarantee.
     pub fn digest(&self) -> u64 {
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for b in self.to_json().as_bytes() {
-            hash ^= *b as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        fnv64(self.to_json().as_bytes())
+    }
+}
+
+/// One scenario's train-vs-deploy comparison: how the catalog entry
+/// fared while the shared agent was still learning versus after the
+/// frozen agent was deployed back onto it (Fig. 11b at fleet scale).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDelta {
+    /// Scenario name (unique in the catalog).
+    pub name: String,
+    /// Controller label (deltas are most meaningful for "FIRM" rows;
+    /// baseline rows double as a no-change control).
+    pub controller: &'static str,
+    /// SLO violation rate during the training pass.
+    pub train_violation_rate: f64,
+    /// SLO violation rate with the frozen policy deployed.
+    pub deploy_violation_rate: f64,
+    /// p99 end-to-end latency during training, us.
+    pub train_p99_us: u64,
+    /// p99 end-to-end latency deployed, us.
+    pub deploy_p99_us: u64,
+    /// Mean SLO-mitigation time during training, seconds.
+    pub train_mean_mitigation_secs: f64,
+    /// Mean SLO-mitigation time deployed, seconds.
+    pub deploy_mean_mitigation_secs: f64,
+}
+
+impl ScenarioDelta {
+    /// Positive when deployment lowered the violation rate.
+    pub fn violation_rate_improvement(&self) -> f64 {
+        self.train_violation_rate - self.deploy_violation_rate
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"controller\":\"{}\",",
+                "\"train_violation_rate\":{},\"deploy_violation_rate\":{},",
+                "\"train_p99_us\":{},\"deploy_p99_us\":{},",
+                "\"train_mean_mitigation_secs\":{},",
+                "\"deploy_mean_mitigation_secs\":{}}}"
+            ),
+            escape_json(&self.name),
+            escape_json(self.controller),
+            self.train_violation_rate,
+            self.deploy_violation_rate,
+            self.train_p99_us,
+            self.deploy_p99_us,
+            self.train_mean_mitigation_secs,
+            self.deploy_mean_mitigation_secs,
+        )
+    }
+}
+
+/// The result of a round-trip fleet run: the training-pass report, the
+/// deployment-pass report (same catalog, same seeds, frozen shared
+/// agent), and the per-scenario deltas between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundTripReport {
+    /// The training pass.
+    pub train: FleetReport,
+    /// The deployment (inference) pass.
+    pub deploy: FleetReport,
+    /// Per-scenario train-vs-deploy deltas, in catalog order.
+    pub deltas: Vec<ScenarioDelta>,
+}
+
+impl RoundTripReport {
+    /// Pairs two passes over the same catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reports cover different catalogs (length or
+    /// scenario-name mismatch).
+    pub fn new(train: FleetReport, deploy: FleetReport) -> Self {
+        assert_eq!(
+            train.scenarios.len(),
+            deploy.scenarios.len(),
+            "train and deploy passes covered different catalogs"
+        );
+        let deltas = train
+            .scenarios
+            .iter()
+            .zip(&deploy.scenarios)
+            .map(|(t, d)| {
+                assert_eq!(t.name, d.name, "catalog order diverged");
+                ScenarioDelta {
+                    name: t.name.clone(),
+                    controller: t.controller,
+                    train_violation_rate: t.violation_rate(),
+                    deploy_violation_rate: d.violation_rate(),
+                    train_p99_us: t.p99_us,
+                    deploy_p99_us: d.p99_us,
+                    train_mean_mitigation_secs: t.mean_mitigation_secs,
+                    deploy_mean_mitigation_secs: d.mean_mitigation_secs,
+                }
+            })
+            .collect();
+        RoundTripReport {
+            train,
+            deploy,
+            deltas,
         }
-        hash
+    }
+
+    /// Renders the full round trip as one stable JSON document.
+    pub fn to_json(&self) -> String {
+        let deltas: Vec<String> = self.deltas.iter().map(|d| d.to_json()).collect();
+        format!(
+            "{{\"train\":{},\"deploy\":{},\"deltas\":[{}]}}",
+            self.train.to_json(),
+            self.deploy.to_json(),
+            deltas.join(","),
+        )
+    }
+
+    /// FNV-1a 64 over the JSON bytes.
+    pub fn digest(&self) -> u64 {
+        fnv64(self.to_json().as_bytes())
     }
 }
 
@@ -276,6 +401,99 @@ mod tests {
         assert!(json.contains(r"tab\there"));
         // Still balanced after escaping.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    /// Minimal JSON string unescaper, the inverse of `escape_json` for
+    /// the escapes it emits.
+    fn unescape_json(s: &str) -> String {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).expect("4 hex digits");
+                    out.push(char::from_u32(code).expect("valid scalar"));
+                }
+                other => panic!("unexpected escape \\{other:?}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_scenario_names_survive_the_escaper_round_trip() {
+        // Quotes, backslashes, and every class of control character the
+        // escaper handles (named escapes and the \u00XX fallback).
+        let hostile = "q\"uote \\slash\\ new\nline cr\r tab\t bell\u{7} nul\u{0} esc\u{1b} end";
+        let mut o = outcome(hostile, 10, 1_000);
+        o.load = "load\"with\\evil\u{2}chars".into();
+        let r = FleetReport::new(1, vec![o]);
+        let json = r.to_json();
+
+        // The document stays structurally sound...
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains('\n'), "raw control character leaked");
+        assert!(!json.contains('\u{7}'), "raw control character leaked");
+
+        // ...and the name/load fields round-trip to the original bytes.
+        let extract = |key: &str| -> String {
+            let start = json.find(&format!("\"{key}\":\"")).expect("key present") + key.len() + 4;
+            let rest = &json[start..];
+            let mut end = 0;
+            let bytes = rest.as_bytes();
+            while end < bytes.len() {
+                if bytes[end] == b'"' {
+                    break;
+                }
+                if bytes[end] == b'\\' {
+                    end += 1;
+                }
+                end += 1;
+            }
+            rest[..end].to_string()
+        };
+        assert_eq!(unescape_json(&extract("name")), hostile);
+        assert_eq!(
+            unescape_json(&extract("load")),
+            "load\"with\\evil\u{2}chars"
+        );
+    }
+
+    #[test]
+    fn round_trip_report_pairs_scenarios_and_renders() {
+        let train = FleetReport::new(1, vec![outcome("a", 100, 9_000), outcome("b", 50, 5_000)]);
+        let mut better = outcome("a", 100, 6_000);
+        better.slo_violations = 2;
+        let deploy = FleetReport::new(1, vec![better, outcome("b", 50, 5_000)]);
+        let rt = RoundTripReport::new(train, deploy);
+        assert_eq!(rt.deltas.len(), 2);
+        let a = &rt.deltas[0];
+        assert_eq!(a.name, "a");
+        assert!(a.violation_rate_improvement() > 0.0);
+        assert_eq!(a.train_p99_us, 9_000);
+        assert_eq!(a.deploy_p99_us, 6_000);
+        let json = rt.to_json();
+        assert!(json.contains("\"deltas\":["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(rt.digest(), rt.clone().digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "different catalogs")]
+    fn round_trip_report_rejects_mismatched_catalogs() {
+        let train = FleetReport::new(1, vec![outcome("a", 100, 9_000)]);
+        let deploy = FleetReport::new(1, vec![]);
+        RoundTripReport::new(train, deploy);
     }
 
     #[test]

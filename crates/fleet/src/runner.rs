@@ -17,13 +17,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
+use firm_core::controller::PolicyCheckpoint;
 use firm_core::estimator::{AgentRegime, ResourceEstimator};
 use firm_core::extractor::CriticalComponentExtractor;
 use firm_core::manager::ExperienceLog;
 use firm_core::training::replay_experience;
 
-use crate::exec::run_one;
-use crate::report::{FleetReport, ScenarioOutcome};
+use crate::exec::{run_one, run_one_with};
+use crate::report::{FleetReport, RoundTripReport, ScenarioOutcome};
 use crate::scenario::Scenario;
 
 /// Fleet-runtime parameters.
@@ -57,6 +58,27 @@ impl FleetConfig {
         thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    }
+}
+
+/// The result of a round-trip fleet run: train the shared agent across
+/// the catalog, freeze it, deploy it back onto the *same* catalog (same
+/// seeds, same incidents) in inference mode, and report the
+/// improvement — Fig. 11b's train-vs-deploy comparison at fleet scale.
+pub struct RoundTripResult {
+    /// The training pass (report + trained shared pipeline).
+    pub train: FleetResult,
+    /// The deployment (inference) pass over the same catalog.
+    pub deploy: FleetReport,
+    /// The frozen policy the deployment pass ran.
+    pub policy: PolicyCheckpoint,
+}
+
+impl RoundTripResult {
+    /// Builds the combined report: both passes plus per-scenario
+    /// train-vs-deploy deltas, in catalog order.
+    pub fn report(&self) -> RoundTripReport {
+        RoundTripReport::new(self.train.report.clone(), self.deploy.clone())
     }
 }
 
@@ -106,45 +128,14 @@ impl FleetRunner {
     /// Panics if a worker thread panics (a scenario run itself panicked)
     /// or if `scenarios` is empty.
     pub fn run(&self, scenarios: &[Scenario]) -> FleetResult {
-        assert!(!scenarios.is_empty(), "fleet needs at least one scenario");
-        let threads = self.config.effective_threads().min(scenarios.len());
         let fleet_seed = self.config.seed;
-
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, ScenarioOutcome, ExperienceLog)>();
-        let mut slots: Vec<Option<(ScenarioOutcome, ExperienceLog)>> =
-            (0..scenarios.len()).map(|_| None).collect();
-
-        thread::scope(|scope| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let next = &next;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(scenario) = scenarios.get(i) else {
-                        break;
-                    };
-                    let seed = scenario_seed(fleet_seed, i);
-                    let (outcome, log) = run_one(scenario, seed);
-                    // The collector hanging up is impossible while the
-                    // scope lives; a send error would mean a collector
-                    // bug, so surface it.
-                    tx.send((i, outcome, log)).expect("collector alive");
-                });
-            }
-            drop(tx);
-            // Collect on the scope's owning thread while workers run.
-            for (i, outcome, log) in rx {
-                slots[i] = Some((outcome, log));
-            }
-        });
+        let slots = self.execute(scenarios, run_one);
 
         // Catalog-order aggregation: the only ordering the results ever
         // see, regardless of which worker finished first.
         let mut outcomes = Vec::with_capacity(scenarios.len());
         let mut pooled = ExperienceLog::default();
-        for slot in slots {
-            let (outcome, log) = slot.expect("every scenario ran");
+        for (outcome, log) in slots {
             outcomes.push(outcome);
             pooled.merge(log);
         }
@@ -167,6 +158,84 @@ impl FleetRunner {
             pooled,
             trained_updates,
         }
+    }
+
+    /// Trains across the catalog, freezes the shared agent, and re-runs
+    /// the *same* catalog (same derived seeds, hence the same arrival
+    /// sequences and anomaly campaigns) with the frozen policy deployed
+    /// in inference mode. [`RoundTripResult::report`] combines both
+    /// passes with the per-scenario deltas.
+    ///
+    /// Like [`FleetRunner::run`], the whole round trip is bit-identical
+    /// at any thread count: the deploy pass derives per-scenario seeds
+    /// the same way and runs a frozen (deterministic) policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics or `scenarios` is empty.
+    pub fn run_round_trip(&self, scenarios: &[Scenario]) -> RoundTripResult {
+        let train = self.run(scenarios);
+        let (actor, critic) = train.estimator.shared_agent().export_weights();
+        let policy = PolicyCheckpoint { actor, critic };
+
+        let slots = self.execute(scenarios, |scenario, seed| {
+            run_one_with(scenario, seed, Some(&policy))
+        });
+        let outcomes = slots.into_iter().map(|(outcome, _)| outcome).collect();
+        let deploy = FleetReport::new(self.config.seed, outcomes);
+
+        RoundTripResult {
+            train,
+            deploy,
+            policy,
+        }
+    }
+
+    /// Runs every scenario across the worker pool with `run`, returning
+    /// results in catalog order. The shared skeleton of the training
+    /// and deployment passes.
+    fn execute<F>(&self, scenarios: &[Scenario], run: F) -> Vec<(ScenarioOutcome, ExperienceLog)>
+    where
+        F: Fn(&Scenario, u64) -> (ScenarioOutcome, ExperienceLog) + Sync,
+    {
+        assert!(!scenarios.is_empty(), "fleet needs at least one scenario");
+        let threads = self.config.effective_threads().min(scenarios.len());
+        let fleet_seed = self.config.seed;
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, ScenarioOutcome, ExperienceLog)>();
+        let mut slots: Vec<Option<(ScenarioOutcome, ExperienceLog)>> =
+            (0..scenarios.len()).map(|_| None).collect();
+
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let run = &run;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(scenario) = scenarios.get(i) else {
+                        break;
+                    };
+                    let seed = scenario_seed(fleet_seed, i);
+                    let (outcome, log) = run(scenario, seed);
+                    // The collector hanging up is impossible while the
+                    // scope lives; a send error would mean a collector
+                    // bug, so surface it.
+                    tx.send((i, outcome, log)).expect("collector alive");
+                });
+            }
+            drop(tx);
+            // Collect on the scope's owning thread while workers run.
+            for (i, outcome, log) in rx {
+                slots[i] = Some((outcome, log));
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every scenario ran"))
+            .collect()
     }
 }
 
@@ -236,6 +305,43 @@ mod tests {
             four.estimator.shared_agent().export_weights(),
             "pooled training diverged across thread counts"
         );
+    }
+
+    #[test]
+    fn round_trip_deploys_the_frozen_policy_over_the_same_catalog() {
+        let scenarios = short_catalog(5, 6);
+        let rt = FleetRunner::new(FleetConfig {
+            threads: 2,
+            seed: 17,
+            train_steps: 64,
+        })
+        .run_round_trip(&scenarios);
+
+        let report = rt.report();
+        assert_eq!(report.deltas.len(), 5);
+        for (s, d) in scenarios.iter().zip(&report.deltas) {
+            assert_eq!(s.name, d.name);
+        }
+        // The frozen policy only changes FIRM rows: baseline scenarios
+        // reproduce their training-pass outcome bit for bit.
+        let mut baselines = 0;
+        for (t, d) in rt.train.report.scenarios.iter().zip(&rt.deploy.scenarios) {
+            if t.controller != "FIRM" {
+                assert_eq!(t, d, "{}: baseline diverged across passes", t.name);
+                baselines += 1;
+            }
+        }
+        assert!(baselines > 0, "catalog prefix has no baseline scenario");
+        // Inference mode harvests nothing.
+        assert_eq!(
+            rt.deploy.totals.transitions, 0,
+            "deploy pass recorded experience"
+        );
+        assert_eq!(rt.deploy.totals.svm_examples, 0);
+        // The frozen policy is the trained shared agent's weights.
+        let (actor, critic) = rt.train.estimator.shared_agent().export_weights();
+        assert_eq!(rt.policy.actor, actor);
+        assert_eq!(rt.policy.critic, critic);
     }
 
     #[test]

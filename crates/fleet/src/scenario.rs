@@ -10,11 +10,13 @@
 //! exercises the shared pipeline against genuinely heterogeneous
 //! tenants (the paper's §4.3 generalization claim).
 
+use std::str::FromStr;
+
 use firm_core::baselines::{AimdConfig, K8sConfig};
 use firm_core::injector::CampaignConfig;
 use firm_sim::{AnomalyKind, SimDuration};
 use firm_workload::apps::Benchmark;
-use firm_workload::LoadShape;
+use firm_workload::{LoadShape, ReplayTrace};
 
 /// Which resource manager drives a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +40,25 @@ impl FleetController {
             FleetController::Firm => "FIRM",
             FleetController::K8sHpa => "K8S",
             FleetController::Aimd => "AIMD",
+        }
+    }
+}
+
+impl FromStr for FleetController {
+    type Err = String;
+
+    /// Parses a report label (or common alias) back into the
+    /// controller, case-insensitively — the inverse of
+    /// [`FleetController::label`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" | "unmanaged" => Ok(FleetController::Unmanaged),
+            "firm" => Ok(FleetController::Firm),
+            "k8s" | "k8s-hpa" | "k8shpa" | "hpa" => Ok(FleetController::K8sHpa),
+            "aimd" => Ok(FleetController::Aimd),
+            other => Err(format!(
+                "unknown controller {other:?} (expected none|FIRM|K8S|AIMD)"
+            )),
         }
     }
 }
@@ -125,10 +146,38 @@ fn campaign_of(kinds: &[AnomalyKind]) -> CampaignConfig {
     }
 }
 
-/// The built-in catalog: nine scenarios spanning all four benchmark
-/// topologies, the three load shapes, the seven anomaly kinds, and all
-/// four controllers.
+/// The built-in catalog: twelve scenarios spanning all four benchmark
+/// topologies, the three synthetic load shapes, the seven anomaly
+/// kinds, and all four controllers — plus a recorded flash-crowd
+/// incident replayed under three different controllers (FIRM vs K8s
+/// HPA vs unmanaged) so policies can be compared on *exactly* the same
+/// load, arrival for arrival.
 pub fn builtin_catalog() -> Vec<Scenario> {
+    // The incident recording: a flash crowd captured once (synthesized
+    // deterministically here; a production catalog would load it from a
+    // fleet run's arrival log) and shared by all three replay tenants.
+    let incident = ReplayTrace::synthesize(
+        &LoadShape::FlashCrowd {
+            base: 150.0,
+            multiplier: 3.0,
+            every_secs: 20,
+            crest_secs: 5,
+        },
+        SimDuration::from_secs(30),
+        0x14C1_DE47,
+    );
+    let replay = |name: &str, controller| {
+        Scenario::new(
+            name,
+            Benchmark::SocialNetwork,
+            3,
+            LoadShape::Replay {
+                trace: incident.clone(),
+            },
+            None,
+            controller,
+        )
+    };
     vec![
         // Social Network: the paper's flagship app under steady load and
         // the full stressor set.
@@ -249,6 +298,11 @@ pub fn builtin_catalog() -> Vec<Scenario> {
             Some(campaign_of(&[AnomalyKind::WorkloadVariation])),
             FleetController::Aimd,
         ),
+        // The recorded flash-crowd incident, re-run under three
+        // controllers: many policies, one replayable load.
+        replay("incident-replay-firm", FleetController::Firm),
+        replay("incident-replay-k8s", FleetController::K8sHpa),
+        replay("incident-replay-none", FleetController::Unmanaged),
     ]
 }
 
@@ -281,7 +335,7 @@ mod tests {
             );
         }
 
-        // All three load shapes.
+        // All three synthetic load shapes, plus trace replay.
         assert!(catalog
             .iter()
             .any(|s| matches!(s.load, LoadShape::Steady { .. })));
@@ -291,6 +345,21 @@ mod tests {
         assert!(catalog
             .iter()
             .any(|s| matches!(s.load, LoadShape::FlashCrowd { .. })));
+        let replays: Vec<_> = catalog
+            .iter()
+            .filter(|s| matches!(s.load, LoadShape::Replay { .. }))
+            .collect();
+        assert!(
+            replays.len() >= 3,
+            "only {} replay scenarios",
+            replays.len()
+        );
+        // The replay trio re-runs the *same* recording under different
+        // controllers.
+        assert!(replays.windows(2).all(|w| w[0].load == w[1].load));
+        let mut replay_ctls: Vec<_> = replays.iter().map(|s| s.controller).collect();
+        replay_ctls.dedup();
+        assert!(replay_ctls.len() >= 3, "replay trio shares a controller");
 
         // Every anomaly kind appears in some campaign.
         for kind in firm_sim::anomaly::ANOMALY_KINDS {
@@ -313,6 +382,24 @@ mod tests {
         ] {
             assert!(catalog.iter().any(|s| s.controller == ctl));
         }
+    }
+
+    #[test]
+    fn controller_labels_round_trip_through_from_str() {
+        for ctl in [
+            FleetController::Unmanaged,
+            FleetController::Firm,
+            FleetController::K8sHpa,
+            FleetController::Aimd,
+        ] {
+            let parsed: FleetController = ctl.label().parse().expect("label parses");
+            assert_eq!(parsed, ctl, "label {:?} did not round-trip", ctl.label());
+            // Case-insensitive.
+            let parsed: FleetController = ctl.label().to_ascii_lowercase().parse().expect("parses");
+            assert_eq!(parsed, ctl);
+        }
+        assert!("nonesuch".parse::<FleetController>().is_err());
+        assert!("".parse::<FleetController>().is_err());
     }
 
     #[test]

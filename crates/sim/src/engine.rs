@@ -90,6 +90,19 @@ impl RunStats {
     }
 }
 
+/// One client arrival, as recorded when the simulation is built with
+/// [`SimulationBuilder::record_arrivals`]. A run's arrival log is the
+/// raw material of trace replay: feeding the recorded times back in as
+/// an arrival process reproduces the run's load shape exactly —
+/// incident re-runs instead of synthetic arrival curves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalRecord {
+    /// When the client request arrived.
+    pub at: SimTime,
+    /// The request type drawn for it.
+    pub request_type: RequestTypeId,
+}
+
 #[derive(Debug, Clone)]
 enum EventKind {
     Arrival,
@@ -170,12 +183,20 @@ pub struct SimulationBuilder {
     seed: u64,
     arrivals: Option<Box<dyn ArrivalProcess>>,
     config: EngineConfig,
+    record_arrivals: bool,
 }
 
 impl SimulationBuilder {
     /// Sets the arrival process (default: 100 req/s Poisson).
     pub fn arrivals(mut self, arrivals: Box<dyn ArrivalProcess>) -> Self {
         self.arrivals = Some(arrivals);
+        self
+    }
+
+    /// Records every client arrival into [`Simulation::arrival_log`]
+    /// (off by default: most runs never replay their load).
+    pub fn record_arrivals(mut self, record: bool) -> Self {
+        self.record_arrivals = record;
         self
     }
 
@@ -197,6 +218,7 @@ impl SimulationBuilder {
             seed,
             arrivals,
             config,
+            record_arrivals,
         } = self;
         app.validate().expect("invalid application spec");
         assert!(!cluster.nodes.is_empty(), "cluster must have nodes");
@@ -228,6 +250,8 @@ impl SimulationBuilder {
             window_arrivals: 0,
             window_mix: Vec::new(),
             paused_arrivals: false,
+            record_arrivals,
+            arrival_log: Vec::new(),
         };
         sim.window_mix = vec![0u64; sim.app.request_types.len()];
         sim.services = (0..sim.app.services.len())
@@ -287,6 +311,8 @@ pub struct Simulation {
     window_arrivals: u64,
     window_mix: Vec<u64>,
     paused_arrivals: bool,
+    record_arrivals: bool,
+    arrival_log: Vec<ArrivalRecord>,
 }
 
 impl Simulation {
@@ -298,6 +324,7 @@ impl Simulation {
             seed,
             arrivals: None,
             config: EngineConfig::default(),
+            record_arrivals: false,
         }
     }
 
@@ -354,6 +381,14 @@ impl Simulation {
     /// Currently active anomaly injections (ground truth for training).
     pub fn active_anomalies(&self) -> &[(AnomalyId, AnomalySpec, SimTime)] {
         &self.active_anomalies
+    }
+
+    /// Every client arrival recorded so far (empty unless the simulation
+    /// was built with [`SimulationBuilder::record_arrivals`]). In order
+    /// of arrival time; feed it to a replay arrival process to re-run
+    /// the load as a recorded incident.
+    pub fn arrival_log(&self) -> &[ArrivalRecord] {
+        &self.arrival_log
     }
 
     /// The current workload multiplier from workload-variation anomalies.
@@ -449,6 +484,12 @@ impl Simulation {
         self.stats.arrivals += 1;
         self.window_arrivals += 1;
         self.window_mix[rt.index()] += 1;
+        if self.record_arrivals {
+            self.arrival_log.push(ArrivalRecord {
+                at: self.now,
+                request_type: rt,
+            });
+        }
 
         let trace_id = TraceId(self.next_trace);
         self.next_trace += 1;
@@ -1597,6 +1638,23 @@ mod tests {
         let total = sim.total_requested_cpu();
         // 4.0 (frontend) + 2 + 2 + 2 + 2 from the demo defaults.
         assert!((total - 12.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn arrival_log_records_every_arrival_when_enabled() {
+        let mut sim = Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 15)
+            .arrivals(Box::new(ConstantArrivals::new(200.0)))
+            .record_arrivals(true)
+            .build();
+        sim.run_for(SimDuration::from_secs(2));
+        let log = sim.arrival_log();
+        assert_eq!(log.len() as u64, sim.stats().arrivals);
+        assert!(log.windows(2).all(|w| w[0].at <= w[1].at), "log unsorted");
+
+        // Off by default.
+        let mut quiet = demo_sim(15);
+        quiet.run_for(SimDuration::from_secs(1));
+        assert!(quiet.arrival_log().is_empty());
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod time;
 pub use actuator::{ActuationLatency, Command};
 pub use anomaly::{AnomalyKind, AnomalySpec};
 pub use arrival::{ArrivalProcess, ConstantArrivals, PoissonArrivals};
-pub use engine::{RunStats, Simulation, SimulationBuilder};
+pub use engine::{ArrivalRecord, RunStats, Simulation, SimulationBuilder};
 pub use ids::{AnomalyId, InstanceId, NodeId, RequestTypeId, ServiceId, SpanId, TraceId};
 pub use resources::{ResourceKind, ResourceVec, RESOURCE_KINDS};
 pub use rng::SimRng;

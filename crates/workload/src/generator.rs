@@ -4,7 +4,9 @@
 //! [`firm_sim::arrival`]; this module adds the time-varying shapes the
 //! paper drives its benchmarks with.
 
-use firm_sim::{ArrivalProcess, SimDuration, SimRng, SimTime};
+use std::sync::Arc;
+
+use firm_sim::{ArrivalProcess, ArrivalRecord, SimDuration, SimRng, SimTime};
 
 /// Sinusoidal diurnal load: `rate(t) = base · (1 + amplitude·sin(2πt/p))`.
 #[derive(Debug, Clone)]
@@ -157,16 +159,179 @@ impl ArrivalProcess for StepArrivals {
     }
 }
 
+/// A recorded arrival sequence: absolute arrival offsets from the start
+/// of an episode, plus the span the recording covers.
+///
+/// A trace is plain, cheaply clonable data (the offsets live behind an
+/// [`Arc`]), so it can sit inside a scenario catalog and be compared,
+/// stored, and shipped to worker threads like any other load shape.
+/// Build one from a live run's [`firm_sim::Simulation::arrival_log`]
+/// with [`ReplayTrace::from_records`], or synthesize an "incident
+/// recording" from any other shape with [`ReplayTrace::synthesize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayTrace {
+    /// Arrival offsets from episode start, microseconds, nondecreasing.
+    offsets_us: Arc<Vec<u64>>,
+    /// The span the recording covers (≥ the last offset).
+    span_us: u64,
+}
+
+impl ReplayTrace {
+    /// Builds a trace from raw offsets (µs from episode start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets_us` is empty or unsorted, or if `span` does
+    /// not cover the last offset.
+    pub fn from_offsets(offsets_us: Vec<u64>, span: SimDuration) -> Self {
+        assert!(!offsets_us.is_empty(), "a replay trace needs arrivals");
+        assert!(
+            offsets_us.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be nondecreasing"
+        );
+        let span_us = span.as_micros();
+        assert!(
+            span_us >= *offsets_us.last().expect("non-empty"),
+            "span must cover the last arrival"
+        );
+        assert!(span_us > 0, "span must be positive");
+        ReplayTrace {
+            offsets_us: Arc::new(offsets_us),
+            span_us,
+        }
+    }
+
+    /// Builds a trace from a recorded arrival log, re-based so the first
+    /// window starts at `start` and covers `span`.
+    pub fn from_records(records: &[ArrivalRecord], start: SimTime, span: SimDuration) -> Self {
+        let base = start.as_micros();
+        let offsets = records
+            .iter()
+            .map(|r| r.at.as_micros().saturating_sub(base))
+            .collect();
+        ReplayTrace::from_offsets(offsets, span)
+    }
+
+    /// Synthesizes a recording by sampling another load shape for
+    /// `duration` with a dedicated RNG stream — a deterministic stand-in
+    /// for a captured production incident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampled shape produces no arrival within
+    /// `duration`.
+    pub fn synthesize(shape: &LoadShape, duration: SimDuration, seed: u64) -> Self {
+        let mut process = shape.build();
+        let mut rng = SimRng::new(seed);
+        let mut offsets = Vec::new();
+        let mut now = SimTime::ZERO;
+        loop {
+            let gap = process.next_interarrival(now, &mut rng);
+            now += gap;
+            if now.as_micros() > duration.as_micros() {
+                break;
+            }
+            offsets.push(now.as_micros());
+        }
+        ReplayTrace::from_offsets(offsets, duration)
+    }
+
+    /// Number of recorded arrivals.
+    pub fn len(&self) -> usize {
+        self.offsets_us.len()
+    }
+
+    /// True when the trace records no arrivals (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.offsets_us.is_empty()
+    }
+
+    /// The recorded span.
+    pub fn span(&self) -> SimDuration {
+        SimDuration::from_micros(self.span_us)
+    }
+
+    /// Arrival offsets from episode start, µs.
+    pub fn offsets_us(&self) -> &[u64] {
+        &self.offsets_us
+    }
+
+    /// Mean arrival rate over the recorded span, req/s.
+    pub fn mean_rate(&self) -> f64 {
+        self.offsets_us.len() as f64 / (self.span_us as f64 / 1e6)
+    }
+
+    /// Per-second arrival counts over the span (the replay's
+    /// nominal-rate profile).
+    fn second_buckets(&self) -> Vec<f64> {
+        let n = self.span_us.div_ceil(1_000_000).max(1) as usize;
+        let mut buckets = vec![0.0; n];
+        for &off in self.offsets_us.iter() {
+            let idx = ((off / 1_000_000) as usize).min(n - 1);
+            buckets[idx] += 1.0;
+        }
+        buckets
+    }
+}
+
+/// Replays a [`ReplayTrace`] as an [`ArrivalProcess`]: arrivals land at
+/// exactly the recorded offsets. When the trace is exhausted it wraps
+/// around, repeating the recording from the episode's next multiple of
+/// the span — so a 30 s incident recording can drive a 120 s run.
+#[derive(Debug, Clone)]
+pub struct ReplayArrivals {
+    trace: ReplayTrace,
+    /// Next offset index to replay.
+    idx: usize,
+    /// Absolute µs base of the current repetition of the trace.
+    cycle_base_us: u64,
+    /// Per-second rate profile for `nominal_rate`.
+    buckets: Vec<f64>,
+}
+
+impl ReplayArrivals {
+    /// Creates the process from a recording.
+    pub fn new(trace: ReplayTrace) -> Self {
+        let buckets = trace.second_buckets();
+        ReplayArrivals {
+            trace,
+            idx: 0,
+            cycle_base_us: 0,
+            buckets,
+        }
+    }
+}
+
+impl ArrivalProcess for ReplayArrivals {
+    fn next_interarrival(&mut self, now: SimTime, _rng: &mut SimRng) -> SimDuration {
+        if self.idx >= self.trace.offsets_us().len() {
+            self.idx = 0;
+            self.cycle_base_us += self.trace.span_us;
+        }
+        let target = self.cycle_base_us + self.trace.offsets_us()[self.idx];
+        self.idx += 1;
+        SimDuration::from_micros(target.saturating_sub(now.as_micros()))
+    }
+
+    fn nominal_rate(&self, now: SimTime) -> f64 {
+        let into = now.as_micros() % self.trace.span_us;
+        let idx = ((into / 1_000_000) as usize).min(self.buckets.len() - 1);
+        self.buckets[idx]
+    }
+}
+
 /// A declarative arrival-shape specification, the load half of a fleet
 /// scenario.
 ///
 /// Scenario catalogs need load shapes that can be written down as plain
 /// data (named, compared, stored in tables) and only turned into a live
-/// [`ArrivalProcess`] when a simulation is built. The three shapes cover
-/// the paper's §4.1 regimes: steady Poisson traffic, diurnal
+/// [`ArrivalProcess`] when a simulation is built. The synthetic shapes
+/// cover the paper's §4.1 regimes — steady Poisson traffic, diurnal
 /// (sinusoidal) variation, and flash crowds (periodic multiplicative
-/// bursts).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// bursts) — and [`LoadShape::Replay`] feeds a recorded arrival trace
+/// back in verbatim, so catalogs can re-run captured incidents instead
+/// of synthetic curves.
+#[derive(Debug, Clone, PartialEq)]
 pub enum LoadShape {
     /// Poisson arrivals at a fixed rate (req/s).
     Steady {
@@ -194,6 +359,13 @@ pub enum LoadShape {
         /// Burst length, seconds (must be < `every_secs`).
         crest_secs: u64,
     },
+    /// Replay of a recorded arrival sequence: arrivals land at exactly
+    /// the recorded offsets, wrapping around when the run outlives the
+    /// recording.
+    Replay {
+        /// The recording to replay.
+        trace: ReplayTrace,
+    },
 }
 
 impl LoadShape {
@@ -205,16 +377,16 @@ impl LoadShape {
     /// of the underlying processes (non-positive rates, oversized
     /// bursts, amplitude outside `[0, 1)`).
     pub fn build(&self) -> Box<dyn ArrivalProcess> {
-        match *self {
-            LoadShape::Steady { rate } => Box::new(firm_sim::PoissonArrivals::new(rate)),
+        match self {
+            LoadShape::Steady { rate } => Box::new(firm_sim::PoissonArrivals::new(*rate)),
             LoadShape::Diurnal {
                 base,
                 amplitude,
                 period_secs,
             } => Box::new(DiurnalArrivals::new(
-                base,
-                amplitude,
-                SimDuration::from_secs(period_secs),
+                *base,
+                *amplitude,
+                SimDuration::from_secs(*period_secs),
             )),
             LoadShape::FlashCrowd {
                 base,
@@ -222,36 +394,38 @@ impl LoadShape {
                 every_secs,
                 crest_secs,
             } => Box::new(SpikeArrivals::new(
-                base,
-                multiplier,
-                SimDuration::from_secs(every_secs),
-                SimDuration::from_secs(crest_secs),
+                *base,
+                *multiplier,
+                SimDuration::from_secs(*every_secs),
+                SimDuration::from_secs(*crest_secs),
             )),
+            LoadShape::Replay { trace } => Box::new(ReplayArrivals::new(trace.clone())),
         }
     }
 
     /// The time-averaged arrival rate of the shape, req/s.
     pub fn mean_rate(&self) -> f64 {
-        match *self {
-            LoadShape::Steady { rate } => rate,
+        match self {
+            LoadShape::Steady { rate } => *rate,
             // The sinusoid integrates to its base over a full period.
-            LoadShape::Diurnal { base, .. } => base,
+            LoadShape::Diurnal { base, .. } => *base,
             LoadShape::FlashCrowd {
                 base,
                 multiplier,
                 every_secs,
                 crest_secs,
             } => {
-                let crest_frac = crest_secs as f64 / every_secs as f64;
+                let crest_frac = *crest_secs as f64 / *every_secs as f64;
                 base * (1.0 + (multiplier - 1.0) * crest_frac)
             }
+            LoadShape::Replay { trace } => trace.mean_rate(),
         }
     }
 
     /// A short label for reports (`steady@100`, `diurnal@80±50%`,
-    /// `flash@60x4`).
+    /// `flash@60x4`, `replay@105x7432`).
     pub fn label(&self) -> String {
-        match *self {
+        match self {
             LoadShape::Steady { rate } => format!("steady@{rate:.0}"),
             LoadShape::Diurnal {
                 base, amplitude, ..
@@ -259,6 +433,9 @@ impl LoadShape {
             LoadShape::FlashCrowd {
                 base, multiplier, ..
             } => format!("flash@{base:.0}x{multiplier:.0}"),
+            LoadShape::Replay { trace } => {
+                format!("replay@{:.0}x{}", trace.mean_rate(), trace.len())
+            }
         }
     }
 }
@@ -349,7 +526,7 @@ mod tests {
                 crest_secs: 15,
             },
         ];
-        for shape in shapes {
+        for shape in &shapes {
             let p = shape.build();
             assert!(p.nominal_rate(SimTime::ZERO) > 0.0, "{}", shape.label());
             assert!(shape.mean_rate() > 0.0);
@@ -359,5 +536,68 @@ mod tests {
         assert_eq!(shapes[1].mean_rate(), 80.0);
         // 60·(1 + 3·0.25) = 105.
         assert!((shapes[2].mean_rate() - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_offsets_exactly() {
+        let trace = ReplayTrace::synthesize(
+            &LoadShape::FlashCrowd {
+                base: 100.0,
+                multiplier: 4.0,
+                every_secs: 10,
+                crest_secs: 2,
+            },
+            SimDuration::from_secs(12),
+            9,
+        );
+        assert!(trace.len() > 500, "only {} arrivals", trace.len());
+
+        // Driving the process from t=0 reproduces every offset exactly,
+        // regardless of the RNG handed in.
+        let mut p = ReplayArrivals::new(trace.clone());
+        let mut rng = SimRng::new(12345);
+        let mut now = SimTime::ZERO;
+        let mut replayed = Vec::with_capacity(trace.len());
+        for _ in 0..trace.len() {
+            now += p.next_interarrival(now, &mut rng);
+            replayed.push(now.as_micros());
+        }
+        assert_eq!(replayed, trace.offsets_us());
+
+        // The next arrival wraps into the second repetition of the span.
+        now += p.next_interarrival(now, &mut rng);
+        assert_eq!(
+            now.as_micros(),
+            trace.span().as_micros() + trace.offsets_us()[0]
+        );
+    }
+
+    #[test]
+    fn replay_nominal_rate_follows_the_recorded_burst() {
+        let shape = LoadShape::FlashCrowd {
+            base: 80.0,
+            multiplier: 5.0,
+            every_secs: 20,
+            crest_secs: 4,
+        };
+        let trace = ReplayTrace::synthesize(&shape, SimDuration::from_secs(20), 11);
+        let replay = ReplayArrivals::new(trace.clone());
+        // Crest seconds see several times the base rate.
+        let crest = replay.nominal_rate(SimTime::from_secs(1));
+        let quiet = replay.nominal_rate(SimTime::from_secs(12));
+        assert!(crest > quiet * 2.0, "crest {crest} quiet {quiet}");
+        // Replay mean tracks the source shape's mean.
+        assert!(
+            (trace.mean_rate() - shape.mean_rate()).abs() < shape.mean_rate() * 0.2,
+            "trace {} shape {}",
+            trace.mean_rate(),
+            shape.mean_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn unsorted_replay_offsets_rejected() {
+        ReplayTrace::from_offsets(vec![5, 3], SimDuration::from_secs(1));
     }
 }

@@ -28,4 +28,6 @@ pub mod generator;
 
 pub use apps::{fig2_compose_post, Benchmark};
 pub use builder::{AppBuilder, Tier};
-pub use generator::{DiurnalArrivals, LoadShape, SpikeArrivals, StepArrivals};
+pub use generator::{
+    DiurnalArrivals, LoadShape, ReplayArrivals, ReplayTrace, SpikeArrivals, StepArrivals,
+};

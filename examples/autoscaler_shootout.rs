@@ -31,8 +31,8 @@ fn main() {
     ];
 
     println!(
-        "{:<10} {:>10} {:>10} {:>12} {:>10} {:>12}",
-        "manager", "p50 (ms)", "p99 (ms)", "violations", "drops", "mean CPU"
+        "{:<10} {:>10} {:>10} {:>12} {:>10} {:>12} {:>11}",
+        "manager", "p50 (ms)", "p99 (ms)", "violations", "drops", "mean CPU", "mitig (s)"
     );
     for (name, controller) in contenders {
         let mut cfg = ScenarioConfig::new(app.clone(), controller);
@@ -47,13 +47,14 @@ fn main() {
         cfg.seed = 11;
         let r = run_scenario(cfg);
         println!(
-            "{:<10} {:>10.2} {:>10.2} {:>11.1}% {:>10} {:>12.1}",
+            "{:<10} {:>10.2} {:>10.2} {:>11.1}% {:>10} {:>12.1} {:>11.2}",
             name,
             r.latency.p50() as f64 / 1e3,
             r.latency.p99() as f64 / 1e3,
             r.violation_rate() * 100.0,
             r.drops,
-            r.mean_requested_cpu
+            r.mean_requested_cpu,
+            r.mean_mitigation_secs()
         );
     }
     println!("\n(an untrained FIRM learns online during the run; see the fig10/fig11 binaries");

@@ -1,15 +1,22 @@
-//! Run the built-in scenario catalog across worker threads and print
-//! the fleet report: per-tenant SLO outcomes plus the shared pipeline
-//! trained on the pooled experience.
+//! Run the built-in scenario catalog round trip: train the shared
+//! agent across all tenants, freeze it, deploy it back onto the same
+//! catalog in inference mode, and print the per-scenario
+//! train-vs-deploy deltas (Fig. 11b at fleet scale).
 //!
 //! ```sh
 //! cargo run --release --example fleet_catalog
 //! ```
 
-use firm::fleet::{builtin_catalog, FleetConfig, FleetRunner};
+use firm::fleet::{builtin_catalog, FleetConfig, FleetRunner, Scenario};
+use firm::sim::SimDuration;
 
 fn main() {
-    let scenarios = builtin_catalog();
+    // Half-length scenarios keep the double pass close to the old
+    // single-pass wall time.
+    let scenarios: Vec<Scenario> = builtin_catalog()
+        .into_iter()
+        .map(|s| s.with_duration(SimDuration::from_secs(15)))
+        .collect();
     let config = FleetConfig {
         threads: 0, // one worker per core
         seed: 7,
@@ -19,46 +26,55 @@ fn main() {
     let runner = FleetRunner::new(config);
 
     println!(
-        "fleet: {} scenarios on {} worker thread(s)\n",
+        "fleet round trip: {} scenarios on {} worker thread(s)\n",
         scenarios.len(),
         threads
     );
     let start = std::time::Instant::now();
-    let result = runner.run(&scenarios);
+    let rt = runner.run_round_trip(&scenarios);
     let wall = start.elapsed();
+    let report = rt.report();
 
     println!(
-        "{:<22} {:<18} {:>5} {:>6} {:>10} {:>9} {:>8} {:>7} {:>6}",
-        "scenario", "benchmark", "ctl", "load", "completed", "viol%", "p99 ms", "mitig", "xp"
+        "{:<22} {:<18} {:>5} {:>10} {:>12} {:>13} {:>9}",
+        "scenario", "benchmark", "ctl", "completed", "train viol%", "deploy viol%", "Δ p99 ms"
     );
-    for s in &result.report.scenarios {
+    for (s, d) in report.train.scenarios.iter().zip(&report.deltas) {
         println!(
-            "{:<22} {:<18} {:>5} {:>6} {:>10} {:>8.2}% {:>8.1} {:>7} {:>6}",
-            s.name,
+            "{:<22} {:<18} {:>5} {:>10} {:>11.2}% {:>12.2}% {:>+9.1}",
+            d.name,
             s.benchmark,
-            s.controller,
-            s.load.split('@').next().unwrap_or("?"),
+            d.controller,
             s.completions,
-            s.violation_rate() * 100.0,
-            s.p99_us as f64 / 1e3,
-            s.mitigations,
-            s.transitions,
+            d.train_violation_rate * 100.0,
+            d.deploy_violation_rate * 100.0,
+            (d.deploy_p99_us as f64 - d.train_p99_us as f64) / 1e3,
         );
     }
-    let t = &result.report.totals;
+
+    let train = &report.train.totals;
+    let deploy = &report.deploy.totals;
     println!(
-        "\ntotals: {} requests served, {:.2}% SLO violations, worst p99 {:.1} ms",
-        t.completions,
-        t.violation_rate() * 100.0,
-        t.worst_p99_us as f64 / 1e3
+        "\ntrain pass:  {} requests, {:.2}% SLO violations, worst p99 {:.1} ms",
+        train.completions,
+        train.violation_rate() * 100.0,
+        train.worst_p99_us as f64 / 1e3
+    );
+    println!(
+        "deploy pass: {} requests, {:.2}% SLO violations, worst p99 {:.1} ms",
+        deploy.completions,
+        deploy.violation_rate() * 100.0,
+        deploy.worst_p99_us as f64 / 1e3
     );
     println!(
         "shared trainer: {} transitions + {} SVM labels pooled, {} DDPG updates",
-        t.transitions, t.svm_examples, result.trained_updates
+        train.transitions, train.svm_examples, rt.train.trained_updates
     );
     println!(
-        "report digest: {:016x} (bit-identical at any thread count)",
-        result.report.digest()
+        "frozen policy digest: {:016x}; round-trip digest: {:016x}",
+        rt.policy.digest(),
+        report.digest()
     );
+    println!("(both bit-identical at any thread count)");
     println!("wall clock: {:.2} s", wall.as_secs_f64());
 }

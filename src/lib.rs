@@ -20,12 +20,15 @@
 //! * [`ml`] — from-scratch MLP/DDPG/SVM substrate;
 //! * [`workload`] — the four benchmark topologies and load shapes;
 //! * [`core`] — FIRM itself: extractor, RL estimator, deployment
-//!   module, anomaly injector, baselines, training and experiment
-//!   harnesses;
+//!   module, anomaly injector, baselines, the unified
+//!   `Controller` trait + `run_episode` driver, and the training and
+//!   experiment harnesses;
 //! * [`fleet`] — the parallel multi-tenant fleet runtime: a scenario
-//!   catalog over all four benchmarks, a sharded `FleetRunner` with
-//!   bit-identical results at any thread count, and cross-simulation
-//!   experience aggregation into one shared agent (§4.3 one-for-all).
+//!   catalog over all four benchmarks (including replayed incidents),
+//!   a sharded `FleetRunner` with bit-identical results at any thread
+//!   count, cross-simulation experience aggregation into one shared
+//!   agent (§4.3 one-for-all), and round-trip deployment of the frozen
+//!   agent with train-vs-deploy deltas.
 //!
 //! # Examples
 //!

@@ -6,7 +6,9 @@
 //! thread count is a pure wall-clock knob, never a results knob.
 
 use firm::fleet::{builtin_catalog, FleetConfig, FleetRunner, Scenario};
-use firm::sim::SimDuration;
+use firm::sim::spec::{AppSpec, ClusterSpec};
+use firm::sim::{SimDuration, SimTime, Simulation};
+use firm::workload::{LoadShape, ReplayTrace};
 
 /// The full built-in catalog, shortened so three fleet runs fit in a
 /// test budget. Shortening is part of the scenario data, so every run
@@ -60,6 +62,109 @@ fn report_is_bit_identical_across_thread_counts() {
             r.estimator.shared_agent().export_weights(),
             "trained weights diverged at {threads} threads"
         );
+    }
+}
+
+/// Round-trip determinism: the deployment pass (frozen shared agent in
+/// inference mode) and the frozen policy bytes themselves must be
+/// bit-identical at 1, 2, and 4 worker threads, exactly like the
+/// training pass.
+#[test]
+fn round_trip_is_bit_identical_across_thread_counts() {
+    // A mixed subset: two FIRM trainers, the unmanaged control group,
+    // and the incident-replay trio.
+    let scenarios: Vec<Scenario> = builtin_catalog()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, s)| *i == 0 || *i == 4 || s.name.contains("replay"))
+        .map(|(_, s)| s.with_duration(SimDuration::from_secs(6)))
+        .collect();
+    assert_eq!(scenarios.len(), 5);
+
+    let run = |threads: usize| {
+        FleetRunner::new(FleetConfig {
+            threads,
+            seed: 4242,
+            train_steps: 48,
+        })
+        .run_round_trip(&scenarios)
+    };
+
+    let base = run(1);
+    assert_eq!(
+        base.deploy.totals.transitions, 0,
+        "deploy pass was not pure inference"
+    );
+    assert!(
+        base.deploy.totals.completions > 500,
+        "deploy pass served only {} requests",
+        base.deploy.totals.completions
+    );
+    assert_eq!(base.report().deltas.len(), scenarios.len());
+
+    for threads in [2, 4] {
+        let r = run(threads);
+        assert_eq!(
+            base.deploy.to_json(),
+            r.deploy.to_json(),
+            "deploy-pass report bytes diverged at {threads} threads"
+        );
+        assert_eq!(
+            base.report().digest(),
+            r.report().digest(),
+            "round-trip digest diverged at {threads} threads"
+        );
+        assert_eq!(
+            base.policy, r.policy,
+            "frozen policy bytes diverged at {threads} threads"
+        );
+        assert_eq!(base.policy.digest(), r.policy.digest());
+    }
+}
+
+/// Trace replay closes the loop: a run driven by a recorded arrival log
+/// reproduces the recording's arrival times bit for bit — even under a
+/// different simulation seed, because the replay process never touches
+/// the RNG.
+#[test]
+fn replay_scenario_is_bit_identical_to_its_recording_source() {
+    let shape = LoadShape::FlashCrowd {
+        base: 120.0,
+        multiplier: 3.0,
+        every_secs: 10,
+        crest_secs: 3,
+    };
+    let duration = SimDuration::from_secs(10);
+
+    // The recording source: a live run under the synthetic shape.
+    let mut source = Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 77)
+        .arrivals(shape.build())
+        .record_arrivals(true)
+        .build();
+    source.run_for(duration);
+    let recorded = source.arrival_log().to_vec();
+    assert!(
+        recorded.len() > 300,
+        "source saw {} arrivals",
+        recorded.len()
+    );
+
+    // Re-run the incident from the recording, under a different seed.
+    let trace = ReplayTrace::from_records(&recorded, SimTime::ZERO, duration);
+    let mut replayed = Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 123)
+        .arrivals(LoadShape::Replay { trace }.build())
+        .record_arrivals(true)
+        .build();
+    replayed.run_for(duration);
+
+    let replay_log = replayed.arrival_log();
+    assert_eq!(
+        replay_log.len(),
+        recorded.len(),
+        "replay produced a different arrival count"
+    );
+    for (src, rep) in recorded.iter().zip(replay_log) {
+        assert_eq!(src.at, rep.at, "arrival time diverged from the recording");
     }
 }
 
