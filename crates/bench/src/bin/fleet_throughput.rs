@@ -15,7 +15,10 @@
 //!
 //! `--scenarios N` truncates the catalog to its first N entries — the
 //! CI smoke mode, so the binary can't silently rot without burning
-//! minutes.
+//! minutes. `--workers N` additionally runs the catalog through N
+//! `firm-fleet-worker` subprocesses and asserts the report digest is
+//! bit-identical to the in-process run (the wire codec's cross-process
+//! determinism contract).
 //!
 //! Note: speedup is bounded by the host's core count; on a single-core
 //! container every thread count measures ≈1×. The JSON records
@@ -26,6 +29,7 @@ use std::time::Instant;
 use firm_bench::{banner, Args};
 use firm_fleet::{builtin_catalog, FleetConfig, FleetRunner, Scenario};
 use firm_sim::SimDuration;
+use firm_wire::{JsonValue, Obj};
 
 struct Measurement {
     threads: usize,
@@ -36,11 +40,20 @@ struct Measurement {
 }
 
 fn run_once(scenarios: &[Scenario], threads: usize, seed: u64) -> Measurement {
-    let runner = FleetRunner::new(FleetConfig {
-        threads,
-        seed,
-        train_steps: 128,
-    });
+    run_config(
+        scenarios,
+        FleetConfig {
+            threads,
+            seed,
+            train_steps: 128,
+            ..FleetConfig::default()
+        },
+    )
+}
+
+fn run_config(scenarios: &[Scenario], config: FleetConfig) -> Measurement {
+    let threads = config.threads;
+    let runner = FleetRunner::new(config);
     let start = Instant::now();
     let result = runner.run(scenarios);
     let wall_secs = start.elapsed().as_secs_f64();
@@ -57,6 +70,7 @@ fn main() {
     let args = Args::from_env();
     let seconds = args.u64("seconds", 20);
     let max_threads = args.u64("threads", 4) as usize;
+    let workers = args.u64("workers", 0) as usize;
     let seed = args.u64("seed", 7);
     let take = args.u64("scenarios", u64::MAX) as usize;
     let out_path = args.get("out").unwrap_or("BENCH_fleet.json").to_string();
@@ -107,36 +121,60 @@ fn main() {
         "fleet reports diverged across thread counts"
     );
 
+    // Cross-process contract: a subprocess-sharded fleet reproduces the
+    // same digest through the wire codec.
+    let subprocess = (workers > 0).then(|| {
+        let m = run_config(
+            &scenarios,
+            FleetConfig {
+                seed,
+                train_steps: 128,
+                ..FleetConfig::default()
+            }
+            .workers(workers),
+        );
+        assert_eq!(
+            m.digest, digest,
+            "subprocess fleet diverged from the in-process digest"
+        );
+        println!(
+            "workers={workers} (subprocess) wall={:>7.2}s digest matches in-process",
+            m.wall_secs
+        );
+        m
+    });
+
     let base = measurements[0].wall_secs;
-    let rows: Vec<String> = measurements
-        .iter()
-        .map(|m| {
-            format!(
-                concat!(
-                    "{{\"threads\":{},\"wall_secs\":{:.4},\"sim_ticks_per_sec\":{:.1},",
-                    "\"requests_per_sec\":{:.1},\"speedup_vs_1_thread\":{:.3}}}"
-                ),
-                m.threads,
-                m.wall_secs,
-                m.sim_ticks as f64 / m.wall_secs,
-                m.requests as f64 / m.wall_secs,
-                base / m.wall_secs,
+    let round3 = |x: f64| (x * 1_000.0).round() / 1_000.0;
+    let row = |m: &Measurement| {
+        Obj::new()
+            .field("threads", m.threads)
+            .field("wall_secs", round3(m.wall_secs))
+            .field(
+                "sim_ticks_per_sec",
+                round3(m.sim_ticks as f64 / m.wall_secs),
             )
-        })
-        .collect();
-    let json = format!(
-        concat!(
-            "{{\"bench\":\"fleet_throughput\",\"scenarios\":{},",
-            "\"sim_seconds_each\":{},\"seed\":{},\"host_cores\":{},",
-            "\"report_digest\":\"{:016x}\",\"runs\":[{}]}}\n"
-        ),
-        scenarios.len(),
-        seconds,
-        seed,
-        host_cores,
-        digest,
-        rows.join(","),
-    );
+            .field("requests_per_sec", round3(m.requests as f64 / m.wall_secs))
+            .field("speedup_vs_1_thread", round3(base / m.wall_secs))
+            .build()
+    };
+    let runs: Vec<JsonValue> = measurements.iter().map(row).collect();
+    let mut doc = Obj::new()
+        .field("bench", "fleet_throughput")
+        .field("scenarios", scenarios.len())
+        .field("sim_seconds_each", seconds)
+        .field("seed", seed)
+        .field("host_cores", host_cores)
+        .field("report_digest", format!("{digest:016x}"))
+        .field("runs", runs);
+    if let Some(m) = &subprocess {
+        doc = doc
+            .field("subprocess_workers", workers)
+            .field("subprocess_wall_secs", round3(m.wall_secs))
+            .field("subprocess_digest_matches", true);
+    }
+    let mut json = doc.build().render();
+    json.push('\n');
     std::fs::write(&out_path, &json).expect("write BENCH_fleet.json");
     println!(
         "\nbest speedup: {:.2}x at {} threads (host has {host_cores} core(s))",

@@ -16,7 +16,7 @@ use firm_trace::TracingCoordinator;
 use crate::slo::SloMonitor;
 
 /// Kubernetes horizontal-pod-autoscaler configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct K8sConfig {
     /// Target average CPU utilization (k8s default 0.8 of requests).
     pub target_utilization: f64,
@@ -108,7 +108,7 @@ impl K8sHpaController {
 }
 
 /// AIMD configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AimdConfig {
     /// Additive CPU increase per violating tick (cores).
     pub additive_step: f64,

@@ -24,7 +24,7 @@ use firm_sim::{InstanceId, ServiceId, SimTime};
 use firm_trace::store::StoredTrace;
 
 /// Per-instance Algorithm 2 features over one control window.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstanceFeatures {
     /// The instance.
     pub instance: InstanceId,

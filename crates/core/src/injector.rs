@@ -14,7 +14,7 @@ use firm_sim::{
 };
 
 /// Campaign parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
     /// Injection rate λ (events per second); the paper uses 0.33 s⁻¹.
     pub lambda: f64,

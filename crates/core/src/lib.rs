@@ -36,6 +36,7 @@ pub mod injector;
 pub mod manager;
 pub mod slo;
 pub mod training;
+pub mod wire;
 
 pub use baselines::{AimdController, K8sHpaController};
 pub use controller::{

@@ -71,7 +71,7 @@ impl Default for FirmConfig {
 /// Experience harvested from one managed run, in completion order: the
 /// raw material of the paper's §4.3 *one-for-all* regime when pooled
 /// across many simulations by a fleet runtime.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ExperienceLog {
     /// Completed RL transitions, tagged with the acting service.
     pub transitions: Vec<(ServiceId, Transition)>,

@@ -1,0 +1,212 @@
+//! Wire-codec impls for FIRM's control-plane data.
+//!
+//! These are the payloads of the fleet's cut points: a
+//! [`PolicyCheckpoint`] ships a frozen shared agent to a remote worker
+//! and back, an [`ExperienceLog`] streams a worker's harvested
+//! transitions and SVM ground truth home to the central trainer, and
+//! the controller/campaign configs ride inside a `Scenario`. Floats use
+//! shortest round-trip rendering, so a policy that crosses the wire
+//! deploys bit-identical weights.
+
+use firm_wire::{DecodeError, JsonValue, Obj, WireDecode, WireEncode};
+
+use crate::baselines::{AimdConfig, K8sConfig};
+use crate::controller::PolicyCheckpoint;
+use crate::extractor::InstanceFeatures;
+use crate::injector::CampaignConfig;
+use crate::manager::ExperienceLog;
+
+impl WireEncode for PolicyCheckpoint {
+    fn encode(&self) -> JsonValue {
+        Obj::new()
+            .field("actor", &self.actor)
+            .field("critic", &self.critic)
+            .build()
+    }
+}
+
+impl WireDecode for PolicyCheckpoint {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        Ok(PolicyCheckpoint {
+            actor: v.field("actor")?,
+            critic: v.field("critic")?,
+        })
+    }
+}
+
+impl WireEncode for InstanceFeatures {
+    fn encode(&self) -> JsonValue {
+        Obj::new()
+            .field("instance", self.instance)
+            .field("service", self.service)
+            .field("ri", self.ri)
+            .field("ci", self.ci)
+            .field("samples", self.samples)
+            .build()
+    }
+}
+
+impl WireDecode for InstanceFeatures {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        Ok(InstanceFeatures {
+            instance: v.field("instance")?,
+            service: v.field("service")?,
+            ri: v.field("ri")?,
+            ci: v.field("ci")?,
+            samples: v.field("samples")?,
+        })
+    }
+}
+
+impl WireEncode for ExperienceLog {
+    fn encode(&self) -> JsonValue {
+        Obj::new()
+            .field("transitions", &self.transitions)
+            .field("svm_examples", &self.svm_examples)
+            .build()
+    }
+}
+
+impl WireDecode for ExperienceLog {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        Ok(ExperienceLog {
+            transitions: v.field("transitions")?,
+            svm_examples: v.field("svm_examples")?,
+        })
+    }
+}
+
+impl WireEncode for CampaignConfig {
+    fn encode(&self) -> JsonValue {
+        Obj::new()
+            .field("lambda", self.lambda)
+            .field("kinds", &self.kinds)
+            .field("intensity", self.intensity)
+            .field("duration", self.duration)
+            .field("target_nodes", &self.target_nodes)
+            .field("container_level", self.container_level)
+            .build()
+    }
+}
+
+impl WireDecode for CampaignConfig {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        Ok(CampaignConfig {
+            lambda: v.field("lambda")?,
+            kinds: v.field("kinds")?,
+            intensity: v.field("intensity")?,
+            duration: v.field("duration")?,
+            target_nodes: v.field("target_nodes")?,
+            container_level: v.field("container_level")?,
+        })
+    }
+}
+
+impl WireEncode for K8sConfig {
+    fn encode(&self) -> JsonValue {
+        Obj::new()
+            .field("target_utilization", self.target_utilization)
+            .field("tolerance", self.tolerance)
+            .field("max_replicas", self.max_replicas)
+            .field(
+                "downscale_stabilization_ticks",
+                self.downscale_stabilization_ticks,
+            )
+            .build()
+    }
+}
+
+impl WireDecode for K8sConfig {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        Ok(K8sConfig {
+            target_utilization: v.field("target_utilization")?,
+            tolerance: v.field("tolerance")?,
+            max_replicas: v.field("max_replicas")?,
+            downscale_stabilization_ticks: v.field("downscale_stabilization_ticks")?,
+        })
+    }
+}
+
+impl WireEncode for AimdConfig {
+    fn encode(&self) -> JsonValue {
+        Obj::new()
+            .field("additive_step", self.additive_step)
+            .field("beta", self.beta)
+            .field("low_utilization", self.low_utilization)
+            .field("cpu_bounds", self.cpu_bounds)
+            .build()
+    }
+}
+
+impl WireDecode for AimdConfig {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        Ok(AimdConfig {
+            additive_step: v.field("additive_step")?,
+            beta: v.field("beta")?,
+            low_utilization: v.field("low_utilization")?,
+            cpu_bounds: v.field("cpu_bounds")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firm_ml::Transition;
+    use firm_sim::anomaly::ANOMALY_KINDS;
+    use firm_sim::{InstanceId, ServiceId, SimDuration};
+    use firm_wire::{assert_round_trip, decode_string, encode_string};
+
+    #[test]
+    fn policy_checkpoints_round_trip_bit_identically() {
+        let policy = PolicyCheckpoint {
+            actor: (0..64).map(|i| (i as f64 * 0.731).sin() * 1e3).collect(),
+            critic: (0..96).map(|i| 1.0 / (i as f64 + 0.123)).collect(),
+        };
+        assert_round_trip(&policy);
+        let back: PolicyCheckpoint = decode_string(&encode_string(&policy)).unwrap();
+        assert_eq!(back.digest(), policy.digest(), "weight bits changed");
+    }
+
+    #[test]
+    fn experience_logs_round_trip() {
+        let mut log = ExperienceLog::default();
+        log.transitions.push((
+            ServiceId(3),
+            Transition {
+                state: vec![0.25, -0.5],
+                action: vec![1.0],
+                reward: -0.125,
+                next_state: vec![0.3, 0.7],
+                done: false,
+            },
+        ));
+        log.svm_examples.push((
+            InstanceFeatures {
+                instance: InstanceId(9),
+                service: ServiceId(3),
+                ri: 0.87,
+                ci: 2.4,
+                samples: 17,
+            },
+            true,
+        ));
+        assert_round_trip(&log);
+        assert_round_trip(&ExperienceLog::default());
+    }
+
+    #[test]
+    fn configs_round_trip() {
+        assert_round_trip(&K8sConfig::default());
+        assert_round_trip(&AimdConfig::default());
+        assert_round_trip(&CampaignConfig::default());
+        assert_round_trip(&CampaignConfig {
+            lambda: 0.5,
+            kinds: ANOMALY_KINDS.to_vec(),
+            intensity: (0.1, 0.9),
+            duration: (SimDuration::from_secs(1), SimDuration::from_secs(4)),
+            target_nodes: vec![firm_sim::NodeId(0), firm_sim::NodeId(2)],
+            container_level: false,
+        });
+    }
+}

@@ -1,0 +1,73 @@
+//! `firm-fleet-worker` — the fleet's subprocess work unit.
+//!
+//! Reads newline-delimited [`WorkerRequest`] wire frames on stdin, runs
+//! each scenario to completion with `run_one_with`, and writes one
+//! [`WorkerResponse`] frame per job on stdout (flushed per job, so the
+//! coordinator can stream results). Exits 0 on EOF; exits 2 with a
+//! spanned error on stderr if a frame is malformed — the coordinator
+//! treats any nonzero exit as a failed fleet run.
+//!
+//! The worker is deliberately dumb: no seed derivation, no ordering, no
+//! training. All of that stays at the coordinator; this binary is
+//! `decode → simulate → encode`, which is exactly what makes the
+//! multi-process fleet bit-identical to the in-process one.
+//!
+//! ```sh
+//! printf '%s\n' "$REQUEST_FRAME" | firm-fleet-worker
+//! ```
+
+use std::io::{BufRead, BufWriter, Write};
+
+use firm_fleet::exec::run_one_with;
+use firm_fleet::protocol::{WorkerRequest, WorkerResponse};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    // The policy shipped by an earlier frame on this connection; later
+    // frames reference it with `reuse_policy` instead of re-sending the
+    // weights.
+    let mut cached_policy = None;
+
+    for line in stdin.lock().lines() {
+        let line = line.expect("read request frame from stdin");
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: WorkerRequest = match firm_wire::decode_line(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                eprintln!("firm-fleet-worker: bad request frame: {e}");
+                std::process::exit(2);
+            }
+        };
+        let policy = if req.reuse_policy {
+            if cached_policy.is_none() {
+                eprintln!(
+                    "firm-fleet-worker: frame {} sets reuse_policy but no \
+                     earlier frame carried a policy",
+                    req.index
+                );
+                std::process::exit(2);
+            }
+            cached_policy.as_ref()
+        } else {
+            if let Some(p) = req.policy {
+                cached_policy = Some(p);
+            } else {
+                cached_policy = None;
+            }
+            cached_policy.as_ref()
+        };
+        let (outcome, experience) = run_one_with(&req.scenario, req.seed, policy);
+        let resp = WorkerResponse {
+            index: req.index,
+            outcome,
+            experience,
+        };
+        out.write_all(firm_wire::encode_line(&resp).as_bytes())
+            .expect("write response frame to stdout");
+        out.flush().expect("flush stdout");
+    }
+}

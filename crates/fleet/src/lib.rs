@@ -53,6 +53,7 @@
 //!     threads: 2,
 //!     seed: 7,
 //!     train_steps: 16,
+//!     ..FleetConfig::default()
 //! })
 //! .run(&scenarios);
 //! assert_eq!(result.report.scenarios.len(), 2);
@@ -60,11 +61,14 @@
 //! ```
 
 pub mod exec;
+pub mod protocol;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod wire;
 
 pub use exec::{run_one, run_one_with};
+pub use protocol::{WorkerRequest, WorkerResponse};
 pub use report::{FleetReport, FleetTotals, RoundTripReport, ScenarioDelta, ScenarioOutcome};
 pub use runner::{scenario_seed, FleetConfig, FleetResult, FleetRunner, RoundTripResult};
 pub use scenario::{builtin_catalog, FleetController, Scenario};

@@ -1,0 +1,158 @@
+//! The coordinator↔worker subprocess protocol.
+//!
+//! One newline-delimited wire frame per message, in both directions
+//! (the escaper guarantees a rendered frame never contains a raw
+//! newline). The coordinator writes [`WorkerRequest`] frames to a
+//! worker's stdin and reads [`WorkerResponse`] frames from its stdout;
+//! a worker is nothing but `decode → run_one_with → encode` in a loop,
+//! exactly the thin-worker shape distributed-JIQ-style designs argue
+//! for — all policy (scheduling, ordering, training) stays at the
+//! coordinator.
+//!
+//! The `index` is the scenario's *catalog index*: it both derives the
+//! per-scenario seed on the coordinator (the `(fleet seed, index) →
+//! seed` contract pinned in [`crate::runner::scenario_seed`]) and slots
+//! the response back into catalog order, which is what keeps a
+//! subprocess fleet bit-identical to the in-process path.
+
+use firm_core::controller::PolicyCheckpoint;
+use firm_core::manager::ExperienceLog;
+use firm_wire::{DecodeError, JsonValue, Obj, WireDecode, WireEncode};
+
+use crate::report::ScenarioOutcome;
+use crate::scenario::Scenario;
+
+/// One unit of work shipped to a subprocess worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerRequest {
+    /// The scenario's catalog index (slots the response back in order).
+    pub index: u64,
+    /// The derived per-scenario seed (the coordinator owns derivation).
+    pub seed: u64,
+    /// The scenario to run, as plain data.
+    pub scenario: Scenario,
+    /// A frozen policy to deploy (the round trip's inference pass);
+    /// `None` with `reuse_policy` unset trains fresh.
+    pub policy: Option<PolicyCheckpoint>,
+    /// Deploy the policy a *previous* frame on this connection carried,
+    /// without re-shipping the weights. The coordinator sends the
+    /// checkpoint once per worker and sets this on every later frame,
+    /// so a deployment pass ships the weights `workers` times, not
+    /// `scenarios` times.
+    pub reuse_policy: bool,
+}
+
+impl WireEncode for WorkerRequest {
+    fn encode(&self) -> JsonValue {
+        Obj::new()
+            .field("index", self.index)
+            .field("seed", self.seed)
+            .field("scenario", &self.scenario)
+            .field("policy", &self.policy)
+            .field("reuse_policy", self.reuse_policy)
+            .build()
+    }
+}
+
+impl WireDecode for WorkerRequest {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        Ok(WorkerRequest {
+            index: v.field("index")?,
+            seed: v.field("seed")?,
+            scenario: v.field("scenario")?,
+            policy: v.field("policy")?,
+            reuse_policy: v.field("reuse_policy")?,
+        })
+    }
+}
+
+/// One completed unit of work streamed back to the coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerResponse {
+    /// Echo of the request's catalog index.
+    pub index: u64,
+    /// The scenario's deterministic measurements.
+    pub outcome: ScenarioOutcome,
+    /// Experience harvested for the central trainer (empty for
+    /// baselines and inference-mode runs).
+    pub experience: ExperienceLog,
+}
+
+impl WireEncode for WorkerResponse {
+    fn encode(&self) -> JsonValue {
+        Obj::new()
+            .field("index", self.index)
+            .field("outcome", &self.outcome)
+            .field("experience", &self.experience)
+            .build()
+    }
+}
+
+impl WireDecode for WorkerResponse {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        Ok(WorkerResponse {
+            index: v.field("index")?,
+            outcome: v.field("outcome")?,
+            experience: v.field("experience")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_one;
+    use crate::scenario::builtin_catalog;
+    use firm_sim::SimDuration;
+    use firm_wire::{assert_round_trip, decode_line, encode_line};
+
+    #[test]
+    fn requests_round_trip_with_and_without_a_policy() {
+        let scenario = builtin_catalog().remove(0);
+        assert_round_trip(&WorkerRequest {
+            index: 3,
+            seed: u64::MAX,
+            scenario: scenario.clone(),
+            policy: None,
+            reuse_policy: false,
+        });
+        assert_round_trip(&WorkerRequest {
+            index: 0,
+            seed: 1,
+            scenario: scenario.clone(),
+            policy: Some(PolicyCheckpoint {
+                actor: vec![0.5, -0.25],
+                critic: vec![1.0 / 3.0],
+            }),
+            reuse_policy: false,
+        });
+        assert_round_trip(&WorkerRequest {
+            index: 1,
+            seed: 2,
+            scenario,
+            policy: None,
+            reuse_policy: true,
+        });
+    }
+
+    #[test]
+    fn a_real_outcome_and_experience_log_cross_the_frame_boundary() {
+        let scenario = builtin_catalog()
+            .remove(0)
+            .with_duration(SimDuration::from_secs(6));
+        let (outcome, experience) = run_one(&scenario, 42);
+        assert!(
+            !experience.transitions.is_empty(),
+            "FIRM run harvested nothing"
+        );
+        let resp = WorkerResponse {
+            index: 7,
+            outcome,
+            experience,
+        };
+        let frame = encode_line(&resp);
+        assert_eq!(frame.matches('\n').count(), 1, "frame is not one line");
+        let back: WorkerResponse = decode_line(&frame).expect("frame decodes");
+        assert_eq!(back, resp);
+    }
+}

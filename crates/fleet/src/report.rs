@@ -3,39 +3,14 @@
 //! A [`FleetReport`] is plain data built only from deterministic
 //! per-scenario measurements, aggregated in catalog order — so for a
 //! fixed `(catalog, seed)` it is byte-identical no matter how many
-//! worker threads produced it. [`FleetReport::to_json`] renders a
-//! stable, hand-rolled JSON document (no external serializers in the
-//! image), and [`FleetReport::digest`] folds those bytes through
-//! FNV-1a for cheap equality checks in tests and CI.
+//! worker threads (or subprocess workers) produced it. Serialization
+//! lives in [`crate::wire`]: every type here implements the symmetric
+//! `WireEncode`/`WireDecode` pair, [`FleetReport::to_json`] is a thin
+//! wrapper over the encoder, and [`FleetReport::digest`] folds the
+//! rendered bytes through FNV-1a for cheap equality checks in tests
+//! and CI.
 
-/// FNV-1a 64 over a byte string — the workspace's cheap fingerprint
-/// for bit-identity checks.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
-        hash ^= *b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// Escapes a string for embedding in a JSON document: quotes,
-/// backslashes, and control characters.
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use firm_wire::{encode_string, fnv64};
 
 /// Deterministic measurements from one scenario run.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,37 +66,10 @@ impl ScenarioOutcome {
         }
     }
 
-    fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"name\":\"{}\",\"benchmark\":\"{}\",\"controller\":\"{}\",",
-                "\"load\":\"{}\",\"seed\":{},\"ticks\":{},\"arrivals\":{},",
-                "\"completions\":{},\"drops\":{},\"slo_violations\":{},",
-                "\"violation_rate\":{},\"p50_us\":{},\"p99_us\":{},",
-                "\"mean_latency_us\":{},\"anomalies_injected\":{},",
-                "\"mitigations\":{},\"mean_mitigation_secs\":{},",
-                "\"transitions\":{},\"svm_examples\":{}}}"
-            ),
-            escape_json(&self.name),
-            escape_json(self.benchmark),
-            escape_json(self.controller),
-            escape_json(&self.load),
-            self.seed,
-            self.ticks,
-            self.arrivals,
-            self.completions,
-            self.drops,
-            self.slo_violations,
-            self.violation_rate(),
-            self.p50_us,
-            self.p99_us,
-            self.mean_latency_us,
-            self.anomalies_injected,
-            self.mitigations,
-            self.mean_mitigation_secs,
-            self.transitions,
-            self.svm_examples,
-        )
+    /// Renders the outcome as a stable JSON document (see
+    /// [`crate::wire`]).
+    pub fn to_json(&self) -> String {
+        encode_string(self)
     }
 }
 
@@ -199,33 +147,10 @@ impl FleetReport {
 
     /// Renders the report as a stable JSON document. Floats use Rust's
     /// shortest round-trip `Display`, so equal values always render to
-    /// equal bytes.
+    /// equal bytes — and `firm_wire::decode_string::<FleetReport>` is
+    /// its exact inverse.
     pub fn to_json(&self) -> String {
-        let scenarios: Vec<String> = self.scenarios.iter().map(|s| s.to_json()).collect();
-        let t = &self.totals;
-        format!(
-            concat!(
-                "{{\"seed\":{},\"totals\":{{\"scenarios\":{},\"arrivals\":{},",
-                "\"completions\":{},\"drops\":{},\"slo_violations\":{},",
-                "\"violation_rate\":{},\"worst_p99_us\":{},",
-                "\"anomalies_injected\":{},\"mitigations\":{},",
-                "\"transitions\":{},\"svm_examples\":{}}},",
-                "\"scenarios\":[{}]}}"
-            ),
-            self.seed,
-            t.scenarios,
-            t.arrivals,
-            t.completions,
-            t.drops,
-            t.slo_violations,
-            t.violation_rate(),
-            t.worst_p99_us,
-            t.anomalies_injected,
-            t.mitigations,
-            t.transitions,
-            t.svm_examples,
-            scenarios.join(","),
-        )
+        encode_string(self)
     }
 
     /// FNV-1a 64 over the JSON bytes — a cheap fingerprint for the
@@ -265,24 +190,10 @@ impl ScenarioDelta {
         self.train_violation_rate - self.deploy_violation_rate
     }
 
-    fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"name\":\"{}\",\"controller\":\"{}\",",
-                "\"train_violation_rate\":{},\"deploy_violation_rate\":{},",
-                "\"train_p99_us\":{},\"deploy_p99_us\":{},",
-                "\"train_mean_mitigation_secs\":{},",
-                "\"deploy_mean_mitigation_secs\":{}}}"
-            ),
-            escape_json(&self.name),
-            escape_json(self.controller),
-            self.train_violation_rate,
-            self.deploy_violation_rate,
-            self.train_p99_us,
-            self.deploy_p99_us,
-            self.train_mean_mitigation_secs,
-            self.deploy_mean_mitigation_secs,
-        )
+    /// Renders the delta as a stable JSON document (see
+    /// [`crate::wire`]).
+    pub fn to_json(&self) -> String {
+        encode_string(self)
     }
 }
 
@@ -337,15 +248,10 @@ impl RoundTripReport {
         }
     }
 
-    /// Renders the full round trip as one stable JSON document.
+    /// Renders the full round trip as one stable JSON document, the
+    /// exact inverse of `firm_wire::decode_string::<RoundTripReport>`.
     pub fn to_json(&self) -> String {
-        let deltas: Vec<String> = self.deltas.iter().map(|d| d.to_json()).collect();
-        format!(
-            "{{\"train\":{},\"deploy\":{},\"deltas\":[{}]}}",
-            self.train.to_json(),
-            self.deploy.to_json(),
-            deltas.join(","),
-        )
+        encode_string(self)
     }
 
     /// FNV-1a 64 over the JSON bytes.
@@ -403,40 +309,13 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
-    /// Minimal JSON string unescaper, the inverse of `escape_json` for
-    /// the escapes it emits.
-    fn unescape_json(s: &str) -> String {
-        let mut out = String::new();
-        let mut chars = s.chars();
-        while let Some(c) = chars.next() {
-            if c != '\\' {
-                out.push(c);
-                continue;
-            }
-            match chars.next() {
-                Some('"') => out.push('"'),
-                Some('\\') => out.push('\\'),
-                Some('n') => out.push('\n'),
-                Some('r') => out.push('\r'),
-                Some('t') => out.push('\t'),
-                Some('u') => {
-                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
-                    let code = u32::from_str_radix(&hex, 16).expect("4 hex digits");
-                    out.push(char::from_u32(code).expect("valid scalar"));
-                }
-                other => panic!("unexpected escape \\{other:?}"),
-            }
-        }
-        out
-    }
-
     #[test]
-    fn hostile_scenario_names_survive_the_escaper_round_trip() {
-        // Quotes, backslashes, and every class of control character the
-        // escaper handles (named escapes and the \u00XX fallback).
+    fn hostile_scenario_names_survive_the_wire_round_trip() {
+        // Quotes, backslashes, every class of control character, and
+        // non-ASCII text: decode(encode(x)) == x via the wire codec.
         let hostile = "q\"uote \\slash\\ new\nline cr\r tab\t bell\u{7} nul\u{0} esc\u{1b} end";
         let mut o = outcome(hostile, 10, 1_000);
-        o.load = "load\"with\\evil\u{2}chars".into();
+        o.load = "load\"with\\evil\u{2}chars \u{65e5}\u{1f600}".into();
         let r = FleetReport::new(1, vec![o]);
         let json = r.to_json();
 
@@ -445,28 +324,10 @@ mod tests {
         assert!(!json.contains('\n'), "raw control character leaked");
         assert!(!json.contains('\u{7}'), "raw control character leaked");
 
-        // ...and the name/load fields round-trip to the original bytes.
-        let extract = |key: &str| -> String {
-            let start = json.find(&format!("\"{key}\":\"")).expect("key present") + key.len() + 4;
-            let rest = &json[start..];
-            let mut end = 0;
-            let bytes = rest.as_bytes();
-            while end < bytes.len() {
-                if bytes[end] == b'"' {
-                    break;
-                }
-                if bytes[end] == b'\\' {
-                    end += 1;
-                }
-                end += 1;
-            }
-            rest[..end].to_string()
-        };
-        assert_eq!(unescape_json(&extract("name")), hostile);
-        assert_eq!(
-            unescape_json(&extract("load")),
-            "load\"with\\evil\u{2}chars"
-        );
+        // ...and decodes back to the original report, field for field.
+        let back: FleetReport = firm_wire::decode_string(&json).expect("report parses");
+        assert_eq!(back, r);
+        assert_eq!(back.scenarios[0].name, hostile);
     }
 
     #[test]

@@ -1,18 +1,36 @@
-//! The fleet runtime: shard scenarios across OS workers, stream
-//! experience home, train the shared agent.
+//! The fleet runtime: shard scenarios across OS threads *or* subprocess
+//! workers, stream experience home, train the shared agent.
 //!
 //! # Determinism
 //!
 //! Each scenario's seed is derived from the fleet seed and the
-//! scenario's *catalog index* (never from thread identity or timing),
-//! and [`crate::exec::run_one`] touches no shared state. Workers claim
-//! indices from an atomic counter and stream `(index, outcome, log)`
-//! messages over a channel; the collector slots them back into catalog
-//! order. Aggregation, experience pooling, and shared-agent training
-//! all consume that ordered view — so the [`FleetReport`] bytes and the
-//! trained weights are identical whether the fleet ran on 1 thread or
-//! 64. Thread count changes wall-clock time, nothing else.
+//! scenario's *catalog index* (never from thread identity, process
+//! identity, or timing), and [`crate::exec::run_one`] touches no shared
+//! state. In-process workers claim indices from an atomic counter and
+//! stream `(index, outcome, log)` messages over a channel; the
+//! collector slots them back into catalog order. Aggregation,
+//! experience pooling, and shared-agent training all consume that
+//! ordered view — so the [`FleetReport`] bytes and the trained weights
+//! are identical whether the fleet ran on 1 thread or 64. Thread count
+//! changes wall-clock time, nothing else.
+//!
+//! # Multi-process sharding
+//!
+//! With [`FleetConfig::workers`] set, the runner spawns that many
+//! `firm-fleet-worker` subprocesses and ships each scenario as a
+//! [`crate::protocol::WorkerRequest`] wire frame (scenario + derived
+//! seed, plus the frozen policy on a deployment pass); workers answer
+//! with `(index, outcome, experience)` frames and the coordinator slots
+//! them into the same catalog-ordered view the thread path uses. The
+//! wire codec round-trips every field exactly (`firm-wire`), so the
+//! report bytes, the policy checkpoint, and the trained weights are
+//! bit-identical to the in-process path at any worker count — the
+//! ROADMAP's `(scenario index → seed)` contract carried across a
+//! process boundary.
 
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
@@ -23,15 +41,24 @@ use firm_core::extractor::CriticalComponentExtractor;
 use firm_core::manager::ExperienceLog;
 use firm_core::training::replay_experience;
 
-use crate::exec::{run_one, run_one_with};
+use crate::exec::run_one_with;
+use crate::protocol::{WorkerRequest, WorkerResponse};
 use crate::report::{FleetReport, RoundTripReport, ScenarioOutcome};
 use crate::scenario::Scenario;
 
 /// Fleet-runtime parameters.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// Worker threads; 0 means one per available core.
+    /// Worker threads; 0 means one per available core. Ignored when
+    /// [`FleetConfig::workers`] is set.
     pub threads: usize,
+    /// Subprocess workers; 0 (the default) runs in-process on
+    /// [`FleetConfig::threads`]. Results are bit-identical either way.
+    pub workers: usize,
+    /// Path to the `firm-fleet-worker` binary. `None` resolves via the
+    /// `FIRM_FLEET_WORKER` environment variable, then next to the
+    /// current executable.
+    pub worker_bin: Option<PathBuf>,
     /// Fleet seed; per-scenario seeds derive from it.
     pub seed: u64,
     /// Minibatch updates to run on the shared agent after pooling
@@ -43,6 +70,8 @@ impl Default for FleetConfig {
     fn default() -> Self {
         FleetConfig {
             threads: 0,
+            workers: 0,
+            worker_bin: None,
             seed: 1,
             train_steps: 256,
         }
@@ -50,6 +79,13 @@ impl Default for FleetConfig {
 }
 
 impl FleetConfig {
+    /// Shards over `n` subprocess workers instead of in-process
+    /// threads (0 reverts to the thread path).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
     /// The effective worker count.
     pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
@@ -58,6 +94,44 @@ impl FleetConfig {
         thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    }
+
+    /// Resolves the worker binary: explicit config, then the
+    /// `FIRM_FLEET_WORKER` environment variable, then a binary named
+    /// `firm-fleet-worker` next to the current executable (or one
+    /// directory up, covering cargo's `deps/` test layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no candidate exists — a subprocess fleet cannot run
+    /// without its worker.
+    pub fn resolve_worker_bin(&self) -> PathBuf {
+        if let Some(path) = &self.worker_bin {
+            return path.clone();
+        }
+        if let Some(path) = std::env::var_os("FIRM_FLEET_WORKER") {
+            return path.into();
+        }
+        let exe = std::env::current_exe().expect("current executable path");
+        let name = format!("firm-fleet-worker{}", std::env::consts::EXE_SUFFIX);
+        let mut candidates = Vec::new();
+        if let Some(dir) = exe.parent() {
+            candidates.push(dir.join(&name));
+            if let Some(up) = dir.parent() {
+                candidates.push(up.join(&name));
+            }
+        }
+        for candidate in &candidates {
+            if candidate.exists() {
+                return candidate.clone();
+            }
+        }
+        panic!(
+            "firm-fleet-worker binary not found (searched {:?}); build it with \
+             `cargo build -p firm-fleet --bin firm-fleet-worker`, set \
+             FleetConfig::worker_bin, or export FIRM_FLEET_WORKER",
+            candidates
+        );
     }
 }
 
@@ -129,7 +203,7 @@ impl FleetRunner {
     /// or if `scenarios` is empty.
     pub fn run(&self, scenarios: &[Scenario]) -> FleetResult {
         let fleet_seed = self.config.seed;
-        let slots = self.execute(scenarios, run_one);
+        let slots = self.execute(scenarios, None);
 
         // Catalog-order aggregation: the only ordering the results ever
         // see, regardless of which worker finished first.
@@ -178,9 +252,7 @@ impl FleetRunner {
         let (actor, critic) = train.estimator.shared_agent().export_weights();
         let policy = PolicyCheckpoint { actor, critic };
 
-        let slots = self.execute(scenarios, |scenario, seed| {
-            run_one_with(scenario, seed, Some(&policy))
-        });
+        let slots = self.execute(scenarios, Some(&policy));
         let outcomes = slots.into_iter().map(|(outcome, _)| outcome).collect();
         let deploy = FleetReport::new(self.config.seed, outcomes);
 
@@ -191,14 +263,30 @@ impl FleetRunner {
         }
     }
 
-    /// Runs every scenario across the worker pool with `run`, returning
-    /// results in catalog order. The shared skeleton of the training
-    /// and deployment passes.
-    fn execute<F>(&self, scenarios: &[Scenario], run: F) -> Vec<(ScenarioOutcome, ExperienceLog)>
-    where
-        F: Fn(&Scenario, u64) -> (ScenarioOutcome, ExperienceLog) + Sync,
-    {
+    /// Runs every scenario across the worker pool (threads or
+    /// subprocesses, per the config), returning results in catalog
+    /// order. The shared skeleton of the training and deployment
+    /// passes; `policy` deploys a frozen agent into FIRM scenarios.
+    fn execute(
+        &self,
+        scenarios: &[Scenario],
+        policy: Option<&PolicyCheckpoint>,
+    ) -> Vec<(ScenarioOutcome, ExperienceLog)> {
         assert!(!scenarios.is_empty(), "fleet needs at least one scenario");
+        if self.config.workers > 0 {
+            self.execute_subprocess(scenarios, policy)
+        } else {
+            self.execute_threads(scenarios, policy)
+        }
+    }
+
+    /// The in-process path: OS threads claiming catalog indices from an
+    /// atomic counter.
+    fn execute_threads(
+        &self,
+        scenarios: &[Scenario],
+        policy: Option<&PolicyCheckpoint>,
+    ) -> Vec<(ScenarioOutcome, ExperienceLog)> {
         let threads = self.config.effective_threads().min(scenarios.len());
         let fleet_seed = self.config.seed;
 
@@ -211,14 +299,13 @@ impl FleetRunner {
             for _ in 0..threads {
                 let tx = tx.clone();
                 let next = &next;
-                let run = &run;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(scenario) = scenarios.get(i) else {
                         break;
                     };
                     let seed = scenario_seed(fleet_seed, i);
-                    let (outcome, log) = run(scenario, seed);
+                    let (outcome, log) = run_one_with(scenario, seed, policy);
                     // The collector hanging up is impossible while the
                     // scope lives; a send error would mean a collector
                     // bug, so surface it.
@@ -231,6 +318,130 @@ impl FleetRunner {
                 slots[i] = Some((outcome, log));
             }
         });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every scenario ran"))
+            .collect()
+    }
+
+    /// The multi-process path: spawn `workers` subprocesses, ship each
+    /// scenario as a wire frame (round-robin by catalog index), and
+    /// slot decoded responses back into catalog order. Distribution is
+    /// static, so the frames a worker sees depend only on the catalog —
+    /// never on timing — but results would be bit-identical under any
+    /// distribution because aggregation happens by index.
+    ///
+    /// Each worker gets a dedicated writer thread *and* a dedicated
+    /// reader thread, so no pipe can fill up while the coordinator is
+    /// busy elsewhere: frames are large in both directions (replay
+    /// traces out, experience logs back) and a sequential drain would
+    /// serialize the pool on the OS pipe buffers. On a deployment pass
+    /// the frozen policy is shipped once per worker (first frame);
+    /// later frames set `reuse_policy` instead of re-encoding the
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker binary cannot be found or spawned, a worker
+    /// exits nonzero, or a response frame fails to decode — a fleet
+    /// result built from partial data would silently break the
+    /// determinism contract, so there is nothing sensible to salvage.
+    fn execute_subprocess(
+        &self,
+        scenarios: &[Scenario],
+        policy: Option<&PolicyCheckpoint>,
+    ) -> Vec<(ScenarioOutcome, ExperienceLog)> {
+        let workers = self.config.workers.min(scenarios.len());
+        let fleet_seed = self.config.seed;
+        let bin = self.config.resolve_worker_bin();
+
+        struct Worker {
+            child: Child,
+            writer: thread::JoinHandle<()>,
+            reader: thread::JoinHandle<Vec<WorkerResponse>>,
+            expected: usize,
+        }
+
+        let pool: Vec<Worker> = (0..workers)
+            .map(|w| {
+                let mut child = Command::new(&bin)
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::piped())
+                    .spawn()
+                    .unwrap_or_else(|e| panic!("spawn {}: {e}", bin.display()));
+                // This worker's share: catalog indices ≡ w (mod workers).
+                // The policy rides only in the worker's first frame.
+                let mut sent_policy = false;
+                let frames: String = scenarios
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % workers == w)
+                    .map(|(i, scenario)| {
+                        let first = !std::mem::replace(&mut sent_policy, true);
+                        firm_wire::encode_line(&WorkerRequest {
+                            index: i as u64,
+                            seed: scenario_seed(fleet_seed, i),
+                            scenario: scenario.clone(),
+                            policy: if first { policy.cloned() } else { None },
+                            reuse_policy: !first && policy.is_some(),
+                        })
+                    })
+                    .collect();
+                let expected = (w..scenarios.len()).step_by(workers).count();
+                let mut stdin = child.stdin.take().expect("worker stdin piped");
+                let writer = thread::spawn(move || {
+                    stdin
+                        .write_all(frames.as_bytes())
+                        .expect("write request frames to worker stdin");
+                    // Dropping stdin sends EOF; the worker exits.
+                });
+                let stdout = child.stdout.take().expect("worker stdout piped");
+                let reader = thread::spawn(move || {
+                    BufReader::new(stdout)
+                        .lines()
+                        .map(|line| {
+                            let line = line.expect("read response frame from worker stdout");
+                            firm_wire::decode_line(&line)
+                                .unwrap_or_else(|e| panic!("bad worker response frame: {e}"))
+                        })
+                        .collect()
+                });
+                Worker {
+                    child,
+                    writer,
+                    reader,
+                    expected,
+                }
+            })
+            .collect();
+
+        let mut slots: Vec<Option<(ScenarioOutcome, ExperienceLog)>> =
+            (0..scenarios.len()).map(|_| None).collect();
+        for mut worker in pool {
+            let responses = worker.reader.join().expect("response reader thread");
+            worker.writer.join().expect("request writer thread");
+            let status = worker.child.wait().expect("wait for worker exit");
+            assert!(status.success(), "worker exited with {status}");
+            assert_eq!(
+                responses.len(),
+                worker.expected,
+                "worker returned {} of {} results",
+                responses.len(),
+                worker.expected
+            );
+            for resp in responses {
+                let slot = slots
+                    .get_mut(resp.index as usize)
+                    .unwrap_or_else(|| panic!("worker returned unknown index {}", resp.index));
+                assert!(
+                    slot.is_none(),
+                    "worker returned duplicate index {}",
+                    resp.index
+                );
+                *slot = Some((resp.outcome, resp.experience));
+            }
+        }
 
         slots
             .into_iter()
@@ -253,6 +464,36 @@ mod tests {
             .collect()
     }
 
+    /// Golden vectors for the `(fleet seed, catalog index) → seed`
+    /// derivation. Subprocess (and, later, multi-host) workers receive
+    /// seeds the coordinator derived with this exact function, so its
+    /// output is a cross-process stability guarantee: a change here
+    /// invalidates every recorded digest and remote worker alike. If
+    /// this test fails, you have broken the wire contract — do not
+    /// update the vectors without bumping the fleet protocol.
+    #[test]
+    fn scenario_seed_matches_golden_vectors() {
+        let golden: [(u64, usize, u64); 10] = [
+            (1, 0, 0x910a_2dec_8902_5cc1),
+            (1, 1, 0xcf53_8298_0db3_6f89),
+            (1, 2, 0xa52d_678c_8927_ec72),
+            (1, 11, 0x9e4c_f921_b63f_fcfa),
+            (7, 0, 0x63cb_e1e4_5932_0dd7),
+            (7, 3, 0x3806_2e04_481f_df3c),
+            (0, 0, 0xe220_a839_7b1d_cdaf),
+            (u64::MAX, 4, 0xc7f9_2d30_8b7d_8159),
+            (20_26, 5, 0x161f_ee19_263e_5b75),
+            (4242, 7, 0x515d_473f_84c9_362f),
+        ];
+        for (fleet_seed, index, expected) in golden {
+            assert_eq!(
+                scenario_seed(fleet_seed, index),
+                expected,
+                "scenario_seed({fleet_seed}, {index}) drifted from its pinned value"
+            );
+        }
+    }
+
     #[test]
     fn seeds_are_decorrelated() {
         let a = scenario_seed(1, 0);
@@ -271,6 +512,7 @@ mod tests {
             threads: 2,
             seed: 11,
             train_steps: 64,
+            ..FleetConfig::default()
         });
         let result = runner.run(&scenarios);
         assert_eq!(result.report.scenarios.len(), 3);
@@ -293,6 +535,7 @@ mod tests {
                 threads,
                 seed: 5,
                 train_steps: 32,
+                ..FleetConfig::default()
             })
             .run(&scenarios)
         };
@@ -314,6 +557,7 @@ mod tests {
             threads: 2,
             seed: 17,
             train_steps: 64,
+            ..FleetConfig::default()
         })
         .run_round_trip(&scenarios);
 
@@ -352,6 +596,7 @@ mod tests {
                 threads: 2,
                 seed,
                 train_steps: 0,
+                ..FleetConfig::default()
             })
             .run(&scenarios)
             .report

@@ -68,7 +68,7 @@ impl FromStr for FleetController {
 /// Everything is plain data; a worker thread turns it into a live
 /// [`firm_sim::Simulation`] with [`crate::exec::run_one`]. Two runs of
 /// the same `(Scenario, seed)` produce identical results on any thread.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Unique name within a catalog (used in reports).
     pub name: String,

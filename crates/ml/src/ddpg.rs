@@ -24,7 +24,7 @@ use crate::optim::{Adam, Optimizer};
 use crate::rng::MlRng;
 
 /// One environment transition.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
     /// Full state (critic view); the actor reads the prefix.
     pub state: Vec<f64>,

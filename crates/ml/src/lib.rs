@@ -36,6 +36,7 @@ pub mod nn;
 pub mod optim;
 pub mod rng;
 pub mod svm;
+pub mod wire;
 
 pub use ddpg::{DdpgAgent, DdpgConfig, Transition};
 pub use linalg::Matrix;

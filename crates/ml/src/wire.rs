@@ -1,0 +1,50 @@
+//! Wire-codec impls for the ML substrate's experience types.
+//!
+//! Rewards, states, and actions are `f64` vectors; the wire's shortest
+//! round-trip float rendering means a transition that crosses a process
+//! boundary trains the shared agent to *bit-identical* weights.
+
+use firm_wire::{DecodeError, JsonValue, Obj, WireDecode, WireEncode};
+
+use crate::ddpg::Transition;
+
+impl WireEncode for Transition {
+    fn encode(&self) -> JsonValue {
+        Obj::new()
+            .field("state", &self.state)
+            .field("action", &self.action)
+            .field("reward", self.reward)
+            .field("next_state", &self.next_state)
+            .field("done", self.done)
+            .build()
+    }
+}
+
+impl WireDecode for Transition {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        Ok(Transition {
+            state: v.field("state")?,
+            action: v.field("action")?,
+            reward: v.field("reward")?,
+            next_state: v.field("next_state")?,
+            done: v.field("done")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firm_wire::assert_round_trip;
+
+    #[test]
+    fn transitions_round_trip_with_exact_floats() {
+        assert_round_trip(&Transition {
+            state: vec![0.1, -0.2, 1.0 / 3.0, f64::MIN_POSITIVE],
+            action: vec![-1.0, 1.0, -0.0],
+            reward: -std::f64::consts::E,
+            next_state: vec![1e-300, 1e300],
+            done: true,
+        });
+    }
+}

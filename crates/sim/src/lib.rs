@@ -62,6 +62,7 @@ pub mod spec;
 pub mod stats;
 pub mod telemetry_probe;
 pub mod time;
+pub mod wire;
 
 pub use actuator::{ActuationLatency, Command};
 pub use anomaly::{AnomalyKind, AnomalySpec};

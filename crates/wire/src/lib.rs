@@ -1,0 +1,103 @@
+//! # firm-wire — the workspace's symmetric wire codec
+//!
+//! Everything that crosses a process boundary in the FIRM reproduction
+//! — scenarios in, outcomes and experience out, policy checkpoints both
+//! ways — moves through this crate. It replaces the old one-way
+//! `to_json` string formatting with a symmetric, trait-based API:
+//!
+//! * [`JsonValue`] — a small owned document model with deterministic
+//!   rendering (insertion-ordered objects, shortest round-trip floats,
+//!   exact full-range `u64` integers);
+//! * [`parse`] — a hand-rolled recursive-descent JSON parser with
+//!   spanned errors ([`ParseError`] carries byte offset, line, and
+//!   column) and a nesting-depth cap so malformed or hostile input
+//!   returns `Err` instead of panicking;
+//! * [`WireEncode`] / [`WireDecode`] — the codec traits, with the
+//!   round-trip contract `decode(encode(x)) == x` checked by
+//!   [`assert_round_trip`] in every owning crate;
+//! * [`encode_line`] / [`decode_line`] — newline-delimited frames for
+//!   the fleet's subprocess worker protocol (the escaper guarantees a
+//!   rendered document never contains a raw newline).
+//!
+//! No external dependencies, consistent with the workspace's
+//! offline-build rule.
+//!
+//! # Example
+//!
+//! ```
+//! use firm_wire::{decode_string, encode_string, JsonValue, Obj, WireDecode, WireEncode};
+//!
+//! #[derive(Debug, PartialEq)]
+//! struct Sample {
+//!     seed: u64,
+//!     rate: f64,
+//! }
+//!
+//! impl WireEncode for Sample {
+//!     fn encode(&self) -> JsonValue {
+//!         Obj::new().field("seed", self.seed).field("rate", self.rate).build()
+//!     }
+//! }
+//!
+//! impl WireDecode for Sample {
+//!     fn decode(v: &JsonValue) -> Result<Self, firm_wire::DecodeError> {
+//!         Ok(Sample { seed: v.field("seed")?, rate: v.field("rate")? })
+//!     }
+//! }
+//!
+//! let x = Sample { seed: u64::MAX, rate: 2.5 };
+//! let bytes = encode_string(&x);
+//! assert_eq!(bytes, r#"{"seed":18446744073709551615,"rate":2.5}"#);
+//! assert_eq!(decode_string::<Sample>(&bytes).unwrap(), x);
+//! ```
+
+pub mod codec;
+pub mod parse;
+pub mod value;
+
+pub use codec::{
+    assert_round_trip, decode_line, decode_string, encode_line, encode_string, Context,
+    DecodeError, Obj, WireDecode, WireEncode, WireError,
+};
+pub use parse::{parse, ParseError, MAX_DEPTH};
+pub use value::{escape_into, JsonValue};
+
+/// FNV-1a 64 over a byte string — the workspace's cheap fingerprint for
+/// bit-identity checks on rendered wire documents.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn render_parse_render_is_a_fixed_point() {
+        let doc = JsonValue::Object(vec![
+            ("name".into(), JsonValue::Str("tab\there \u{1f600}".into())),
+            ("seed".into(), JsonValue::U64(u64::MAX)),
+            ("rate".into(), JsonValue::F64(0.1)),
+            (
+                "nested".into(),
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::F64(-0.0)]),
+            ),
+        ]);
+        let once = doc.render();
+        let twice = parse(&once).unwrap().render();
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,464 @@
+//! A hand-rolled recursive-descent JSON parser with spanned errors.
+//!
+//! The decode half of the wire boundary. Strictness is deliberate —
+//! a coordinator reading frames from a subprocess wants malformed input
+//! to fail *here*, with a byte position, rather than propagate as a
+//! half-decoded struct:
+//!
+//! * raw control characters inside strings are rejected (the escaper
+//!   never emits them);
+//! * `\uXXXX` escapes are validated, including surrogate pairs;
+//! * numbers follow the JSON grammar (no leading zeros, no bare `.5`)
+//!   and are re-parsed with the standard library's exact conversions,
+//!   so a float that rendered via shortest `Display` parses back to the
+//!   identical bits;
+//! * nesting depth is capped at [`MAX_DEPTH`], so hostile input returns
+//!   an [`Err`] instead of overflowing the stack (an abort no test
+//!   could catch).
+
+use std::fmt;
+
+use crate::value::JsonValue;
+
+/// Maximum nesting depth (arrays + objects) before the parser bails
+/// out. Deep enough for any real document, shallow enough that hostile
+/// input can't blow the stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parse failure, pinned to the byte offset (and line/column) where
+/// the parser gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub pos: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in bytes from the line start).
+    pub col: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at byte {} (line {}, col {}): {}",
+            self.pos, self.line, self.col, self.msg
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error.
+pub fn parse(input: &str) -> Result<JsonValue, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        let consumed = &self.input.as_bytes()[..self.pos.min(self.bytes.len())];
+        let line = consumed.iter().filter(|&&b| b == b'\n').count() as u32 + 1;
+        let line_start = consumed
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        ParseError {
+            pos: self.pos,
+            line,
+            col: (self.pos - line_start) as u32 + 1,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected byte {:?}", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, ParseError> {
+        if depth >= MAX_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, ParseError> {
+        if depth >= MAX_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes in one go.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(&self.input[start..self.pos]);
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape_into(&mut out)?;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.error(format!(
+                        "raw control character {b:#04x} in string (must be escaped)"
+                    )))
+                }
+                _ => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn escape_into(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let Some(b) = self.peek() else {
+            return Err(self.error("unterminated escape"));
+        };
+        self.pos += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let unit = self.hex4()?;
+                let c = match unit {
+                    // High surrogate: a low surrogate must follow.
+                    0xD800..=0xDBFF => {
+                        if !(self.peek() == Some(b'\\')
+                            && self.bytes.get(self.pos + 1) == Some(&b'u'))
+                        {
+                            return Err(self.error("high surrogate not followed by \\u escape"));
+                        }
+                        self.pos += 2;
+                        let low = self.hex4()?;
+                        if !(0xDC00..=0xDFFF).contains(&low) {
+                            return Err(self.error("invalid low surrogate"));
+                        }
+                        let code = 0x10000 + ((unit as u32 - 0xD800) << 10) + (low as u32 - 0xDC00);
+                        char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))?
+                    }
+                    0xDC00..=0xDFFF => return Err(self.error("unpaired low surrogate")),
+                    _ => char::from_u32(unit as u32)
+                        .ok_or_else(|| self.error("invalid \\u escape"))?,
+                };
+                out.push(c);
+            }
+            other => {
+                self.pos -= 1;
+                return Err(self.error(format!("invalid escape `\\{}`", other as char)));
+            }
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u16, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        // Byte-wise so a multi-byte UTF-8 char inside the escape is an
+        // error, never a slice panic.
+        let mut unit: u16 = 0;
+        for &b in &self.bytes[self.pos..end] {
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex in \\u escape"))?;
+            unit = unit * 16 + digit as u16;
+        }
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, ParseError> {
+        let start = self.pos;
+        let neg = self.peek() == Some(b'-');
+        if neg {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("expected digit")),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.input[start..self.pos];
+
+        if integral {
+            if !neg {
+                if let Ok(n) = text.parse::<u64>() {
+                    return Ok(JsonValue::U64(n));
+                }
+            } else if text == "-0" {
+                // `-0` is what `-0.0_f64` renders to; keep it a float so
+                // the sign bit survives the round trip.
+                return Ok(JsonValue::F64(-0.0));
+            } else if let Ok(n) = text.parse::<i64>() {
+                return Ok(JsonValue::I64(n));
+            }
+            // Integer too large for 64 bits: fall through to f64.
+        }
+        let x: f64 = text
+            .parse()
+            .map_err(|_| self.error(format!("invalid number {text:?}")))?;
+        if !x.is_finite() {
+            return Err(self.error(format!("number {text:?} overflows f64")));
+        }
+        Ok(JsonValue::F64(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(s: &str) -> JsonValue {
+        parse(s).unwrap_or_else(|e| panic!("{s:?} failed: {e}"))
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(ok("null"), JsonValue::Null);
+        assert_eq!(ok(" true "), JsonValue::Bool(true));
+        assert_eq!(ok("false"), JsonValue::Bool(false));
+        assert_eq!(ok("0"), JsonValue::U64(0));
+        assert_eq!(ok("18446744073709551615"), JsonValue::U64(u64::MAX));
+        assert_eq!(ok("-7"), JsonValue::I64(-7));
+        assert_eq!(ok("2.5"), JsonValue::F64(2.5));
+        assert_eq!(ok("1e3"), JsonValue::F64(1000.0));
+        assert_eq!(ok("\"hi\""), JsonValue::Str("hi".into()));
+    }
+
+    #[test]
+    fn negative_zero_stays_a_float() {
+        let JsonValue::F64(x) = ok("-0") else {
+            panic!("-0 did not parse as float")
+        };
+        assert_eq!(x.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = ok(r#"{"a":[1,{"b":null}],"c":"d"}"#);
+        assert_eq!(
+            doc,
+            JsonValue::Object(vec![
+                (
+                    "a".into(),
+                    JsonValue::Array(vec![
+                        JsonValue::U64(1),
+                        JsonValue::Object(vec![("b".into(), JsonValue::Null)]),
+                    ])
+                ),
+                ("c".into(), JsonValue::Str("d".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        assert_eq!(ok(r#""\u0041""#), JsonValue::Str("A".into()));
+        assert_eq!(ok(r#""\u00e9""#), JsonValue::Str("é".into()));
+        // Surrogate pair: U+1F600.
+        assert_eq!(ok(r#""\ud83d\ude00""#), JsonValue::Str("😀".into()));
+        // Raw UTF-8 passes through untouched.
+        assert_eq!(ok("\"héllo 世界\""), JsonValue::Str("héllo 世界".into()));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("{\"a\":\n  12,}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.col > 1);
+        assert!(err.pos > 0);
+        assert!(err.to_string().contains("line 2"));
+
+        let err = parse("[1, 2").unwrap_err();
+        assert_eq!(err.pos, 5);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "01",
+            "-",
+            "1.",
+            ".5",
+            "+1",
+            "1e",
+            "\"\\x\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"\\udc00\"",
+            "\"unterminated",
+            "nul",
+            "truee",
+            "[1] x",
+            "\"a\tb\"",
+            "1e999",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+        // The cap is exactly MAX_DEPTH containers — even empty ones.
+        let nested = |n: usize| format!("{}{}", "[".repeat(n), "]".repeat(n));
+        assert!(parse(&nested(MAX_DEPTH)).is_ok());
+        assert!(parse(&nested(MAX_DEPTH + 1)).is_err());
+    }
+}

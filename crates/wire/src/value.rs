@@ -1,0 +1,201 @@
+//! The wire document model: a small, owned JSON tree.
+//!
+//! [`JsonValue`] is the meeting point of the codec's two halves: typed
+//! values encode *into* it ([`crate::WireEncode`]) and decode back *out*
+//! of it ([`crate::WireDecode`]), while [`JsonValue::render`] and
+//! [`crate::parse`] move it across the text boundary. Rendering is
+//! deterministic — object fields keep insertion order, floats use
+//! Rust's shortest round-trip `Display` — so two equal values always
+//! produce equal bytes, which is what lets fleet reports keep their
+//! bit-identity contract after crossing a process boundary.
+//!
+//! Integers and floats are separate variants: per-scenario seeds are
+//! full-range `u64`s (they routinely exceed 2^53), so squeezing every
+//! number through `f64` would corrupt them.
+
+use std::fmt::Write as _;
+
+/// One JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (seeds, counters, ids).
+    U64(u64),
+    /// A negative integer. Non-negative integers always parse to
+    /// [`JsonValue::U64`], so this variant's value is `< 0`.
+    I64(i64),
+    /// A finite float. `-0.0` stays a float across the text boundary
+    /// (it renders as `-0`, which parses back here, not to an integer),
+    /// so IEEE bit patterns survive the round trip.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object; fields keep insertion order (rendering is stable).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Renders the document as compact JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite float: NaN and the infinities have no
+    /// JSON representation, and every measurement in the workspace is
+    /// finite by construction — a non-finite value here is a bug worth
+    /// surfacing loudly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Renders into an existing buffer (see [`JsonValue::render`]).
+    pub fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::F64(x) => {
+                assert!(x.is_finite(), "cannot render non-finite float {x}");
+                let _ = write!(out, "{x}");
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(out, key);
+                    out.push('"');
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Looks up a field by name (`None` when `self` is not an object or
+    /// the key is absent).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short human label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::U64(_) | JsonValue::I64(_) => "integer",
+            JsonValue::F64(_) => "number",
+            JsonValue::Str(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+/// The workspace's one JSON string escaper: quotes, backslashes, the
+/// named control escapes, and a `\u00XX` fallback for the rest of the
+/// control range. Everything else — including non-ASCII — passes
+/// through as UTF-8; [`crate::parse`] is its exact inverse.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_compact_and_ordered() {
+        let doc = JsonValue::Object(vec![
+            ("b".into(), JsonValue::U64(2)),
+            (
+                "a".into(),
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::Bool(true)]),
+            ),
+        ]);
+        assert_eq!(doc.render(), r#"{"b":2,"a":[null,true]}"#);
+    }
+
+    #[test]
+    fn floats_render_shortest_and_negative_zero_keeps_its_sign() {
+        assert_eq!(JsonValue::F64(2.5).render(), "2.5");
+        assert_eq!(JsonValue::F64(-0.0).render(), "-0");
+        assert_eq!(JsonValue::I64(-3).render(), "-3");
+        assert_eq!(JsonValue::U64(u64::MAX).render(), "18446744073709551615");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_floats_are_rejected() {
+        JsonValue::F64(f64::NAN).render();
+    }
+
+    #[test]
+    fn escaper_handles_the_full_control_range() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd\u{1}e");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001e");
+        // No raw control characters survive.
+        for code in 0u32..0x20 {
+            let mut out = String::new();
+            escape_into(&mut out, &char::from_u32(code).unwrap().to_string());
+            assert!(out.chars().all(|c| (c as u32) >= 0x20), "{code:#x} leaked");
+        }
+    }
+
+    #[test]
+    fn get_finds_fields_in_order() {
+        let doc = JsonValue::Object(vec![
+            ("x".into(), JsonValue::U64(1)),
+            ("y".into(), JsonValue::Str("s".into())),
+        ]);
+        assert_eq!(doc.get("y"), Some(&JsonValue::Str("s".into())));
+        assert_eq!(doc.get("z"), None);
+        assert_eq!(JsonValue::Null.get("x"), None);
+    }
+}

@@ -1,0 +1,77 @@
+//! The unified escaper's round-trip guarantee: every control character,
+//! every `\uXXXX` escape, and non-ASCII text must survive
+//! `parse(render(x))` byte for byte.
+
+use firm_wire::{parse, JsonValue};
+
+fn round_trip(s: &str) -> String {
+    let rendered = JsonValue::Str(s.to_string()).render();
+    assert!(
+        rendered.bytes().all(|b| b >= 0x20 || !b.is_ascii()),
+        "raw control byte leaked into {rendered:?}"
+    );
+    match parse(&rendered).expect("rendered string must parse") {
+        JsonValue::Str(back) => back,
+        other => panic!("string rendered to {other:?}"),
+    }
+}
+
+#[test]
+fn full_u8_control_range_round_trips() {
+    // Every byte value 0..=255 as a char, one string per char and one
+    // string holding them all: named escapes, \u00XX fallbacks, and
+    // Latin-1 non-ASCII all come back identical.
+    let mut all = String::new();
+    for code in 0u32..=255 {
+        let c = char::from_u32(code).expect("u8 range is valid chars");
+        let s = format!("a{c}b");
+        assert_eq!(round_trip(&s), s, "char {code:#04x} did not round-trip");
+        all.push(c);
+    }
+    assert_eq!(round_trip(&all), all);
+}
+
+#[test]
+fn named_escapes_render_compactly() {
+    assert_eq!(
+        JsonValue::Str("\" \\ \n \r \t".into()).render(),
+        "\"\\\" \\\\ \\n \\r \\t\""
+    );
+    // Other controls take the \u00XX form.
+    assert_eq!(JsonValue::Str("\u{0}".into()).render(), "\"\\u0000\"");
+    assert_eq!(JsonValue::Str("\u{1b}".into()).render(), "\"\\u001b\"");
+}
+
+#[test]
+fn uxxxx_escapes_decode_to_the_same_text_as_raw_utf8() {
+    // The decoder accepts both spellings of the same character.
+    let escaped = parse("\"caf\\u00e9\"").unwrap();
+    let raw = parse("\"caf\u{e9}\"").unwrap();
+    assert_eq!(escaped, raw);
+
+    // Astral plane via surrogate pair vs raw UTF-8 (U+1F680).
+    let pair = parse("\"\\ud83d\\ude80\"").unwrap();
+    let raw = parse("\"\u{1f680}\"").unwrap();
+    assert_eq!(pair, raw);
+    assert_eq!(pair, JsonValue::Str("\u{1f680}".into()));
+}
+
+#[test]
+fn non_ascii_strings_round_trip_unescaped() {
+    for s in [
+        "h\u{e9}llo w\u{f6}rld",
+        "\u{65e5}\u{672c}\u{8a9e}",
+        "emoji \u{1f600}\u{1f680}",
+        "mixed \u{2}\u{65e5}\t\u{1f600}",
+    ] {
+        assert_eq!(round_trip(s), s);
+    }
+}
+
+#[test]
+fn keys_are_escaped_like_values() {
+    let doc = JsonValue::Object(vec![("k\ne\u{3}y".into(), JsonValue::U64(1))]);
+    let rendered = doc.render();
+    assert_eq!(rendered, "{\"k\\ne\\u0003y\":1}");
+    assert_eq!(parse(&rendered).unwrap(), doc);
+}

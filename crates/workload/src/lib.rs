@@ -25,6 +25,7 @@
 pub mod apps;
 pub mod builder;
 pub mod generator;
+pub mod wire;
 
 pub use apps::{fig2_compose_post, Benchmark};
 pub use builder::{AppBuilder, Tier};

@@ -7,8 +7,9 @@
 //! cargo run --release --example fleet_catalog
 //! ```
 
-use firm::fleet::{builtin_catalog, FleetConfig, FleetRunner, Scenario};
+use firm::fleet::{builtin_catalog, FleetConfig, FleetRunner, RoundTripReport, Scenario};
 use firm::sim::SimDuration;
+use firm::wire;
 
 fn main() {
     // Half-length scenarios keep the double pass close to the old
@@ -21,6 +22,7 @@ fn main() {
         threads: 0, // one worker per core
         seed: 7,
         train_steps: 256,
+        ..FleetConfig::default()
     };
     let threads = config.effective_threads();
     let runner = FleetRunner::new(config);
@@ -75,6 +77,17 @@ fn main() {
         rt.policy.digest(),
         report.digest()
     );
-    println!("(both bit-identical at any thread count)");
+    println!("(both bit-identical at any thread or subprocess-worker count)");
+
+    // The report is wire-symmetric: its JSON decodes back to the exact
+    // same report, so it can cross a process boundary and return.
+    let bytes = report.to_json();
+    let back: RoundTripReport = wire::decode_string(&bytes).expect("report round-trips");
+    assert_eq!(back.digest(), report.digest());
+    println!(
+        "wire round trip: {} bytes decode back to digest {:016x}",
+        bytes.len(),
+        back.digest()
+    );
     println!("wall clock: {:.2} s", wall.as_secs_f64());
 }

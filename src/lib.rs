@@ -23,12 +23,17 @@
 //!   module, anomaly injector, baselines, the unified
 //!   `Controller` trait + `run_episode` driver, and the training and
 //!   experiment harnesses;
+//! * [`wire`] — the symmetric wire codec: a `JsonValue` document
+//!   model, a hand-rolled JSON parser with spanned errors, and
+//!   `WireEncode`/`WireDecode` traits with a `decode(encode(x)) == x`
+//!   contract for everything that crosses a process boundary;
 //! * [`fleet`] — the parallel multi-tenant fleet runtime: a scenario
 //!   catalog over all four benchmarks (including replayed incidents),
-//!   a sharded `FleetRunner` with bit-identical results at any thread
-//!   count, cross-simulation experience aggregation into one shared
-//!   agent (§4.3 one-for-all), and round-trip deployment of the frozen
-//!   agent with train-vs-deploy deltas.
+//!   a `FleetRunner` sharded over OS threads *or* `firm-fleet-worker`
+//!   subprocesses with bit-identical results either way, cross-
+//!   simulation experience aggregation into one shared agent (§4.3
+//!   one-for-all), and round-trip deployment of the frozen agent with
+//!   train-vs-deploy deltas.
 //!
 //! # Examples
 //!
@@ -50,4 +55,5 @@ pub use firm_ml as ml;
 pub use firm_sim as sim;
 pub use firm_telemetry as telemetry;
 pub use firm_trace as trace;
+pub use firm_wire as wire;
 pub use firm_workload as workload;

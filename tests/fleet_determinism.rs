@@ -28,6 +28,7 @@ fn report_is_bit_identical_across_thread_counts() {
             threads,
             seed: 20_26,
             train_steps: 64,
+            ..FleetConfig::default()
         })
         .run(&scenarios)
     };
@@ -44,6 +45,14 @@ fn report_is_bit_identical_across_thread_counts() {
         !base.pooled.transitions.is_empty(),
         "no experience reached the shared trainer"
     );
+
+    // The report is wire-symmetric: its rendered bytes decode back to
+    // the identical report (totals recomputed, digest preserved), so it
+    // can cross a process boundary and come back exact.
+    let decoded: firm::fleet::FleetReport =
+        firm::wire::decode_string(&base_json).expect("report decodes");
+    assert_eq!(decoded, base.report, "decode(encode(report)) != report");
+    assert_eq!(decoded.to_json(), base_json, "re-encode changed bytes");
 
     for threads in [2, 4] {
         let r = run(threads);
@@ -86,6 +95,7 @@ fn round_trip_is_bit_identical_across_thread_counts() {
             threads,
             seed: 4242,
             train_steps: 48,
+            ..FleetConfig::default()
         })
         .run_round_trip(&scenarios)
     };
@@ -101,6 +111,17 @@ fn round_trip_is_bit_identical_across_thread_counts() {
         base.deploy.totals.completions
     );
     assert_eq!(base.report().deltas.len(), scenarios.len());
+
+    // Round-trip reports and policy checkpoints are wire-symmetric too.
+    let report = base.report();
+    let decoded: firm::fleet::RoundTripReport =
+        firm::wire::decode_string(&report.to_json()).expect("round-trip report decodes");
+    assert_eq!(decoded, report);
+    let policy_bytes = firm::wire::encode_string(&base.policy);
+    let policy: firm::core::controller::PolicyCheckpoint =
+        firm::wire::decode_string(&policy_bytes).expect("policy decodes");
+    assert_eq!(policy, base.policy, "policy weights changed on the wire");
+    assert_eq!(policy.digest(), base.policy.digest());
 
     for threads in [2, 4] {
         let r = run(threads);
@@ -175,6 +196,7 @@ fn catalog_covers_every_benchmark_in_one_fleet_run() {
         threads: 4,
         seed: 3,
         train_steps: 0,
+        ..FleetConfig::default()
     })
     .run(&scenarios);
     // Every one of the paper's four applications served real traffic.
