@@ -63,7 +63,7 @@ fn bench_critical_path() {
         if !seen.insert(t.spans.len()) {
             continue;
         }
-        let graph = ExecutionHistoryGraph::build(t).expect("valid trace");
+        let graph = ExecutionHistoryGraph::build(t.clone()).expect("valid trace");
         bench(
             &format!("critical_path/alg1_extract/{}", graph.len()),
             10_000,
@@ -116,10 +116,9 @@ fn bench_extractor() {
     coord.ingest(traces);
     let stored: Vec<_> = coord
         .traces_since(firm_sim::SimTime::ZERO)
-        .into_iter()
         .cloned()
         .collect();
-    let extractor = CriticalComponentExtractor::new(5);
+    let mut extractor = CriticalComponentExtractor::new(5);
     bench("extractor/alg2_features_400_traces", 100, || {
         extractor.features(stored.iter().take(400))
     });

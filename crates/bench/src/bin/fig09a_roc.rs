@@ -125,11 +125,7 @@ fn run_kind(
         }
 
         if violated {
-            let traces: Vec<_> = coord
-                .traces_since(window_start)
-                .into_iter()
-                .cloned()
-                .collect();
+            let traces: Vec<_> = coord.traces_since(window_start).cloned().collect();
             // For workload surges the culprits are the instances that
             // actually degraded (≥1.5x their baseline span latency).
             let mut window_mean: std::collections::BTreeMap<u32, (f64, u64)> = Default::default();

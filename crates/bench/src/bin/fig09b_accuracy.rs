@@ -83,12 +83,7 @@ fn run(bench: Benchmark, arch: &str, rounds: (usize, usize), rate: f64, seed: u6
         let window_start = sim.now();
         sim.run_for(SimDuration::from_secs(5));
         coord.ingest(sim.drain_completed());
-        let traces: Vec<_> = coord
-            .traces_since(window_start)
-            .into_iter()
-            .cloned()
-            .collect();
-        let features = extractor.features(traces.iter());
+        let features = extractor.features(coord.traces_since(window_start));
         for f in &features {
             let label = victims.contains(&f.instance);
             if round < train_rounds {

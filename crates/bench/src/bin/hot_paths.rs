@@ -1,0 +1,288 @@
+//! Per-stage hot-path microbench: times each layer of the
+//! request → trace → features → train pipeline in isolation and emits
+//! `BENCH_hotpaths.json`, so a future PR that regresses one layer shows
+//! up as *that* stage slowing down rather than as an unexplained drop
+//! in `fleet_throughput`.
+//!
+//! Stages:
+//!
+//! * `sim_only` — the discrete-event engine alone (drain and drop);
+//! * `sim_ingest` — plus the tracing coordinator (graph + critical-path
+//!   construction per trace);
+//! * `sim_extract` — plus Algorithm 2 feature extraction per window;
+//! * `ddpg_train` — one-for-all agent minibatch updates (paper dims);
+//! * `wire_encode` / `wire_decode` — fleet-report codec round trip.
+//!
+//! ```sh
+//! cargo run --release -p firm-bench --bin hot_paths -- \
+//!     --seconds 10 --out BENCH_hotpaths.json
+//! ```
+//!
+//! The workloads are seeded and deterministic; only the timings vary by
+//! host. `--seconds`, `--train-steps` and `--codec-iters` trade
+//! precision for runtime (CI smoke uses small values).
+
+use std::time::Instant;
+
+use firm_bench::{banner, Args};
+use firm_core::estimator::{ACTION_DIM, ACTOR_STATE_DIM, STATE_DIM};
+use firm_core::extractor::CriticalComponentExtractor;
+use firm_fleet::{FleetReport, ScenarioOutcome};
+use firm_ml::ddpg::{DdpgAgent, DdpgConfig, Transition};
+use firm_ml::rng::MlRng;
+use firm_sim::spec::ClusterSpec;
+use firm_sim::{PoissonArrivals, SimDuration, Simulation};
+use firm_trace::TracingCoordinator;
+use firm_wire::{decode_string, encode_string, JsonValue, Obj};
+use firm_workload::apps::Benchmark;
+
+struct Stage {
+    name: &'static str,
+    wall_secs: f64,
+    units: u64,
+    unit: &'static str,
+}
+
+impl Stage {
+    fn per_sec(&self) -> f64 {
+        self.units as f64 / self.wall_secs.max(1e-9)
+    }
+
+    fn us_per_unit(&self) -> f64 {
+        self.wall_secs * 1e6 / self.units.max(1) as f64
+    }
+}
+
+fn sim() -> Simulation {
+    Simulation::builder(ClusterSpec::small(4), Benchmark::SocialNetwork.build(), 7)
+        .arrivals(Box::new(PoissonArrivals::new(300.0)))
+        .build()
+}
+
+/// Stage 1: the engine alone — completed requests are drained and
+/// dropped every 1s window.
+fn sim_only(secs: u64) -> Stage {
+    let mut s = sim();
+    let start = Instant::now();
+    let mut requests = 0u64;
+    for _ in 0..secs {
+        s.run_for(SimDuration::from_secs(1));
+        requests += s.drain_completed().len() as u64;
+        let _ = s.drain_telemetry();
+    }
+    Stage {
+        name: "sim_only",
+        wall_secs: start.elapsed().as_secs_f64(),
+        units: requests,
+        unit: "requests",
+    }
+}
+
+/// Stage 2: engine + trace ingestion (graph and CP construction).
+fn sim_ingest(secs: u64) -> Stage {
+    let mut s = sim();
+    let mut coord = TracingCoordinator::new(200_000);
+    let start = Instant::now();
+    for _ in 0..secs {
+        s.run_for(SimDuration::from_secs(1));
+        coord.ingest(s.drain_completed());
+        let _ = s.drain_telemetry();
+    }
+    Stage {
+        name: "sim_ingest",
+        wall_secs: start.elapsed().as_secs_f64(),
+        units: coord.store().total_ingested(),
+        unit: "requests",
+    }
+}
+
+/// Stage 3: engine + ingestion + Algorithm 2 features per window.
+fn sim_extract(secs: u64) -> Stage {
+    let mut s = sim();
+    let mut coord = TracingCoordinator::new(200_000);
+    let mut extractor = CriticalComponentExtractor::new(7);
+    let start = Instant::now();
+    let mut feature_rows = 0u64;
+    for _ in 0..secs {
+        let window_start = s.now();
+        s.run_for(SimDuration::from_secs(1));
+        coord.ingest(s.drain_completed());
+        let _ = s.drain_telemetry();
+        feature_rows += extractor.features(coord.traces_since(window_start)).len() as u64;
+    }
+    assert!(feature_rows > 0, "extractor produced no features");
+    Stage {
+        name: "sim_extract",
+        wall_secs: start.elapsed().as_secs_f64(),
+        units: coord.store().total_ingested(),
+        unit: "requests",
+    }
+}
+
+/// Stage 4: DDPG minibatch updates at the paper's dimensions.
+fn ddpg_train(steps: u64) -> Stage {
+    let mut agent = DdpgAgent::new(DdpgConfig::paper(STATE_DIM, ACTOR_STATE_DIM, ACTION_DIM), 7);
+    let mut rng = MlRng::new(42);
+    for _ in 0..1_000 {
+        let state: Vec<f64> = (0..STATE_DIM)
+            .map(|_| rng.uniform_range(-1.0, 1.0))
+            .collect();
+        let next_state: Vec<f64> = (0..STATE_DIM)
+            .map(|_| rng.uniform_range(-1.0, 1.0))
+            .collect();
+        let action: Vec<f64> = (0..ACTION_DIM)
+            .map(|_| rng.uniform_range(-1.0, 1.0))
+            .collect();
+        agent.observe(Transition {
+            state,
+            action,
+            reward: rng.uniform_range(0.0, 5.0),
+            next_state,
+            done: false,
+        });
+    }
+    let start = Instant::now();
+    for _ in 0..steps {
+        agent.train_step().expect("replay holds a full batch");
+    }
+    Stage {
+        name: "ddpg_train",
+        wall_secs: start.elapsed().as_secs_f64(),
+        units: steps,
+        unit: "train steps",
+    }
+}
+
+/// A synthetic 12-scenario fleet report for the codec stages.
+fn synthetic_report() -> FleetReport {
+    let outcomes = (0..12)
+        .map(|i| ScenarioOutcome {
+            name: format!("synthetic-{i:02}"),
+            benchmark: "Social Network",
+            controller: "FIRM",
+            load: format!("steady@{}", 100 + i),
+            seed: 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1),
+            ticks: 20 + i,
+            arrivals: 10_000 + 137 * i,
+            completions: 9_900 + 131 * i,
+            drops: i % 3,
+            slo_violations: 17 * i % 97,
+            p50_us: 4_000 + 13 * i,
+            p99_us: 21_000 + 977 * i,
+            mean_latency_us: 6250.25 + i as f64 / 3.0,
+            anomalies_injected: i % 5,
+            mitigations: i % 4,
+            mean_mitigation_secs: i as f64 * 0.75,
+            transitions: 40 * i,
+            svm_examples: 400 * i,
+        })
+        .collect();
+    FleetReport::new(7, outcomes)
+}
+
+/// Stage 5: fleet-report wire encoding.
+fn wire_encode(iters: u64) -> Stage {
+    let report = synthetic_report();
+    let start = Instant::now();
+    let mut bytes = 0usize;
+    for _ in 0..iters {
+        bytes += encode_string(std::hint::black_box(&report)).len();
+    }
+    assert!(bytes > 0);
+    Stage {
+        name: "wire_encode",
+        wall_secs: start.elapsed().as_secs_f64(),
+        units: iters,
+        unit: "documents",
+    }
+}
+
+/// Stage 6: fleet-report wire decoding.
+fn wire_decode(iters: u64) -> Stage {
+    let report = synthetic_report();
+    let json = encode_string(&report);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let back: FleetReport = decode_string(std::hint::black_box(&json)).expect("report decodes");
+        std::hint::black_box(&back);
+    }
+    Stage {
+        name: "wire_decode",
+        wall_secs: start.elapsed().as_secs_f64(),
+        units: iters,
+        unit: "documents",
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seconds = args.u64("seconds", 10);
+    let train_steps = args.u64("train-steps", 500);
+    let codec_iters = args.u64("codec-iters", 2_000);
+    let out_path = args.get("out").unwrap_or("BENCH_hotpaths.json").to_string();
+
+    banner(
+        "BENCH hot_paths",
+        "per-stage hot-path timings: sim / ingest / extract / train / codec",
+    );
+
+    let stages = vec![
+        sim_only(seconds),
+        sim_ingest(seconds),
+        sim_extract(seconds),
+        ddpg_train(train_steps),
+        wire_encode(codec_iters),
+        wire_decode(codec_iters),
+    ];
+
+    for s in &stages {
+        println!(
+            "{:<12} wall={:>8.3}s {:>12.0} {}/s ({:>9.2} us/{})",
+            s.name,
+            s.wall_secs,
+            s.per_sec(),
+            s.unit,
+            s.us_per_unit(),
+            s.unit.trim_end_matches('s'),
+        );
+    }
+    // The layer costs the fleet actually pays: ingest and extract
+    // overhead per request, on top of the raw simulator.
+    let per_req = |i: usize| stages[i].us_per_unit();
+    println!(
+        "\nper-request overhead: ingest {:+.2} us, extract {:+.2} us (sim alone {:.2} us)",
+        per_req(1) - per_req(0),
+        per_req(2) - per_req(1),
+        per_req(0),
+    );
+
+    let round3 = |x: f64| (x * 1_000.0).round() / 1_000.0;
+    let rows: Vec<JsonValue> = stages
+        .iter()
+        .map(|s| {
+            Obj::new()
+                .field("name", s.name)
+                .field("wall_secs", round3(s.wall_secs))
+                .field("units", s.units)
+                .field("unit", s.unit)
+                .field("per_sec", round3(s.per_sec()))
+                .field("us_per_unit", round3(s.us_per_unit()))
+                .build()
+        })
+        .collect();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = Obj::new()
+        .field("bench", "hot_paths")
+        .field("sim_seconds", seconds)
+        .field("train_steps", train_steps)
+        .field("codec_iters", codec_iters)
+        .field("host_cores", host_cores)
+        .field("stages", rows)
+        .build()
+        .render();
+    json.push('\n');
+    std::fs::write(&out_path, &json).expect("write BENCH_hotpaths.json");
+    println!("wrote {out_path}");
+}

@@ -170,8 +170,9 @@ impl AimdController {
         telemetry: &firm_sim::telemetry_probe::TelemetryWindow,
         window_start: SimTime,
     ) {
-        let app = sim.app().clone();
-        let assessment = self.monitor.assess(&app, &self.coordinator, window_start);
+        let assessment = self
+            .monitor
+            .assess(sim.app(), &self.coordinator, window_start);
         let violating = assessment.any_violation();
 
         for inst in &telemetry.instances {

@@ -16,8 +16,6 @@
 //! truth labels each instance, mirroring §3.6; before the SVM has seen
 //! enough examples, a conservative threshold heuristic stands in.
 
-use std::collections::BTreeMap;
-
 use firm_ml::svm::IncrementalSvm;
 use firm_sim::stats::{pearson, sample_quantile};
 use firm_sim::{InstanceId, ServiceId, SimTime};
@@ -45,6 +43,35 @@ impl InstanceFeatures {
     }
 }
 
+/// Reusable per-instance accumulator for one feature window. The
+/// sample vectors keep their capacity across windows, so a steady-state
+/// extractor performs no allocation per window.
+#[derive(Debug, Default)]
+struct InstanceAcc {
+    service: u16,
+    /// `Ti` samples in trace order (the order [`pearson`] sums in).
+    tis: Vec<f64>,
+    /// `TCP` samples aligned with `tis`.
+    tcps: Vec<f64>,
+    /// `tis` maintained in ascending order by incremental sorted
+    /// insertion — the quantile view, kept current instead of re-sorted
+    /// from scratch every window.
+    sorted: Vec<f64>,
+}
+
+/// Window-scoped scratch state for [`CriticalComponentExtractor::features`].
+#[derive(Debug, Default)]
+struct FeatureScratch {
+    /// `instance raw id → slot index + 1` (0 = no slot yet).
+    slot_of: Vec<u32>,
+    /// Accumulator slots, allocated once per distinct instance ever seen.
+    slots: Vec<InstanceAcc>,
+    /// Instance ids touched this window (each exactly once).
+    touched: Vec<u32>,
+    /// Per-trace `(instance, max exclusive time)` pairs.
+    per_trace: Vec<(u32, f64)>,
+}
+
 /// The Algorithm 2 extractor: features + incremental SVM.
 #[derive(Debug)]
 pub struct CriticalComponentExtractor {
@@ -56,6 +83,9 @@ pub struct CriticalComponentExtractor {
     /// Heuristic thresholds used during bootstrap.
     heuristic_ci: f64,
     heuristic_ri: f64,
+    /// Reused across windows; cleared (capacity retained) after each
+    /// [`CriticalComponentExtractor::features`] call.
+    scratch: FeatureScratch,
 }
 
 impl CriticalComponentExtractor {
@@ -67,6 +97,7 @@ impl CriticalComponentExtractor {
             min_samples: 5,
             heuristic_ci: 2.0,
             heuristic_ri: 0.7,
+            scratch: FeatureScratch::default(),
         }
     }
 
@@ -86,12 +117,21 @@ impl CriticalComponentExtractor {
     /// For each trace, an instance contributes its longest CP-span
     /// duration as one `Ti` sample aligned with the trace's end-to-end
     /// latency `TCP`.
+    ///
+    /// Accumulation runs on index-addressed scratch slots reused across
+    /// windows (no per-window maps), and the per-instance latency
+    /// vector for the `T99/T50` quantiles is maintained by incremental
+    /// sorted insertion instead of a from-scratch sort. The output is
+    /// bit-identical to the original map-and-sort formulation — per
+    /// instance, samples arrive in the same trace order (so the Pearson
+    /// sums fold identically) and the sorted view holds the same
+    /// ascending values.
     pub fn features<'a>(
-        &self,
+        &mut self,
         traces: impl IntoIterator<Item = &'a StoredTrace>,
     ) -> Vec<InstanceFeatures> {
-        // instance → (service, Ti samples, TCP samples).
-        let mut acc: BTreeMap<u32, (ServiceId, Vec<f64>, Vec<f64>)> = BTreeMap::new();
+        let scratch = &mut self.scratch;
+        debug_assert!(scratch.touched.is_empty(), "scratch not cleared");
         for trace in traces {
             if trace.dropped {
                 continue;
@@ -102,44 +142,74 @@ impl CriticalComponentExtractor {
             // so full durations would make every ancestor of a culprit
             // correlate perfectly with TCP; exclusive time isolates each
             // instance's own contribution.
-            let mut per_instance: BTreeMap<u32, f64> = BTreeMap::new();
+            scratch.per_trace.clear();
             for entry in &trace.cp.entries {
+                let iid = entry.instance.raw();
                 let d = entry.exclusive.as_micros() as f64;
-                let slot = per_instance.entry(entry.instance.raw()).or_insert(0.0);
-                if d > *slot {
-                    *slot = d;
+                // A CP visits only a handful of instances; linear scan
+                // beats any map here.
+                match scratch.per_trace.iter_mut().find(|(i, _)| *i == iid) {
+                    Some((_, max)) => {
+                        if d > *max {
+                            *max = d;
+                        }
+                    }
+                    None => {
+                        scratch.per_trace.push((iid, d));
+                        let idx = iid as usize;
+                        if scratch.slot_of.len() <= idx {
+                            scratch.slot_of.resize(idx + 1, 0);
+                        }
+                        if scratch.slot_of[idx] == 0 {
+                            scratch.slots.push(InstanceAcc::default());
+                            scratch.slot_of[idx] = scratch.slots.len() as u32;
+                        }
+                        let slot = &mut scratch.slots[scratch.slot_of[idx] as usize - 1];
+                        if slot.tis.is_empty() {
+                            slot.service = entry.service.raw();
+                            scratch.touched.push(iid);
+                        }
+                    }
                 }
-                acc.entry(entry.instance.raw())
-                    .or_insert_with(|| (entry.service, Vec::new(), Vec::new()));
             }
-            for (iid, ti) in per_instance {
-                let (_, tis, tcps) = acc.get_mut(&iid).expect("inserted above");
-                tis.push(ti);
-                tcps.push(tcp);
+            for &(iid, ti) in &scratch.per_trace {
+                let slot = &mut scratch.slots[scratch.slot_of[iid as usize] as usize - 1];
+                slot.tis.push(ti);
+                slot.tcps.push(tcp);
+                let at = slot
+                    .sorted
+                    .partition_point(|x| x.total_cmp(&ti) == std::cmp::Ordering::Less);
+                slot.sorted.insert(at, ti);
             }
         }
 
-        acc.into_iter()
-            .filter(|(_, (_, tis, _))| !tis.is_empty())
-            .map(|(iid, (service, mut tis, tcps))| {
-                let ri = pearson(&tis, &tcps);
-                tis.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-                let p99 = sample_quantile(&tis, 0.99);
-                let p50 = sample_quantile(&tis, 0.50);
-                let ci = if p50 <= 0.0 {
-                    1.0
-                } else {
-                    (p99 / p50).max(1.0)
-                };
-                InstanceFeatures {
-                    instance: InstanceId(iid),
-                    service,
-                    ri,
-                    ci,
-                    samples: tis.len(),
-                }
-            })
-            .collect()
+        // Output in ascending instance order, matching the ordered-map
+        // iteration of the original implementation.
+        scratch.touched.sort_unstable();
+        let mut out = Vec::with_capacity(scratch.touched.len());
+        for &iid in &scratch.touched {
+            let slot = &mut scratch.slots[scratch.slot_of[iid as usize] as usize - 1];
+            let ri = pearson(&slot.tis, &slot.tcps);
+            let p99 = sample_quantile(&slot.sorted, 0.99);
+            let p50 = sample_quantile(&slot.sorted, 0.50);
+            let ci = if p50 <= 0.0 {
+                1.0
+            } else {
+                (p99 / p50).max(1.0)
+            };
+            out.push(InstanceFeatures {
+                instance: InstanceId(iid),
+                service: ServiceId(slot.service),
+                ri,
+                ci,
+                samples: slot.tis.len(),
+            });
+            slot.tis.clear();
+            slot.tcps.clear();
+            slot.sorted.clear();
+        }
+        scratch.touched.clear();
+        out
     }
 
     /// Classifies features into SLO-violation candidates (Algorithm 2's
@@ -151,7 +221,7 @@ impl CriticalComponentExtractor {
             .filter(|f| self.classify(f))
             .copied()
             .collect();
-        out.sort_by(|a, b| b.ci.partial_cmp(&a.ci).expect("ci is finite"));
+        out.sort_by(|a, b| b.ci.total_cmp(&a.ci));
         out
     }
 
@@ -224,7 +294,108 @@ mod tests {
         let since = sim.now();
         sim.run_for(SimDuration::from_secs(secs));
         coord.ingest(sim.drain_completed());
-        coord.traces_since(since).into_iter().cloned().collect()
+        coord.traces_since(since).cloned().collect()
+    }
+
+    /// The original (pre-scratch) Algorithm 2 accumulation: ordered
+    /// maps rebuilt per window, a from-scratch `partial_cmp` sort per
+    /// instance. Kept as the reference for the golden equivalence test
+    /// below — the optimized `features` must reproduce it bit for bit.
+    fn reference_features<'a>(
+        traces: impl IntoIterator<Item = &'a StoredTrace>,
+    ) -> Vec<InstanceFeatures> {
+        use std::collections::BTreeMap;
+        let mut acc: BTreeMap<u32, (ServiceId, Vec<f64>, Vec<f64>)> = BTreeMap::new();
+        for trace in traces {
+            if trace.dropped {
+                continue;
+            }
+            let tcp = trace.latency.as_micros() as f64;
+            let mut per_instance: BTreeMap<u32, f64> = BTreeMap::new();
+            for entry in &trace.cp.entries {
+                let d = entry.exclusive.as_micros() as f64;
+                let slot = per_instance.entry(entry.instance.raw()).or_insert(0.0);
+                if d > *slot {
+                    *slot = d;
+                }
+                acc.entry(entry.instance.raw())
+                    .or_insert_with(|| (entry.service, Vec::new(), Vec::new()));
+            }
+            for (iid, ti) in per_instance {
+                let (_, tis, tcps) = acc.get_mut(&iid).expect("inserted above");
+                tis.push(ti);
+                tcps.push(tcp);
+            }
+        }
+        acc.into_iter()
+            .filter(|(_, (_, tis, _))| !tis.is_empty())
+            .map(|(iid, (service, mut tis, tcps))| {
+                let ri = firm_sim::stats::pearson(&tis, &tcps);
+                tis.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+                let p99 = firm_sim::stats::sample_quantile(&tis, 0.99);
+                let p50 = firm_sim::stats::sample_quantile(&tis, 0.50);
+                let ci = if p50 <= 0.0 {
+                    1.0
+                } else {
+                    (p99 / p50).max(1.0)
+                };
+                InstanceFeatures {
+                    instance: InstanceId(iid),
+                    service,
+                    ri,
+                    ci,
+                    samples: tis.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Golden-vector equivalence: on a recorded multi-window stream the
+    /// scratch-based extractor must reproduce the original map-and-sort
+    /// implementation exactly — same instances, same order, and
+    /// bit-identical `RI`/`CI` floats. This is the contract that lets
+    /// the fleet digest stay pinned across the perf refactor.
+    #[test]
+    fn features_match_reference_implementation_bit_for_bit() {
+        let mut sim =
+            Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 77).build();
+        // Congest one instance so CI/RI cover a non-trivial range.
+        sim.apply(firm_sim::Command::SetPartition {
+            instance: InstanceId(1),
+            kind: firm_sim::ResourceKind::Cpu,
+            amount: 0.2,
+        });
+        let mut coord = TracingCoordinator::new(100_000);
+        let mut ex = CriticalComponentExtractor::new(9);
+        // Several windows through the *same* extractor: cross-window
+        // scratch reuse must not leak samples between windows.
+        for w in 0..4 {
+            let traces = window(&mut sim, &mut coord, 1 + w % 2);
+            let got = ex.features(traces.iter());
+            let want = reference_features(traces.iter());
+            assert_eq!(got.len(), want.len(), "window {w}: instance set differs");
+            for (g, r) in got.iter().zip(&want) {
+                assert_eq!(g.instance, r.instance, "window {w}: order differs");
+                assert_eq!(g.service, r.service, "window {w}");
+                assert_eq!(g.samples, r.samples, "window {w}");
+                assert_eq!(
+                    g.ri.to_bits(),
+                    r.ri.to_bits(),
+                    "window {w}: RI drifted for {:?} ({} vs {})",
+                    g.instance,
+                    g.ri,
+                    r.ri
+                );
+                assert_eq!(
+                    g.ci.to_bits(),
+                    r.ci.to_bits(),
+                    "window {w}: CI drifted for {:?} ({} vs {})",
+                    g.instance,
+                    g.ci,
+                    r.ci
+                );
+            }
+        }
     }
 
     #[test]
@@ -233,7 +404,7 @@ mod tests {
             Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 31).build();
         let mut coord = TracingCoordinator::new(100_000);
         let traces = window(&mut sim, &mut coord, 2);
-        let ex = CriticalComponentExtractor::new(1);
+        let mut ex = CriticalComponentExtractor::new(1);
         let feats = ex.features(traces.iter());
         assert!(feats.len() >= 3, "features for {} instances", feats.len());
         for f in &feats {
@@ -262,7 +433,7 @@ mod tests {
         sim.run_for(SimDuration::from_secs(1));
         sim.drain_completed();
         let traces = window(&mut sim, &mut coord, 3);
-        let ex = CriticalComponentExtractor::new(1);
+        let mut ex = CriticalComponentExtractor::new(1);
         let feats = ex.features(traces.iter());
         let victim = feats.iter().find(|f| f.instance == InstanceId(1));
         let victim = victim.expect("victim on CP");

@@ -261,8 +261,9 @@ impl FirmManager {
         self.collector.collect(&telemetry);
 
         // ② Detect SLO violations.
-        let app = sim.app().clone();
-        let assessment = self.monitor.assess(&app, &self.coordinator, window_start);
+        let assessment = self
+            .monitor
+            .assess(sim.app(), &self.coordinator, window_start);
         if assessment.any_violation() {
             self.stats.violation_ticks += 1;
         }
@@ -280,13 +281,11 @@ impl FirmManager {
         // mode, on every tick so the SVM keeps learning.
         let should_extract = assessment.any_violation() || self.config.training;
         if should_extract {
-            let traces: Vec<_> = self
-                .coordinator
-                .traces_since(window_start)
-                .into_iter()
-                .cloned()
-                .collect();
-            let features = self.extractor.features(traces.iter());
+            // The extractor consumes the coordinator's stored traces by
+            // reference — the window is never copied out of the store.
+            let features = self
+                .extractor
+                .features(self.coordinator.traces_since(window_start));
 
             if self.config.training {
                 for f in &features {
@@ -318,7 +317,7 @@ impl FirmManager {
                     // Ablation: no level-1 filter — every CP instance is
                     // handed to the RL agent (highest CI first).
                     let mut all: Vec<_> = features.clone();
-                    all.sort_by(|a, b| b.ci.partial_cmp(&a.ci).expect("ci is finite"));
+                    all.sort_by(|a, b| b.ci.total_cmp(&a.ci));
                     all
                 };
                 for cand in candidates

@@ -10,7 +10,7 @@
 //! rendered bytes through FNV-1a for cheap equality checks in tests
 //! and CI.
 
-use firm_wire::{encode_string, fnv64};
+use firm_wire::{encode_string, WireEncode};
 
 /// Deterministic measurements from one scenario run.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,10 +153,11 @@ impl FleetReport {
         encode_string(self)
     }
 
-    /// FNV-1a 64 over the JSON bytes — a cheap fingerprint for the
-    /// bit-identity guarantee.
+    /// FNV-1a 64 over the JSON bytes, folded as the encoder renders —
+    /// the digest never materializes the JSON text (equal to
+    /// `fnv64(self.to_json().as_bytes())` by construction).
     pub fn digest(&self) -> u64 {
-        fnv64(self.to_json().as_bytes())
+        self.encode().render_fnv64()
     }
 }
 
@@ -254,9 +255,10 @@ impl RoundTripReport {
         encode_string(self)
     }
 
-    /// FNV-1a 64 over the JSON bytes.
+    /// FNV-1a 64 over the JSON bytes, streamed (see
+    /// [`FleetReport::digest`]).
     pub fn digest(&self) -> u64 {
-        fnv64(self.to_json().as_bytes())
+        self.encode().render_fnv64()
     }
 }
 
@@ -355,6 +357,19 @@ mod tests {
         let train = FleetReport::new(1, vec![outcome("a", 100, 9_000)]);
         let deploy = FleetReport::new(1, vec![]);
         RoundTripReport::new(train, deploy);
+    }
+
+    /// The streamed digest must stay interchangeable with hashing the
+    /// rendered document — this is what keeps historical pinned digests
+    /// (e.g. the seed-7 catalog golden) valid across the change.
+    #[test]
+    fn streamed_digest_matches_hash_of_rendered_json() {
+        let mut hostile = outcome("na\"me\\ with \n controls \u{3}", 10, 1_000);
+        hostile.load = "l\u{1b}oad \u{65e5}".into();
+        let r = FleetReport::new(9, vec![outcome("a", 100, 5_000), hostile]);
+        assert_eq!(r.digest(), firm_wire::fnv64(r.to_json().as_bytes()));
+        let rt = RoundTripReport::new(r.clone(), r.clone());
+        assert_eq!(rt.digest(), firm_wire::fnv64(rt.to_json().as_bytes()));
     }
 
     #[test]

@@ -83,9 +83,20 @@ impl ReplayBuffer {
 
     /// Samples `n` transitions uniformly with replacement.
     pub fn sample<'a>(&'a self, n: usize, rng: &mut MlRng) -> Vec<&'a Transition> {
-        (0..n)
-            .map(|_| &self.data[rng.index(self.data.len())])
-            .collect()
+        let mut idx = Vec::with_capacity(n);
+        self.sample_indices_into(n, rng, &mut idx);
+        idx.into_iter().map(|i| &self.data[i]).collect()
+    }
+
+    /// Draws `n` uniform-with-replacement indices into `out` (cleared
+    /// first) — the one sampling scheme, shared by [`ReplayBuffer::sample`]
+    /// and the allocation-free minibatch assembly in
+    /// [`DdpgAgent::train_step`].
+    pub fn sample_indices_into(&self, n: usize, rng: &mut MlRng, out: &mut Vec<usize>) {
+        out.clear();
+        for _ in 0..n {
+            out.push(rng.index(self.data.len()));
+        }
     }
 }
 
@@ -187,6 +198,40 @@ pub struct TrainStats {
     pub q_mean: f64,
 }
 
+/// Preallocated minibatch workspaces: one warmed-up
+/// [`DdpgAgent::train_step`] performs zero matrix allocations — every
+/// intermediate (batch assembly, target bootstrap, both forward/backward
+/// passes, the actor's critic-gradient slice) lands in a reused buffer.
+#[derive(Debug, Default)]
+struct TrainScratch {
+    idx: Vec<usize>,
+    s_full: Matrix,
+    s_actor: Matrix,
+    s_actor2: Matrix,
+    s_full2: Matrix,
+    actions: Matrix,
+    rewards: Vec<f64>,
+    dones: Vec<bool>,
+    y: Vec<f64>,
+    a2: Matrix,
+    cat: Matrix,
+    q2: Matrix,
+    q: Matrix,
+    grad: Matrix,
+    a_pred: Matrix,
+    q_pi: Matrix,
+    grad_q: Matrix,
+    gin: Matrix,
+    gin_actor: Matrix,
+    da: Matrix,
+}
+
+impl TrainScratch {
+    fn new() -> Self {
+        TrainScratch::default()
+    }
+}
+
 /// The DDPG agent: actor, critic, targets, replay, and noise.
 #[derive(Debug)]
 pub struct DdpgAgent {
@@ -201,6 +246,7 @@ pub struct DdpgAgent {
     noise: OuNoise,
     rng: MlRng,
     train_steps: u64,
+    scratch: TrainScratch,
 }
 
 impl DdpgAgent {
@@ -244,6 +290,7 @@ impl DdpgAgent {
             critic_target,
             config,
             train_steps: 0,
+            scratch: TrainScratch::new(),
         }
     }
 
@@ -302,6 +349,11 @@ impl DdpgAgent {
     /// One minibatch update of critic, actor and targets (Algorithm 3,
     /// lines 11–15). Returns `None` when the replay buffer holds fewer
     /// than one batch.
+    ///
+    /// Runs entirely on [`TrainScratch`] workspaces: after the first
+    /// call no matrix is allocated, and the arithmetic (operand values,
+    /// per-element fold order) is identical to the allocating
+    /// formulation, so trained weights stay bit-for-bit reproducible.
     pub fn train_step(&mut self) -> Option<TrainStats> {
         let b = self.config.batch_size;
         if self.replay.len() < b {
@@ -310,65 +362,72 @@ impl DdpgAgent {
         let sd = self.config.state_dim;
         let asd = self.config.actor_state_dim;
         let ad = self.config.action_dim;
+        let sc = &mut self.scratch;
 
-        // Assemble the minibatch.
-        let batch = self.replay.sample(b, &mut self.rng);
-        let mut s_full = Matrix::zeros(b, sd);
-        let mut s_actor2 = Matrix::zeros(b, asd);
-        let mut s_full2 = Matrix::zeros(b, sd);
-        let mut actions = Matrix::zeros(b, ad);
-        let mut rewards = vec![0.0; b];
-        let mut dones = vec![false; b];
-        for (i, t) in batch.iter().enumerate() {
-            s_full.row_mut(i).copy_from_slice(&t.state);
-            s_full2.row_mut(i).copy_from_slice(&t.next_state);
-            s_actor2.row_mut(i).copy_from_slice(&t.next_state[..asd]);
-            actions.row_mut(i).copy_from_slice(&t.action);
-            rewards[i] = t.reward;
-            dones[i] = t.done;
+        // Assemble the minibatch (same uniform draws as `sample`).
+        self.replay
+            .sample_indices_into(b, &mut self.rng, &mut sc.idx);
+        sc.s_full.resize(b, sd);
+        sc.s_actor2.resize(b, asd);
+        sc.s_full2.resize(b, sd);
+        sc.actions.resize(b, ad);
+        sc.rewards.clear();
+        sc.dones.clear();
+        for (i, &j) in sc.idx.iter().enumerate() {
+            let t = &self.replay.data[j];
+            sc.s_full.row_mut(i).copy_from_slice(&t.state);
+            sc.s_full2.row_mut(i).copy_from_slice(&t.next_state);
+            sc.s_actor2.row_mut(i).copy_from_slice(&t.next_state[..asd]);
+            sc.actions.row_mut(i).copy_from_slice(&t.action);
+            sc.rewards.push(t.reward);
+            sc.dones.push(t.done);
         }
 
         // Critic targets: y = r + γ(1−done)·Q'(s', π'(s')).
-        let a2 = self.actor_target.forward(&s_actor2, false);
-        let q2 = self.critic_target.forward(&s_full2.hstack(&a2), false);
-        let mut y = vec![0.0; b];
-        for (i, yi) in y.iter_mut().enumerate() {
-            let bootstrap = if dones[i] {
+        self.actor_target
+            .forward_into(&sc.s_actor2, &mut sc.a2, false);
+        sc.s_full2.hstack_into(&sc.a2, &mut sc.cat);
+        self.critic_target.forward_into(&sc.cat, &mut sc.q2, false);
+        sc.y.clear();
+        for i in 0..b {
+            let bootstrap = if sc.dones[i] {
                 0.0
             } else {
-                self.config.gamma * q2.get(i, 0)
+                self.config.gamma * sc.q2.get(i, 0)
             };
-            *yi = rewards[i] + bootstrap;
+            sc.y.push(sc.rewards[i] + bootstrap);
         }
 
         // Critic update: minimize MSE(Q(s, a), y).
         self.critic.zero_grads();
-        let q = self.critic.forward(&s_full.hstack(&actions), true);
-        let mut grad = Matrix::zeros(b, 1);
+        sc.s_full.hstack_into(&sc.actions, &mut sc.cat);
+        self.critic.forward_into(&sc.cat, &mut sc.q, true);
+        sc.grad.resize(b, 1);
         let mut loss = 0.0;
-        for (i, &yi) in y.iter().enumerate() {
-            let d = q.get(i, 0) - yi;
+        for (i, &yi) in sc.y.iter().enumerate() {
+            let d = sc.q.get(i, 0) - yi;
             loss += d * d / b as f64;
-            grad.set(i, 0, 2.0 * d / b as f64);
+            sc.grad.set(i, 0, 2.0 * d / b as f64);
         }
-        self.critic.backward(&grad);
+        self.critic.backward_into(&sc.grad, &mut sc.gin);
         self.critic_opt.step(&mut self.critic);
 
         // Actor update: ascend ∇_θ E[Q(s, π(s))] via the chain rule
         // through the critic input gradient.
         self.actor.zero_grads();
-        let s_actor = s_full.slice_cols(0, asd);
-        let a_pred = self.actor.forward(&s_actor, true);
-        let q_pi = self.critic.forward(&s_full.hstack(&a_pred), true);
-        let q_mean = (0..b).map(|i| q_pi.get(i, 0)).sum::<f64>() / b as f64;
-        let mut grad_q = Matrix::zeros(b, 1);
-        grad_q.map_inplace(|_| -1.0 / b as f64);
-        let gin = self.critic.backward(&grad_q);
+        sc.s_full.slice_cols_into(0, asd, &mut sc.s_actor);
+        self.actor.forward_into(&sc.s_actor, &mut sc.a_pred, true);
+        sc.s_full.hstack_into(&sc.a_pred, &mut sc.cat);
+        self.critic.forward_into(&sc.cat, &mut sc.q_pi, true);
+        let q_mean = (0..b).map(|i| sc.q_pi.get(i, 0)).sum::<f64>() / b as f64;
+        sc.grad_q.resize(b, 1);
+        sc.grad_q.fill(-1.0 / b as f64);
+        self.critic.backward_into(&sc.grad_q, &mut sc.gin);
         // Discard the critic gradients from this pass; only the actor
         // should learn from it.
         self.critic.zero_grads();
-        let da = gin.slice_cols(sd, sd + ad);
-        self.actor.backward(&da);
+        sc.gin.slice_cols_into(sd, sd + ad, &mut sc.da);
+        self.actor.backward_into(&sc.da, &mut sc.gin_actor);
         self.actor_opt.step(&mut self.actor);
 
         // Soft target updates (Algorithm 3, lines 14–15).

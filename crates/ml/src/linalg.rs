@@ -8,6 +8,14 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+impl Default for Matrix {
+    /// An empty (0 × 0) matrix — the natural warmup state for reusable
+    /// buffers.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// Creates an all-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -84,14 +92,43 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes the matrix to `rows × cols`, reusing the existing
+    /// allocation when capacity suffices. Contents are unspecified
+    /// afterwards — callers must overwrite every element.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the allocation.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.resize(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Sets every element to `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
     /// `self · other` (m×k · k×n → m×n).
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self · other` written into a caller-provided buffer (no
+    /// allocation once `out` has warmed up to the right capacity).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.resize(self.rows, other.cols);
+        out.fill(0.0);
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[r * self.cols + k];
@@ -105,31 +142,82 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self · otherᵀ` (m×k · (n×k)ᵀ → m×n).
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transpose_b_into(other, &mut out);
+        out
+    }
+
+    /// `self · otherᵀ` written into a caller-provided buffer.
+    ///
+    /// The kernel is register-blocked: four rows of `other` (four
+    /// output columns) share one streaming pass over the `self` row,
+    /// which quarters the traffic on the hot operand. Each output
+    /// element still folds its dot product strictly in `k` order with
+    /// its own accumulator, so results are bit-identical to the naive
+    /// kernel — blocking changes locality, never summation order.
+    pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_transpose_b shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        let k = self.cols;
+        let n = other.rows;
+        out.resize(self.rows, n);
         for r in 0..self.rows {
-            let arow = self.row(r);
-            for n in 0..other.rows {
-                let brow = other.row(n);
+            let arow = &self.data[r * k..(r + 1) * k];
+            let orow = &mut out.data[r * n..(r + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &other.data[j * k..(j + 1) * k];
+                let b1 = &other.data[(j + 1) * k..(j + 2) * k];
+                let b2 = &other.data[(j + 2) * k..(j + 3) * k];
+                let b3 = &other.data[(j + 3) * k..(j + 4) * k];
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+                for (i, &a) in arow.iter().enumerate() {
+                    a0 += a * b0[i];
+                    a1 += a * b1[i];
+                    a2 += a * b2[i];
+                    a3 += a * b3[i];
+                }
+                orow[j] = a0;
+                orow[j + 1] = a1;
+                orow[j + 2] = a2;
+                orow[j + 3] = a3;
+                j += 4;
+            }
+            while j < n {
+                let brow = &other.data[j * k..(j + 1) * k];
                 let mut acc = 0.0;
                 for (a, b) in arow.iter().zip(brow) {
                     acc += a * b;
                 }
-                out.data[r * other.rows + n] = acc;
+                orow[j] = acc;
+                j += 1;
             }
         }
-        out
     }
 
     /// `selfᵀ · other` ((m×k)ᵀ · m×n → k×n).
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "transpose_matmul shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
+        self.transpose_matmul_acc(other, &mut out);
+        out
+    }
+
+    /// `acc += selfᵀ · other`, accumulating directly into the gradient
+    /// buffer: the backward pass skips the intermediate product matrix.
+    /// When `acc` starts zeroed the per-element fold order is identical
+    /// to [`Matrix::transpose_matmul`] followed by an element-wise add.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn transpose_matmul_acc(&self, other: &Matrix, acc: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "transpose_matmul shape mismatch");
+        assert_eq!(acc.rows, self.cols, "transpose_matmul acc shape mismatch");
+        assert_eq!(acc.cols, other.cols, "transpose_matmul acc shape mismatch");
         for m in 0..self.rows {
             let arow = self.row(m);
             let brow = other.row(m);
@@ -137,13 +225,12 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                let dst = &mut out.data[k * other.cols..(k + 1) * other.cols];
+                let dst = &mut acc.data[k * other.cols..(k + 1) * other.cols];
                 for (d, &b) in dst.iter_mut().zip(brow) {
                     *d += a * b;
                 }
             }
         }
-        out
     }
 
     /// Adds `v` to every row (broadcast bias add).
@@ -159,12 +246,23 @@ impl Matrix {
     /// Column sums (length = cols).
     pub fn col_sums(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
+        self.col_sums_acc(&mut out);
+        out
+    }
+
+    /// `acc[c] += Σ_r self[r][c]` — the allocation-free form of
+    /// [`Matrix::col_sums`] for gradient accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != cols`.
+    pub fn col_sums_acc(&self, acc: &mut [f64]) {
+        assert_eq!(acc.len(), self.cols, "col_sums acc width mismatch");
         for r in 0..self.rows {
-            for (o, x) in out.iter_mut().zip(self.row(r)) {
+            for (o, x) in acc.iter_mut().zip(self.row(r)) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Applies `f` element-wise in place.
@@ -193,23 +291,35 @@ impl Matrix {
     ///
     /// Panics if row counts differ.
     pub fn hstack(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.hstack_into(other, &mut out);
+        out
+    }
+
+    /// `[self | other]` written into a caller-provided buffer.
+    pub fn hstack_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "hstack row mismatch");
-        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        out.resize(self.rows, self.cols + other.cols);
         for r in 0..self.rows {
             out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
             out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
         }
-        out
     }
 
     /// Copy of columns `[from, to)`.
     pub fn slice_cols(&self, from: usize, to: usize) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.slice_cols_into(from, to, &mut out);
+        out
+    }
+
+    /// Columns `[from, to)` written into a caller-provided buffer.
+    pub fn slice_cols_into(&self, from: usize, to: usize, out: &mut Matrix) {
         assert!(from <= to && to <= self.cols, "column range out of bounds");
-        let mut out = Matrix::zeros(self.rows, to - from);
+        out.resize(self.rows, to - from);
         for r in 0..self.rows {
             out.row_mut(r).copy_from_slice(&self.row(r)[from..to]);
         }
-        out
     }
 }
 
@@ -288,5 +398,85 @@ mod tests {
     #[test]
     fn dot_product() {
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    /// Sequential reference for the blocked `self · otherᵀ` kernel.
+    fn naive_matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols());
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for r in 0..a.rows() {
+            for n in 0..b.rows() {
+                let mut acc = 0.0;
+                for (x, y) in a.row(r).iter().zip(b.row(n)) {
+                    acc += x * y;
+                }
+                out.set(r, n, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_transpose_b_is_bit_identical_to_naive() {
+        // Odd output widths exercise both the 4-wide blocks and the
+        // remainder loop; irrational-ish values make float order matter.
+        for (m, n, k) in [(1, 1, 1), (3, 7, 5), (5, 40, 23), (2, 9, 64), (4, 4, 0)] {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17) as f64).sin() * 3.7);
+            let b = Matrix::from_fn(n, k, |r, c| ((r * 13 + c * 7) as f64).cos() / 1.3);
+            let blocked = a.matmul_transpose_b(&b);
+            let naive = naive_matmul_transpose_b(&a, &b);
+            assert_eq!(blocked.rows(), naive.rows());
+            assert_eq!(blocked.cols(), naive.cols());
+            for (x, y) in blocked.data().iter().zip(naive.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{n}x{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn into_forms_reuse_buffers_and_match() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64 / 3.0);
+        let b = Matrix::from_fn(4, 5, |r, c| (r as f64 - c as f64) * 0.7);
+        let bt = Matrix::from_fn(5, 4, |r, c| (r as f64 - c as f64) * 0.7);
+
+        // Warm a deliberately wrong-shaped buffer, then overwrite it.
+        let mut out = Matrix::zeros(9, 9);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        a.matmul_transpose_b_into(&bt, &mut out);
+        assert_eq!(out, a.matmul_transpose_b(&bt));
+        let c = Matrix::from_fn(3, 2, |r, c| (r + c) as f64);
+        a.hstack_into(&c, &mut out);
+        assert_eq!(out, a.hstack(&c));
+        a.slice_cols_into(1, 3, &mut out);
+        assert_eq!(out, a.slice_cols(1, 3));
+    }
+
+    #[test]
+    fn acc_forms_match_compute_then_add() {
+        let dz = Matrix::from_fn(6, 3, |r, c| ((r + 2 * c) as f64).sin());
+        let x = Matrix::from_fn(6, 4, |r, c| ((3 * r + c) as f64).cos());
+        let mut acc = Matrix::zeros(3, 4);
+        dz.transpose_matmul_acc(&x, &mut acc);
+        let reference = dz.transpose_matmul(&x);
+        for (a, b) in acc.data().iter().zip(reference.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let mut sums = vec![0.0; 3];
+        dz.col_sums_acc(&mut sums);
+        assert_eq!(sums, dz.col_sums());
+    }
+
+    #[test]
+    fn resize_and_copy_from_reuse_allocations() {
+        let mut m = Matrix::zeros(2, 2);
+        m.resize(3, 5);
+        assert_eq!((m.rows(), m.cols()), (3, 5));
+        assert_eq!(m.data().len(), 15);
+        let src = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+        m.fill(7.0);
+        assert!(m.data().iter().all(|&x| x == 7.0));
     }
 }

@@ -29,6 +29,17 @@ impl Activation {
         }
     }
 
+    /// Scalar form of [`Activation::apply`] — same operations, so the
+    /// slice-based single-sample path matches the matrix path bit for
+    /// bit.
+    fn apply_scalar(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
     /// Derivative expressed in terms of the *output* value.
     fn derivative_from_output(self, y: f64) -> f64 {
         match self {
@@ -62,6 +73,8 @@ struct Linear {
     input: Matrix,
     /// Cached output of the last forward pass.
     output: Matrix,
+    /// Backward-pass scratch: `grad_out ⊙ act'(output)`.
+    dz: Matrix,
 }
 
 impl Linear {
@@ -77,40 +90,49 @@ impl Linear {
             act,
             input: Matrix::zeros(0, 0),
             output: Matrix::zeros(0, 0),
+            dz: Matrix::zeros(0, 0),
         }
     }
 
-    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
-        let mut z = x.matmul_transpose_b(&self.w);
-        z.add_row_broadcast(&self.b);
-        self.act.apply(&mut z);
+    /// Forward pass into a caller-provided buffer: no allocation once
+    /// the buffers (and the training caches) have warmed up.
+    fn forward_into(&mut self, x: &Matrix, out: &mut Matrix, train: bool) {
+        x.matmul_transpose_b_into(&self.w, out);
+        out.add_row_broadcast(&self.b);
+        self.act.apply(out);
         if train {
-            self.input = x.clone();
-            self.output = z.clone();
+            self.input.copy_from(x);
+            self.output.copy_from(out);
         }
-        z
     }
 
     /// Backpropagates `grad_out` (n × out), accumulating parameter
-    /// gradients; returns the input gradient (n × in).
-    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+    /// gradients; writes the input gradient (n × in) into `gin`.
+    fn backward_into(&mut self, grad_out: &Matrix, gin: &mut Matrix) {
+        let Linear {
+            w,
+            b: _,
+            act,
+            grad_w,
+            grad_b,
+            input,
+            output,
+            dz,
+        } = self;
         // dz = grad_out ⊙ act'(output).
-        let mut dz = grad_out.clone();
+        dz.resize(grad_out.rows(), grad_out.cols());
         for r in 0..dz.rows() {
             for c in 0..dz.cols() {
-                let d = self.act.derivative_from_output(self.output.get(r, c));
-                dz.set(r, c, dz.get(r, c) * d);
+                let d = act.derivative_from_output(output.get(r, c));
+                dz.set(r, c, grad_out.get(r, c) * d);
             }
         }
-        // dW += dzᵀ · x; db += colsum(dz); dx = dz · W.
-        let dw = dz.transpose_matmul(&self.input);
-        for (g, d) in self.grad_w.data_mut().iter_mut().zip(dw.data()) {
-            *g += d;
-        }
-        for (g, d) in self.grad_b.iter_mut().zip(dz.col_sums()) {
-            *g += d;
-        }
-        dz.matmul(&self.w)
+        // dW += dzᵀ · x; db += colsum(dz); dx = dz · W. The gradient
+        // products accumulate straight into the gradient buffers — no
+        // intermediate matrices.
+        dz.transpose_matmul_acc(input, grad_w);
+        dz.col_sums_acc(grad_b);
+        dz.matmul_into(w, gin);
     }
 
     fn zero_grads(&mut self) {
@@ -124,7 +146,15 @@ impl Linear {
 pub struct Mlp {
     layers: Vec<Linear>,
     input_dim: usize,
+    /// Ping-pong activation buffers for the batch passes; after warmup
+    /// a forward/backward pair performs zero matrix allocations.
+    ping: Matrix,
+    pong: Matrix,
 }
+
+/// Stack budget for the single-sample fast path: wide enough for the
+/// paper's networks (hidden width 40, critic input 23) with headroom.
+const FORWARD_ONE_STACK: usize = 64;
 
 impl Mlp {
     /// Builds an MLP with the given layer `dims` (input first), `hidden`
@@ -145,6 +175,8 @@ impl Mlp {
         Mlp {
             layers,
             input_dim: dims[0],
+            ping: Matrix::zeros(0, 0),
+            pong: Matrix::zeros(0, 0),
         }
     }
 
@@ -161,24 +193,82 @@ impl Mlp {
     /// Batch forward pass; caches intermediates when `train` so a
     /// following [`Mlp::backward`] can run.
     pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
-        let mut h = x.clone();
-        for layer in &mut self.layers {
-            h = layer.forward(&h, train);
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut out, train);
+        out
+    }
+
+    /// Batch forward pass into a caller-provided output buffer.
+    /// Intermediate activations live in the network's own ping-pong
+    /// scratch — after warmup the whole pass allocates nothing.
+    pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix, train: bool) {
+        let n = self.layers.len();
+        if n == 1 {
+            self.layers[0].forward_into(x, out, train);
+            return;
         }
-        h
+        let Mlp {
+            layers, ping, pong, ..
+        } = self;
+        layers[0].forward_into(x, ping, train);
+        for layer in layers.iter_mut().take(n - 1).skip(1) {
+            layer.forward_into(ping, pong, train);
+            std::mem::swap(ping, pong);
+        }
+        layers[n - 1].forward_into(ping, out, train);
     }
 
     /// Convenience single-sample forward (no caching).
+    ///
+    /// Activations for the paper-sized networks live in two stack
+    /// buffers; only the returned output vector is heap-allocated.
+    /// The arithmetic (dot in `k` order, then bias, then activation)
+    /// matches the batch path exactly.
     pub fn forward_one(&self, x: &[f64]) -> Vec<f64> {
-        let mut h = Matrix::row_from(x);
-        // Immutable forward: recompute without caching.
-        for layer in &self.layers {
-            let mut z = h.matmul_transpose_b(&layer.w);
-            z.add_row_broadcast(&layer.b);
-            layer.act.apply(&mut z);
-            h = z;
+        assert_eq!(x.len(), self.input_dim, "forward_one input width mismatch");
+        let widest = self
+            .layers
+            .iter()
+            .map(|l| l.w.rows())
+            .max()
+            .unwrap_or(0)
+            .max(x.len());
+        if widest <= FORWARD_ONE_STACK {
+            let mut cur = [0.0f64; FORWARD_ONE_STACK];
+            let mut next = [0.0f64; FORWARD_ONE_STACK];
+            cur[..x.len()].copy_from_slice(x);
+            let mut len = x.len();
+            for layer in &self.layers {
+                let nout = layer.w.rows();
+                for (j, slot) in next.iter_mut().take(nout).enumerate() {
+                    let wrow = layer.w.row(j);
+                    let mut acc = 0.0;
+                    for (a, b) in cur[..len].iter().zip(wrow) {
+                        acc += a * b;
+                    }
+                    *slot = layer.act.apply_scalar(acc + layer.b[j]);
+                }
+                std::mem::swap(&mut cur, &mut next);
+                len = nout;
+            }
+            cur[..len].to_vec()
+        } else {
+            // Fallback for networks wider than the stack budget.
+            let mut cur = x.to_vec();
+            let mut next = Vec::new();
+            for layer in &self.layers {
+                next.clear();
+                for j in 0..layer.w.rows() {
+                    let mut acc = 0.0;
+                    for (a, b) in cur.iter().zip(layer.w.row(j)) {
+                        acc += a * b;
+                    }
+                    next.push(layer.act.apply_scalar(acc + layer.b[j]));
+                }
+                std::mem::swap(&mut cur, &mut next);
+            }
+            cur
         }
-        h.row(0).to_vec()
     }
 
     /// Backpropagates the loss gradient w.r.t. the network output,
@@ -188,11 +278,28 @@ impl Mlp {
     /// Must follow a `forward(..., train = true)` pass with a matching
     /// batch size.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+        let mut gin = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut gin);
+        gin
+    }
+
+    /// [`Mlp::backward`] into a caller-provided input-gradient buffer
+    /// (allocation-free after warmup).
+    pub fn backward_into(&mut self, grad_out: &Matrix, gin: &mut Matrix) {
+        let n = self.layers.len();
+        if n == 1 {
+            self.layers[0].backward_into(grad_out, gin);
+            return;
         }
-        g
+        let Mlp {
+            layers, ping, pong, ..
+        } = self;
+        layers[n - 1].backward_into(grad_out, ping);
+        for layer in layers.iter_mut().rev().take(n - 1).skip(1) {
+            layer.backward_into(ping, pong);
+            std::mem::swap(ping, pong);
+        }
+        layers[0].backward_into(ping, gin);
     }
 
     /// Zeroes accumulated parameter gradients.
@@ -252,19 +359,25 @@ impl Mlp {
     }
 
     /// Soft update: `self ← tau · source + (1 − tau) · self` (the target-
-    /// network update of Algorithm 3, lines 14–15).
+    /// network update of Algorithm 3, lines 14–15). Runs in place over
+    /// the parameter buffers — the old export/blend/import round trip
+    /// allocated two full weight vectors per call, twice per train step.
     ///
     /// # Panics
     ///
     /// Panics if shapes differ.
     pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
-        let src = source.get_weights();
-        assert_eq!(src.len(), self.param_count(), "shape mismatch");
-        let mut mine = self.get_weights();
-        for (m, s) in mine.iter_mut().zip(&src) {
-            *m = tau * s + (1.0 - tau) * *m;
+        assert_eq!(source.param_count(), self.param_count(), "shape mismatch");
+        for (dst, src) in self.layers.iter_mut().zip(&source.layers) {
+            assert_eq!(dst.w.rows(), src.w.rows(), "shape mismatch");
+            assert_eq!(dst.w.cols(), src.w.cols(), "shape mismatch");
+            for (m, s) in dst.w.data_mut().iter_mut().zip(src.w.data()) {
+                *m = tau * s + (1.0 - tau) * *m;
+            }
+            for (m, s) in dst.b.iter_mut().zip(&src.b) {
+                *m = tau * s + (1.0 - tau) * *m;
+            }
         }
-        self.set_weights(&mine);
     }
 }
 
@@ -303,7 +416,49 @@ mod tests {
         let single = net.forward_one(&x);
         let batch = net.forward(&Matrix::row_from(&x), false);
         for (a, b) in single.iter().zip(batch.row(0)) {
-            assert!((a - b).abs() < 1e-12);
+            assert_eq!(a.to_bits(), b.to_bits(), "stack path diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forward_one_heap_fallback_matches_batch_forward() {
+        // Hidden width beyond the stack budget exercises the Vec path.
+        let mut net = Mlp::new(&[4, 100, 3], Activation::Tanh, Activation::Identity, 12);
+        let x = [0.4, -0.9, 0.05, 0.3];
+        let single = net.forward_one(&x);
+        let batch = net.forward(&Matrix::row_from(&x), false);
+        for (a, b) in single.iter().zip(batch.row(0)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn into_passes_match_allocating_passes_and_reuse_buffers() {
+        let make = || Mlp::new(&[3, 8, 8, 2], Activation::Relu, Activation::Identity, 21);
+        let x = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) as f64).sin());
+        let grad = Matrix::from_fn(5, 2, |r, c| ((r + c) as f64).cos() / 5.0);
+
+        let mut a = make();
+        a.zero_grads();
+        let ya = a.forward(&x, true);
+        let gina = a.backward(&grad);
+        let mut grads_a = Vec::new();
+        a.visit_params(|_, g| grads_a.push(g));
+
+        let mut b = make();
+        b.zero_grads();
+        let mut yb = Matrix::zeros(17, 1); // wrong warmup shape on purpose
+        let mut ginb = Matrix::zeros(1, 1);
+        b.forward_into(&x, &mut yb, true);
+        b.backward_into(&grad, &mut ginb);
+        let mut grads_b = Vec::new();
+        b.visit_params(|_, g| grads_b.push(g));
+
+        assert_eq!(ya, yb);
+        assert_eq!(gina, ginb);
+        assert_eq!(grads_a.len(), grads_b.len());
+        for (ga, gb) in grads_a.iter().zip(&grads_b) {
+            assert_eq!(ga.to_bits(), gb.to_bits());
         }
     }
 

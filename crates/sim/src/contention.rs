@@ -20,7 +20,7 @@
 //! increases an instance's share of contended bandwidth — the mechanism
 //! behind Fig. 1's mitigation — while a reservation protects it outright.
 
-use crate::instance::Instance;
+use crate::instance::{Instance, InstanceState};
 use crate::node::Node;
 use crate::resources::ResourceKind;
 
@@ -67,6 +67,19 @@ fn weight(inst: &Instance) -> f64 {
     }
 }
 
+/// The live (non-removed) instances placed on `node`, in placement
+/// order — the peer set the contention model shares capacity over.
+/// A cloneable iterator, so the hot path never materializes a `Vec`.
+pub fn node_peers<'a>(
+    node: &'a Node,
+    instances: &'a [Instance],
+) -> impl Iterator<Item = &'a Instance> + Clone {
+    node.instances
+        .iter()
+        .map(move |id| &instances[id.index()])
+        .filter(|i| i.state != InstanceState::Removed)
+}
+
 /// Effective rate of `target` on resource `kind`.
 ///
 /// `peers` must contain every instance placed on the node, including the
@@ -75,6 +88,19 @@ fn weight(inst: &Instance) -> f64 {
 pub fn effective_rate(
     node: &Node,
     peers: &[&Instance],
+    target: &Instance,
+    kind: ResourceKind,
+) -> f64 {
+    effective_rate_iter(node, peers.iter().copied(), target, kind)
+}
+
+/// Iterator form of [`effective_rate`]: the engine's per-chunk hot path
+/// passes the node's placement list directly instead of collecting a
+/// `Vec<&Instance>` per compute chunk. Iteration order (and therefore
+/// every floating-point sum) is identical to the slice form.
+pub fn effective_rate_iter<'a>(
+    node: &Node,
+    peers: impl Iterator<Item = &'a Instance> + Clone,
     target: &Instance,
     kind: ResourceKind,
 ) -> f64 {
@@ -90,7 +116,7 @@ pub fn effective_rate(
     let mut reserved_carve = 0.0;
     let mut be_weight_sum = 0.0;
     let mut all_weight_sum = 0.0;
-    for inst in peers {
+    for inst in peers.clone() {
         all_weight_sum += weight(inst);
     }
     for inst in peers {
@@ -181,20 +207,92 @@ pub fn effective_rates(
     llc_working_set_mb: f64,
     llc_sensitivity: f64,
 ) -> EffectiveRates {
-    let cpu_total = effective_rate(node, peers, target, ResourceKind::Cpu);
+    effective_rates_iter(
+        node,
+        peers.iter().copied(),
+        target,
+        llc_working_set_mb,
+        llc_sensitivity,
+    )
+}
+
+/// Iterator form of [`effective_rates`] (see [`effective_rate_iter`]).
+///
+/// Fused: one pass computes the activity-weight total and one more
+/// accumulates every resource kind's reservation/best-effort sums, so
+/// the per-chunk hot path walks the peer list twice instead of ten
+/// times (and evaluates each peer's activity weight once per pass).
+/// Per kind, every sum still folds in peer order — results are
+/// bit-identical to five independent [`effective_rate`] calls.
+pub fn effective_rates_iter<'a>(
+    node: &Node,
+    peers: impl Iterator<Item = &'a Instance> + Clone,
+    target: &Instance,
+    llc_working_set_mb: f64,
+    llc_sensitivity: f64,
+) -> EffectiveRates {
+    use crate::resources::RESOURCE_KINDS;
+
+    let mut all_weight_sum = 0.0;
+    for inst in peers.clone() {
+        all_weight_sum += weight(inst);
+    }
+    let mut reserved_sum = [0.0f64; RESOURCE_KINDS.len()];
+    let mut reserved_carve = [0.0f64; RESOURCE_KINDS.len()];
+    let mut be_weight_sum = [0.0f64; RESOURCE_KINDS.len()];
+    for inst in peers {
+        let w = weight(inst);
+        for kind in RESOURCE_KINDS {
+            let k = kind.index();
+            match inst.partition(kind) {
+                Some(p) if is_reservation(kind) => {
+                    reserved_sum[k] += p;
+                    let activity_share = w / all_weight_sum.max(1.0) * node.capacity(kind) * 1.5;
+                    reserved_carve[k] += p.min(activity_share);
+                }
+                _ => be_weight_sum[k] += w,
+            }
+        }
+    }
+
+    let my_weight = weight(target).max(1.0);
+    let rate = |kind: ResourceKind| -> f64 {
+        let k = kind.index();
+        let capacity = node.capacity(kind);
+        let floor = capacity * RATE_FLOOR_FRAC;
+        let reserve_cap = capacity * MAX_RESERVABLE_FRAC;
+        let rescale = if reserved_sum[k] > reserve_cap {
+            reserve_cap / reserved_sum[k]
+        } else {
+            1.0
+        };
+        let epsilon = capacity * 1e-4;
+        if is_reservation(kind) {
+            if let Some(p) = target.partition(kind) {
+                return (p * rescale).max(epsilon);
+            }
+        }
+        let pool = (capacity - reserved_carve[k].min(reserve_cap)).max(0.0);
+        let anomaly = node.anomaly_fraction(kind) * pool * (1.0 - CONTENDER_FLOOR);
+        let free = (pool - anomaly).max(floor);
+        let total_weight = be_weight_sum[k].max(my_weight);
+        let fair_share = (free * my_weight / total_weight).max(floor);
+        match target.partition(kind) {
+            Some(p) if !is_reservation(kind) => fair_share.min(p.max(epsilon)),
+            _ => fair_share,
+        }
+    };
+
+    let cpu_total = rate(ResourceKind::Cpu);
     let busy = target.busy_workers.max(1) as f64;
     let slowdown = cpu_stress_slowdown(node.anomaly_fraction(ResourceKind::Cpu))
         * instance_stress_factor(target, ResourceKind::Cpu);
     let cpu_per_worker = (cpu_total / busy).min(1.0) * node.spec.speed * slowdown;
 
-    let mem_mbps = effective_rate(node, peers, target, ResourceKind::MemBw)
-        * instance_stress_factor(target, ResourceKind::MemBw);
-    let llc_mb = effective_rate(node, peers, target, ResourceKind::Llc)
-        * instance_stress_factor(target, ResourceKind::Llc);
-    let io_mbps = effective_rate(node, peers, target, ResourceKind::IoBw)
-        * instance_stress_factor(target, ResourceKind::IoBw);
-    let net_mbps = effective_rate(node, peers, target, ResourceKind::NetBw)
-        * instance_stress_factor(target, ResourceKind::NetBw);
+    let mem_mbps = rate(ResourceKind::MemBw) * instance_stress_factor(target, ResourceKind::MemBw);
+    let llc_mb = rate(ResourceKind::Llc) * instance_stress_factor(target, ResourceKind::Llc);
+    let io_mbps = rate(ResourceKind::IoBw) * instance_stress_factor(target, ResourceKind::IoBw);
+    let net_mbps = rate(ResourceKind::NetBw) * instance_stress_factor(target, ResourceKind::NetBw);
     let mem_inflation = llc_inflation(llc_mb, llc_working_set_mb, llc_sensitivity);
 
     EffectiveRates {
@@ -232,6 +330,56 @@ mod tests {
         );
         i.busy_workers = busy;
         i
+    }
+
+    /// The fused five-kind pass must reproduce five independent
+    /// per-kind computations bit for bit — partitions, reservations,
+    /// contenders and stress included.
+    #[test]
+    fn fused_rates_match_per_kind_rates_bit_for_bit() {
+        let mut n = node();
+        n.contenders.push(ActiveContender {
+            anomaly: AnomalyId(0),
+            resource: ResourceKind::MemBw,
+            intensity: 0.6,
+        });
+        let mut a = inst(2.0, 3);
+        a.set_partition(ResourceKind::MemBw, Some(9_000.0));
+        a.set_partition(ResourceKind::Llc, Some(12.0));
+        a.stress[ResourceKind::Cpu.index()] = 0.4;
+        let mut b = inst(4.0, 1);
+        b.set_partition(ResourceKind::IoBw, Some(300.0));
+        let c = inst(1.0, 0);
+        let peers = [&a, &b, &c];
+        for target in peers {
+            let fused = effective_rates(&n, &peers, target, 2.0, 0.7);
+            let busy = target.busy_workers.max(1) as f64;
+            let slowdown = cpu_stress_slowdown(n.anomaly_fraction(ResourceKind::Cpu))
+                * instance_stress_factor(target, ResourceKind::Cpu);
+            let cpu = (effective_rate(&n, &peers, target, ResourceKind::Cpu) / busy).min(1.0)
+                * n.spec.speed
+                * slowdown;
+            assert_eq!(fused.cpu_per_worker.to_bits(), cpu.max(0.02).to_bits());
+            let per_kind = |kind: ResourceKind| {
+                effective_rate(&n, &peers, target, kind) * instance_stress_factor(target, kind)
+            };
+            assert_eq!(
+                fused.mem_mbps.to_bits(),
+                per_kind(ResourceKind::MemBw).to_bits()
+            );
+            assert_eq!(
+                fused.llc_mb.to_bits(),
+                per_kind(ResourceKind::Llc).to_bits()
+            );
+            assert_eq!(
+                fused.io_mbps.to_bits(),
+                per_kind(ResourceKind::IoBw).to_bits()
+            );
+            assert_eq!(
+                fused.net_mbps.to_bits(),
+                per_kind(ResourceKind::NetBw).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::node::{ActiveContender, ActiveDelay, Node};
 use crate::resources::{ResourceKind, ResourceVec, RESOURCE_KINDS};
 use crate::rng::SimRng;
 use crate::span::{CallRecord, CompletedRequest, SpanRecord};
-use crate::spec::{AppSpec, Call, ClusterSpec};
+use crate::spec::{AppSpec, ClusterSpec};
 use crate::telemetry_probe::{InstanceSnapshot, NodeSnapshot, TelemetryWindow};
 use crate::time::{SimDuration, SimTime};
 
@@ -252,8 +252,11 @@ impl SimulationBuilder {
             paused_arrivals: false,
             record_arrivals,
             arrival_log: Vec::new(),
+            rt_weights: Vec::new(),
+            replica_scratch: Vec::new(),
         };
         sim.window_mix = vec![0u64; sim.app.request_types.len()];
+        sim.rt_weights = sim.app.request_types.iter().map(|r| r.weight).collect();
         sim.services = (0..sim.app.services.len())
             .map(|_| ServiceRuntime::default())
             .collect();
@@ -313,6 +316,12 @@ pub struct Simulation {
     paused_arrivals: bool,
     record_arrivals: bool,
     arrival_log: Vec<ArrivalRecord>,
+    /// Request-type sampling weights, cached at build time (the mix is
+    /// part of the immutable [`AppSpec`]) so each arrival avoids
+    /// rebuilding the weight vector.
+    rt_weights: Vec<f64>,
+    /// Reusable buffer for replica selection (live-replica list).
+    replica_scratch: Vec<InstanceId>,
 }
 
 impl Simulation {
@@ -479,8 +488,7 @@ impl Simulation {
             return;
         }
 
-        let weights: Vec<f64> = self.app.request_types.iter().map(|r| r.weight).collect();
-        let rt = RequestTypeId(self.rng.weighted_index(&weights) as u16);
+        let rt = RequestTypeId(self.rng.weighted_index(&self.rt_weights) as u16);
         self.stats.arrivals += 1;
         self.window_arrivals += 1;
         self.window_mix[rt.index()] += 1;
@@ -525,7 +533,10 @@ impl Simulation {
             trace_id,
             rt,
             started: self.now,
-            spans: Vec::new(),
+            // One up-front allocation instead of doubling through the
+            // first few span pushes; 8 covers the built-in benchmarks'
+            // common trace sizes.
+            spans: Vec::with_capacity(8),
             open_activities: 0,
             root_response_at: None,
             dropped: false,
@@ -584,17 +595,26 @@ impl Simulation {
     }
 
     /// Least-loaded replica of a service (ties broken round-robin).
+    ///
+    /// Runs on a reusable scratch buffer — replica selection happens at
+    /// least twice per span (allocation and delivery-time
+    /// re-validation), so a fresh `Vec` here would dominate the
+    /// allocator profile.
     fn pick_replica(&mut self, service: ServiceId) -> Option<InstanceId> {
-        let rt = &mut self.services[service.index()];
-        let live: Vec<InstanceId> = rt
-            .replicas
-            .iter()
-            .copied()
-            .filter(|id| self.instances[id.index()].accepts_load())
-            .collect();
+        let mut live = std::mem::take(&mut self.replica_scratch);
+        live.clear();
+        live.extend(
+            self.services[service.index()]
+                .replicas
+                .iter()
+                .copied()
+                .filter(|id| self.instances[id.index()].accepts_load()),
+        );
         if live.is_empty() {
+            self.replica_scratch = live;
             return None;
         }
+        let rt = &mut self.services[service.index()];
         rt.rr_cursor = rt.rr_cursor.wrapping_add(1);
         let start = rt.rr_cursor % live.len();
         let mut best = live[start];
@@ -607,6 +627,7 @@ impl Simulation {
                 best_load = load;
             }
         }
+        self.replica_scratch = live;
         Some(best)
     }
 
@@ -670,14 +691,13 @@ impl Simulation {
         let dur = if let Some(d) = demand {
             let inst = &self.instances[iid.index()];
             let node = &self.nodes[inst.node.index()];
-            let peers: Vec<&Instance> = node
-                .instances
-                .iter()
-                .map(|id| &self.instances[id.index()])
-                .filter(|i| i.state != InstanceState::Removed)
-                .collect();
-            let rates =
-                contention::effective_rates(node, &peers, inst, d.llc_ws_mb, d.llc_sensitivity);
+            let rates = contention::effective_rates_iter(
+                node,
+                contention::node_peers(node, &self.instances),
+                inst,
+                d.llc_ws_mb,
+                d.llc_sensitivity,
+            );
 
             // LLC misses stall the pipeline: compute time inflates with
             // the same miss factor as DRAM traffic.
@@ -726,14 +746,7 @@ impl Simulation {
             .unwrap_or(0);
 
         if stage < nstages {
-            let calls: Vec<Call> = self
-                .app
-                .behavior(service, rt)
-                .expect("checked above")
-                .stages[stage]
-                .calls
-                .clone();
-            let pending = self.fire_calls(act_idx, &calls);
+            let pending = self.fire_stage_calls(act_idx, service, rt, stage);
             if pending == 0 {
                 self.activities[act_idx].stage += 1;
                 self.start_chunk(act_idx);
@@ -745,16 +758,38 @@ impl Simulation {
         }
     }
 
-    /// Issues the calls of one stage; returns the number of synchronous
-    /// children the caller must wait for.
-    fn fire_calls(&mut self, act_idx: usize, calls: &[Call]) -> u32 {
-        let (trace_slot, rt, my_span, my_instance) = {
+    /// Issues the calls of one behaviour stage; returns the number of
+    /// synchronous children the caller must wait for. Calls are fetched
+    /// by index from the (immutable) application spec — `Call` is
+    /// `Copy` — so no per-stage call list is cloned on the hot path.
+    fn fire_stage_calls(
+        &mut self,
+        act_idx: usize,
+        service: ServiceId,
+        rt: RequestTypeId,
+        stage: usize,
+    ) -> u32 {
+        let (trace_slot, my_span, my_instance) = {
             let a = &self.activities[act_idx];
-            (a.trace_slot, a.rt, a.span_id, a.instance)
+            (a.trace_slot, a.span_id, a.instance)
         };
+        let ncalls = self
+            .app
+            .behavior(service, rt)
+            .expect("checked by caller")
+            .stages[stage]
+            .calls
+            .len();
         let src_node = self.instances[my_instance.index()].node;
+        self.activities[act_idx].calls.reserve(ncalls);
         let mut pending = 0u32;
-        for call in calls {
+        for ci in 0..ncalls {
+            let call = self
+                .app
+                .behavior(service, rt)
+                .expect("checked by caller")
+                .stages[stage]
+                .calls[ci];
             let child = self.alloc_activity(
                 trace_slot,
                 if call.background {
@@ -817,13 +852,13 @@ impl Simulation {
         }
         let node = &self.nodes[dst.index()];
         let inst = &self.instances[dst_inst.index()];
-        let peers: Vec<&Instance> = node
-            .instances
-            .iter()
-            .map(|id| &self.instances[id.index()])
-            .filter(|i| i.state != InstanceState::Removed)
-            .collect();
-        contention::effective_rate(node, &peers, inst, ResourceKind::NetBw).max(1.0)
+        contention::effective_rate_iter(
+            node,
+            contention::node_peers(node, &self.instances),
+            inst,
+            ResourceKind::NetBw,
+        )
+        .max(1.0)
     }
 
     fn complete_activity(&mut self, act_idx: usize, dropped: bool) {
@@ -891,7 +926,11 @@ impl Simulation {
     }
 
     fn emit_span(&mut self, act_idx: usize, dropped: bool) {
-        let a = &self.activities[act_idx];
+        // The activity is finished: its call records *move* into the
+        // span (the buffer travels on through the trace store) instead
+        // of being cloned and dropped.
+        let a = &mut self.activities[act_idx];
+        let calls = std::mem::take(&mut a.calls);
         let span = SpanRecord {
             trace_id: self.traces[a.trace_slot].trace_id,
             span_id: a.span_id,
@@ -904,7 +943,7 @@ impl Simulation {
             work_start: a.work_start,
             background: a.background,
             dropped,
-            calls: a.calls.clone(),
+            calls,
         };
         self.traces[a.trace_slot].spans.push(span);
     }

@@ -86,9 +86,11 @@ impl TracingCoordinator {
             .collect()
     }
 
-    /// Stored traces finished at or after `since`.
-    pub fn traces_since(&self, since: SimTime) -> Vec<&StoredTrace> {
-        self.store.since(since).collect()
+    /// Stored traces finished at or after `since` — a borrowed view, so
+    /// per-window consumers (the Extractor) iterate the store in place
+    /// instead of cloning every trace.
+    pub fn traces_since(&self, since: SimTime) -> impl Iterator<Item = &StoredTrace> {
+        self.store.since(since)
     }
 
     /// End-to-end latencies (us) per request type since `since`.
@@ -165,14 +167,14 @@ mod tests {
         let mut c = TracingCoordinator::new(100_000);
         sim.run_for(SimDuration::from_secs(1));
         c.ingest(sim.drain_completed());
-        let early = c.traces_since(SimTime::ZERO).len();
+        let early = c.traces_since(SimTime::ZERO).count();
         sim.run_for(SimDuration::from_secs(1));
         c.ingest(sim.drain_completed());
-        let recent = c.traces_since(SimTime::from_secs(1)).len();
-        let all = c.traces_since(SimTime::ZERO).len();
+        let recent = c.traces_since(SimTime::from_secs(1)).count();
+        let all = c.traces_since(SimTime::ZERO).count();
         assert!(recent < all);
         assert!(early > 0);
         c.evict_before(SimTime::from_secs(1));
-        assert_eq!(c.traces_since(SimTime::ZERO).len(), recent);
+        assert_eq!(c.traces_since(SimTime::ZERO).count(), recent);
     }
 }

@@ -73,72 +73,71 @@ impl CriticalPath {
 
 /// Extracts the critical path of the "Service Response" (Definition 2.3
 /// without a target microservice) from an execution history graph.
+///
+/// Algorithm 1 runs iteratively on two reused scratch buffers (the
+/// visit worklist and the per-span synchronous-call view); entries are
+/// sorted by `(start, span_id)` at the end, so visit order never shows
+/// in the result. Child spans resolve through the node's own child
+/// list instead of a whole-graph scan.
 pub fn critical_path(graph: &ExecutionHistoryGraph) -> CriticalPath {
     let mut on_path = Vec::new();
-    walk(graph, graph.root, &mut on_path);
+    let mut stack: Vec<usize> = vec![graph.root];
+    let mut sync_calls: Vec<(usize, SimTime, SimTime)> = Vec::new();
+
+    while let Some(node) = stack.pop() {
+        let span = &graph.spans[graph.nodes[node].span_idx];
+
+        // Synchronous, completed calls only: background calls never
+        // return and cannot carry the response.
+        sync_calls.clear();
+        sync_calls.extend(
+            span.calls
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.returned.map(|r| (i, c.sent, r))),
+        );
+
+        // The last-returned child dominates the tail of this span; the
+        // CP children are the lrc plus every child that happens-before
+        // it. Exclusive time is the span minus its waits on CP children.
+        let lrc = sync_calls
+            .iter()
+            .max_by_key(|(_, _, returned)| *returned)
+            .copied();
+        let mut waited = SimDuration::ZERO;
+        if let Some((lrc_idx, lrc_sent, _)) = lrc {
+            for &(i, sent, returned) in &sync_calls {
+                if i == lrc_idx || returned <= lrc_sent {
+                    waited += returned - sent;
+                    let child_span_id = span.calls[i].child_span;
+                    if let Some(&child_node) = graph.nodes[node]
+                        .children
+                        .iter()
+                        .find(|&&c| graph.spans[graph.nodes[c].span_idx].span_id == child_span_id)
+                    {
+                        stack.push(child_node);
+                    }
+                }
+            }
+        }
+        let duration = span.duration();
+        let exclusive = duration.saturating_sub(waited);
+
+        on_path.push(PathEntry {
+            span_idx: graph.nodes[node].span_idx,
+            span_id: span.span_id,
+            service: span.service,
+            instance: span.instance,
+            start: span.start,
+            duration,
+            exclusive,
+        });
+    }
+
     on_path.sort_by_key(|e: &PathEntry| (e.start, e.span_id));
     CriticalPath {
         entries: on_path,
         total: graph.root_span().duration(),
-    }
-}
-
-/// Recursive step of Algorithm 1.
-fn walk(graph: &ExecutionHistoryGraph, node: usize, out: &mut Vec<PathEntry>) {
-    let span = &graph.spans[graph.nodes[node].span_idx];
-
-    // Synchronous, completed calls only: background calls never return
-    // and cannot carry the response.
-    let sync_calls: Vec<(usize, SimTime, SimTime)> = span
-        .calls
-        .iter()
-        .enumerate()
-        .filter_map(|(i, c)| c.returned.map(|r| (i, c.sent, r)))
-        .collect();
-
-    // The last-returned child dominates the tail of this span.
-    let lrc = sync_calls
-        .iter()
-        .max_by_key(|(_, _, returned)| *returned)
-        .copied();
-
-    // CP children: the lrc plus every child that happens-before it.
-    let mut cp_calls: Vec<(usize, SimTime, SimTime)> = Vec::new();
-    if let Some((lrc_idx, lrc_sent, _)) = lrc {
-        for &(i, sent, returned) in &sync_calls {
-            if i == lrc_idx || returned <= lrc_sent {
-                cp_calls.push((i, sent, returned));
-            }
-        }
-    }
-
-    // Exclusive time: the span minus its waits on CP children.
-    let mut waited = SimDuration::ZERO;
-    for &(_, sent, returned) in &cp_calls {
-        waited += returned - sent;
-    }
-    let duration = span.duration();
-    let exclusive = duration.saturating_sub(waited);
-
-    out.push(PathEntry {
-        span_idx: graph.nodes[node].span_idx,
-        span_id: span.span_id,
-        service: span.service,
-        instance: span.instance,
-        start: span.start,
-        duration,
-        exclusive,
-    });
-
-    for (call_idx, _, _) in cp_calls {
-        let child_span_id = span.calls[call_idx].child_span;
-        if let Some(child_node) = graph
-            .nodes
-            .iter()
-            .position(|n| graph.spans[n.span_idx].span_id == child_span_id)
-        {
-            walk(graph, child_node, out);
-        }
     }
 }
 
@@ -336,7 +335,7 @@ mod tests {
             Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 11).build();
         sim.run_for(SimDuration::from_secs(1));
         for req in sim.drain_completed() {
-            let g = ExecutionHistoryGraph::build(&req).expect("graph builds");
+            let g = ExecutionHistoryGraph::build(req).expect("graph builds");
             let cp = critical_path(&g);
             assert!(!cp.entries.is_empty());
             assert_eq!(cp.entries[0].span_id, g.root_span().span_id);

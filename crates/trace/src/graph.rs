@@ -45,13 +45,15 @@ pub struct ExecutionHistoryGraph {
 }
 
 impl ExecutionHistoryGraph {
-    /// Builds the graph from a completed request's spans.
+    /// Builds the graph from a completed request, taking ownership of
+    /// its spans — the span buffers travel from the simulator into the
+    /// graph without a copy.
     ///
     /// Returns `None` if the trace has no root span or contains a parent
     /// reference that never completed (partial traces are skipped by the
     /// coordinator, matching how Jaeger drops incomplete traces).
-    pub fn build(request: &CompletedRequest) -> Option<Self> {
-        Self::from_spans(request.spans.clone())
+    pub fn build(request: CompletedRequest) -> Option<Self> {
+        Self::from_spans(request.spans)
     }
 
     /// Builds the graph from raw spans.
@@ -151,20 +153,23 @@ impl ExecutionHistoryGraph {
     }
 
     /// Depth of the graph (root = 1).
+    ///
+    /// Iterative: the wire parser caps document nesting at 128, but
+    /// graphs built in-process have no depth cap, so a recursive walk
+    /// could overflow the stack on a pathologically deep call chain.
     pub fn depth(&self) -> usize {
-        fn go(g: &ExecutionHistoryGraph, n: usize) -> usize {
-            1 + g.nodes[n]
-                .children
-                .iter()
-                .map(|&c| go(g, c))
-                .max()
-                .unwrap_or(0)
-        }
         if self.is_empty() {
-            0
-        } else {
-            go(self, self.root)
+            return 0;
         }
+        let mut max_depth = 0;
+        let mut stack: Vec<(usize, usize)> = vec![(self.root, 1)];
+        while let Some((n, d)) = stack.pop() {
+            max_depth = max_depth.max(d);
+            for &c in &self.nodes[n].children {
+                stack.push((c, d + 1));
+            }
+        }
+        max_depth
     }
 }
 
@@ -187,7 +192,7 @@ mod tests {
     #[test]
     fn builds_from_simulated_trace() {
         let req = one_trace();
-        let g = ExecutionHistoryGraph::build(&req).expect("graph builds");
+        let g = ExecutionHistoryGraph::build(req).expect("graph builds");
         assert_eq!(g.len(), 5);
         assert!(g.root_span().parent.is_none());
         assert_eq!(g.depth(), 3); // frontend → logic-a → store.
@@ -197,7 +202,7 @@ mod tests {
     #[test]
     fn children_sorted_by_send_time() {
         let req = one_trace();
-        let g = ExecutionHistoryGraph::build(&req).expect("graph builds");
+        let g = ExecutionHistoryGraph::build(req).expect("graph builds");
         let root = &g.nodes[g.root];
         let sent: Vec<_> = root
             .children
@@ -219,7 +224,7 @@ mod tests {
     #[test]
     fn sibling_relations_classified() {
         let req = one_trace();
-        let g = ExecutionHistoryGraph::build(&req).expect("graph builds");
+        let g = ExecutionHistoryGraph::build(req).expect("graph builds");
         // The three-tier frontend fires logic-a and logic-b in parallel
         // (stage 0, calls 0 and 1), and a background logger (call 2).
         assert_eq!(
@@ -231,6 +236,45 @@ mod tests {
             Some(SiblingRelation::Background)
         );
         assert_eq!(g.sibling_relation(g.root, 0, 9), None);
+    }
+
+    #[test]
+    fn depth_survives_pathologically_deep_chains() {
+        // A 200_000-deep linear call chain, assembled directly: the wire
+        // parser caps document nesting at 128, but in-process graphs
+        // have no cap, and the old recursive depth() overflowed the
+        // stack well before this size.
+        use firm_sim::{InstanceId, RequestTypeId, ServiceId};
+        let n = 200_000usize;
+        let spans: Vec<SpanRecord> = (0..n)
+            .map(|i| SpanRecord {
+                trace_id: firm_sim::TraceId(1),
+                span_id: SpanId(i as u64),
+                parent: (i > 0).then(|| SpanId(i as u64 - 1)),
+                service: ServiceId(0),
+                instance: InstanceId(0),
+                request_type: RequestTypeId(0),
+                start: SimTime::from_micros(i as u64),
+                end: SimTime::from_micros(i as u64 + 1),
+                work_start: SimTime::from_micros(i as u64),
+                background: false,
+                dropped: false,
+                calls: Vec::new(),
+            })
+            .collect();
+        let nodes: Vec<GraphNode> = (0..n)
+            .map(|i| GraphNode {
+                span_idx: i,
+                children: if i + 1 < n { vec![i + 1] } else { Vec::new() },
+                parent: (i > 0).then(|| i - 1),
+            })
+            .collect();
+        let g = ExecutionHistoryGraph {
+            spans,
+            nodes,
+            root: 0,
+        };
+        assert_eq!(g.depth(), n);
     }
 
     #[test]

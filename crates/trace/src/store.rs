@@ -62,8 +62,21 @@ impl TraceStore {
 
     /// Ingests one completed request; returns `false` if the trace was
     /// malformed (no root / dangling parent) and rejected.
+    ///
+    /// The request's span buffers move into the stored graph — each
+    /// trace is materialized exactly once between the simulator and the
+    /// store.
     pub fn ingest(&mut self, request: CompletedRequest) -> bool {
-        let Some(graph) = ExecutionHistoryGraph::build(&request) else {
+        let CompletedRequest {
+            trace_id,
+            request_type,
+            started,
+            finished,
+            latency,
+            dropped,
+            spans,
+        } = request;
+        let Some(graph) = ExecutionHistoryGraph::from_spans(spans) else {
             self.rejected += 1;
             return false;
         };
@@ -72,12 +85,12 @@ impl TraceStore {
             self.traces.pop_front();
         }
         self.traces.push_back(StoredTrace {
-            trace_id: request.trace_id,
-            request_type: request.request_type,
-            started: request.started,
-            finished: request.finished,
-            latency: request.latency,
-            dropped: request.dropped,
+            trace_id,
+            request_type,
+            started,
+            finished,
+            latency,
+            dropped,
             graph,
             cp,
         });
@@ -111,6 +124,12 @@ impl TraceStore {
     }
 
     /// Traces finished at or after `since`.
+    ///
+    /// A linear filter, deliberately: traces are ingested in
+    /// *finalization* order, but `finished` records the root-response
+    /// time, and a background span can outlive the root response — so
+    /// `finished` is not monotone across the deque and a binary-searched
+    /// window would drop stragglers.
     pub fn since(&self, since: SimTime) -> impl Iterator<Item = &StoredTrace> {
         self.traces.iter().filter(move |t| t.finished >= since)
     }

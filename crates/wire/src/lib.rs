@@ -62,15 +62,26 @@ pub use codec::{
 pub use parse::{parse, ParseError, MAX_DEPTH};
 pub use value::{escape_into, JsonValue};
 
+/// FNV-1a 64 offset basis — shared by [`fnv64`] and the streaming
+/// digest sink behind [`JsonValue::render_fnv64`], so the two can
+/// never drift apart.
+pub(crate) const FNV64_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime (see [`FNV64_OFFSET_BASIS`]).
+pub(crate) const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a 64 state.
+pub(crate) fn fnv64_update(mut hash: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(FNV64_PRIME);
+    }
+    hash
+}
+
 /// FNV-1a 64 over a byte string — the workspace's cheap fingerprint for
 /// bit-identity checks on rendered wire documents.
 pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
-        hash ^= *b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    fnv64_update(FNV64_OFFSET_BASIS, bytes)
 }
 
 #[cfg(test)]

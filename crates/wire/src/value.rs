@@ -13,8 +13,6 @@
 //! full-range `u64`s (they routinely exceed 2^53), so squeezing every
 //! number through `f64` would corrupt them.
 
-use std::fmt::Write as _;
-
 /// One JSON document node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
@@ -56,48 +54,65 @@ impl JsonValue {
 
     /// Renders into an existing buffer (see [`JsonValue::render`]).
     pub fn render_into(&self, out: &mut String) {
+        // Writing to a `String` is infallible.
+        let _ = self.render_to(out);
+    }
+
+    /// Streams the rendered bytes through an FNV-1a 64 hasher without
+    /// materializing the JSON text: `doc.render_fnv64()` equals
+    /// `fnv64(doc.render().as_bytes())` by construction (both walks
+    /// share [`JsonValue::render_to`]). This is how report digests are
+    /// computed without rendering the document a second time.
+    pub fn render_fnv64(&self) -> u64 {
+        let mut sink = Fnv64Writer::new();
+        // The hashing sink is infallible.
+        let _ = self.render_to(&mut sink);
+        sink.finish()
+    }
+
+    /// Renders into any [`std::fmt::Write`] sink — the one rendering
+    /// walk behind both the string and the streaming-digest forms.
+    /// Stops at the first sink error (infallible sinks like `String`
+    /// never produce one).
+    pub fn render_to<W: std::fmt::Write>(&self, out: &mut W) -> std::fmt::Result {
         match self {
-            JsonValue::Null => out.push_str("null"),
-            JsonValue::Bool(true) => out.push_str("true"),
-            JsonValue::Bool(false) => out.push_str("false"),
-            JsonValue::U64(n) => {
-                let _ = write!(out, "{n}");
-            }
-            JsonValue::I64(n) => {
-                let _ = write!(out, "{n}");
-            }
+            JsonValue::Null => out.write_str("null"),
+            JsonValue::Bool(true) => out.write_str("true"),
+            JsonValue::Bool(false) => out.write_str("false"),
+            JsonValue::U64(n) => write!(out, "{n}"),
+            JsonValue::I64(n) => write!(out, "{n}"),
             JsonValue::F64(x) => {
                 assert!(x.is_finite(), "cannot render non-finite float {x}");
-                let _ = write!(out, "{x}");
+                write!(out, "{x}")
             }
             JsonValue::Str(s) => {
-                out.push('"');
-                escape_into(out, s);
-                out.push('"');
+                out.write_char('"')?;
+                escape_to(out, s)?;
+                out.write_char('"')
             }
             JsonValue::Array(items) => {
-                out.push('[');
+                out.write_char('[')?;
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    item.render_into(out);
+                    item.render_to(out)?;
                 }
-                out.push(']');
+                out.write_char(']')
             }
             JsonValue::Object(fields) => {
-                out.push('{');
+                out.write_char('{')?;
                 for (i, (key, value)) in fields.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    out.push('"');
-                    escape_into(out, key);
-                    out.push('"');
-                    out.push(':');
-                    value.render_into(out);
+                    out.write_char('"')?;
+                    escape_to(out, key)?;
+                    out.write_char('"')?;
+                    out.write_char(':')?;
+                    value.render_to(out)?;
                 }
-                out.push('}');
+                out.write_char('}')
             }
         }
     }
@@ -130,18 +145,45 @@ impl JsonValue {
 /// control range. Everything else — including non-ASCII — passes
 /// through as UTF-8; [`crate::parse`] is its exact inverse.
 pub fn escape_into(out: &mut String, s: &str) {
+    // Writing to a `String` is infallible.
+    let _ = escape_to(out, s);
+}
+
+/// [`escape_into`] over any [`std::fmt::Write`] sink; stops at the
+/// first sink error.
+pub fn escape_to<W: std::fmt::Write>(out: &mut W, s: &str) -> std::fmt::Result {
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
+    }
+    Ok(())
+}
+
+/// A [`std::fmt::Write`] sink that folds every byte through FNV-1a 64
+/// instead of storing it (same constants as [`crate::fnv64`]).
+struct Fnv64Writer(u64);
+
+impl Fnv64Writer {
+    fn new() -> Self {
+        Fnv64Writer(crate::FNV64_OFFSET_BASIS)
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Write for Fnv64Writer {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0 = crate::fnv64_update(self.0, s.as_bytes());
+        Ok(())
     }
 }
 
@@ -185,6 +227,38 @@ mod tests {
             let mut out = String::new();
             escape_into(&mut out, &char::from_u32(code).unwrap().to_string());
             assert!(out.chars().all(|c| (c as u32) >= 0x20), "{code:#x} leaked");
+        }
+    }
+
+    #[test]
+    fn streaming_digest_equals_digest_of_rendered_bytes() {
+        let doc = JsonValue::Object(vec![
+            ("seed".into(), JsonValue::U64(u64::MAX)),
+            ("neg".into(), JsonValue::I64(-42)),
+            ("rate".into(), JsonValue::F64(-0.0)),
+            (
+                "name\twith\"escapes\\".into(),
+                JsonValue::Str("line\nbreak \u{1} unicode \u{65e5}\u{1f600}".into()),
+            ),
+            (
+                "arr".into(),
+                JsonValue::Array(vec![
+                    JsonValue::Null,
+                    JsonValue::Bool(false),
+                    JsonValue::F64(2.5),
+                    JsonValue::Object(vec![("k".into(), JsonValue::Str(String::new()))]),
+                ]),
+            ),
+        ]);
+        assert_eq!(doc.render_fnv64(), crate::fnv64(doc.render().as_bytes()));
+        // And on the empty-ish corners.
+        for v in [
+            JsonValue::Null,
+            JsonValue::Array(vec![]),
+            JsonValue::Object(vec![]),
+            JsonValue::Str(String::new()),
+        ] {
+            assert_eq!(v.render_fnv64(), crate::fnv64(v.render().as_bytes()));
         }
     }
 

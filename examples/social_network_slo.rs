@@ -19,7 +19,7 @@ fn main() {
         .arrivals(Box::new(PoissonArrivals::new(250.0)))
         .build();
     let mut coordinator = TracingCoordinator::new(200_000);
-    let extractor = CriticalComponentExtractor::new(5);
+    let mut extractor = CriticalComponentExtractor::new(5);
 
     // Congest the text service so the tail has a culprit.
     let text = sim.app().service_by_name("text").unwrap();
@@ -56,12 +56,7 @@ fn main() {
     }
 
     // Algorithm 2 features, ranked.
-    let traces: Vec<_> = coordinator
-        .traces_since(SimTime::ZERO)
-        .into_iter()
-        .cloned()
-        .collect();
-    let mut features = extractor.features(traces.iter());
+    let mut features = extractor.features(coordinator.traces_since(SimTime::ZERO));
     features.sort_by(|a, b| (b.ri * b.ci).partial_cmp(&(a.ri * a.ci)).unwrap());
     println!("\nAlg. 2 features (top 8 by RI x CI); culprit was instance {victim}:");
     for f in features.iter().take(8) {

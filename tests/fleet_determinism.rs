@@ -189,6 +189,35 @@ fn replay_scenario_is_bit_identical_to_its_recording_source() {
     }
 }
 
+/// The seed-7 benchmark-catalog golden: the exact configuration
+/// `fleet_throughput` records in `BENCH_fleet.json` (full builtin
+/// catalog, 20 simulated seconds per scenario, fleet seed 7, 128
+/// shared-trainer steps) must keep producing the digest pinned there.
+///
+/// This is the safety net for performance work: any hot-path
+/// "optimization" that changes an RNG draw, a float fold order, or a
+/// window boundary moves this digest and fails here, in-process,
+/// without a bench run.
+#[test]
+fn seed7_catalog_digest_is_pinned() {
+    let scenarios: Vec<Scenario> = builtin_catalog()
+        .into_iter()
+        .map(|s| s.with_duration(SimDuration::from_secs(20)))
+        .collect();
+    let result = FleetRunner::new(FleetConfig {
+        threads: 1,
+        seed: 7,
+        train_steps: 128,
+        ..FleetConfig::default()
+    })
+    .run(&scenarios);
+    assert_eq!(
+        format!("{:016x}", result.report.digest()),
+        "69bd598896dd3318",
+        "the seed-7 catalog digest moved — a perf change altered behavior"
+    );
+}
+
 #[test]
 fn catalog_covers_every_benchmark_in_one_fleet_run() {
     let scenarios = short_catalog();

@@ -36,7 +36,7 @@ fn determinism_and_cp_invariants() {
             assert_eq!(x.latency, y.latency, "case {case}");
         }
         for req in &a {
-            let graph = ExecutionHistoryGraph::build(req).expect("valid trace");
+            let graph = ExecutionHistoryGraph::build(req.clone()).expect("valid trace");
             let cp = critical_path(&graph);
             assert!(!cp.entries.is_empty());
             // Root first, ordered by start time.
