@@ -18,7 +18,10 @@
 //! minutes. `--workers N` additionally runs the catalog through N
 //! `firm-fleet-worker` subprocesses and asserts the report digest is
 //! bit-identical to the in-process run (the wire codec's cross-process
-//! determinism contract).
+//! determinism contract). `--remote addr1,addr2,...` does the same over
+//! already-running `firm-fleet-worker --listen` processes — the
+//! multi-node transport's digest-parity check (see README "Deploying
+//! multi-node").
 //!
 //! Note: speedup is bounded by the host's core count; on a single-core
 //! container every thread count measures ≈1×. The JSON records
@@ -71,6 +74,10 @@ fn main() {
     let seconds = args.u64("seconds", 20);
     let max_threads = args.u64("threads", 4) as usize;
     let workers = args.u64("workers", 0) as usize;
+    let remote: Vec<String> = args
+        .get("remote")
+        .map(|v| v.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
     let seed = args.u64("seed", 7);
     let take = args.u64("scenarios", u64::MAX) as usize;
     let out_path = args.get("out").unwrap_or("BENCH_fleet.json").to_string();
@@ -144,6 +151,30 @@ fn main() {
         m
     });
 
+    // Multi-node contract: a TCP-sharded fleet over running
+    // `firm-fleet-worker --listen` processes reproduces the digest too.
+    let tcp = (!remote.is_empty()).then(|| {
+        let m = run_config(
+            &scenarios,
+            FleetConfig {
+                seed,
+                train_steps: 128,
+                ..FleetConfig::default()
+            }
+            .remote_workers(&remote),
+        );
+        assert_eq!(
+            m.digest, digest,
+            "TCP-sharded fleet diverged from the in-process digest"
+        );
+        println!(
+            "remote={} (tcp) wall={:>7.2}s digest matches in-process",
+            remote.join(","),
+            m.wall_secs
+        );
+        m
+    });
+
     let base = measurements[0].wall_secs;
     let round3 = |x: f64| (x * 1_000.0).round() / 1_000.0;
     let row = |m: &Measurement| {
@@ -172,6 +203,12 @@ fn main() {
             .field("subprocess_workers", workers)
             .field("subprocess_wall_secs", round3(m.wall_secs))
             .field("subprocess_digest_matches", true);
+    }
+    if let Some(m) = &tcp {
+        doc = doc
+            .field("remote_workers", remote.len())
+            .field("remote_wall_secs", round3(m.wall_secs))
+            .field("remote_digest_matches", true);
     }
     let mut json = doc.build().render();
     json.push('\n');

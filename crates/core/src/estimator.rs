@@ -18,8 +18,8 @@ use firm_ml::ddpg::{DdpgAgent, DdpgConfig, Transition};
 use firm_sim::telemetry_probe::InstanceSnapshot;
 use firm_sim::{ResourceKind, ServiceId, RESOURCE_KINDS};
 
-/// Full state dimension: `(SV, WC, RC)` ⊕ RU[5] ⊕ norm-RLT[5] ⊕
-/// norm-usage[5].
+/// Full state dimension: `(SV, WC, RC)` ⊕ `RU[5]` ⊕ `norm-RLT[5]` ⊕
+/// `norm-usage[5]`.
 pub const STATE_DIM: usize = 18;
 /// Actor-visible prefix: `(SV, WC, RC, RU[5])` — Fig. 8's 8 inputs.
 pub const ACTOR_STATE_DIM: usize = 8;

@@ -10,7 +10,8 @@
 //! The tick/measurement loop itself lives in [`crate::controller`]:
 //! this module only declares the scenario (`ScenarioConfig`), builds
 //! the controller from its [`ControllerKind`], and repackages the
-//! shared driver's [`EpisodeResult`] as a [`ScenarioResult`].
+//! shared driver's [`crate::controller::EpisodeResult`] as a
+//! [`ScenarioResult`].
 
 use firm_sim::spec::{AppSpec, ClusterSpec};
 use firm_sim::{ArrivalProcess, Histogram, PoissonArrivals, SimDuration, Simulation};

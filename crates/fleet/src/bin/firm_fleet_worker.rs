@@ -1,73 +1,86 @@
-//! `firm-fleet-worker` — the fleet's subprocess work unit.
+//! `firm-fleet-worker` — the fleet's worker process, for both
+//! transports.
 //!
-//! Reads newline-delimited [`WorkerRequest`] wire frames on stdin, runs
-//! each scenario to completion with `run_one_with`, and writes one
-//! [`WorkerResponse`] frame per job on stdout (flushed per job, so the
-//! coordinator can stream results). Exits 0 on EOF; exits 2 with a
-//! spanned error on stderr if a frame is malformed — the coordinator
-//! treats any nonzero exit as a failed fleet run.
+//! **stdio mode** (default): serves one coordinator session over
+//! stdin/stdout — the [`firm_fleet::transport::PipeTransport`] peer,
+//! spawned and supervised by the runner itself. Exits 0 on EOF; exits 2
+//! with a spanned error on stderr if a frame is malformed (the
+//! supervisor treats that as a worker failure and re-dispatches).
 //!
-//! The worker is deliberately dumb: no seed derivation, no ordering, no
-//! training. All of that stays at the coordinator; this binary is
-//! `decode → simulate → encode`, which is exactly what makes the
-//! multi-process fleet bit-identical to the in-process one.
+//! **TCP mode** (`--listen addr`): binds `addr` and serves one session
+//! per inbound connection, each on its own thread, forever — the
+//! [`firm_fleet::transport::TcpTransport`] peer, started once per host
+//! by an operator:
 //!
 //! ```sh
-//! printf '%s\n' "$REQUEST_FRAME" | firm-fleet-worker
+//! firm-fleet-worker --listen 0.0.0.0:7401
 //! ```
+//!
+//! Every session speaks the same protocol regardless of mode: a
+//! `hello` handshake frame (protocol version, pid, heartbeat interval),
+//! heartbeat frames every `--heartbeat-ms` (default 200, 0 disables),
+//! and one response frame per request. The worker is deliberately dumb:
+//! no seed derivation, no ordering, no training — `decode → simulate →
+//! encode`, which is exactly what makes a distributed fleet
+//! bit-identical to the in-process one.
 
-use std::io::{BufRead, BufWriter, Write};
-
-use firm_fleet::exec::run_one_with;
-use firm_fleet::protocol::{WorkerRequest, WorkerResponse};
+use firm_fleet::worker::{listen, serve_session, ServeError, ServeOptions};
 
 fn main() {
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let mut out = BufWriter::new(stdout.lock());
-    // The policy shipped by an earlier frame on this connection; later
-    // frames reference it with `reuse_policy` instead of re-sending the
-    // weights.
-    let mut cached_policy = None;
+    let mut opts = ServeOptions::default();
+    let mut listen_addr: Option<String> = None;
 
-    for line in stdin.lock().lines() {
-        let line = line.expect("read request frame from stdin");
-        if line.trim().is_empty() {
-            continue;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                listen_addr = Some(args.next().unwrap_or_else(|| usage("--listen needs addr")));
+            }
+            "--heartbeat-ms" => {
+                opts.heartbeat_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--heartbeat-ms needs a number"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
         }
-        let req: WorkerRequest = match firm_wire::decode_line(&line) {
-            Ok(req) => req,
-            Err(e) => {
-                eprintln!("firm-fleet-worker: bad request frame: {e}");
-                std::process::exit(2);
-            }
-        };
-        let policy = if req.reuse_policy {
-            if cached_policy.is_none() {
-                eprintln!(
-                    "firm-fleet-worker: frame {} sets reuse_policy but no \
-                     earlier frame carried a policy",
-                    req.index
-                );
-                std::process::exit(2);
-            }
-            cached_policy.as_ref()
-        } else {
-            if let Some(p) = req.policy {
-                cached_policy = Some(p);
-            } else {
-                cached_policy = None;
-            }
-            cached_policy.as_ref()
-        };
-        let (outcome, experience) = run_one_with(&req.scenario, req.seed, policy);
-        let resp = WorkerResponse {
-            index: req.index,
-            outcome,
-            experience,
-        };
-        out.write_all(firm_wire::encode_line(&resp).as_bytes())
-            .expect("write response frame to stdout");
-        out.flush().expect("flush stdout");
     }
+
+    match listen_addr {
+        Some(addr) => {
+            if let Err(e) = listen(&addr, opts) {
+                eprintln!("firm-fleet-worker: listen on {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            match serve_session(stdin.lock(), std::io::stdout(), &opts) {
+                Ok(()) => {}
+                Err(e @ ServeError::BadFrame(_)) => {
+                    eprintln!("firm-fleet-worker: {e}");
+                    std::process::exit(2);
+                }
+                Err(e) => {
+                    eprintln!("firm-fleet-worker: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("firm-fleet-worker: {problem}");
+    }
+    eprintln!(
+        "usage: firm-fleet-worker [--listen host:port] [--heartbeat-ms N]\n\
+         \n\
+         stdio mode (default): serve one coordinator session on stdin/stdout.\n\
+         --listen host:port    serve a session per TCP connection, forever.\n\
+         --heartbeat-ms N      liveness pulse interval (default 200, 0 disables)."
+    );
+    std::process::exit(if problem.is_empty() { 0 } else { 64 });
 }

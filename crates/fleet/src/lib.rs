@@ -28,14 +28,30 @@
 //! * [`report`] — the aggregated [`FleetReport`] and the round-trip
 //!   [`RoundTripReport`]: per-scenario SLO violation rates, p99
 //!   latencies, mitigation times, train-vs-deploy deltas, and total
-//!   requests served, with stable JSON rendering and an FNV digest.
+//!   requests served, with stable JSON rendering and an FNV digest;
+//! * [`protocol`] — the transport-agnostic coordinator↔worker frame
+//!   vocabulary: [`WorkerRequest`] down, and the [`WorkerMessage`]
+//!   tagged union ([`WorkerHello`] handshake, [`WorkerHeartbeat`]
+//!   liveness pulses, responses) back up;
+//! * [`transport`] — how frames reach a worker: [`PipeTransport`]
+//!   (spawned `firm-fleet-worker` subprocesses on this host) and
+//!   [`TcpTransport`] (`firm-fleet-worker --listen addr` on any host),
+//!   byte-identical frame streams either way;
+//! * [`supervisor`] — worker-pool supervision over any transport:
+//!   idle-queue (JIQ-style) dispatch, per-request timeouts, dead-worker
+//!   detection, and restart-and-replay that cannot move a report byte;
+//! * [`worker`] — the worker-side serve loop behind both modes of the
+//!   `firm-fleet-worker` binary.
 //!
 //! # Determinism
 //!
 //! Per-scenario seeds derive from `(fleet seed, catalog index)`,
 //! workers share no mutable state, and all aggregation happens in
 //! catalog order — so a fleet run's report bytes *and* its trained
-//! shared-agent weights are bit-identical at any thread count.
+//! shared-agent weights are bit-identical at any thread count, at any
+//! subprocess or TCP worker count, and across worker crashes, timeouts,
+//! and restarts (a re-dispatched request is byte-identical to the
+//! original; see [`supervisor`]).
 //!
 //! # Examples
 //!
@@ -60,15 +76,24 @@
 //! assert!(result.report.totals.completions > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod exec;
 pub mod protocol;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod supervisor;
+pub mod transport;
 pub mod wire;
+pub mod worker;
 
 pub use exec::{run_one, run_one_with};
-pub use protocol::{WorkerRequest, WorkerResponse};
+pub use protocol::{
+    WorkerHeartbeat, WorkerHello, WorkerMessage, WorkerRequest, WorkerResponse, PROTOCOL_VERSION,
+};
 pub use report::{FleetReport, FleetTotals, RoundTripReport, ScenarioDelta, ScenarioOutcome};
 pub use runner::{scenario_seed, FleetConfig, FleetResult, FleetRunner, RoundTripResult};
 pub use scenario::{builtin_catalog, FleetController, Scenario};
+pub use supervisor::{supervise, SupervisorConfig};
+pub use transport::{Connection, ConnectionControl, PipeTransport, TcpTransport, Transport};

@@ -1,19 +1,34 @@
-//! The coordinator↔worker subprocess protocol.
+//! The coordinator↔worker protocol, shared by every transport.
 //!
 //! One newline-delimited wire frame per message, in both directions
 //! (the escaper guarantees a rendered frame never contains a raw
-//! newline). The coordinator writes [`WorkerRequest`] frames to a
-//! worker's stdin and reads [`WorkerResponse`] frames from its stdout;
-//! a worker is nothing but `decode → run_one_with → encode` in a loop,
-//! exactly the thin-worker shape distributed-JIQ-style designs argue
-//! for — all policy (scheduling, ordering, training) stays at the
-//! coordinator.
+//! newline). The coordinator writes [`WorkerRequest`] frames down a
+//! [`crate::transport::Transport`] connection — a subprocess's stdin or
+//! a TCP socket, the frames are identical — and reads [`WorkerMessage`]
+//! frames back; a worker is nothing but `decode → run_one_with →
+//! encode` in a loop, exactly the thin-worker shape distributed
+//! JIQ-style designs argue for — all policy (scheduling, ordering,
+//! training) stays at the coordinator.
+//!
+//! The worker→coordinator direction is a tagged union because it
+//! carries control-plane traffic alongside results:
+//!
+//! * [`WorkerHello`] — the handshake, first frame of every session;
+//!   carries [`PROTOCOL_VERSION`] so a version skew fails loudly at
+//!   connect time instead of as a cryptic decode error mid-catalog;
+//! * [`WorkerHeartbeat`] — emitted on a timer while the session lives,
+//!   so the supervisor can tell a *slow* worker (heartbeats flowing)
+//!   from a *dead* one (silence) without waiting for the full
+//!   per-request timeout;
+//! * [`WorkerMessage::Response`] — a completed [`WorkerResponse`].
 //!
 //! The `index` is the scenario's *catalog index*: it both derives the
 //! per-scenario seed on the coordinator (the `(fleet seed, index) →
 //! seed` contract pinned in [`crate::runner::scenario_seed`]) and slots
-//! the response back into catalog order, which is what keeps a
-//! subprocess fleet bit-identical to the in-process path.
+//! the response back into catalog order, which is what keeps a sharded
+//! fleet bit-identical to the in-process path. Control frames carry no
+//! results, so their timing-dependent interleaving cannot move a single
+//! report byte.
 
 use firm_core::controller::PolicyCheckpoint;
 use firm_core::manager::ExperienceLog;
@@ -21,6 +36,12 @@ use firm_wire::{DecodeError, JsonValue, Obj, WireDecode, WireEncode};
 
 use crate::report::ScenarioOutcome;
 use crate::scenario::Scenario;
+
+/// The fleet protocol version, exchanged in the [`WorkerHello`]
+/// handshake. Bump it when a frame's shape changes incompatibly — the
+/// supervisor refuses to run against a worker that speaks a different
+/// version.
+pub const PROTOCOL_VERSION: u64 = 1;
 
 /// One unit of work shipped to a subprocess worker.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +119,86 @@ impl WireDecode for WorkerResponse {
     }
 }
 
+/// The handshake: the first frame a worker writes on every session,
+/// before it reads any work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerHello {
+    /// The protocol the worker speaks; must equal [`PROTOCOL_VERSION`].
+    pub protocol: u64,
+    /// The worker's OS process id (diagnostics only — shows up in
+    /// supervisor failure messages so operators can find the process).
+    pub pid: u64,
+    /// The interval between [`WorkerHeartbeat`] frames, in
+    /// milliseconds; 0 means this worker sends no heartbeats and the
+    /// supervisor falls back to the per-request timeout alone.
+    pub heartbeat_ms: u64,
+}
+
+/// A liveness pulse. Workers emit one every `heartbeat_ms` while a
+/// session is open; the supervisor uses silence (no heartbeat *and* no
+/// response for several intervals) as its dead-worker signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerHeartbeat {
+    /// The catalog index the worker is currently running, if any —
+    /// `None` while idle between jobs.
+    pub busy: Option<u64>,
+}
+
+/// Every frame a worker can write: the session handshake, liveness
+/// pulses, and completed work. Encoded as a tagged union
+/// (`{"type":"hello"|"heartbeat"|"response", ...}`) so the
+/// supervisor's reader can dispatch without trying decoders in turn.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerMessage {
+    /// Session handshake (first frame).
+    Hello(WorkerHello),
+    /// Liveness pulse.
+    Heartbeat(WorkerHeartbeat),
+    /// A completed unit of work (boxed: a response dwarfs the control
+    /// frames, and frames travel through queues by value).
+    Response(Box<WorkerResponse>),
+}
+
+impl WireEncode for WorkerMessage {
+    fn encode(&self) -> JsonValue {
+        match self {
+            WorkerMessage::Hello(h) => Obj::tagged("hello")
+                .field("protocol", h.protocol)
+                .field("pid", h.pid)
+                .field("heartbeat_ms", h.heartbeat_ms)
+                .build(),
+            WorkerMessage::Heartbeat(hb) => Obj::tagged("heartbeat").field("busy", hb.busy).build(),
+            WorkerMessage::Response(r) => Obj::tagged("response")
+                .field("index", r.index)
+                .field("outcome", &r.outcome)
+                .field("experience", &r.experience)
+                .build(),
+        }
+    }
+}
+
+impl WireDecode for WorkerMessage {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        match v.tag()? {
+            "hello" => Ok(WorkerMessage::Hello(WorkerHello {
+                protocol: v.field("protocol")?,
+                pid: v.field("pid")?,
+                heartbeat_ms: v.field("heartbeat_ms")?,
+            })),
+            "heartbeat" => Ok(WorkerMessage::Heartbeat(WorkerHeartbeat {
+                busy: v.field("busy")?,
+            })),
+            // A response envelope is a tagged WorkerResponse: same
+            // fields, so the plain decoder reads it (it ignores the
+            // extra "type" field).
+            "response" => Ok(WorkerMessage::Response(Box::new(WorkerResponse::decode(
+                v,
+            )?))),
+            other => Err(DecodeError::new(format!("unknown frame type `{other}`"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +255,44 @@ mod tests {
         assert_eq!(frame.matches('\n').count(), 1, "frame is not one line");
         let back: WorkerResponse = decode_line(&frame).expect("frame decodes");
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        assert_round_trip(&WorkerMessage::Hello(WorkerHello {
+            protocol: PROTOCOL_VERSION,
+            pid: 4242,
+            heartbeat_ms: 200,
+        }));
+        assert_round_trip(&WorkerMessage::Heartbeat(WorkerHeartbeat { busy: None }));
+        assert_round_trip(&WorkerMessage::Heartbeat(WorkerHeartbeat {
+            busy: Some(11),
+        }));
+    }
+
+    #[test]
+    fn response_envelope_round_trips_a_real_outcome() {
+        let scenario = builtin_catalog()
+            .remove(4)
+            .with_duration(SimDuration::from_secs(4));
+        let (outcome, experience) = run_one(&scenario, 9);
+        let msg = WorkerMessage::Response(Box::new(WorkerResponse {
+            index: 2,
+            outcome,
+            experience,
+        }));
+        assert_round_trip(&msg);
+        let frame = encode_line(&msg);
+        match decode_line::<WorkerMessage>(&frame).expect("frame decodes") {
+            WorkerMessage::Response(r) => assert_eq!(r.index, 2),
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_frame_types_fail_loudly() {
+        let doc = firm_wire::parse(r#"{"type":"shutdown"}"#).unwrap();
+        let err = WorkerMessage::decode(&doc).unwrap_err();
+        assert!(err.msg.contains("unknown frame type"), "{err}");
     }
 }

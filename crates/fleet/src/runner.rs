@@ -14,26 +14,29 @@
 //! are identical whether the fleet ran on 1 thread or 64. Thread count
 //! changes wall-clock time, nothing else.
 //!
-//! # Multi-process sharding
+//! # Multi-process and multi-node sharding
 //!
 //! With [`FleetConfig::workers`] set, the runner spawns that many
-//! `firm-fleet-worker` subprocesses and ships each scenario as a
+//! `firm-fleet-worker` subprocesses; with
+//! [`FleetConfig::remote_workers`] it connects to
+//! `firm-fleet-worker --listen addr` processes on any host. Both paths
+//! go through the same [`crate::supervisor`]: each scenario ships as a
 //! [`crate::protocol::WorkerRequest`] wire frame (scenario + derived
-//! seed, plus the frozen policy on a deployment pass); workers answer
-//! with `(index, outcome, experience)` frames and the coordinator slots
-//! them into the same catalog-ordered view the thread path uses. The
-//! wire codec round-trips every field exactly (`firm-wire`), so the
-//! report bytes, the policy checkpoint, and the trained weights are
-//! bit-identical to the in-process path at any worker count — the
-//! ROADMAP's `(scenario index → seed)` contract carried across a
-//! process boundary.
+//! seed, plus the frozen policy on a deployment pass) to whichever
+//! worker is idle, workers answer with `(index, outcome, experience)`
+//! frames, and the coordinator slots them into the same
+//! catalog-ordered view the thread path uses. The wire codec
+//! round-trips every field exactly (`firm-wire`), and a re-dispatched
+//! frame after a crash or timeout is byte-identical to the original —
+//! so the report bytes, the policy checkpoint, and the trained weights
+//! are bit-identical to the in-process path at any worker count, over
+//! any transport, under any failure the supervisor can recover from.
 
-use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
+use std::time::Duration;
 
 use firm_core::controller::PolicyCheckpoint;
 use firm_core::estimator::{AgentRegime, ResourceEstimator};
@@ -42,23 +45,37 @@ use firm_core::manager::ExperienceLog;
 use firm_core::training::replay_experience;
 
 use crate::exec::run_one_with;
-use crate::protocol::{WorkerRequest, WorkerResponse};
 use crate::report::{FleetReport, RoundTripReport, ScenarioOutcome};
 use crate::scenario::Scenario;
+use crate::supervisor::{supervise, SupervisorConfig};
+use crate::transport::{PipeTransport, TcpTransport, Transport};
 
 /// Fleet-runtime parameters.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Worker threads; 0 means one per available core. Ignored when
-    /// [`FleetConfig::workers`] is set.
+    /// [`FleetConfig::workers`] or [`FleetConfig::remote_workers`] is
+    /// set.
     pub threads: usize,
     /// Subprocess workers; 0 (the default) runs in-process on
-    /// [`FleetConfig::threads`]. Results are bit-identical either way.
+    /// [`FleetConfig::threads`] unless [`FleetConfig::remote_workers`]
+    /// is set. Results are bit-identical either way.
     pub workers: usize,
+    /// Addresses of `firm-fleet-worker --listen` processes
+    /// (`host:port`) to shard over, alongside any subprocess workers.
+    /// Results are bit-identical to the in-process path.
+    pub remote_workers: Vec<String>,
     /// Path to the `firm-fleet-worker` binary. `None` resolves via the
     /// `FIRM_FLEET_WORKER` environment variable, then next to the
     /// current executable.
     pub worker_bin: Option<PathBuf>,
+    /// Per-scenario wall-clock budget on one worker, in milliseconds; a
+    /// worker holding a job longer is presumed wedged and replaced.
+    /// 0 disables the timeout (crash detection still applies).
+    pub request_timeout_ms: u64,
+    /// How many different workers may fail one scenario before the
+    /// fleet panics rather than emit a partial report.
+    pub max_attempts: usize,
     /// Fleet seed; per-scenario seeds derive from it.
     pub seed: u64,
     /// Minibatch updates to run on the shared agent after pooling
@@ -71,7 +88,10 @@ impl Default for FleetConfig {
         FleetConfig {
             threads: 0,
             workers: 0,
+            remote_workers: Vec::new(),
             worker_bin: None,
+            request_timeout_ms: 300_000,
+            max_attempts: 3,
             seed: 1,
             train_steps: 256,
         }
@@ -83,6 +103,20 @@ impl FleetConfig {
     /// threads (0 reverts to the thread path).
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = n;
+        self
+    }
+
+    /// Shards over `firm-fleet-worker --listen` processes at the given
+    /// `host:port` addresses — the multi-node path. May be combined
+    /// with [`FleetConfig::workers`] for a mixed local/remote pool.
+    pub fn remote_workers<S: AsRef<str>>(mut self, addrs: &[S]) -> Self {
+        self.remote_workers = addrs.iter().map(|a| a.as_ref().to_string()).collect();
+        self
+    }
+
+    /// Sets the per-scenario request timeout (0 disables).
+    pub fn request_timeout_ms(mut self, ms: u64) -> Self {
+        self.request_timeout_ms = ms;
         self
     }
 
@@ -273,8 +307,8 @@ impl FleetRunner {
         policy: Option<&PolicyCheckpoint>,
     ) -> Vec<(ScenarioOutcome, ExperienceLog)> {
         assert!(!scenarios.is_empty(), "fleet needs at least one scenario");
-        if self.config.workers > 0 {
-            self.execute_subprocess(scenarios, policy)
+        if self.config.workers > 0 || !self.config.remote_workers.is_empty() {
+            self.execute_supervised(scenarios, policy)
         } else {
             self.execute_threads(scenarios, policy)
         }
@@ -325,128 +359,49 @@ impl FleetRunner {
             .collect()
     }
 
-    /// The multi-process path: spawn `workers` subprocesses, ship each
-    /// scenario as a wire frame (round-robin by catalog index), and
-    /// slot decoded responses back into catalog order. Distribution is
-    /// static, so the frames a worker sees depend only on the catalog —
-    /// never on timing — but results would be bit-identical under any
-    /// distribution because aggregation happens by index.
-    ///
-    /// Each worker gets a dedicated writer thread *and* a dedicated
-    /// reader thread, so no pipe can fill up while the coordinator is
-    /// busy elsewhere: frames are large in both directions (replay
-    /// traces out, experience logs back) and a sequential drain would
-    /// serialize the pool on the OS pipe buffers. On a deployment pass
-    /// the frozen policy is shipped once per worker (first frame);
-    /// later frames set `reuse_policy` instead of re-encoding the
-    /// weights.
+    /// The sharded path: build one [`Transport`] per worker —
+    /// [`PipeTransport`]s for [`FleetConfig::workers`] subprocesses,
+    /// [`TcpTransport`]s for every [`FleetConfig::remote_workers`]
+    /// address — and hand the catalog to the [`crate::supervisor`],
+    /// which owns dispatch (idle-queue, one outstanding scenario per
+    /// worker), liveness (per-request timeout, heartbeat silence, EOF),
+    /// and restart-and-replay. Results come back in catalog order, so
+    /// aggregation is byte-identical to the thread path.
     ///
     /// # Panics
     ///
-    /// Panics if the worker binary cannot be found or spawned, a worker
-    /// exits nonzero, or a response frame fails to decode — a fleet
-    /// result built from partial data would silently break the
-    /// determinism contract, so there is nothing sensible to salvage.
-    fn execute_subprocess(
+    /// Panics if the worker binary cannot be found or spawned, an
+    /// initial connection fails, or a scenario exhausts
+    /// [`FleetConfig::max_attempts`] — a fleet result built from
+    /// partial data would silently break the determinism contract, so
+    /// there is nothing sensible to salvage.
+    fn execute_supervised(
         &self,
         scenarios: &[Scenario],
         policy: Option<&PolicyCheckpoint>,
     ) -> Vec<(ScenarioOutcome, ExperienceLog)> {
-        let workers = self.config.workers.min(scenarios.len());
-        let fleet_seed = self.config.seed;
-        let bin = self.config.resolve_worker_bin();
-
-        struct Worker {
-            child: Child,
-            writer: thread::JoinHandle<()>,
-            reader: thread::JoinHandle<Vec<WorkerResponse>>,
-            expected: usize,
-        }
-
-        let pool: Vec<Worker> = (0..workers)
-            .map(|w| {
-                let mut child = Command::new(&bin)
-                    .stdin(Stdio::piped())
-                    .stdout(Stdio::piped())
-                    .spawn()
-                    .unwrap_or_else(|e| panic!("spawn {}: {e}", bin.display()));
-                // This worker's share: catalog indices ≡ w (mod workers).
-                // The policy rides only in the worker's first frame.
-                let mut sent_policy = false;
-                let frames: String = scenarios
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| i % workers == w)
-                    .map(|(i, scenario)| {
-                        let first = !std::mem::replace(&mut sent_policy, true);
-                        firm_wire::encode_line(&WorkerRequest {
-                            index: i as u64,
-                            seed: scenario_seed(fleet_seed, i),
-                            scenario: scenario.clone(),
-                            policy: if first { policy.cloned() } else { None },
-                            reuse_policy: !first && policy.is_some(),
-                        })
-                    })
-                    .collect();
-                let expected = (w..scenarios.len()).step_by(workers).count();
-                let mut stdin = child.stdin.take().expect("worker stdin piped");
-                let writer = thread::spawn(move || {
-                    stdin
-                        .write_all(frames.as_bytes())
-                        .expect("write request frames to worker stdin");
-                    // Dropping stdin sends EOF; the worker exits.
-                });
-                let stdout = child.stdout.take().expect("worker stdout piped");
-                let reader = thread::spawn(move || {
-                    BufReader::new(stdout)
-                        .lines()
-                        .map(|line| {
-                            let line = line.expect("read response frame from worker stdout");
-                            firm_wire::decode_line(&line)
-                                .unwrap_or_else(|e| panic!("bad worker response frame: {e}"))
-                        })
-                        .collect()
-                });
-                Worker {
-                    child,
-                    writer,
-                    reader,
-                    expected,
-                }
-            })
-            .collect();
-
-        let mut slots: Vec<Option<(ScenarioOutcome, ExperienceLog)>> =
-            (0..scenarios.len()).map(|_| None).collect();
-        for mut worker in pool {
-            let responses = worker.reader.join().expect("response reader thread");
-            worker.writer.join().expect("request writer thread");
-            let status = worker.child.wait().expect("wait for worker exit");
-            assert!(status.success(), "worker exited with {status}");
-            assert_eq!(
-                responses.len(),
-                worker.expected,
-                "worker returned {} of {} results",
-                responses.len(),
-                worker.expected
+        // More subprocesses than scenarios would sit idle forever.
+        let pipes = self.config.workers.min(scenarios.len());
+        let mut transports: Vec<Box<dyn Transport>> = Vec::new();
+        if pipes > 0 {
+            let bin = self.config.resolve_worker_bin();
+            transports.extend(
+                (0..pipes).map(|_| Box::new(PipeTransport::new(bin.clone())) as Box<dyn Transport>),
             );
-            for resp in responses {
-                let slot = slots
-                    .get_mut(resp.index as usize)
-                    .unwrap_or_else(|| panic!("worker returned unknown index {}", resp.index));
-                assert!(
-                    slot.is_none(),
-                    "worker returned duplicate index {}",
-                    resp.index
-                );
-                *slot = Some((resp.outcome, resp.experience));
-            }
         }
+        transports.extend(
+            self.config
+                .remote_workers
+                .iter()
+                .map(|addr| Box::new(TcpTransport::new(addr.clone())) as Box<dyn Transport>),
+        );
 
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every scenario ran"))
-            .collect()
+        let config = SupervisorConfig {
+            request_timeout: (self.config.request_timeout_ms > 0)
+                .then(|| Duration::from_millis(self.config.request_timeout_ms)),
+            max_attempts: self.config.max_attempts.max(1),
+        };
+        supervise(transports, scenarios, self.config.seed, policy, &config)
     }
 }
 

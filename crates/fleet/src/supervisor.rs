@@ -1,0 +1,612 @@
+//! Worker-pool supervision: liveness, restart-and-replay, and
+//! idle-queue dispatch over any [`Transport`].
+//!
+//! The supervisor owns the part of a distributed fleet that the happy
+//! path never sees:
+//!
+//! * **Idle-queue dispatch** — scenarios live in one work queue and go
+//!   to whichever worker is idle (distributed-JIQ style), one
+//!   outstanding job per worker, instead of a static round-robin
+//!   partition. A slow tenant therefore delays only itself; the rest of
+//!   the pool drains the queue around it.
+//! * **Liveness** — a per-request timeout catches wedged workers, an
+//!   EOF/error on a worker's stream catches crashed ones immediately,
+//!   and prolonged heartbeat silence catches the silent kind (peer
+//!   alive at the TCP level but frozen).
+//! * **Restart-and-replay** — a failed worker's in-flight scenario goes
+//!   back to the *front* of the queue and is re-dispatched to a healthy
+//!   worker, excluding every worker that already failed it (so a
+//!   poisonous scenario cannot ping-pong onto the same machine). The
+//!   slot itself is reconnected through its transport — a respawned
+//!   subprocess or a fresh TCP session — and rejoins the pool; if the
+//!   reconnect fails the slot is retired and the survivors absorb its
+//!   share.
+//!
+//! # Why failures cannot move the report
+//!
+//! A re-dispatched request is byte-identical to the original: the
+//! coordinator derives the seed from `(fleet seed, catalog index)`
+//! once, at dispatch, and [`crate::exec::run_one_with`] is a pure
+//! function of `(scenario, seed, policy)`. Which worker runs a
+//! scenario, how many times it was attempted, and when its response
+//! arrives are all invisible to aggregation, which consumes results in
+//! catalog order from an index-addressed table. Supervision is
+//! timing-dependent; the report is not.
+
+use std::collections::{HashSet, VecDeque};
+use std::io::Write;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use firm_core::controller::PolicyCheckpoint;
+use firm_core::manager::ExperienceLog;
+
+use crate::protocol::{WorkerHello, WorkerMessage, WorkerRequest, PROTOCOL_VERSION};
+use crate::report::ScenarioOutcome;
+use crate::runner::scenario_seed;
+use crate::scenario::Scenario;
+use crate::transport::Transport;
+
+/// Supervision knobs, derived from [`crate::runner::FleetConfig`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Wall-clock budget for one scenario on one worker; a worker that
+    /// holds a job longer is presumed wedged, killed, and replaced.
+    /// `None` disables the timeout (crash detection still applies).
+    pub request_timeout: Option<Duration>,
+    /// How many workers may fail one scenario before the fleet gives
+    /// up. The supervisor never completes with partial results — when
+    /// the budget is exhausted it panics, because a report missing a
+    /// scenario would silently break the determinism contract.
+    pub max_attempts: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            request_timeout: Some(Duration::from_secs(300)),
+            max_attempts: 3,
+        }
+    }
+}
+
+/// Runs `scenarios` over a pool of transport-backed workers and returns
+/// `(outcome, experience)` in catalog order — the supervised equivalent
+/// of the in-process thread path, bit-identical to it.
+///
+/// # Panics
+///
+/// Panics when the fleet cannot finish exactly: an initial connection
+/// fails, a scenario exhausts [`SupervisorConfig::max_attempts`], every
+/// worker dies, or a worker answers with an index it was never given.
+pub fn supervise(
+    transports: Vec<Box<dyn Transport>>,
+    scenarios: &[Scenario],
+    fleet_seed: u64,
+    policy: Option<&PolicyCheckpoint>,
+    config: &SupervisorConfig,
+) -> Vec<(ScenarioOutcome, ExperienceLog)> {
+    assert!(
+        !transports.is_empty(),
+        "supervisor needs at least one worker"
+    );
+    Supervisor::new(transports, scenarios, fleet_seed, policy, config.clone()).run()
+}
+
+/// One worker→coordinator notification, tagged with the connection
+/// generation so frames from a connection the supervisor already killed
+/// are recognizably stale.
+struct Event {
+    slot: usize,
+    generation: u64,
+    kind: EventKind,
+}
+
+enum EventKind {
+    Frame(WorkerMessage),
+    /// The frame did not parse/decode — worker bug or version skew.
+    BadFrame(String),
+    /// The stream ended (EOF or read error).
+    Closed,
+}
+
+/// The live half of a slot: one open connection plus its pump threads.
+struct Live {
+    /// Frames queued here are written by a dedicated thread, so a
+    /// worker that stops reading can never block the supervisor loop.
+    frames: mpsc::Sender<String>,
+    writer: JoinHandle<()>,
+    reader: JoinHandle<()>,
+    control: Box<dyn crate::transport::ConnectionControl>,
+    generation: u64,
+    hello: Option<WorkerHello>,
+    /// When the last frame (of any kind) arrived — heartbeat silence is
+    /// measured from here.
+    last_frame: Instant,
+}
+
+enum SlotState {
+    Idle,
+    Busy {
+        job: usize,
+        dispatched: Instant,
+    },
+    /// Reconnect failed; the slot is out of the pool for good.
+    Retired,
+}
+
+struct Slot {
+    transport: Box<dyn Transport>,
+    live: Option<Live>,
+    state: SlotState,
+    /// Whether this connection has already been shipped the frozen
+    /// policy (deployment passes send the weights once per connection,
+    /// then `reuse_policy` frames).
+    sent_policy: bool,
+    /// Next connection generation for this slot.
+    next_generation: u64,
+}
+
+struct JobState {
+    attempts: usize,
+    /// Slots that already failed this job — never hand it back to them.
+    excluded: HashSet<usize>,
+}
+
+struct Supervisor<'a> {
+    scenarios: &'a [Scenario],
+    fleet_seed: u64,
+    policy: Option<&'a PolicyCheckpoint>,
+    config: SupervisorConfig,
+    slots: Vec<Slot>,
+    events_tx: mpsc::Sender<Event>,
+    events_rx: mpsc::Receiver<Event>,
+    queue: VecDeque<usize>,
+    jobs: Vec<JobState>,
+    results: Vec<Option<(ScenarioOutcome, ExperienceLog)>>,
+    completed: usize,
+}
+
+impl<'a> Supervisor<'a> {
+    fn new(
+        transports: Vec<Box<dyn Transport>>,
+        scenarios: &'a [Scenario],
+        fleet_seed: u64,
+        policy: Option<&'a PolicyCheckpoint>,
+        config: SupervisorConfig,
+    ) -> Self {
+        let (events_tx, events_rx) = mpsc::channel();
+        let slots = transports
+            .into_iter()
+            .map(|transport| Slot {
+                transport,
+                live: None,
+                state: SlotState::Idle,
+                sent_policy: false,
+                next_generation: 0,
+            })
+            .collect();
+        Supervisor {
+            scenarios,
+            fleet_seed,
+            policy,
+            config,
+            slots,
+            events_tx,
+            events_rx,
+            queue: (0..scenarios.len()).collect(),
+            jobs: (0..scenarios.len())
+                .map(|_| JobState {
+                    attempts: 0,
+                    excluded: HashSet::new(),
+                })
+                .collect(),
+            results: (0..scenarios.len()).map(|_| None).collect(),
+            completed: 0,
+        }
+    }
+
+    fn run(mut self) -> Vec<(ScenarioOutcome, ExperienceLog)> {
+        // Initial connections fail loudly: a fleet that silently starts
+        // with fewer workers than configured hides deployment typos.
+        for i in 0..self.slots.len() {
+            self.connect_slot(i)
+                .unwrap_or_else(|e| panic!("connect {}: {e}", self.slots[i].transport.label()));
+        }
+
+        while self.completed < self.scenarios.len() {
+            self.dispatch();
+            self.ensure_progress_possible();
+            match self.wait_for_event() {
+                Some(event) => self.handle_event(event),
+                None => self.reap_expired(),
+            }
+        }
+        self.shutdown();
+
+        self.results
+            .into_iter()
+            .map(|slot| slot.expect("every scenario ran"))
+            .collect()
+    }
+
+    /// Hands queued jobs to idle workers — the idle queue is consulted
+    /// per job, so whichever worker freed up first takes the next
+    /// scenario (no static partition to go stale when a worker dies).
+    fn dispatch(&mut self) {
+        let live: HashSet<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live.is_some() && !matches!(s.state, SlotState::Retired))
+            .map(|(i, _)| i)
+            .collect();
+        for slot_id in 0..self.slots.len() {
+            if !matches!(self.slots[slot_id].state, SlotState::Idle)
+                || self.slots[slot_id].live.is_none()
+            {
+                continue;
+            }
+            // First queued job this slot is allowed to run: one it has
+            // not failed — or, when every live slot has failed it (a
+            // one-worker pool restarting, say), any job at all; the
+            // attempts cap still bounds a genuinely poisonous scenario.
+            let Some(pos) = self.queue.iter().position(|&job| {
+                let excluded = &self.jobs[job].excluded;
+                !excluded.contains(&slot_id) || live.iter().all(|s| excluded.contains(s))
+            }) else {
+                continue;
+            };
+            let job = self.queue.remove(pos).expect("position came from iter");
+            if self.send_job(slot_id, job).is_err() {
+                // The writer was already gone; put the job back and
+                // recycle the slot (the job is not charged an attempt —
+                // it never reached a worker).
+                self.queue.push_front(job);
+                self.recycle(slot_id, "write channel closed");
+            }
+        }
+    }
+
+    /// Ships one request frame; the per-connection policy bookkeeping
+    /// (full weights on the first deployment frame, `reuse_policy`
+    /// afterwards) lives here.
+    fn send_job(&mut self, slot_id: usize, job: usize) -> Result<(), ()> {
+        let first_policy_frame = self.policy.is_some() && !self.slots[slot_id].sent_policy;
+        let frame = firm_wire::encode_line(&WorkerRequest {
+            index: job as u64,
+            seed: scenario_seed(self.fleet_seed, job),
+            scenario: self.scenarios[job].clone(),
+            policy: first_policy_frame.then(|| self.policy.expect("checked").clone()),
+            reuse_policy: self.policy.is_some() && !first_policy_frame,
+        });
+        let slot = &mut self.slots[slot_id];
+        let live = slot.live.as_ref().expect("dispatch checked live");
+        if live.frames.send(frame).is_err() {
+            return Err(());
+        }
+        if self.policy.is_some() {
+            slot.sent_policy = true;
+        }
+        slot.state = SlotState::Busy {
+            job,
+            dispatched: Instant::now(),
+        };
+        Ok(())
+    }
+
+    /// Panics if the remaining work can never finish: no job in flight
+    /// and nothing dispatchable (every worker retired, or every live
+    /// worker excluded from every queued job).
+    fn ensure_progress_possible(&self) {
+        if self.completed == self.scenarios.len() {
+            return;
+        }
+        let any_busy = self
+            .slots
+            .iter()
+            .any(|s| matches!(s.state, SlotState::Busy { .. }));
+        if !any_busy {
+            let queued: Vec<usize> = self.queue.iter().copied().collect();
+            panic!(
+                "fleet cannot make progress: scenarios {queued:?} have no eligible worker \
+                 ({} of {} slots retired) — every worker died or already failed them",
+                self.slots
+                    .iter()
+                    .filter(|s| matches!(s.state, SlotState::Retired))
+                    .count(),
+                self.slots.len(),
+            );
+        }
+    }
+
+    /// Blocks until the next event or the earliest liveness deadline.
+    /// `None` means a deadline may have expired.
+    fn wait_for_event(&self) -> Option<Event> {
+        let now = Instant::now();
+        let deadline = self.nearest_deadline();
+        let wait = match deadline {
+            Some(d) if d <= now => return self.events_rx.try_recv().ok(),
+            Some(d) => d - now,
+            // No deadline pending; wake periodically anyway so a logic
+            // bug degrades to latency, not a hang.
+            None => Duration::from_secs(5),
+        };
+        self.events_rx.recv_timeout(wait).ok()
+    }
+
+    /// The earliest instant at which some busy worker must be presumed
+    /// dead: its per-request deadline, or prolonged silence on the
+    /// stream. Before the hello arrives the silence window uses the
+    /// default heartbeat interval — a connected-but-frozen peer that
+    /// never handshakes must not hang the fleet, even with the request
+    /// timeout disabled. After the hello, a worker that advertised
+    /// `heartbeat_ms: 0` opted out of silence detection.
+    fn nearest_deadline(&self) -> Option<Instant> {
+        self.slots
+            .iter()
+            .filter_map(|slot| {
+                let SlotState::Busy { dispatched, .. } = slot.state else {
+                    return None;
+                };
+                let live = slot.live.as_ref()?;
+                let request = self.config.request_timeout.map(|t| dispatched + t);
+                let quiet = quiet_deadline(live);
+                match (request, quiet) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                }
+            })
+            .min()
+    }
+
+    /// Kills and recycles every busy worker whose deadline has passed.
+    fn reap_expired(&mut self) {
+        let now = Instant::now();
+        for slot_id in 0..self.slots.len() {
+            let slot = &self.slots[slot_id];
+            let SlotState::Busy { job, dispatched } = slot.state else {
+                continue;
+            };
+            let Some(live) = slot.live.as_ref() else {
+                continue;
+            };
+            let timed_out = self
+                .config
+                .request_timeout
+                .is_some_and(|t| now >= dispatched + t);
+            let silent = quiet_deadline(live).is_some_and(|d| now >= d);
+            if timed_out {
+                self.recycle(
+                    slot_id,
+                    &format!(
+                        "scenario {job} exceeded the per-request timeout \
+                         ({:?}) — presumed wedged",
+                        self.config.request_timeout.expect("checked")
+                    ),
+                );
+            } else if silent {
+                self.recycle(
+                    slot_id,
+                    &format!("no frames while running scenario {job} — presumed dead"),
+                );
+            }
+        }
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        let slot = &mut self.slots[event.slot];
+        // Stale: from a connection this supervisor already killed.
+        let current = slot
+            .live
+            .as_ref()
+            .is_some_and(|l| l.generation == event.generation);
+        if !current {
+            return;
+        }
+        if let Some(live) = slot.live.as_mut() {
+            live.last_frame = Instant::now();
+        }
+        match event.kind {
+            EventKind::Frame(WorkerMessage::Hello(hello)) => {
+                assert_eq!(
+                    hello.protocol,
+                    PROTOCOL_VERSION,
+                    "{} speaks fleet protocol v{}, this coordinator speaks v{} \
+                     — upgrade the older side",
+                    slot.transport.label(),
+                    hello.protocol,
+                    PROTOCOL_VERSION,
+                );
+                if let Some(live) = slot.live.as_mut() {
+                    live.hello = Some(hello);
+                }
+            }
+            EventKind::Frame(WorkerMessage::Heartbeat(_)) => {
+                // last_frame already refreshed above; nothing else to do.
+            }
+            EventKind::Frame(WorkerMessage::Response(resp)) => {
+                let SlotState::Busy { job, .. } = slot.state else {
+                    panic!(
+                        "{} sent a response (index {}) while it had no job",
+                        slot.transport.label(),
+                        resp.index,
+                    );
+                };
+                assert_eq!(
+                    resp.index as usize,
+                    job,
+                    "{} answered index {} for a dispatch of scenario {job}",
+                    slot.transport.label(),
+                    resp.index,
+                );
+                slot.state = SlotState::Idle;
+                let cell = &mut self.results[job];
+                assert!(cell.is_none(), "scenario {job} completed twice");
+                *cell = Some((resp.outcome, resp.experience));
+                self.completed += 1;
+            }
+            EventKind::BadFrame(msg) => {
+                self.recycle(event.slot, &format!("sent an undecodable frame: {msg}"));
+            }
+            EventKind::Closed => {
+                self.recycle(event.slot, "connection closed unexpectedly");
+            }
+        }
+    }
+
+    /// The restart-and-replay path: tear down a failed worker's
+    /// connection, requeue its in-flight scenario (excluding this slot
+    /// from re-running it), and reconnect the slot — or retire it if
+    /// the reconnect fails.
+    fn recycle(&mut self, slot_id: usize, reason: &str) {
+        let label = self.slots[slot_id].transport.label();
+        eprintln!("fleet supervisor: {label}: {reason}; recycling worker");
+        self.teardown_live(slot_id, false);
+
+        if let SlotState::Busy { job, .. } = self.slots[slot_id].state {
+            let state = &mut self.jobs[job];
+            state.attempts += 1;
+            state.excluded.insert(slot_id);
+            assert!(
+                state.attempts < self.config.max_attempts,
+                "scenario {job} ({}) failed on {} different workers — giving up \
+                 rather than emit a partial fleet report",
+                self.scenarios[job].name,
+                state.attempts,
+            );
+            // Front of the queue: a replayed scenario is the oldest
+            // outstanding work, so it goes next.
+            self.queue.push_front(job);
+        }
+        self.slots[slot_id].state = SlotState::Idle;
+
+        match self.connect_slot(slot_id) {
+            Ok(()) => eprintln!("fleet supervisor: {label}: worker restarted"),
+            Err(e) => {
+                eprintln!(
+                    "fleet supervisor: {label}: reconnect failed ({e}); retiring \
+                     this worker, survivors absorb its share"
+                );
+                self.slots[slot_id].state = SlotState::Retired;
+            }
+        }
+    }
+
+    /// Opens a connection for a slot and starts its pump threads.
+    fn connect_slot(&mut self, slot_id: usize) -> std::io::Result<()> {
+        let slot = &mut self.slots[slot_id];
+        let conn = slot.transport.connect()?;
+        let generation = slot.next_generation;
+        slot.next_generation += 1;
+
+        let (frames_tx, frames_rx) = mpsc::channel::<String>();
+        let mut writer_half = conn.writer;
+        let writer = std::thread::spawn(move || {
+            // Exits when the channel closes (graceful: dropping the
+            // sender also drops/EOFs the stream) or a write fails
+            // (the reader thread will surface the death as Closed).
+            for frame in frames_rx {
+                if writer_half
+                    .write_all(frame.as_bytes())
+                    .and_then(|_| writer_half.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        });
+
+        let mut reader_half = conn.reader;
+        let events = self.events_tx.clone();
+        let reader = std::thread::spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                let kind = match reader_half.read_line(&mut line) {
+                    Ok(0) | Err(_) => EventKind::Closed,
+                    Ok(_) if line.trim().is_empty() => continue,
+                    Ok(_) => match firm_wire::decode_line::<WorkerMessage>(&line) {
+                        Ok(msg) => EventKind::Frame(msg),
+                        Err(e) => EventKind::BadFrame(e.to_string()),
+                    },
+                };
+                let closed = matches!(kind, EventKind::Closed);
+                // The supervisor hanging up just means the fleet is done.
+                let _ = events.send(Event {
+                    slot: slot_id,
+                    generation,
+                    kind,
+                });
+                if closed {
+                    break;
+                }
+            }
+        });
+
+        slot.live = Some(Live {
+            frames: frames_tx,
+            writer,
+            reader,
+            control: conn.control,
+            generation,
+            hello: None,
+            last_frame: Instant::now(),
+        });
+        slot.sent_policy = false;
+        Ok(())
+    }
+
+    /// Tears down a slot's live connection. `graceful` distinguishes
+    /// end-of-fleet (let the worker exit on EOF, check its status) from
+    /// failure handling (kill it now).
+    fn teardown_live(&mut self, slot_id: usize, graceful: bool) {
+        let Some(mut live) = self.slots[slot_id].live.take() else {
+            return;
+        };
+        // Closing the frame channel stops the writer thread, which
+        // drops the write half — EOF for a healthy worker.
+        drop(live.frames);
+        if !graceful {
+            live.control.kill();
+        }
+        let _ = live.writer.join();
+        let _ = live.reader.join();
+        if graceful {
+            if let Err(e) = live.control.finish() {
+                panic!(
+                    "{} failed after completing its work: {e}",
+                    self.slots[slot_id].transport.label()
+                );
+            }
+        }
+    }
+
+    /// Graceful end-of-fleet teardown for every still-live worker.
+    fn shutdown(&mut self) {
+        for slot_id in 0..self.slots.len() {
+            self.teardown_live(slot_id, true);
+        }
+    }
+}
+
+/// How long heartbeat silence must last before a worker is presumed
+/// dead. Generous (20 intervals, floor 10s) because a busy host
+/// legitimately starves ticker threads — this path exists for silent
+/// network death, not as the primary timeout.
+fn quiet_window(heartbeat_ms: u64) -> Duration {
+    Duration::from_millis((heartbeat_ms * 20).max(10_000))
+}
+
+/// The instant at which this connection's silence becomes fatal, if
+/// silence detection applies: before the hello, always (at the default
+/// interval — an unresponsive peer that never handshakes must not hang
+/// the fleet); after it, only if the worker advertised heartbeats.
+fn quiet_deadline(live: &Live) -> Option<Instant> {
+    let interval = match &live.hello {
+        None => crate::worker::ServeOptions::default().heartbeat_ms,
+        Some(h) => h.heartbeat_ms,
+    };
+    (interval > 0).then(|| live.last_frame + quiet_window(interval))
+}

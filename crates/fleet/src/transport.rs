@@ -1,0 +1,320 @@
+//! How frames reach a worker: the [`Transport`] abstraction.
+//!
+//! The fleet protocol ([`crate::protocol`]) is a byte stream of
+//! newline-delimited wire frames in each direction, so a transport only
+//! has to provide three things: a writable half, a readable half, and a
+//! way to terminate the peer. Two implementations exist:
+//!
+//! * [`PipeTransport`] — spawns a `firm-fleet-worker` subprocess on
+//!   this host and speaks frames over its stdin/stdout (the original
+//!   single-host sharding path). Reconnecting respawns the binary, so
+//!   the supervisor's restart-and-replay works out of the box.
+//! * [`TcpTransport`] — connects to a `firm-fleet-worker --listen addr`
+//!   on any host and speaks the *same* frames over the socket. The
+//!   initial connect retries briefly (workers are often still binding
+//!   when the runner starts); a *re*connect after a failure tries once,
+//!   because a worker that just died is usually gone for good.
+//!
+//! The codec does not change between transports — a frame captured from
+//! a pipe byte-for-byte equals the same frame on a socket — which is
+//! why the fleet's bit-identity guarantee carries to multi-node
+//! deployments unchanged: the transport moves bytes, the catalog index
+//! orders results, and nothing else has an opinion.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// One live byte-stream session with a worker, as produced by
+/// [`Transport::connect`]. The supervisor moves the halves onto
+/// dedicated writer/reader threads and keeps the control handle for
+/// itself.
+pub struct Connection {
+    /// The coordinator→worker half (request frames).
+    pub writer: Box<dyn Write + Send>,
+    /// The worker→coordinator half (hello/heartbeat/response frames).
+    pub reader: Box<dyn BufRead + Send>,
+    /// Out-of-band termination and cleanup.
+    pub control: Box<dyn ConnectionControl>,
+}
+
+/// Out-of-band control over one connection: forceful termination (for
+/// presumed-wedged workers) and graceful teardown (after EOF).
+pub trait ConnectionControl: Send {
+    /// Forcefully terminates the session: kills the subprocess or shuts
+    /// the socket down in both directions. Unblocks any reader thread
+    /// parked on the stream. Idempotent.
+    fn kill(&mut self);
+
+    /// Gracefully finishes after the writer half has been dropped
+    /// (which signals EOF to the worker): reaps the subprocess / closes
+    /// the socket. Returns an error if the worker exited abnormally.
+    fn finish(&mut self) -> io::Result<()>;
+}
+
+/// A way to open (and re-open) sessions with one worker slot.
+///
+/// `connect` is called once at fleet start and again each time the
+/// supervisor replaces a failed connection; an `Err` from a reconnect
+/// marks the slot dead and its work is redistributed to the survivors.
+pub trait Transport: Send {
+    /// A human-readable name for failure messages, e.g.
+    /// `pipe:firm-fleet-worker` or `tcp:10.0.0.7:7401`.
+    fn label(&self) -> String;
+
+    /// Opens a fresh session with the worker.
+    fn connect(&mut self) -> io::Result<Connection>;
+}
+
+// ---------------------------------------------------------------------
+// Subprocess pipes.
+// ---------------------------------------------------------------------
+
+/// Frames over a spawned `firm-fleet-worker`'s stdin/stdout.
+pub struct PipeTransport {
+    bin: PathBuf,
+}
+
+impl PipeTransport {
+    /// A transport that spawns `bin` for each session.
+    pub fn new(bin: PathBuf) -> Self {
+        PipeTransport { bin }
+    }
+}
+
+struct PipeControl {
+    child: Child,
+}
+
+impl ConnectionControl for PipeControl {
+    fn kill(&mut self) {
+        // Kill + wait: the wait both reaps the zombie and guarantees
+        // the stdout pipe is closed, so the reader thread unparks.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        let status = self.child.wait()?;
+        if status.success() {
+            Ok(())
+        } else {
+            Err(io::Error::other(format!("worker exited with {status}")))
+        }
+    }
+}
+
+impl Transport for PipeTransport {
+    fn label(&self) -> String {
+        format!(
+            "pipe:{}",
+            self.bin
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| self.bin.display().to_string())
+        )
+    }
+
+    fn connect(&mut self) -> io::Result<Connection> {
+        let mut child = Command::new(&self.bin)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let writer = child.stdin.take().expect("worker stdin piped");
+        let reader = BufReader::new(child.stdout.take().expect("worker stdout piped"));
+        Ok(Connection {
+            writer: Box::new(writer),
+            reader: Box::new(reader),
+            control: Box::new(PipeControl { child }),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP sockets.
+// ---------------------------------------------------------------------
+
+/// Frames over a TCP socket to a `firm-fleet-worker --listen addr`.
+pub struct TcpTransport {
+    addr: String,
+    connect_window: Duration,
+    connected_before: bool,
+}
+
+impl TcpTransport {
+    /// How long the *initial* connect keeps retrying before giving up —
+    /// generous because runners and workers usually start together and
+    /// the worker may not have bound its listener yet.
+    pub const DEFAULT_CONNECT_WINDOW: Duration = Duration::from_secs(10);
+
+    /// A transport that dials `addr` (e.g. `127.0.0.1:7401`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        TcpTransport {
+            addr: addr.into(),
+            connect_window: Self::DEFAULT_CONNECT_WINDOW,
+            connected_before: false,
+        }
+    }
+
+    /// Overrides the initial-connect retry window.
+    pub fn connect_window(mut self, window: Duration) -> Self {
+        self.connect_window = window;
+        self
+    }
+}
+
+struct TcpControl {
+    stream: TcpStream,
+}
+
+impl ConnectionControl for TcpControl {
+    /// "Kill" over TCP reaches only the connection, not the peer: the
+    /// worker's session thread notices the dead socket at its next read
+    /// or write, but a simulation already in flight runs to completion
+    /// on the worker's CPU first (there is no remote signal to abort
+    /// it). The supervisor's replay correctness never depends on the
+    /// orphaned computation — its eventual response dies with the
+    /// connection — it is purely wasted remote work.
+    fn kill(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        // The write half is already closed (writer dropped); shutting
+        // down the rest is best-effort — the worker stays alive to
+        // serve its next session.
+        let _ = self.stream.shutdown(Shutdown::Both);
+        Ok(())
+    }
+}
+
+/// A write handle whose `Drop` half-closes the socket, mirroring how
+/// dropping a `ChildStdin` sends EOF to a subprocess — the worker's
+/// serve loop sees end-of-input and finishes the session cleanly.
+struct TcpWriteHalf(TcpStream);
+
+impl Write for TcpWriteHalf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl Drop for TcpWriteHalf {
+    fn drop(&mut self) {
+        let _ = self.0.shutdown(Shutdown::Write);
+    }
+}
+
+impl Transport for TcpTransport {
+    fn label(&self) -> String {
+        format!("tcp:{}", self.addr)
+    }
+
+    fn connect(&mut self) -> io::Result<Connection> {
+        let deadline = Instant::now() + self.connect_window;
+        let stream = loop {
+            match TcpStream::connect(&self.addr) {
+                Ok(stream) => break stream,
+                // After a worker failure a reconnect gets one shot: a
+                // freshly dead worker does not come back by itself, and
+                // retrying would stall redistribution of its work.
+                Err(e) if self.connected_before || Instant::now() >= deadline => {
+                    return Err(e);
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        };
+        self.connected_before = true;
+        stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone()?;
+        let control = TcpControl {
+            stream: stream.try_clone()?,
+        };
+        Ok(Connection {
+            writer: Box::new(TcpWriteHalf(stream)),
+            reader: Box::new(BufReader::new(ReadHalf(read_half))),
+            control: Box::new(control),
+        })
+    }
+}
+
+/// A read handle over a cloned stream (keeps the reader thread's
+/// borrow separate from the writer's).
+struct ReadHalf(TcpStream);
+
+impl Read for ReadHalf {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn tcp_transport_retries_until_the_listener_binds() {
+        // Reserve a port, then release it so the first connects fail.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        drop(listener);
+
+        let addr2 = addr.clone();
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            // Retry the rebind: a concurrent test could briefly grab
+            // the port during the release window above.
+            let listener = loop {
+                match TcpListener::bind(&addr2) {
+                    Ok(l) => break l,
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            };
+            let (mut sock, _) = listener.accept().expect("accept");
+            sock.write_all(b"{\"ok\":true}\n").expect("write");
+        });
+
+        let mut transport = TcpTransport::new(addr).connect_window(Duration::from_secs(5));
+        let mut conn = transport.connect().expect("connect retried until bind");
+        let mut line = String::new();
+        conn.reader.read_line(&mut line).expect("read");
+        assert_eq!(line, "{\"ok\":true}\n");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn tcp_reconnect_after_success_fails_fast_when_the_peer_is_gone() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let _ = listener.accept();
+        });
+
+        let mut transport = TcpTransport::new(addr).connect_window(Duration::from_secs(5));
+        let conn = transport.connect().expect("first connect");
+        drop(conn);
+        server.join().expect("server thread");
+        // The listener is gone; a reconnect must not burn the whole
+        // retry window.
+        let start = Instant::now();
+        assert!(transport.connect().is_err());
+        assert!(
+            start.elapsed() < Duration::from_secs(4),
+            "reconnect retried instead of failing fast"
+        );
+    }
+
+    #[test]
+    fn pipe_transport_labels_name_the_binary() {
+        let t = PipeTransport::new(PathBuf::from("/x/y/firm-fleet-worker"));
+        assert_eq!(t.label(), "pipe:firm-fleet-worker");
+        assert_eq!(TcpTransport::new("1.2.3.4:7").label(), "tcp:1.2.3.4:7");
+    }
+}

@@ -1,0 +1,378 @@
+//! The worker side of the fleet protocol: one serve loop, two front
+//! ends.
+//!
+//! [`serve_session`] is the entire worker: write a [`WorkerHello`],
+//! start a heartbeat ticker, then `decode → run_one_with → encode` each
+//! [`WorkerRequest`] until the input stream ends. The `firm-fleet-worker`
+//! binary wraps it twice:
+//!
+//! * **stdio mode** (default) — one session over stdin/stdout, spawned
+//!   and owned by a coordinator's [`crate::transport::PipeTransport`];
+//! * **TCP mode** (`--listen addr`) — a [`listen`] accept loop serving
+//!   one session per connection, each on its own thread, so a wedged or
+//!   abandoned session never blocks the next coordinator from
+//!   connecting.
+//!
+//! The worker is deliberately dumb: no seed derivation, no ordering, no
+//! training, no retries. All of that stays at the coordinator, which is
+//! what lets the multi-node fleet stay bit-identical to the in-process
+//! one — a worker can only compute `run_one_with(scenario, seed,
+//! policy)`, and that function is a pure function of its frame.
+
+use std::io::{BufRead, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::exec::run_one_with;
+use crate::protocol::{
+    WorkerHeartbeat, WorkerHello, WorkerMessage, WorkerRequest, WorkerResponse, PROTOCOL_VERSION,
+};
+
+/// Knobs for one worker session.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Interval between heartbeat frames in milliseconds; 0 disables
+    /// heartbeats (the supervisor then relies on the per-request
+    /// timeout alone).
+    pub heartbeat_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { heartbeat_ms: 200 }
+    }
+}
+
+/// Why a session ended abnormally.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A frame failed to parse or decode — a coordinator bug or
+    /// version skew; the session cannot safely continue.
+    BadFrame(String),
+    /// The byte stream itself failed (peer vanished mid-frame).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadFrame(msg) => write!(f, "bad request frame: {msg}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Serves one coordinator session: handshake, heartbeats, then one
+/// [`WorkerResponse`] per [`WorkerRequest`] until EOF.
+///
+/// The writer is shared between the job loop and the heartbeat ticker
+/// behind a mutex; both always write whole newline-terminated frames,
+/// so the output stream is a valid frame sequence under any
+/// interleaving. Control frames carry no results, so that interleaving
+/// is invisible in the fleet report.
+pub fn serve_session<R, W>(reader: R, writer: W, opts: &ServeOptions) -> Result<(), ServeError>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let writer = Arc::new(Mutex::new(writer));
+    write_frame(
+        &writer,
+        &WorkerMessage::Hello(WorkerHello {
+            protocol: PROTOCOL_VERSION,
+            pid: std::process::id() as u64,
+            heartbeat_ms: opts.heartbeat_ms,
+        }),
+    )?;
+
+    // The heartbeat ticker: runs for the whole session, reporting which
+    // catalog index (if any) the job loop is currently inside. -1 in
+    // the atomic means idle.
+    let busy = Arc::new(AtomicI64::new(-1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ticker = (opts.heartbeat_ms > 0).then(|| {
+        let writer = Arc::clone(&writer);
+        let busy = Arc::clone(&busy);
+        let stop = Arc::clone(&stop);
+        let interval = Duration::from_millis(opts.heartbeat_ms);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let index = busy.load(Ordering::Relaxed);
+            let frame = WorkerMessage::Heartbeat(WorkerHeartbeat {
+                busy: (index >= 0).then_some(index as u64),
+            });
+            // A write failure means the coordinator hung up; the job
+            // loop will hit the same wall and end the session.
+            if write_frame(&writer, &frame).is_err() {
+                break;
+            }
+        })
+    });
+
+    let result = serve_jobs(reader, &writer, &busy);
+
+    stop.store(true, Ordering::Relaxed);
+    if let Some(ticker) = ticker {
+        let _ = ticker.join();
+    }
+    result
+}
+
+/// The job loop proper: decode, run, respond.
+fn serve_jobs<R: BufRead, W: Write>(
+    reader: R,
+    writer: &Mutex<W>,
+    busy: &AtomicI64,
+) -> Result<(), ServeError> {
+    // The policy shipped by an earlier frame on this session; later
+    // frames reference it with `reuse_policy` instead of re-sending
+    // the weights.
+    let mut cached_policy = None;
+    for line in reader.lines() {
+        let line = line.map_err(ServeError::Io)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: WorkerRequest =
+            firm_wire::decode_line(&line).map_err(|e| ServeError::BadFrame(e.to_string()))?;
+        let policy = if req.reuse_policy {
+            if cached_policy.is_none() {
+                return Err(ServeError::BadFrame(format!(
+                    "frame {} sets reuse_policy but no earlier frame carried a policy",
+                    req.index
+                )));
+            }
+            cached_policy.as_ref()
+        } else {
+            // Move, not clone: the checkpoint is a full weight set and
+            // `req.policy` is never read again.
+            cached_policy = req.policy;
+            cached_policy.as_ref()
+        };
+
+        test_hooks(req.index);
+        busy.store(req.index as i64, Ordering::Relaxed);
+        let (outcome, experience) = run_one_with(&req.scenario, req.seed, policy);
+        busy.store(-1, Ordering::Relaxed);
+
+        write_frame(
+            writer,
+            &WorkerMessage::Response(Box::new(WorkerResponse {
+                index: req.index,
+                outcome,
+                experience,
+            })),
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes one whole frame under the lock and flushes, so heartbeat and
+/// response frames never interleave mid-line.
+fn write_frame<W: Write>(writer: &Mutex<W>, msg: &WorkerMessage) -> Result<(), ServeError> {
+    let frame = firm_wire::encode_line(msg);
+    let mut w = writer.lock().expect("writer lock");
+    w.write_all(frame.as_bytes()).map_err(ServeError::Io)?;
+    w.flush().map_err(ServeError::Io)
+}
+
+/// Failure-injection hooks for the supervision tests, inert unless the
+/// corresponding environment variable is set. Both are "once" hooks
+/// latched through exclusive file creation, so exactly one worker
+/// process in a pool fires them no matter how jobs get dispatched or
+/// how many times the supervisor restarts a worker:
+///
+/// * `FIRM_FLEET_TEST_CRASH_ONCE=<latch-path>:<index>` — the first
+///   worker to *receive* the given catalog index exits with code 3
+///   before running it (a crash mid-catalog);
+/// * `FIRM_FLEET_TEST_WEDGE_ONCE=<latch-path>:<index>:<millis>` — the
+///   first worker to receive the index sleeps that long before running
+///   it, while its heartbeat ticker keeps beating (a wedged-but-alive
+///   worker, the per-request-timeout case).
+fn test_hooks(index: u64) {
+    fn parse(var: &str) -> Option<(String, u64, Vec<u64>)> {
+        let raw = std::env::var(var).ok()?;
+        let mut parts = raw.split(':');
+        let latch = parts.next()?.to_string();
+        let index = parts.next()?.parse().ok()?;
+        let rest = parts.filter_map(|p| p.parse().ok()).collect();
+        Some((latch, index, rest))
+    }
+    /// True the first time any process claims the latch path.
+    fn claim(latch: &str) -> bool {
+        std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(latch)
+            .is_ok()
+    }
+
+    if let Some((latch, at, _)) = parse("FIRM_FLEET_TEST_CRASH_ONCE") {
+        if index == at && claim(&latch) {
+            eprintln!("firm-fleet-worker: test hook crashing on index {index}");
+            std::process::exit(3);
+        }
+    }
+    if let Some((latch, at, rest)) = parse("FIRM_FLEET_TEST_WEDGE_ONCE") {
+        if index == at && claim(&latch) {
+            let ms = rest.first().copied().unwrap_or(3_600_000);
+            eprintln!("firm-fleet-worker: test hook wedging on index {index} for {ms}ms");
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+}
+
+/// Binds `addr` and serves one session per inbound connection, each on
+/// its own thread, forever. This is the multi-node worker entry point
+/// (`firm-fleet-worker --listen addr`).
+///
+/// A session that ends with an error (malformed frame, vanished peer)
+/// is logged to stderr and dropped; the listener keeps accepting — a
+/// supervisor reconnecting after it killed a wedged session must always
+/// find the worker ready.
+pub fn listen(addr: &str, opts: ServeOptions) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!(
+        "firm-fleet-worker: listening on {} (protocol v{PROTOCOL_VERSION}, heartbeat {}ms)",
+        listener.local_addr()?,
+        opts.heartbeat_ms,
+    );
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("firm-fleet-worker: accept failed: {e}");
+                continue;
+            }
+        };
+        let opts = opts.clone();
+        std::thread::spawn(move || serve_tcp_session(stream, &opts));
+    }
+    Ok(())
+}
+
+fn serve_tcp_session(stream: TcpStream, opts: &ServeOptions) {
+    stream.set_nodelay(true).ok();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".to_string());
+    let reader = match stream.try_clone() {
+        Ok(read_half) => std::io::BufReader::new(read_half),
+        Err(e) => {
+            eprintln!("firm-fleet-worker: clone stream for {peer}: {e}");
+            return;
+        }
+    };
+    match serve_session(reader, stream, opts) {
+        Ok(()) => {}
+        Err(e) => eprintln!("firm-fleet-worker: session with {peer} failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::scenario_seed;
+    use crate::scenario::builtin_catalog;
+    use firm_sim::SimDuration;
+
+    /// Drives one in-memory session end to end: the handshake arrives
+    /// first, every request gets a response, and heartbeats (if any)
+    /// are valid frames interleaved at line granularity.
+    #[test]
+    fn a_session_handshakes_then_answers_every_request() {
+        let scenario = builtin_catalog()
+            .remove(4)
+            .with_duration(SimDuration::from_secs(4));
+        let frames: String = (0..2)
+            .map(|i| {
+                firm_wire::encode_line(&WorkerRequest {
+                    index: i,
+                    seed: scenario_seed(3, i as usize),
+                    scenario: scenario.clone(),
+                    policy: None,
+                    reuse_policy: false,
+                })
+            })
+            .collect();
+
+        let out = SharedBuf::default();
+        serve_session(
+            frames.as_bytes(),
+            out.clone(),
+            &ServeOptions { heartbeat_ms: 1 },
+        )
+        .expect("session serves");
+
+        let text = out.take();
+        let mut hello = None;
+        let mut responses = Vec::new();
+        let mut heartbeats = 0;
+        for line in text.lines() {
+            match firm_wire::decode_line::<WorkerMessage>(line).expect("valid frame") {
+                WorkerMessage::Hello(h) => {
+                    assert!(responses.is_empty(), "hello after a response");
+                    hello = Some(h);
+                }
+                WorkerMessage::Heartbeat(_) => heartbeats += 1,
+                WorkerMessage::Response(r) => responses.push(r.index),
+            }
+        }
+        let hello = hello.expect("session sent a hello");
+        assert_eq!(hello.protocol, PROTOCOL_VERSION);
+        assert_eq!(hello.heartbeat_ms, 1);
+        assert_eq!(responses, vec![0, 1]);
+        assert!(heartbeats > 0, "1ms ticker never beat during two sims");
+    }
+
+    #[test]
+    fn reuse_policy_without_a_cached_policy_is_a_bad_frame() {
+        let scenario = builtin_catalog()
+            .remove(4)
+            .with_duration(SimDuration::from_secs(4));
+        let frame = firm_wire::encode_line(&WorkerRequest {
+            index: 0,
+            seed: 1,
+            scenario,
+            policy: None,
+            reuse_policy: true,
+        });
+        let err = serve_session(
+            frame.as_bytes(),
+            SharedBuf::default(),
+            &ServeOptions { heartbeat_ms: 0 },
+        )
+        .expect_err("session must reject the frame");
+        assert!(matches!(err, ServeError::BadFrame(_)), "{err}");
+    }
+
+    /// A cloneable in-memory sink (`serve_session` wants `W: Send +
+    /// 'static`, which rules out `&mut Vec<u8>`).
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn take(&self) -> String {
+            String::from_utf8(std::mem::take(&mut self.0.lock().unwrap())).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+}

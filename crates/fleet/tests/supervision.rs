@@ -1,0 +1,191 @@
+//! Multi-node supervision: a fleet sharded over TCP workers must be
+//! *bit-identical* to the in-process and subprocess paths — report
+//! bytes, digest, pooled experience, trained shared-agent weights, and
+//! round-trip policy bytes — even when a worker crashes or wedges
+//! mid-catalog and the supervisor re-dispatches its scenarios.
+//!
+//! These tests spawn real `firm-fleet-worker --listen` processes and
+//! inject real failures through the worker's latch-file test hooks
+//! (`FIRM_FLEET_TEST_CRASH_ONCE` / `FIRM_FLEET_TEST_WEDGE_ONCE` — see
+//! `crates/fleet/src/worker.rs`): a crash kills the whole worker
+//! process the moment it receives a chosen catalog index; a wedge makes
+//! it sit on the scenario far past the per-request timeout while its
+//! heartbeats keep flowing. Both hooks latch through exclusive file
+//! creation, so exactly one worker fails no matter how the idle-queue
+//! dispatch distributed the catalog.
+
+mod util;
+
+use std::path::Path;
+
+use firm_fleet::{FleetConfig, FleetRunner};
+use util::{full_catalog, latch_path, TcpWorker};
+
+fn base_config(seed: u64, train_steps: usize) -> FleetConfig {
+    FleetConfig {
+        threads: 2,
+        worker_bin: Some(util::worker_bin()),
+        seed,
+        train_steps,
+        ..FleetConfig::default()
+    }
+}
+
+/// The ISSUE's acceptance criterion, zero-failure half: the full
+/// catalog over 2 TCP workers reproduces the in-process *and*
+/// subprocess results bit for bit.
+#[test]
+fn tcp_fleet_matches_in_process_and_subprocess_bit_for_bit() {
+    let scenarios = full_catalog(4);
+    let in_process = FleetRunner::new(base_config(2026, 48)).run(&scenarios);
+    let subprocess = FleetRunner::new(base_config(2026, 48).workers(2)).run(&scenarios);
+
+    let workers = [TcpWorker::spawn(&[]), TcpWorker::spawn(&[])];
+    let addrs: Vec<&str> = workers.iter().map(|w| w.addr.as_str()).collect();
+    let tcp = FleetRunner::new(base_config(2026, 48).remote_workers(&addrs)).run(&scenarios);
+
+    for (label, other) in [("subprocess", &subprocess), ("tcp", &tcp)] {
+        assert_eq!(
+            in_process.report.to_json(),
+            other.report.to_json(),
+            "report bytes diverged on the {label} path"
+        );
+        assert_eq!(in_process.report.digest(), other.report.digest());
+        assert_eq!(
+            in_process.pooled, other.pooled,
+            "pooled experience diverged on the {label} path"
+        );
+        assert_eq!(
+            in_process.estimator.shared_agent().export_weights(),
+            other.estimator.shared_agent().export_weights(),
+            "trained shared-agent weights diverged on the {label} path"
+        );
+    }
+}
+
+/// Round trip over TCP: the frozen policy bytes and the combined
+/// report reproduce the in-process run exactly.
+#[test]
+fn tcp_round_trip_reproduces_policy_bytes_and_digest() {
+    let scenarios: Vec<_> = full_catalog(4).into_iter().take(3).collect();
+    let in_process = FleetRunner::new(base_config(77, 32)).run_round_trip(&scenarios);
+
+    let workers = [TcpWorker::spawn(&[]), TcpWorker::spawn(&[])];
+    let addrs: Vec<&str> = workers.iter().map(|w| w.addr.as_str()).collect();
+    let tcp =
+        FleetRunner::new(base_config(77, 32).remote_workers(&addrs)).run_round_trip(&scenarios);
+
+    assert_eq!(
+        in_process.policy, tcp.policy,
+        "frozen policy bytes diverged over TCP"
+    );
+    assert_eq!(in_process.policy.digest(), tcp.policy.digest());
+    assert_eq!(in_process.report().to_json(), tcp.report().to_json());
+    assert_eq!(in_process.report().digest(), tcp.report().digest());
+    assert_eq!(
+        tcp.deploy.totals.transitions, 0,
+        "TCP deploy pass was not pure inference"
+    );
+}
+
+/// The acceptance criterion's failure half: a worker process dies the
+/// moment it receives a mid-catalog scenario. The supervisor detects
+/// the closed stream, fails its reconnect (the process is gone),
+/// retires the slot, and re-dispatches the scenario to the survivor —
+/// and every output byte still matches the zero-failure run.
+#[test]
+fn tcp_worker_killed_mid_catalog_leaves_all_bytes_identical() {
+    let scenarios = full_catalog(4);
+    let baseline = FleetRunner::new(base_config(99, 48)).run(&scenarios);
+
+    // Both workers carry the hook; the shared latch fires it exactly
+    // once, on whichever worker the idle queue hands index 5 first.
+    let latch = latch_path("tcp-crash");
+    let hook = format!("{latch}:5");
+    let envs = [("FIRM_FLEET_TEST_CRASH_ONCE", hook.as_str())];
+    let workers = [TcpWorker::spawn(&envs), TcpWorker::spawn(&envs)];
+    let addrs: Vec<&str> = workers.iter().map(|w| w.addr.as_str()).collect();
+    let tcp = FleetRunner::new(base_config(99, 48).remote_workers(&addrs)).run(&scenarios);
+
+    assert!(
+        Path::new(&latch).exists(),
+        "the crash hook never fired — this run exercised nothing"
+    );
+    assert_eq!(
+        baseline.report.to_json(),
+        tcp.report.to_json(),
+        "report bytes changed after a worker was killed mid-catalog"
+    );
+    assert_eq!(baseline.report.digest(), tcp.report.digest());
+    assert_eq!(
+        baseline.pooled, tcp.pooled,
+        "pooled experience changed after a worker was killed mid-catalog"
+    );
+    assert_eq!(
+        baseline.estimator.shared_agent().export_weights(),
+        tcp.estimator.shared_agent().export_weights(),
+        "trained weights changed after a worker was killed mid-catalog"
+    );
+    let _ = std::fs::remove_file(&latch);
+}
+
+/// The timeout path: a worker wedges on one scenario (sleeping far past
+/// the per-request timeout while its heartbeats keep flowing). The
+/// supervisor kills the session at the deadline, reconnects to the
+/// still-alive worker, and replays the scenario on the other one —
+/// bit-identically.
+#[test]
+fn tcp_wedged_worker_times_out_and_its_scenario_replays_identically() {
+    let scenarios: Vec<_> = full_catalog(4).into_iter().take(6).collect();
+    let baseline = FleetRunner::new(base_config(41, 32)).run(&scenarios);
+
+    let latch = latch_path("tcp-wedge");
+    // Sleep 10 minutes on index 3 — hit only if supervision is broken.
+    let hook = format!("{latch}:3:600000");
+    let envs = [("FIRM_FLEET_TEST_WEDGE_ONCE", hook.as_str())];
+    let workers = [TcpWorker::spawn(&envs), TcpWorker::spawn(&envs)];
+    let addrs: Vec<&str> = workers.iter().map(|w| w.addr.as_str()).collect();
+    let tcp = FleetRunner::new(
+        base_config(41, 32)
+            .remote_workers(&addrs)
+            .request_timeout_ms(3_000),
+    )
+    .run(&scenarios);
+
+    assert!(
+        Path::new(&latch).exists(),
+        "the wedge hook never fired — this run exercised nothing"
+    );
+    assert_eq!(
+        baseline.report.to_json(),
+        tcp.report.to_json(),
+        "report bytes changed after a wedged worker timed out"
+    );
+    assert_eq!(baseline.report.digest(), tcp.report.digest());
+    assert_eq!(baseline.pooled, tcp.pooled);
+    assert_eq!(
+        baseline.estimator.shared_agent().export_weights(),
+        tcp.estimator.shared_agent().export_weights(),
+    );
+    let _ = std::fs::remove_file(&latch);
+}
+
+/// A mixed pool — one subprocess pipe, one TCP worker — drains the same
+/// catalog to the same bytes. (Transports are interchangeable per
+/// worker, not just per fleet.)
+#[test]
+fn mixed_pipe_and_tcp_pool_is_bit_identical() {
+    let scenarios: Vec<_> = full_catalog(4).into_iter().take(5).collect();
+    let baseline = FleetRunner::new(base_config(7, 16)).run(&scenarios);
+
+    let worker = TcpWorker::spawn(&[]);
+    let mixed = FleetRunner::new(
+        base_config(7, 16)
+            .workers(1)
+            .remote_workers(&[worker.addr.as_str()]),
+    )
+    .run(&scenarios);
+
+    assert_eq!(baseline.report.to_json(), mixed.report.to_json());
+    assert_eq!(baseline.pooled, mixed.pooled);
+}

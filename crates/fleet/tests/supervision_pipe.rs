@@ -1,0 +1,60 @@
+//! Restart-and-replay on the subprocess transport: a pipe worker that
+//! crashes mid-catalog is *respawned* by the supervisor (the pipe
+//! transport's reconnect spawns a fresh `firm-fleet-worker`), its
+//! in-flight scenario replays on another worker, and the fleet's output
+//! stays bit-identical.
+//!
+//! This lives in its own integration-test binary because the crash hook
+//! must travel to supervisor-spawned subprocesses through the ambient
+//! environment (`std::env::set_var`), which would race with any other
+//! test spawning workers in the same process.
+
+mod util;
+
+use std::path::Path;
+
+use firm_fleet::{FleetConfig, FleetRunner};
+use util::{full_catalog, latch_path};
+
+#[test]
+fn pipe_worker_crash_is_respawned_and_its_scenario_replays_identically() {
+    let scenarios = full_catalog(4);
+    let config = |seed| FleetConfig {
+        threads: 2,
+        worker_bin: Some(util::worker_bin()),
+        seed,
+        train_steps: 48,
+        ..FleetConfig::default()
+    };
+    let baseline = FleetRunner::new(config(123)).run(&scenarios);
+
+    // Every spawned worker inherits the hook; the latch fires it once,
+    // in whichever subprocess receives catalog index 4 first. That
+    // worker exits 3, the supervisor respawns the slot, and index 4
+    // replays on the other worker (the failed slot is excluded).
+    let latch = latch_path("pipe-crash");
+    std::env::set_var("FIRM_FLEET_TEST_CRASH_ONCE", format!("{latch}:4"));
+    let supervised = FleetRunner::new(config(123).workers(2)).run(&scenarios);
+    std::env::remove_var("FIRM_FLEET_TEST_CRASH_ONCE");
+
+    assert!(
+        Path::new(&latch).exists(),
+        "the crash hook never fired — this run exercised nothing"
+    );
+    assert_eq!(
+        baseline.report.to_json(),
+        supervised.report.to_json(),
+        "report bytes changed after a pipe worker crashed mid-catalog"
+    );
+    assert_eq!(baseline.report.digest(), supervised.report.digest());
+    assert_eq!(
+        baseline.pooled, supervised.pooled,
+        "pooled experience changed after a pipe worker crashed mid-catalog"
+    );
+    assert_eq!(
+        baseline.estimator.shared_agent().export_weights(),
+        supervised.estimator.shared_agent().export_weights(),
+        "trained weights changed after a pipe worker crashed mid-catalog"
+    );
+    let _ = std::fs::remove_file(&latch);
+}

@@ -1,0 +1,94 @@
+//! Shared plumbing for the supervision/subprocess integration tests:
+//! spawning real `firm-fleet-worker` processes (TCP mode) and building
+//! failure-hook latch paths.
+
+// Each integration-test binary compiles its own copy of this module
+// and uses a different subset of it.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use firm_fleet::{builtin_catalog, Scenario};
+use firm_sim::SimDuration;
+
+/// The worker binary cargo built alongside this test.
+pub fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_firm-fleet-worker"))
+}
+
+/// The full builtin catalog, shortened for test runtime.
+pub fn full_catalog(secs: u64) -> Vec<Scenario> {
+    builtin_catalog()
+        .into_iter()
+        .map(|s| s.with_duration(SimDuration::from_secs(secs)))
+        .collect()
+}
+
+/// A fresh latch path for the worker failure hooks (`*_ONCE` env
+/// vars): unique per test, guaranteed not to exist yet.
+pub fn latch_path(name: &str) -> String {
+    let path = std::env::temp_dir().join(format!(
+        "firm-fleet-test-{}-{name}.latch",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path.to_string_lossy().into_owned()
+}
+
+/// One spawned `firm-fleet-worker --listen` process. Killed on drop.
+pub struct TcpWorker {
+    child: Child,
+    /// The `host:port` the worker actually bound (OS-assigned port).
+    pub addr: String,
+}
+
+impl TcpWorker {
+    /// Spawns a TCP worker on an OS-assigned port with extra
+    /// environment (the failure hooks), and reads the bound address
+    /// back from its startup line.
+    pub fn spawn(envs: &[(&str, &str)]) -> TcpWorker {
+        let mut cmd = Command::new(worker_bin());
+        cmd.args(["--listen", "127.0.0.1:0"])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn firm-fleet-worker --listen");
+        let stderr = child.stderr.take().expect("worker stderr piped");
+        let mut lines = BufReader::new(stderr);
+        let mut first = String::new();
+        lines
+            .read_line(&mut first)
+            .expect("read worker startup line");
+        // "firm-fleet-worker: listening on 127.0.0.1:PORT (protocol ...)"
+        let addr = first
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unexpected worker startup line: {first:?}"))
+            .to_string();
+        // Keep draining stderr so hook/session logs can't fill the pipe.
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            loop {
+                sink.clear();
+                match lines.read_line(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+        });
+        TcpWorker { child, addr }
+    }
+}
+
+impl Drop for TcpWorker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}

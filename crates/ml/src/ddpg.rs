@@ -350,7 +350,7 @@ impl DdpgAgent {
     /// lines 11–15). Returns `None` when the replay buffer holds fewer
     /// than one batch.
     ///
-    /// Runs entirely on [`TrainScratch`] workspaces: after the first
+    /// Runs entirely on preallocated `TrainScratch` workspaces: after the first
     /// call no matrix is allocated, and the arithmetic (operand values,
     /// per-element fold order) is identical to the allocating
     /// formulation, so trained weights stay bit-for-bit reproducible.

@@ -1,7 +1,7 @@
 //! The workspace's single canonical PRNG core.
 //!
 //! Every deterministic stream in the reproduction — the simulator's
-//! [`firm_sim::SimRng`]-style draws, the ML stack's weight init and
+//! `firm_sim::SimRng`-style draws, the ML stack's weight init and
 //! exploration noise, the fleet's per-scenario seed derivation — is
 //! defined by the *byte-level* output of exactly one generator:
 //! xoshiro256++ (Blackman & Vigna) seeded through SplitMix64. Keeping

@@ -83,7 +83,7 @@ pub fn node_peers<'a>(
 /// Effective rate of `target` on resource `kind`.
 ///
 /// `peers` must contain every instance placed on the node, including the
-/// target itself. The returned rate is never below [`RATE_FLOOR_FRAC`] of
+/// target itself. The returned rate is never below `RATE_FLOOR_FRAC` of
 /// capacity, so service times stay finite under full saturation.
 pub fn effective_rate(
     node: &Node,

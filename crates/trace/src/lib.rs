@@ -9,7 +9,7 @@
 //! * [`graph::ExecutionHistoryGraph`] — the space-time DAG of one request
 //!   (Definition 2.2), with workflow classification (sequential /
 //!   parallel / background, §3.2).
-//! * [`critical_path`] — Algorithm 1: weighted longest-path extraction
+//! * [`mod@critical_path`] — Algorithm 1: weighted longest-path extraction
 //!   with `lastReturnedChild` and happens-before recursion.
 //! * [`store::TraceStore`] — a bounded in-memory property-graph store
 //!   standing in for the paper's Neo4j instance.

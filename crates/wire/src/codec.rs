@@ -183,6 +183,14 @@ impl Obj {
         Obj(Vec::new())
     }
 
+    /// Starts a tagged-union frame: an object whose first field is
+    /// `"type": tag`. The shape every control-plane frame in the fleet
+    /// protocol uses (handshake, heartbeat, response envelope), decoded
+    /// by dispatching on [`JsonValue::tag`].
+    pub fn tagged(tag: &str) -> Self {
+        Obj::new().field("type", tag)
+    }
+
     /// Appends a field.
     pub fn field(mut self, key: &str, value: impl WireEncode) -> Self {
         self.0.push((key.to_string(), value.encode()));
@@ -221,6 +229,19 @@ impl JsonValue {
         match self {
             JsonValue::Str(s) => Ok(s),
             other => Err(DecodeError::expected("string", other)),
+        }
+    }
+
+    /// The discriminant of a tagged-union frame: the object's `"type"`
+    /// field, as built by [`Obj::tagged`]. Decoders for frame enums
+    /// dispatch on this before reading the variant's fields.
+    pub fn tag(&self) -> Result<&str, DecodeError> {
+        match self {
+            JsonValue::Object(_) => match self.get("type") {
+                Some(v) => v.as_str().context("type"),
+                None => Err(DecodeError::new("missing field").push_segment("type")),
+            },
+            other => Err(DecodeError::expected("object", other)),
         }
     }
 }
@@ -491,6 +512,18 @@ mod tests {
         assert!(frame.ends_with('\n'));
         let back: String = decode_line(&frame).unwrap();
         assert_eq!(back, "two\nlines");
+    }
+
+    #[test]
+    fn tagged_frames_expose_their_discriminant() {
+        let frame = Obj::tagged("heartbeat").field("busy", 3u64).build();
+        assert_eq!(frame.render(), r#"{"type":"heartbeat","busy":3}"#);
+        assert_eq!(frame.tag().unwrap(), "heartbeat");
+
+        let untagged = Obj::new().field("busy", 3u64).build();
+        let err = untagged.tag().unwrap_err();
+        assert_eq!(err.path, "type");
+        assert!(JsonValue::Null.tag().is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! * [`JsonValue`] — a small owned document model with deterministic
 //!   rendering (insertion-ordered objects, shortest round-trip floats,
 //!   exact full-range `u64` integers);
-//! * [`parse`] — a hand-rolled recursive-descent JSON parser with
+//! * [`mod@parse`] — a hand-rolled recursive-descent JSON parser with
 //!   spanned errors ([`ParseError`] carries byte offset, line, and
 //!   column) and a nesting-depth cap so malformed or hostile input
 //!   returns `Err` instead of panicking;
@@ -21,6 +21,11 @@
 //!
 //! No external dependencies, consistent with the workspace's
 //! offline-build rule.
+//!
+//! Everything public here is documented and `#![warn(missing_docs)]`
+//! keeps it that way — this crate and `firm-fleet` are the two whose
+//! public surface *is* the deployment contract (frames on real
+//! sockets), so an undocumented item is an operator-facing hole.
 //!
 //! # Example
 //!
@@ -50,6 +55,8 @@
 //! assert_eq!(bytes, r#"{"seed":18446744073709551615,"rate":2.5}"#);
 //! assert_eq!(decode_string::<Sample>(&bytes).unwrap(), x);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod codec;
 pub mod parse;

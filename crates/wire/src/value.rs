@@ -3,7 +3,7 @@
 //! [`JsonValue`] is the meeting point of the codec's two halves: typed
 //! values encode *into* it ([`crate::WireEncode`]) and decode back *out*
 //! of it ([`crate::WireDecode`]), while [`JsonValue::render`] and
-//! [`crate::parse`] move it across the text boundary. Rendering is
+//! [`fn@crate::parse`] move it across the text boundary. Rendering is
 //! deterministic — object fields keep insertion order, floats use
 //! Rust's shortest round-trip `Display` — so two equal values always
 //! produce equal bytes, which is what lets fleet reports keep their
@@ -143,7 +143,7 @@ impl JsonValue {
 /// The workspace's one JSON string escaper: quotes, backslashes, the
 /// named control escapes, and a `\u00XX` fallback for the rest of the
 /// control range. Everything else — including non-ASCII — passes
-/// through as UTF-8; [`crate::parse`] is its exact inverse.
+/// through as UTF-8; [`fn@crate::parse`] is its exact inverse.
 pub fn escape_into(out: &mut String, s: &str) {
     // Writing to a `String` is infallible.
     let _ = escape_to(out, s);
