@@ -23,6 +23,13 @@
 //! multi-node transport's digest-parity check (see README "Deploying
 //! multi-node").
 //!
+//! Observability riders: `--log-level LEVEL` filters the `firm_obs`
+//! event stream (overrides `FIRM_LOG`), and `--obs-out PATH` writes the
+//! buffered events plus the final run's `OpsReport` as firm-wire JSONL
+//! — the export CI validates with `obs-check`. Neither can move a
+//! report byte: observability is out-of-band by construction (see
+//! `tests/obs_determinism.rs`).
+//!
 //! Note: speedup is bounded by the host's core count; on a single-core
 //! container every thread count measures ≈1×. The JSON records
 //! `host_cores` so readers can judge the headroom.
@@ -30,7 +37,7 @@
 use std::time::Instant;
 
 use firm_bench::{banner, Args};
-use firm_fleet::{builtin_catalog, FleetConfig, FleetRunner, Scenario};
+use firm_fleet::{builtin_catalog, FleetConfig, FleetRunner, OpsReport, Scenario};
 use firm_sim::SimDuration;
 use firm_wire::{JsonValue, Obj};
 
@@ -40,6 +47,7 @@ struct Measurement {
     sim_ticks: u64,
     requests: u64,
     digest: u64,
+    ops: OpsReport,
 }
 
 fn run_once(scenarios: &[Scenario], threads: usize, seed: u64) -> Measurement {
@@ -66,6 +74,7 @@ fn run_config(scenarios: &[Scenario], config: FleetConfig) -> Measurement {
         sim_ticks: result.report.scenarios.iter().map(|s| s.ticks).sum(),
         requests: result.report.totals.completions,
         digest: result.report.digest(),
+        ops: result.ops,
     }
 }
 
@@ -81,6 +90,13 @@ fn main() {
     let seed = args.u64("seed", 7);
     let take = args.u64("scenarios", u64::MAX) as usize;
     let out_path = args.get("out").unwrap_or("BENCH_fleet.json").to_string();
+    let obs_out = args.get("obs-out").map(str::to_string);
+    if let Some(raw) = args.get("log-level") {
+        match firm_obs::parse_filter(raw) {
+            Ok(level) => firm_obs::set_level(level),
+            Err(e) => panic!("--log-level: {e}"),
+        }
+    }
 
     let scenarios: Vec<Scenario> = builtin_catalog()
         .into_iter()
@@ -213,6 +229,21 @@ fn main() {
     let mut json = doc.build().render();
     json.push('\n');
     std::fs::write(&out_path, &json).expect("write BENCH_fleet.json");
+
+    // Observability export: every buffered event, then the richest
+    // OpsReport the run produced (a sharded run's report carries
+    // per-worker session-end snapshots; a thread run's does not).
+    if let Some(path) = &obs_out {
+        let ops = tcp
+            .as_ref()
+            .or(subprocess.as_ref())
+            .map(|m| &m.ops)
+            .unwrap_or(&measurements[measurements.len() - 1].ops);
+        let mut jsonl = firm_obs::drain_events_jsonl();
+        jsonl.push_str(&firm_wire::encode_line(ops));
+        std::fs::write(path, jsonl).expect("write --obs-out file");
+        println!("wrote {path}");
+    }
     println!(
         "\nbest speedup: {:.2}x at {} threads (host has {host_cores} core(s))",
         measurements

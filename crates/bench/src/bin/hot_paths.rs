@@ -30,6 +30,7 @@ use firm_core::extractor::CriticalComponentExtractor;
 use firm_fleet::{FleetReport, ScenarioOutcome};
 use firm_ml::ddpg::{DdpgAgent, DdpgConfig, Transition};
 use firm_ml::rng::MlRng;
+use firm_obs::{Histogram, HistogramSnapshot};
 use firm_sim::spec::ClusterSpec;
 use firm_sim::{PoissonArrivals, SimDuration, Simulation};
 use firm_trace::TracingCoordinator;
@@ -41,6 +42,10 @@ struct Stage {
     wall_secs: f64,
     units: u64,
     unit: &'static str,
+    /// Per-iteration wall-time distribution (µs): one sample per sim
+    /// window, train step, or codec document — log2-bucketed, so the
+    /// percentiles are within 2× (`firm_obs` histogram semantics).
+    hist: HistogramSnapshot,
 }
 
 impl Stage {
@@ -63,18 +68,22 @@ fn sim() -> Simulation {
 /// dropped every 1s window.
 fn sim_only(secs: u64) -> Stage {
     let mut s = sim();
+    let hist = Histogram::default();
     let start = Instant::now();
     let mut requests = 0u64;
     for _ in 0..secs {
+        let window = Instant::now();
         s.run_for(SimDuration::from_secs(1));
         requests += s.drain_completed().len() as u64;
         let _ = s.drain_telemetry();
+        hist.record(window.elapsed().as_micros() as u64);
     }
     Stage {
         name: "sim_only",
         wall_secs: start.elapsed().as_secs_f64(),
         units: requests,
         unit: "requests",
+        hist: hist.snapshot(),
     }
 }
 
@@ -82,17 +91,21 @@ fn sim_only(secs: u64) -> Stage {
 fn sim_ingest(secs: u64) -> Stage {
     let mut s = sim();
     let mut coord = TracingCoordinator::new(200_000);
+    let hist = Histogram::default();
     let start = Instant::now();
     for _ in 0..secs {
+        let window = Instant::now();
         s.run_for(SimDuration::from_secs(1));
         coord.ingest(s.drain_completed());
         let _ = s.drain_telemetry();
+        hist.record(window.elapsed().as_micros() as u64);
     }
     Stage {
         name: "sim_ingest",
         wall_secs: start.elapsed().as_secs_f64(),
         units: coord.store().total_ingested(),
         unit: "requests",
+        hist: hist.snapshot(),
     }
 }
 
@@ -101,14 +114,17 @@ fn sim_extract(secs: u64) -> Stage {
     let mut s = sim();
     let mut coord = TracingCoordinator::new(200_000);
     let mut extractor = CriticalComponentExtractor::new(7);
+    let hist = Histogram::default();
     let start = Instant::now();
     let mut feature_rows = 0u64;
     for _ in 0..secs {
         let window_start = s.now();
+        let window = Instant::now();
         s.run_for(SimDuration::from_secs(1));
         coord.ingest(s.drain_completed());
         let _ = s.drain_telemetry();
         feature_rows += extractor.features(coord.traces_since(window_start)).len() as u64;
+        hist.record(window.elapsed().as_micros() as u64);
     }
     assert!(feature_rows > 0, "extractor produced no features");
     Stage {
@@ -116,6 +132,7 @@ fn sim_extract(secs: u64) -> Stage {
         wall_secs: start.elapsed().as_secs_f64(),
         units: coord.store().total_ingested(),
         unit: "requests",
+        hist: hist.snapshot(),
     }
 }
 
@@ -141,15 +158,19 @@ fn ddpg_train(steps: u64) -> Stage {
             done: false,
         });
     }
+    let hist = Histogram::default();
     let start = Instant::now();
     for _ in 0..steps {
+        let step = Instant::now();
         agent.train_step().expect("replay holds a full batch");
+        hist.record(step.elapsed().as_micros() as u64);
     }
     Stage {
         name: "ddpg_train",
         wall_secs: start.elapsed().as_secs_f64(),
         units: steps,
         unit: "train steps",
+        hist: hist.snapshot(),
     }
 }
 
@@ -183,10 +204,13 @@ fn synthetic_report() -> FleetReport {
 /// Stage 5: fleet-report wire encoding.
 fn wire_encode(iters: u64) -> Stage {
     let report = synthetic_report();
+    let hist = Histogram::default();
     let start = Instant::now();
     let mut bytes = 0usize;
     for _ in 0..iters {
+        let doc = Instant::now();
         bytes += encode_string(std::hint::black_box(&report)).len();
+        hist.record(doc.elapsed().as_micros() as u64);
     }
     assert!(bytes > 0);
     Stage {
@@ -194,6 +218,7 @@ fn wire_encode(iters: u64) -> Stage {
         wall_secs: start.elapsed().as_secs_f64(),
         units: iters,
         unit: "documents",
+        hist: hist.snapshot(),
     }
 }
 
@@ -201,16 +226,20 @@ fn wire_encode(iters: u64) -> Stage {
 fn wire_decode(iters: u64) -> Stage {
     let report = synthetic_report();
     let json = encode_string(&report);
+    let hist = Histogram::default();
     let start = Instant::now();
     for _ in 0..iters {
+        let doc = Instant::now();
         let back: FleetReport = decode_string(std::hint::black_box(&json)).expect("report decodes");
         std::hint::black_box(&back);
+        hist.record(doc.elapsed().as_micros() as u64);
     }
     Stage {
         name: "wire_decode",
         wall_secs: start.elapsed().as_secs_f64(),
         units: iters,
         unit: "documents",
+        hist: hist.snapshot(),
     }
 }
 
@@ -237,13 +266,18 @@ fn main() {
 
     for s in &stages {
         println!(
-            "{:<12} wall={:>8.3}s {:>12.0} {}/s ({:>9.2} us/{})",
+            "{:<12} wall={:>8.3}s {:>12.0} {}/s ({:>9.2} us/{})  \
+             iter p50={} p95={} p99={} max={} us",
             s.name,
             s.wall_secs,
             s.per_sec(),
             s.unit,
             s.us_per_unit(),
             s.unit.trim_end_matches('s'),
+            s.hist.p50(),
+            s.hist.p95(),
+            s.hist.p99(),
+            s.hist.max,
         );
     }
     // The layer costs the fleet actually pays: ingest and extract
@@ -267,6 +301,10 @@ fn main() {
                 .field("unit", s.unit)
                 .field("per_sec", round3(s.per_sec()))
                 .field("us_per_unit", round3(s.us_per_unit()))
+                .field("iter_p50_us", s.hist.p50())
+                .field("iter_p95_us", s.hist.p95())
+                .field("iter_p99_us", s.hist.p99())
+                .field("iter_max_us", s.hist.max)
                 .build()
         })
         .collect();

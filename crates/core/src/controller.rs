@@ -364,12 +364,15 @@ pub fn run_episode(
     let end = sim.now() + spec.duration;
     let warm_until = sim.now() + spec.warmup;
 
+    let stage_sim = firm_obs::metrics().histogram("stage.sim_us");
     while sim.now() < end {
         let window_start = sim.now();
         if let Some(inj) = injector.as_deref_mut() {
             inj.tick(sim);
         }
+        let sim_started = std::time::Instant::now();
         sim.run_for(spec.control_interval);
+        stage_sim.record(sim_started.elapsed().as_micros() as u64);
         ticks += 1;
         let measuring = sim.now() > warm_until;
 

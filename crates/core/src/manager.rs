@@ -134,6 +134,29 @@ pub struct FirmManager {
     stats: ManagerStats,
     last_telemetry: Option<TelemetryWindow>,
     experience: ExperienceLog,
+    timers: StageTimers,
+}
+
+/// Cached handles into the process-wide `firm_obs` registry, resolved
+/// once at construction so the per-tick hot path never takes the
+/// registry lock. Purely observational: nothing here feeds back into
+/// control decisions or recorded experience.
+#[derive(Debug)]
+struct StageTimers {
+    ingest: std::sync::Arc<firm_obs::Histogram>,
+    extract: std::sync::Arc<firm_obs::Histogram>,
+    train: std::sync::Arc<firm_obs::Histogram>,
+}
+
+impl StageTimers {
+    fn new() -> Self {
+        let m = firm_obs::metrics();
+        StageTimers {
+            ingest: m.histogram("stage.ingest_us"),
+            extract: m.histogram("stage.extract_us"),
+            train: m.histogram("stage.train_us"),
+        }
+    }
 }
 
 impl FirmManager {
@@ -153,6 +176,7 @@ impl FirmManager {
             stats: ManagerStats::default(),
             last_telemetry: None,
             experience: ExperienceLog::default(),
+            timers: StageTimers::new(),
             config,
         }
     }
@@ -257,8 +281,12 @@ impl FirmManager {
         self.stats.ticks += 1;
 
         // ① Ingest traces and telemetry.
+        let ingest_started = std::time::Instant::now();
         self.coordinator.ingest(completed);
         self.collector.collect(&telemetry);
+        self.timers
+            .ingest
+            .record(ingest_started.elapsed().as_micros() as u64);
 
         // ② Detect SLO violations.
         let assessment = self
@@ -272,10 +300,15 @@ impl FirmManager {
         let snapshots = Self::snapshot_map(&telemetry);
 
         // ③ Complete pending transitions with this window's outcome.
+        // Training time is the DDPG updates here plus the SVM updates in
+        // ④ — disjoint regions, summed into one per-tick sample.
+        let mut train_spent = std::time::Duration::ZERO;
+        let train_started = std::time::Instant::now();
         let pending = std::mem::take(&mut self.pending);
         for p in pending {
             self.complete_transition(p, &snapshots, assessment.sv, wc, &mix, false);
         }
+        train_spent += train_started.elapsed();
 
         // ④ Localize culprits (Alg. 2) when violating — or, in training
         // mode, on every tick so the SVM keeps learning.
@@ -283,11 +316,16 @@ impl FirmManager {
         if should_extract {
             // The extractor consumes the coordinator's stored traces by
             // reference — the window is never copied out of the store.
+            let extract_started = std::time::Instant::now();
             let features = self
                 .extractor
                 .features(self.coordinator.traces_since(window_start));
+            self.timers
+                .extract
+                .record(extract_started.elapsed().as_micros() as u64);
 
             if self.config.training {
+                let svm_started = std::time::Instant::now();
                 for f in &features {
                     // Traces can outlive instances (scale-in); skip stale
                     // references.
@@ -304,6 +342,7 @@ impl FirmManager {
                         self.experience.svm_examples.push((*f, label));
                     }
                 }
+                train_spent += svm_started.elapsed();
             }
 
             let instance_count = sim.instances().len();
@@ -386,6 +425,7 @@ impl FirmManager {
             self.coordinator.evict_before(cutoff);
         }
         self.last_telemetry = Some(telemetry);
+        self.timers.train.record(train_spent.as_micros() as u64);
         assessment
     }
 

@@ -13,22 +13,36 @@
 //! by an operator:
 //!
 //! ```sh
-//! firm-fleet-worker --listen 0.0.0.0:7401
+//! FIRM_LOG=debug firm-fleet-worker --listen 0.0.0.0:7401 --obs-out obs.jsonl
 //! ```
 //!
 //! Every session speaks the same protocol regardless of mode: a
 //! `hello` handshake frame (protocol version, pid, heartbeat interval),
 //! heartbeat frames every `--heartbeat-ms` (default 200, 0 disables),
-//! and one response frame per request. The worker is deliberately dumb:
-//! no seed derivation, no ordering, no training — `decode → simulate →
-//! encode`, which is exactly what makes a distributed fleet
-//! bit-identical to the in-process one.
+//! one response frame per request, and a `metrics` frame at session
+//! end. The worker is deliberately dumb: no seed derivation, no
+//! ordering, no training — `decode → simulate → encode`, which is
+//! exactly what makes a distributed fleet bit-identical to the
+//! in-process one.
+//!
+//! Observability: `--log-level` (or the `FIRM_LOG` env var; the flag
+//! wins) filters the structured event stream; events at `info` and
+//! above render to stderr as human-readable lines. `--obs-out PATH`
+//! writes the buffered events plus a final metrics snapshot as
+//! firm-wire JSONL on exit (stdio mode) — all of it out-of-band, never
+//! touching a result byte.
+
+use std::io::Write;
 
 use firm_fleet::worker::{listen, serve_session, ServeError, ServeOptions};
+use firm_obs::Level;
+
+const TARGET: &str = "firm-fleet-worker";
 
 fn main() {
     let mut opts = ServeOptions::default();
     let mut listen_addr: Option<String> = None;
+    let mut obs_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,6 +56,21 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--heartbeat-ms needs a number"));
             }
+            "--log-level" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| usage("--log-level needs off|error|warn|info|debug|trace"));
+                match firm_obs::parse_filter(&raw) {
+                    Ok(level) => firm_obs::set_level(level),
+                    Err(e) => usage(&e),
+                }
+            }
+            "--obs-out" => {
+                obs_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--obs-out needs a path")),
+                );
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -49,21 +78,41 @@ fn main() {
 
     match listen_addr {
         Some(addr) => {
+            // TCP mode runs forever; an --obs-out file it could never
+            // finish writing would always be empty, so refuse it up
+            // front instead of surprising the operator at teardown.
+            if obs_out.is_some() {
+                usage("--obs-out applies to stdio mode (TCP mode never exits)");
+            }
             if let Err(e) = listen(&addr, opts) {
-                eprintln!("firm-fleet-worker: listen on {addr}: {e}");
+                firm_obs::event(Level::Error, TARGET)
+                    .msg("listen failed")
+                    .field("addr", addr)
+                    .field("error", e.to_string())
+                    .emit();
                 std::process::exit(1);
             }
         }
         None => {
             let stdin = std::io::stdin();
-            match serve_session(stdin.lock(), std::io::stdout(), &opts) {
+            let result = serve_session(stdin.lock(), std::io::stdout(), &opts);
+            if let Some(path) = &obs_out {
+                write_obs_out(path);
+            }
+            match result {
                 Ok(()) => {}
                 Err(e @ ServeError::BadFrame(_)) => {
-                    eprintln!("firm-fleet-worker: {e}");
+                    firm_obs::event(Level::Error, TARGET)
+                        .msg("session failed")
+                        .field("error", e.to_string())
+                        .emit();
                     std::process::exit(2);
                 }
                 Err(e) => {
-                    eprintln!("firm-fleet-worker: {e}");
+                    firm_obs::event(Level::Error, TARGET)
+                        .msg("session failed")
+                        .field("error", e.to_string())
+                        .emit();
                     std::process::exit(1);
                 }
             }
@@ -71,16 +120,36 @@ fn main() {
     }
 }
 
-fn usage(problem: &str) -> ! {
-    if !problem.is_empty() {
-        eprintln!("firm-fleet-worker: {problem}");
+/// Exports the run's observability as firm-wire JSONL: every buffered
+/// event, then one final metrics snapshot frame.
+fn write_obs_out(path: &str) {
+    let mut jsonl = firm_obs::drain_events_jsonl();
+    jsonl.push_str(&firm_wire::encode_line(&firm_obs::metrics().snapshot()));
+    if let Err(e) = std::fs::write(path, jsonl) {
+        firm_obs::event(Level::Error, TARGET)
+            .msg("failed to write --obs-out file")
+            .field("path", path)
+            .field("error", e.to_string())
+            .emit();
     }
-    eprintln!(
+}
+
+fn usage(problem: &str) -> ! {
+    let mut out = String::new();
+    if !problem.is_empty() {
+        out.push_str(&format!("firm-fleet-worker: {problem}\n"));
+    }
+    out.push_str(
         "usage: firm-fleet-worker [--listen host:port] [--heartbeat-ms N]\n\
+         \x20                        [--log-level LEVEL] [--obs-out PATH]\n\
          \n\
          stdio mode (default): serve one coordinator session on stdin/stdout.\n\
          --listen host:port    serve a session per TCP connection, forever.\n\
-         --heartbeat-ms N      liveness pulse interval (default 200, 0 disables)."
+         --heartbeat-ms N      liveness pulse interval (default 200, 0 disables).\n\
+         --log-level LEVEL     off|error|warn|info|debug|trace (overrides FIRM_LOG).\n\
+         --obs-out PATH        write events + metrics as firm-wire JSONL on exit\n\
+         \x20                     (stdio mode only).\n",
     );
+    let _ = std::io::stderr().write_all(out.as_bytes());
     std::process::exit(if problem.is_empty() { 0 } else { 64 });
 }

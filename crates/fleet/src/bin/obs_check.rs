@@ -1,0 +1,98 @@
+//! `obs-check` — parse-or-fail validator for `--obs-out` JSONL files.
+//!
+//! Every line an observability export contains must be a firm-wire
+//! frame this workspace can decode: a structured `event`, a `metrics`
+//! snapshot, or a fleet `ops_report`. CI runs this over the smoke
+//! fleet's export so a frame-format regression fails the build instead
+//! of silently producing artifacts nothing can read.
+//!
+//! ```sh
+//! obs-check obs.jsonl
+//! ```
+//!
+//! Exits 0 and prints per-tag counts when every line decodes; exits 1
+//! with the offending line number and decode error otherwise.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use firm_fleet::OpsReport;
+use firm_obs::{EventRecord, MetricsSnapshot};
+use firm_wire::{decode_string, JsonValue, WireDecode};
+
+fn check_line(line: &str) -> Result<&'static str, String> {
+    let v: JsonValue = decode_string(line).map_err(|e| format!("not valid wire JSON: {e}"))?;
+    let tag = v.tag().map_err(|e| format!("missing `type` tag: {e}"))?;
+    match tag {
+        "event" => EventRecord::decode(&v)
+            .map(|_| "event")
+            .map_err(|e| format!("bad event frame: {e}")),
+        "metrics" => MetricsSnapshot::decode(&v)
+            .map(|_| "metrics")
+            .map_err(|e| format!("bad metrics frame: {e}")),
+        "ops_report" => OpsReport::decode(&v)
+            .map(|_| "ops_report")
+            .map_err(|e| format!("bad ops_report frame: {e}")),
+        other => Err(format!("unknown frame type `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.first().is_some_and(|a| a == "--help" || a == "-h") {
+        println!("usage: obs-check FILE.jsonl [FILE.jsonl ...]");
+        println!("validates that every line is a decodable firm-wire obs frame");
+        return ExitCode::SUCCESS;
+    }
+    if paths.is_empty() {
+        paths.push("obs.jsonl".to_string());
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let contents = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                let _ = writeln!(std::io::stderr(), "obs-check: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let mut events = 0u64;
+        let mut metrics = 0u64;
+        let mut ops_reports = 0u64;
+        let mut bad = 0u64;
+        for (i, line) in contents.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match check_line(line) {
+                Ok("event") => events += 1,
+                Ok("metrics") => metrics += 1,
+                Ok(_) => ops_reports += 1,
+                Err(e) => {
+                    let _ = writeln!(std::io::stderr(), "obs-check: {path}:{}: {e}", i + 1);
+                    bad += 1;
+                }
+            }
+        }
+        let total = events + metrics + ops_reports;
+        if bad > 0 || total == 0 {
+            let _ = writeln!(
+                std::io::stderr(),
+                "obs-check: {path}: FAIL ({bad} bad line(s), {total} valid frame(s))"
+            );
+            failed = true;
+        } else {
+            println!(
+                "obs-check: {path}: ok — {events} event(s), {metrics} metrics \
+                 snapshot(s), {ops_reports} ops report(s)"
+            );
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

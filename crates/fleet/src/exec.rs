@@ -68,6 +68,7 @@ pub fn run_one_with(
     seed: u64,
     policy: Option<&PolicyCheckpoint>,
 ) -> (ScenarioOutcome, ExperienceLog) {
+    let wall = std::time::Instant::now();
     let cluster = ClusterSpec::small(scenario.nodes.max(1));
     let mut app = scenario.benchmark.build();
     if let Some(factor) = scenario.slo_factor {
@@ -118,6 +119,18 @@ pub fn run_one_with(
         transitions: experience.transitions.len() as u64,
         svm_examples: experience.svm_examples.len() as u64,
     };
+    // Out-of-band self-metrics only: nothing below reads back into the
+    // outcome, so wall time can vary run to run without moving a byte.
+    let wall_us = wall.elapsed().as_micros() as u64;
+    firm_obs::metrics()
+        .histogram("fleet.scenario.wall_us")
+        .record(wall_us);
+    firm_obs::event(firm_obs::Level::Trace, "fleet-exec")
+        .msg("scenario finished")
+        .field("scenario", scenario.name.as_str())
+        .field("wall_us", wall_us)
+        .field("completions", outcome.completions)
+        .emit();
     (outcome, experience)
 }
 

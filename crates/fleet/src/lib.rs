@@ -41,7 +41,12 @@
 //!   idle-queue (JIQ-style) dispatch, per-request timeouts, dead-worker
 //!   detection, and restart-and-replay that cannot move a report byte;
 //! * [`worker`] — the worker-side serve loop behind both modes of the
-//!   `firm-fleet-worker` binary.
+//!   `firm-fleet-worker` binary;
+//! * [`ops`] — the [`OpsReport`]: runtime self-metrics (dispatch
+//!   latency, heartbeat gaps, retries, bytes on the wire, per-stage
+//!   timings) assembled from `firm_obs` registries and per-worker
+//!   session-end snapshots, emitted *alongside* — never inside — the
+//!   digest-covered [`FleetReport`].
 //!
 //! # Determinism
 //!
@@ -79,6 +84,7 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod ops;
 pub mod protocol;
 pub mod report;
 pub mod runner;
@@ -89,6 +95,7 @@ pub mod wire;
 pub mod worker;
 
 pub use exec::{run_one, run_one_with};
+pub use ops::{OpsReport, WorkerOps};
 pub use protocol::{
     WorkerHeartbeat, WorkerHello, WorkerMessage, WorkerRequest, WorkerResponse, PROTOCOL_VERSION,
 };

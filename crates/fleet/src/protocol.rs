@@ -32,6 +32,7 @@
 
 use firm_core::controller::PolicyCheckpoint;
 use firm_core::manager::ExperienceLog;
+use firm_obs::MetricsSnapshot;
 use firm_wire::{DecodeError, JsonValue, Obj, WireDecode, WireEncode};
 
 use crate::report::ScenarioOutcome;
@@ -41,7 +42,9 @@ use crate::scenario::Scenario;
 /// handshake. Bump it when a frame's shape changes incompatibly — the
 /// supervisor refuses to run against a worker that speaks a different
 /// version.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// v2 added the [`WorkerMessage::Metrics`] session-end frame.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// One unit of work shipped to a subprocess worker.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,6 +160,11 @@ pub enum WorkerMessage {
     /// A completed unit of work (boxed: a response dwarfs the control
     /// frames, and frames travel through queues by value).
     Response(Box<WorkerResponse>),
+    /// The worker's observability snapshot, written once at session end
+    /// (after the request stream closes, before the process exits).
+    /// Pure diagnostics: the supervisor folds it into the out-of-band
+    /// `OpsReport` and it never touches a digest-covered byte.
+    Metrics(MetricsSnapshot),
 }
 
 impl WireEncode for WorkerMessage {
@@ -173,6 +181,9 @@ impl WireEncode for WorkerMessage {
                 .field("outcome", &r.outcome)
                 .field("experience", &r.experience)
                 .build(),
+            // A MetricsSnapshot already encodes as a tagged "metrics"
+            // object, so the variant reuses its frame shape directly.
+            WorkerMessage::Metrics(m) => m.encode(),
         }
     }
 }
@@ -194,6 +205,7 @@ impl WireDecode for WorkerMessage {
             "response" => Ok(WorkerMessage::Response(Box::new(WorkerResponse::decode(
                 v,
             )?))),
+            "metrics" => Ok(WorkerMessage::Metrics(MetricsSnapshot::decode(v)?)),
             other => Err(DecodeError::new(format!("unknown frame type `{other}`"))),
         }
     }
@@ -268,6 +280,24 @@ mod tests {
         assert_round_trip(&WorkerMessage::Heartbeat(WorkerHeartbeat {
             busy: Some(11),
         }));
+    }
+
+    #[test]
+    fn metrics_frames_round_trip() {
+        let reg = firm_obs::Registry::new();
+        reg.counter("worker.requests.total").add(9);
+        reg.gauge("worker.sessions").set(1);
+        let h = reg.histogram("worker.scenario.wall_us");
+        for v in [15_000u64, 250_000, 1_200_000] {
+            h.record(v);
+        }
+        let msg = WorkerMessage::Metrics(reg.snapshot());
+        assert_round_trip(&msg);
+        let frame = encode_line(&msg);
+        match decode_line::<WorkerMessage>(&frame).expect("frame decodes") {
+            WorkerMessage::Metrics(m) => assert_eq!(m.len(), 3),
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
     }
 
     #[test]

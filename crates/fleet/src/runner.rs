@@ -45,6 +45,7 @@ use firm_core::manager::ExperienceLog;
 use firm_core::training::replay_experience;
 
 use crate::exec::run_one_with;
+use crate::ops::{OpsReport, WorkerOps};
 use crate::report::{FleetReport, RoundTripReport, ScenarioOutcome};
 use crate::scenario::Scenario;
 use crate::supervisor::{supervise, SupervisorConfig};
@@ -204,6 +205,10 @@ pub struct FleetResult {
     pub pooled: ExperienceLog,
     /// Shared-agent updates that actually trained.
     pub trained_updates: usize,
+    /// Runtime self-metrics for this run — out-of-band diagnostics that
+    /// vary with timing and are never covered by the report digest.
+    /// Snapshots are process-cumulative (see [`OpsReport`]).
+    pub ops: OpsReport,
 }
 
 /// Mixes the fleet seed with a scenario's catalog index into its
@@ -237,7 +242,7 @@ impl FleetRunner {
     /// or if `scenarios` is empty.
     pub fn run(&self, scenarios: &[Scenario]) -> FleetResult {
         let fleet_seed = self.config.seed;
-        let slots = self.execute(scenarios, None);
+        let (slots, worker_ops) = self.execute(scenarios, None);
 
         // Catalog-order aggregation: the only ordering the results ever
         // see, regardless of which worker finished first.
@@ -259,12 +264,18 @@ impl FleetRunner {
             extractor.train(features, *label);
         }
 
+        // Assembled last so the coordinator snapshot includes the
+        // aggregation and training it just did. Diagnostics only: the
+        // report and weights above were already final.
+        let ops = OpsReport::new(firm_obs::metrics().snapshot(), worker_ops);
+
         FleetResult {
             report,
             estimator,
             extractor,
             pooled,
             trained_updates,
+            ops,
         }
     }
 
@@ -286,7 +297,11 @@ impl FleetRunner {
         let (actor, critic) = train.estimator.shared_agent().export_weights();
         let policy = PolicyCheckpoint { actor, critic };
 
-        let slots = self.execute(scenarios, Some(&policy));
+        // The deploy pass's worker snapshots are folded into the same
+        // process-cumulative registries; the train pass's OpsReport
+        // already tells the operability story, so they are not kept
+        // separately.
+        let (slots, _deploy_ops) = self.execute(scenarios, Some(&policy));
         let outcomes = slots.into_iter().map(|(outcome, _)| outcome).collect();
         let deploy = FleetReport::new(self.config.seed, outcomes);
 
@@ -305,12 +320,14 @@ impl FleetRunner {
         &self,
         scenarios: &[Scenario],
         policy: Option<&PolicyCheckpoint>,
-    ) -> Vec<(ScenarioOutcome, ExperienceLog)> {
+    ) -> (Vec<(ScenarioOutcome, ExperienceLog)>, Vec<WorkerOps>) {
         assert!(!scenarios.is_empty(), "fleet needs at least one scenario");
         if self.config.workers > 0 || !self.config.remote_workers.is_empty() {
             self.execute_supervised(scenarios, policy)
         } else {
-            self.execute_threads(scenarios, policy)
+            // The thread path has no worker processes; its scenario and
+            // stage metrics land directly in this process's registry.
+            (self.execute_threads(scenarios, policy), Vec::new())
         }
     }
 
@@ -379,7 +396,7 @@ impl FleetRunner {
         &self,
         scenarios: &[Scenario],
         policy: Option<&PolicyCheckpoint>,
-    ) -> Vec<(ScenarioOutcome, ExperienceLog)> {
+    ) -> (Vec<(ScenarioOutcome, ExperienceLog)>, Vec<WorkerOps>) {
         // More subprocesses than scenarios would sit idle forever.
         let pipes = self.config.workers.min(scenarios.len());
         let mut transports: Vec<Box<dyn Transport>> = Vec::new();

@@ -36,17 +36,23 @@
 use std::collections::{HashSet, VecDeque};
 use std::io::Write;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use firm_core::controller::PolicyCheckpoint;
 use firm_core::manager::ExperienceLog;
+use firm_obs::{Counter, Gauge, Histogram, Level, MetricsSnapshot};
 
+use crate::ops::WorkerOps;
 use crate::protocol::{WorkerHello, WorkerMessage, WorkerRequest, PROTOCOL_VERSION};
 use crate::report::ScenarioOutcome;
 use crate::runner::scenario_seed;
 use crate::scenario::Scenario;
 use crate::transport::Transport;
+
+/// Event target for everything the coordinator side emits.
+const TARGET: &str = "fleet supervisor";
 
 /// Supervision knobs, derived from [`crate::runner::FleetConfig`].
 #[derive(Debug, Clone)]
@@ -73,7 +79,11 @@ impl Default for SupervisorConfig {
 
 /// Runs `scenarios` over a pool of transport-backed workers and returns
 /// `(outcome, experience)` in catalog order — the supervised equivalent
-/// of the in-process thread path, bit-identical to it.
+/// of the in-process thread path, bit-identical to it — plus each
+/// worker's session-end metrics snapshot (labeled `slot<N>:<transport>`,
+/// missing for workers that died before a graceful session end). The
+/// snapshots are pure diagnostics: they ride a separate frame and never
+/// touch the results.
 ///
 /// # Panics
 ///
@@ -86,12 +96,51 @@ pub fn supervise(
     fleet_seed: u64,
     policy: Option<&PolicyCheckpoint>,
     config: &SupervisorConfig,
-) -> Vec<(ScenarioOutcome, ExperienceLog)> {
+) -> (Vec<(ScenarioOutcome, ExperienceLog)>, Vec<WorkerOps>) {
     assert!(
         !transports.is_empty(),
         "supervisor needs at least one worker"
     );
     Supervisor::new(transports, scenarios, fleet_seed, policy, config.clone()).run()
+}
+
+/// The coordinator's own runtime metrics, resolved once per supervisor
+/// (the reader threads clone the `Arc` handles they touch per frame).
+struct CoordMetrics {
+    dispatch_total: Arc<Counter>,
+    dispatch_latency: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    heartbeat_gap: Arc<Histogram>,
+    frames_tx: Arc<Counter>,
+    bytes_tx: Arc<Counter>,
+    frames_rx: Arc<Counter>,
+    bytes_rx: Arc<Counter>,
+    bad_frames: Arc<Counter>,
+    retries: Arc<Counter>,
+    recycled: Arc<Counter>,
+    restarts: Arc<Counter>,
+    retired: Arc<Counter>,
+}
+
+impl CoordMetrics {
+    fn new() -> Self {
+        let m = firm_obs::metrics();
+        CoordMetrics {
+            dispatch_total: m.counter("fleet.dispatch.total"),
+            dispatch_latency: m.histogram("fleet.dispatch.latency_us"),
+            queue_depth: m.gauge("fleet.queue.depth"),
+            heartbeat_gap: m.histogram("fleet.heartbeat.gap_us"),
+            frames_tx: m.counter("fleet.frames.tx"),
+            bytes_tx: m.counter("fleet.bytes.tx"),
+            frames_rx: m.counter("fleet.frames.rx"),
+            bytes_rx: m.counter("fleet.bytes.rx"),
+            bad_frames: m.counter("fleet.bad_frames"),
+            retries: m.counter("fleet.retry.attempts"),
+            recycled: m.counter("fleet.worker.recycled"),
+            restarts: m.counter("fleet.worker.restarts"),
+            retired: m.counter("fleet.worker.retired"),
+        }
+    }
 }
 
 /// One worker→coordinator notification, tagged with the connection
@@ -166,6 +215,13 @@ struct Supervisor<'a> {
     jobs: Vec<JobState>,
     results: Vec<Option<(ScenarioOutcome, ExperienceLog)>>,
     completed: usize,
+    obs: CoordMetrics,
+    /// Each slot's session-end metrics frame, when one arrived.
+    worker_metrics: Vec<Option<MetricsSnapshot>>,
+    /// The generation of each slot's most recently torn-down
+    /// connection — metrics frames that surface during teardown (after
+    /// the main loop stopped reading) are accepted only from it.
+    final_generation: Vec<Option<u64>>,
 }
 
 impl<'a> Supervisor<'a> {
@@ -177,7 +233,7 @@ impl<'a> Supervisor<'a> {
         config: SupervisorConfig,
     ) -> Self {
         let (events_tx, events_rx) = mpsc::channel();
-        let slots = transports
+        let slots: Vec<Slot> = transports
             .into_iter()
             .map(|transport| Slot {
                 transport,
@@ -187,6 +243,8 @@ impl<'a> Supervisor<'a> {
                 next_generation: 0,
             })
             .collect();
+        let worker_metrics = (0..slots.len()).map(|_| None).collect();
+        let final_generation = vec![None; slots.len()];
         Supervisor {
             scenarios,
             fleet_seed,
@@ -204,10 +262,13 @@ impl<'a> Supervisor<'a> {
                 .collect(),
             results: (0..scenarios.len()).map(|_| None).collect(),
             completed: 0,
+            obs: CoordMetrics::new(),
+            worker_metrics,
+            final_generation,
         }
     }
 
-    fn run(mut self) -> Vec<(ScenarioOutcome, ExperienceLog)> {
+    fn run(mut self) -> (Vec<(ScenarioOutcome, ExperienceLog)>, Vec<WorkerOps>) {
         // Initial connections fail loudly: a fleet that silently starts
         // with fewer workers than configured hides deployment typos.
         for i in 0..self.slots.len() {
@@ -225,10 +286,35 @@ impl<'a> Supervisor<'a> {
         }
         self.shutdown();
 
-        self.results
+        // A worker's metrics frame is the last thing it writes, after
+        // the graceful teardown EOF'd its input — so it lands in the
+        // event queue *after* the main loop stopped reading. Drain now,
+        // accepting only frames from each slot's final connection.
+        while let Ok(event) = self.events_rx.try_recv() {
+            if let EventKind::Frame(WorkerMessage::Metrics(m)) = event.kind {
+                if self.final_generation[event.slot] == Some(event.generation) {
+                    self.worker_metrics[event.slot] = Some(m);
+                }
+            }
+        }
+        let worker_ops = self
+            .worker_metrics
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, metrics)| {
+                Some(WorkerOps {
+                    label: format!("slot{i}:{}", self.slots[i].transport.label()),
+                    metrics: metrics?,
+                })
+            })
+            .collect();
+
+        let results = self
+            .results
             .into_iter()
             .map(|slot| slot.expect("every scenario ran"))
-            .collect()
+            .collect();
+        (results, worker_ops)
     }
 
     /// Hands queued jobs to idle workers — the idle queue is consulted
@@ -265,8 +351,19 @@ impl<'a> Supervisor<'a> {
                 // it never reached a worker).
                 self.queue.push_front(job);
                 self.recycle(slot_id, "write channel closed");
+            } else {
+                self.obs.dispatch_total.inc();
+                firm_obs::event(Level::Debug, TARGET)
+                    .msg("dispatched scenario")
+                    .field("index", job)
+                    .field("scenario", self.scenarios[job].name.as_str())
+                    .field("slot", slot_id)
+                    .field("transport", self.slots[slot_id].transport.label())
+                    .field("attempt", self.jobs[job].attempts + 1)
+                    .emit();
             }
         }
+        self.obs.queue_depth.set(self.queue.len() as i64);
     }
 
     /// Ships one request frame; the per-connection policy bookkeeping
@@ -283,9 +380,12 @@ impl<'a> Supervisor<'a> {
         });
         let slot = &mut self.slots[slot_id];
         let live = slot.live.as_ref().expect("dispatch checked live");
+        let frame_len = frame.len() as u64;
         if live.frames.send(frame).is_err() {
             return Err(());
         }
+        self.obs.frames_tx.inc();
+        self.obs.bytes_tx.add(frame_len);
         if self.policy.is_some() {
             slot.sent_policy = true;
         }
@@ -406,6 +506,12 @@ impl<'a> Supervisor<'a> {
             return;
         }
         if let Some(live) = slot.live.as_mut() {
+            // The inter-frame gap on a live connection — heartbeats
+            // dominate, so this is the heartbeat-gap distribution the
+            // silence detector's assumptions can be checked against.
+            self.obs
+                .heartbeat_gap
+                .record(live.last_frame.elapsed().as_micros() as u64);
             live.last_frame = Instant::now();
         }
         match event.kind {
@@ -419,6 +525,14 @@ impl<'a> Supervisor<'a> {
                     hello.protocol,
                     PROTOCOL_VERSION,
                 );
+                firm_obs::event(Level::Debug, TARGET)
+                    .msg("worker handshake")
+                    .field("slot", event.slot)
+                    .field("transport", slot.transport.label())
+                    .field("generation", event.generation)
+                    .field("pid", hello.pid)
+                    .field("heartbeat_ms", hello.heartbeat_ms)
+                    .emit();
                 if let Some(live) = slot.live.as_mut() {
                     live.hello = Some(hello);
                 }
@@ -427,7 +541,7 @@ impl<'a> Supervisor<'a> {
                 // last_frame already refreshed above; nothing else to do.
             }
             EventKind::Frame(WorkerMessage::Response(resp)) => {
-                let SlotState::Busy { job, .. } = slot.state else {
+                let SlotState::Busy { job, dispatched } = slot.state else {
                     panic!(
                         "{} sent a response (index {}) while it had no job",
                         slot.transport.label(),
@@ -441,13 +555,28 @@ impl<'a> Supervisor<'a> {
                     slot.transport.label(),
                     resp.index,
                 );
+                let latency_us = dispatched.elapsed().as_micros() as u64;
+                self.obs.dispatch_latency.record(latency_us);
+                firm_obs::event(Level::Debug, TARGET)
+                    .msg("scenario completed")
+                    .field("index", job)
+                    .field("slot", event.slot)
+                    .field("latency_us", latency_us)
+                    .emit();
                 slot.state = SlotState::Idle;
                 let cell = &mut self.results[job];
                 assert!(cell.is_none(), "scenario {job} completed twice");
                 *cell = Some((resp.outcome, resp.experience));
                 self.completed += 1;
             }
+            EventKind::Frame(WorkerMessage::Metrics(m)) => {
+                // Normally the session-end frame (collected in the
+                // post-shutdown drain), but a worker is free to ship a
+                // snapshot mid-session too; latest wins.
+                self.worker_metrics[event.slot] = Some(m);
+            }
             EventKind::BadFrame(msg) => {
+                self.obs.bad_frames.inc();
                 self.recycle(event.slot, &format!("sent an undecodable frame: {msg}"));
             }
             EventKind::Closed => {
@@ -462,13 +591,33 @@ impl<'a> Supervisor<'a> {
     /// the reconnect fails.
     fn recycle(&mut self, slot_id: usize, reason: &str) {
         let label = self.slots[slot_id].transport.label();
-        eprintln!("fleet supervisor: {label}: {reason}; recycling worker");
+        let generation = self.slots[slot_id]
+            .live
+            .as_ref()
+            .map(|l| l.generation)
+            .unwrap_or(0);
+        // The attempt count *including* this failure, so a stale-frame
+        // drop or give-up that follows is attributable from the event
+        // stream alone.
+        let attempts = match self.slots[slot_id].state {
+            SlotState::Busy { job, .. } => self.jobs[job].attempts + 1,
+            _ => 0,
+        };
+        self.obs.recycled.inc();
+        firm_obs::event(Level::Warn, TARGET)
+            .msg("recycling worker")
+            .field("transport", label.as_str())
+            .field("generation", generation)
+            .field("attempts", attempts)
+            .field("reason", reason)
+            .emit();
         self.teardown_live(slot_id, false);
 
         if let SlotState::Busy { job, .. } = self.slots[slot_id].state {
             let state = &mut self.jobs[job];
             state.attempts += 1;
             state.excluded.insert(slot_id);
+            self.obs.retries.inc();
             assert!(
                 state.attempts < self.config.max_attempts,
                 "scenario {job} ({}) failed on {} different workers — giving up \
@@ -483,12 +632,30 @@ impl<'a> Supervisor<'a> {
         self.slots[slot_id].state = SlotState::Idle;
 
         match self.connect_slot(slot_id) {
-            Ok(()) => eprintln!("fleet supervisor: {label}: worker restarted"),
+            Ok(()) => {
+                self.obs.restarts.inc();
+                firm_obs::event(Level::Info, TARGET)
+                    .msg("worker restarted")
+                    .field("transport", label.as_str())
+                    .field(
+                        "generation",
+                        self.slots[slot_id]
+                            .live
+                            .as_ref()
+                            .map(|l| l.generation)
+                            .unwrap_or(0),
+                    )
+                    .field("attempts", attempts)
+                    .emit();
+            }
             Err(e) => {
-                eprintln!(
-                    "fleet supervisor: {label}: reconnect failed ({e}); retiring \
-                     this worker, survivors absorb its share"
-                );
+                self.obs.retired.inc();
+                firm_obs::event(Level::Error, TARGET)
+                    .msg("reconnect failed; retiring worker, survivors absorb its share")
+                    .field("transport", label.as_str())
+                    .field("generation", generation)
+                    .field("error", e.to_string())
+                    .emit();
                 self.slots[slot_id].state = SlotState::Retired;
             }
         }
@@ -520,6 +687,8 @@ impl<'a> Supervisor<'a> {
 
         let mut reader_half = conn.reader;
         let events = self.events_tx.clone();
+        let frames_rx_ctr = Arc::clone(&self.obs.frames_rx);
+        let bytes_rx_ctr = Arc::clone(&self.obs.bytes_rx);
         let reader = std::thread::spawn(move || {
             let mut line = String::new();
             loop {
@@ -527,10 +696,14 @@ impl<'a> Supervisor<'a> {
                 let kind = match reader_half.read_line(&mut line) {
                     Ok(0) | Err(_) => EventKind::Closed,
                     Ok(_) if line.trim().is_empty() => continue,
-                    Ok(_) => match firm_wire::decode_line::<WorkerMessage>(&line) {
-                        Ok(msg) => EventKind::Frame(msg),
-                        Err(e) => EventKind::BadFrame(e.to_string()),
-                    },
+                    Ok(n) => {
+                        frames_rx_ctr.inc();
+                        bytes_rx_ctr.add(n as u64);
+                        match firm_wire::decode_line::<WorkerMessage>(&line) {
+                            Ok(msg) => EventKind::Frame(msg),
+                            Err(e) => EventKind::BadFrame(e.to_string()),
+                        }
+                    }
                 };
                 let closed = matches!(kind, EventKind::Closed);
                 // The supervisor hanging up just means the fleet is done.
@@ -565,6 +738,7 @@ impl<'a> Supervisor<'a> {
         let Some(mut live) = self.slots[slot_id].live.take() else {
             return;
         };
+        self.final_generation[slot_id] = Some(live.generation);
         // Closing the frame channel stops the writer thread, which
         // drops the write half — EOF for a healthy worker.
         drop(live.frames);

@@ -25,10 +25,15 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use firm_obs::Level;
+
 use crate::exec::run_one_with;
 use crate::protocol::{
     WorkerHeartbeat, WorkerHello, WorkerMessage, WorkerRequest, WorkerResponse, PROTOCOL_VERSION,
 };
+
+/// Event target for everything the worker side emits.
+const TARGET: &str = "firm-fleet-worker";
 
 /// Knobs for one worker session.
 #[derive(Debug, Clone)]
@@ -79,6 +84,11 @@ where
     R: BufRead,
     W: Write + Send + 'static,
 {
+    firm_obs::metrics().counter("worker.sessions.total").inc();
+    firm_obs::event(Level::Debug, TARGET)
+        .msg("session started")
+        .field("heartbeat_ms", opts.heartbeat_ms)
+        .emit();
     let writer = Arc::new(Mutex::new(writer));
     write_frame(
         &writer,
@@ -113,6 +123,7 @@ where
             if write_frame(&writer, &frame).is_err() {
                 break;
             }
+            firm_obs::metrics().counter("worker.heartbeats.tx").inc();
         })
     });
 
@@ -121,6 +132,19 @@ where
     stop.store(true, Ordering::Relaxed);
     if let Some(ticker) = ticker {
         let _ = ticker.join();
+    }
+    if result.is_ok() {
+        // Session-end observability hand-off: ship this process's
+        // cumulative metrics to the coordinator as the final frame.
+        // Best-effort — a coordinator that already hung up after EOF
+        // just misses diagnostics, it doesn't fail the session.
+        let _ = write_frame(
+            &writer,
+            &WorkerMessage::Metrics(firm_obs::metrics().snapshot()),
+        );
+        firm_obs::event(Level::Debug, TARGET)
+            .msg("session ended, metrics shipped")
+            .emit();
     }
     result
 }
@@ -135,11 +159,17 @@ fn serve_jobs<R: BufRead, W: Write>(
     // frames reference it with `reuse_policy` instead of re-sending
     // the weights.
     let mut cached_policy = None;
+    let obs = firm_obs::metrics();
+    let frames_rx = obs.counter("worker.frames.rx");
+    let bytes_rx = obs.counter("worker.bytes.rx");
+    let requests = obs.counter("worker.requests.total");
     for line in reader.lines() {
         let line = line.map_err(ServeError::Io)?;
         if line.trim().is_empty() {
             continue;
         }
+        frames_rx.inc();
+        bytes_rx.add(line.len() as u64 + 1);
         let req: WorkerRequest =
             firm_wire::decode_line(&line).map_err(|e| ServeError::BadFrame(e.to_string()))?;
         let policy = if req.reuse_policy {
@@ -158,6 +188,13 @@ fn serve_jobs<R: BufRead, W: Write>(
         };
 
         test_hooks(req.index);
+        requests.inc();
+        firm_obs::event(Level::Debug, TARGET)
+            .msg("running scenario")
+            .field("index", req.index)
+            .field("scenario", req.scenario.name.as_str())
+            .field("deploy", policy.is_some())
+            .emit();
         busy.store(req.index as i64, Ordering::Relaxed);
         let (outcome, experience) = run_one_with(&req.scenario, req.seed, policy);
         busy.store(-1, Ordering::Relaxed);
@@ -178,6 +215,9 @@ fn serve_jobs<R: BufRead, W: Write>(
 /// response frames never interleave mid-line.
 fn write_frame<W: Write>(writer: &Mutex<W>, msg: &WorkerMessage) -> Result<(), ServeError> {
     let frame = firm_wire::encode_line(msg);
+    let obs = firm_obs::metrics();
+    obs.counter("worker.frames.tx").inc();
+    obs.counter("worker.bytes.tx").add(frame.len() as u64);
     let mut w = writer.lock().expect("writer lock");
     w.write_all(frame.as_bytes()).map_err(ServeError::Io)?;
     w.flush().map_err(ServeError::Io)
@@ -216,14 +256,21 @@ fn test_hooks(index: u64) {
 
     if let Some((latch, at, _)) = parse("FIRM_FLEET_TEST_CRASH_ONCE") {
         if index == at && claim(&latch) {
-            eprintln!("firm-fleet-worker: test hook crashing on index {index}");
+            firm_obs::event(Level::Warn, TARGET)
+                .msg("test hook crashing")
+                .field("index", index)
+                .emit();
             std::process::exit(3);
         }
     }
     if let Some((latch, at, rest)) = parse("FIRM_FLEET_TEST_WEDGE_ONCE") {
         if index == at && claim(&latch) {
             let ms = rest.first().copied().unwrap_or(3_600_000);
-            eprintln!("firm-fleet-worker: test hook wedging on index {index} for {ms}ms");
+            firm_obs::event(Level::Warn, TARGET)
+                .msg("test hook wedging")
+                .field("index", index)
+                .field("ms", ms)
+                .emit();
             std::thread::sleep(Duration::from_millis(ms));
         }
     }
@@ -239,16 +286,22 @@ fn test_hooks(index: u64) {
 /// find the worker ready.
 pub fn listen(addr: &str, opts: ServeOptions) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
-    eprintln!(
-        "firm-fleet-worker: listening on {} (protocol v{PROTOCOL_VERSION}, heartbeat {}ms)",
-        listener.local_addr()?,
-        opts.heartbeat_ms,
-    );
+    // The message keeps the exact `listening on <addr> ` shape: tooling
+    // (and the TCP test harness) discovers an ephemeral port by parsing
+    // this first stderr line.
+    firm_obs::event(Level::Info, TARGET)
+        .msg(format!("listening on {}", listener.local_addr()?))
+        .field("protocol", PROTOCOL_VERSION)
+        .field("heartbeat_ms", opts.heartbeat_ms)
+        .emit();
     for stream in listener.incoming() {
         let stream = match stream {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("firm-fleet-worker: accept failed: {e}");
+                firm_obs::event(Level::Warn, TARGET)
+                    .msg("accept failed")
+                    .field("error", e.to_string())
+                    .emit();
                 continue;
             }
         };
@@ -267,13 +320,21 @@ fn serve_tcp_session(stream: TcpStream, opts: &ServeOptions) {
     let reader = match stream.try_clone() {
         Ok(read_half) => std::io::BufReader::new(read_half),
         Err(e) => {
-            eprintln!("firm-fleet-worker: clone stream for {peer}: {e}");
+            firm_obs::event(Level::Warn, TARGET)
+                .msg("failed to clone session stream")
+                .field("peer", peer)
+                .field("error", e.to_string())
+                .emit();
             return;
         }
     };
     match serve_session(reader, stream, opts) {
         Ok(()) => {}
-        Err(e) => eprintln!("firm-fleet-worker: session with {peer} failed: {e}"),
+        Err(e) => firm_obs::event(Level::Warn, TARGET)
+            .msg("session failed")
+            .field("peer", peer)
+            .field("error", e.to_string())
+            .emit(),
     }
 }
 
@@ -316,6 +377,7 @@ mod tests {
         let mut hello = None;
         let mut responses = Vec::new();
         let mut heartbeats = 0;
+        let mut metrics = Vec::new();
         for line in text.lines() {
             match firm_wire::decode_line::<WorkerMessage>(line).expect("valid frame") {
                 WorkerMessage::Hello(h) => {
@@ -324,6 +386,7 @@ mod tests {
                 }
                 WorkerMessage::Heartbeat(_) => heartbeats += 1,
                 WorkerMessage::Response(r) => responses.push(r.index),
+                WorkerMessage::Metrics(m) => metrics.push(m),
             }
         }
         let hello = hello.expect("session sent a hello");
@@ -331,6 +394,25 @@ mod tests {
         assert_eq!(hello.heartbeat_ms, 1);
         assert_eq!(responses, vec![0, 1]);
         assert!(heartbeats > 0, "1ms ticker never beat during two sims");
+
+        // A clean session ends with exactly one metrics frame, as the
+        // last frame, and it reflects the work this session did. The
+        // snapshot is process-cumulative, so compare with >= — other
+        // tests in this process may also serve sessions.
+        assert_eq!(metrics.len(), 1, "expected one session-end metrics frame");
+        assert!(
+            text.lines()
+                .last()
+                .is_some_and(|l| l.contains("\"type\":\"metrics\"")),
+            "metrics frame was not the session's final frame"
+        );
+        let snap = &metrics[0];
+        let Some(firm_obs::MetricValue::Counter(n)) = snap.get("worker.requests.total") else {
+            panic!("worker.requests.total missing from session metrics");
+        };
+        assert!(*n >= 2, "requests counter {n} < the 2 this session ran");
+        assert!(snap.get("worker.frames.tx").is_some());
+        assert!(snap.get("worker.bytes.rx").is_some());
     }
 
     #[test]

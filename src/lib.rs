@@ -23,6 +23,11 @@
 //!   module, anomaly injector, baselines, the unified
 //!   `Controller` trait + `run_episode` driver, and the training and
 //!   experiment harnesses;
+//! * [`obs`] — zero-dependency runtime observability: leveled
+//!   structured events in a bounded ring buffer (`FIRM_LOG`-filterable,
+//!   exportable as firm-wire JSONL) and an atomic metrics registry
+//!   (counters, gauges, log2 histograms) — out-of-band by construction,
+//!   so it can never move a fleet digest;
 //! * [`wire`] — the symmetric wire codec: a `JsonValue` document
 //!   model, a hand-rolled JSON parser with spanned errors, and
 //!   `WireEncode`/`WireDecode` traits with a `decode(encode(x)) == x`
@@ -52,6 +57,7 @@
 pub use firm_core as core;
 pub use firm_fleet as fleet;
 pub use firm_ml as ml;
+pub use firm_obs as obs;
 pub use firm_sim as sim;
 pub use firm_telemetry as telemetry;
 pub use firm_trace as trace;
