@@ -21,7 +21,10 @@
 //! determinism contract). `--remote addr1,addr2,...` does the same over
 //! already-running `firm-fleet-worker --listen` processes — the
 //! multi-node transport's digest-parity check (see README "Deploying
-//! multi-node").
+//! multi-node"). `--intra-shards N` ladders the *intra*-scenario stage
+//! fan-out (2, 4, … up to N) on one scenario thread and asserts every
+//! rung reproduces the unsharded digest — the barrier-stepped
+//! parallelism's bit-identity contract.
 //!
 //! Observability riders: `--log-level LEVEL` filters the `firm_obs`
 //! event stream (overrides `FIRM_LOG`), and `--obs-out PATH` writes the
@@ -83,6 +86,7 @@ fn main() {
     let seconds = args.u64("seconds", 20);
     let max_threads = args.u64("threads", 4) as usize;
     let workers = args.u64("workers", 0) as usize;
+    let intra_max = args.u64("intra-shards", 1) as usize;
     let remote: Vec<String> = args
         .get("remote")
         .map(|v| v.split(',').map(str::to_string).collect())
@@ -143,6 +147,41 @@ fn main() {
         measurements.iter().all(|m| m.digest == digest),
         "fleet reports diverged across thread counts"
     );
+
+    // Intra-scenario contract: laddering the stage fan-out on one
+    // scenario thread cannot move a report byte, only wall-clock time.
+    let mut intra_counts = Vec::new();
+    let mut k = 2usize;
+    while k <= intra_max {
+        intra_counts.push(k);
+        k *= 2;
+    }
+    let intra_runs: Vec<Measurement> = intra_counts
+        .iter()
+        .map(|&n| {
+            let m = run_config(
+                &scenarios,
+                FleetConfig {
+                    threads: 1,
+                    seed,
+                    train_steps: 128,
+                    ..FleetConfig::default()
+                }
+                .intra_shards(n),
+            );
+            assert_eq!(
+                m.digest, digest,
+                "intra-sharded fleet ({n} shards) diverged from the unsharded digest"
+            );
+            println!(
+                "intra-shards={n:<2} wall={:>7.2}s speedup-vs-unsharded={:>5.2}x \
+                 digest matches",
+                m.wall_secs,
+                measurements[0].wall_secs / m.wall_secs,
+            );
+            m
+        })
+        .collect();
 
     // Cross-process contract: a subprocess-sharded fleet reproduces the
     // same digest through the wire codec.
@@ -214,6 +253,21 @@ fn main() {
         .field("host_cores", host_cores)
         .field("report_digest", format!("{digest:016x}"))
         .field("runs", runs);
+    if !intra_runs.is_empty() {
+        let rows: Vec<JsonValue> = intra_counts
+            .iter()
+            .zip(&intra_runs)
+            .map(|(&n, m)| {
+                Obj::new()
+                    .field("intra_shards", n)
+                    .field("wall_secs", round3(m.wall_secs))
+                    .field("speedup_vs_unsharded", round3(base / m.wall_secs))
+                    .field("digest_matches", true)
+                    .build()
+            })
+            .collect();
+        doc = doc.field("intra_shard_runs", rows);
+    }
     if let Some(m) = &subprocess {
         doc = doc
             .field("subprocess_workers", workers)

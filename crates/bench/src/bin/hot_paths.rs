@@ -4,7 +4,7 @@
 //! up as *that* stage slowing down rather than as an unexplained drop
 //! in `fleet_throughput`.
 //!
-//! Stages:
+//! Pipeline stages:
 //!
 //! * `sim_only` — the discrete-event engine alone (drain and drop);
 //! * `sim_ingest` — plus the tracing coordinator (graph + critical-path
@@ -13,14 +13,28 @@
 //! * `ddpg_train` — one-for-all agent minibatch updates (paper dims);
 //! * `wire_encode` / `wire_decode` — fleet-report codec round trip.
 //!
+//! Kernel stages break `ddpg_train` down by the linear-algebra
+//! primitive, at the exact shapes the paper's networks hit (batch 64,
+//! hidden 40×40, critic in 23, actor in 8):
+//!
+//! * `kernel_matmul_fwd` — forward `x·Wᵀ` ([`Matrix::matmul_transpose_b_into`]);
+//! * `kernel_matmul_bwd` — input gradients `dz·W` ([`Matrix::matmul_into`]);
+//! * `kernel_grad_acc` — weight/bias gradient accumulation
+//!   (`dzᵀ·x` via [`Matrix::transpose_matmul_acc`] + column sums);
+//! * `kernel_activations` — ReLU/tanh element maps;
+//! * `kernel_soft_update` — Algorithm 3's target-network blend.
+//!
 //! ```sh
 //! cargo run --release -p firm-bench --bin hot_paths -- \
 //!     --seconds 10 --out BENCH_hotpaths.json
 //! ```
 //!
 //! The workloads are seeded and deterministic; only the timings vary by
-//! host. `--seconds`, `--train-steps` and `--codec-iters` trade
-//! precision for runtime (CI smoke uses small values).
+//! host. `--seconds`, `--train-steps`, `--kernel-iters` and
+//! `--codec-iters` trade precision for runtime (CI smoke uses small
+//! values). Per-iteration percentiles are exact order statistics over
+//! the recorded samples — not log2-bucket upper bounds — so a 1.5×
+//! kernel win moves the reported p50 by 1.5×, not by zero-or-2×.
 
 use std::time::Instant;
 
@@ -29,32 +43,68 @@ use firm_core::estimator::{ACTION_DIM, ACTOR_STATE_DIM, STATE_DIM};
 use firm_core::extractor::CriticalComponentExtractor;
 use firm_fleet::{FleetReport, ScenarioOutcome};
 use firm_ml::ddpg::{DdpgAgent, DdpgConfig, Transition};
+use firm_ml::nn::{Activation, Mlp};
 use firm_ml::rng::MlRng;
-use firm_obs::{Histogram, HistogramSnapshot};
+use firm_ml::Matrix;
 use firm_sim::spec::ClusterSpec;
 use firm_sim::{PoissonArrivals, SimDuration, Simulation};
 use firm_trace::TracingCoordinator;
 use firm_wire::{decode_string, encode_string, JsonValue, Obj};
 use firm_workload::apps::Benchmark;
 
+/// The paper's minibatch size — every kernel stage runs at this height.
+const BATCH: usize = 64;
+/// Hidden width of both paper networks (two 40-unit layers).
+const HIDDEN: usize = 40;
+
 struct Stage {
     name: &'static str,
     wall_secs: f64,
     units: u64,
     unit: &'static str,
-    /// Per-iteration wall-time distribution (µs): one sample per sim
-    /// window, train step, or codec document — log2-bucketed, so the
-    /// percentiles are within 2× (`firm_obs` histogram semantics).
-    hist: HistogramSnapshot,
+    /// Per-iteration wall times (µs), one sample per sim window, train
+    /// step, kernel pass, or codec document — sorted ascending, so the
+    /// percentile accessors below are exact order statistics.
+    samples: Vec<u64>,
 }
 
 impl Stage {
+    fn new(
+        name: &'static str,
+        wall_secs: f64,
+        units: u64,
+        unit: &'static str,
+        mut samples: Vec<u64>,
+    ) -> Self {
+        samples.sort_unstable();
+        Stage {
+            name,
+            wall_secs,
+            units,
+            unit,
+            samples,
+        }
+    }
+
     fn per_sec(&self) -> f64 {
         self.units as f64 / self.wall_secs.max(1e-9)
     }
 
     fn us_per_unit(&self) -> f64 {
         self.wall_secs * 1e6 / self.units.max(1) as f64
+    }
+
+    /// Nearest-rank percentile over the exact samples.
+    fn percentile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let rank = (q * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.clamp(1, self.samples.len()) - 1]
+    }
+
+    fn max(&self) -> u64 {
+        self.samples.last().copied().unwrap_or(0)
     }
 }
 
@@ -68,7 +118,7 @@ fn sim() -> Simulation {
 /// dropped every 1s window.
 fn sim_only(secs: u64) -> Stage {
     let mut s = sim();
-    let hist = Histogram::default();
+    let mut samples = Vec::with_capacity(secs as usize);
     let start = Instant::now();
     let mut requests = 0u64;
     for _ in 0..secs {
@@ -76,37 +126,37 @@ fn sim_only(secs: u64) -> Stage {
         s.run_for(SimDuration::from_secs(1));
         requests += s.drain_completed().len() as u64;
         let _ = s.drain_telemetry();
-        hist.record(window.elapsed().as_micros() as u64);
+        samples.push(window.elapsed().as_micros() as u64);
     }
-    Stage {
-        name: "sim_only",
-        wall_secs: start.elapsed().as_secs_f64(),
-        units: requests,
-        unit: "requests",
-        hist: hist.snapshot(),
-    }
+    Stage::new(
+        "sim_only",
+        start.elapsed().as_secs_f64(),
+        requests,
+        "requests",
+        samples,
+    )
 }
 
 /// Stage 2: engine + trace ingestion (graph and CP construction).
 fn sim_ingest(secs: u64) -> Stage {
     let mut s = sim();
     let mut coord = TracingCoordinator::new(200_000);
-    let hist = Histogram::default();
+    let mut samples = Vec::with_capacity(secs as usize);
     let start = Instant::now();
     for _ in 0..secs {
         let window = Instant::now();
         s.run_for(SimDuration::from_secs(1));
         coord.ingest(s.drain_completed());
         let _ = s.drain_telemetry();
-        hist.record(window.elapsed().as_micros() as u64);
+        samples.push(window.elapsed().as_micros() as u64);
     }
-    Stage {
-        name: "sim_ingest",
-        wall_secs: start.elapsed().as_secs_f64(),
-        units: coord.store().total_ingested(),
-        unit: "requests",
-        hist: hist.snapshot(),
-    }
+    Stage::new(
+        "sim_ingest",
+        start.elapsed().as_secs_f64(),
+        coord.store().total_ingested(),
+        "requests",
+        samples,
+    )
 }
 
 /// Stage 3: engine + ingestion + Algorithm 2 features per window.
@@ -114,7 +164,7 @@ fn sim_extract(secs: u64) -> Stage {
     let mut s = sim();
     let mut coord = TracingCoordinator::new(200_000);
     let mut extractor = CriticalComponentExtractor::new(7);
-    let hist = Histogram::default();
+    let mut samples = Vec::with_capacity(secs as usize);
     let start = Instant::now();
     let mut feature_rows = 0u64;
     for _ in 0..secs {
@@ -124,16 +174,16 @@ fn sim_extract(secs: u64) -> Stage {
         coord.ingest(s.drain_completed());
         let _ = s.drain_telemetry();
         feature_rows += extractor.features(coord.traces_since(window_start)).len() as u64;
-        hist.record(window.elapsed().as_micros() as u64);
+        samples.push(window.elapsed().as_micros() as u64);
     }
     assert!(feature_rows > 0, "extractor produced no features");
-    Stage {
-        name: "sim_extract",
-        wall_secs: start.elapsed().as_secs_f64(),
-        units: coord.store().total_ingested(),
-        unit: "requests",
-        hist: hist.snapshot(),
-    }
+    Stage::new(
+        "sim_extract",
+        start.elapsed().as_secs_f64(),
+        coord.store().total_ingested(),
+        "requests",
+        samples,
+    )
 }
 
 /// Stage 4: DDPG minibatch updates at the paper's dimensions.
@@ -158,20 +208,233 @@ fn ddpg_train(steps: u64) -> Stage {
             done: false,
         });
     }
-    let hist = Histogram::default();
+    let mut samples = Vec::with_capacity(steps as usize);
     let start = Instant::now();
     for _ in 0..steps {
         let step = Instant::now();
         agent.train_step().expect("replay holds a full batch");
-        hist.record(step.elapsed().as_micros() as u64);
+        samples.push(step.elapsed().as_micros() as u64);
     }
-    Stage {
-        name: "ddpg_train",
-        wall_secs: start.elapsed().as_secs_f64(),
-        units: steps,
-        unit: "train steps",
-        hist: hist.snapshot(),
+    Stage::new(
+        "ddpg_train",
+        start.elapsed().as_secs_f64(),
+        steps,
+        "train steps",
+        samples,
+    )
+}
+
+/// The layer shapes one train step's network passes touch, as
+/// `(fan_in, fan_out)` per layer: critic (23→40→40→1) and actor
+/// (8→40→40→5), exactly what [`DdpgConfig::paper`] builds.
+fn paper_layer_shapes() -> Vec<(usize, usize)> {
+    let critic_in = STATE_DIM + ACTION_DIM;
+    vec![
+        (critic_in, HIDDEN),
+        (HIDDEN, HIDDEN),
+        (HIDDEN, 1),
+        (ACTOR_STATE_DIM, HIDDEN),
+        (HIDDEN, HIDDEN),
+        (HIDDEN, ACTION_DIM),
+    ]
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut MlRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform_range(-1.0, 1.0))
+}
+
+/// A gradient-like matrix with ReLU-style zeros (~40% of entries), so
+/// the backward kernels' zero-skip paths see realistic sparsity.
+fn masked_matrix(rows: usize, cols: usize, rng: &mut MlRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        if rng.uniform_range(0.0, 1.0) < 0.4 {
+            0.0
+        } else {
+            rng.uniform_range(-1.0, 1.0)
+        }
+    })
+}
+
+/// Kernel stage: forward projections `x·Wᵀ` for every paper layer.
+fn kernel_matmul_fwd(iters: u64) -> Stage {
+    let mut rng = MlRng::new(7);
+    let work: Vec<(Matrix, Matrix, Matrix)> = paper_layer_shapes()
+        .into_iter()
+        .map(|(fan_in, fan_out)| {
+            (
+                random_matrix(BATCH, fan_in, &mut rng),
+                random_matrix(fan_out, fan_in, &mut rng),
+                Matrix::zeros(BATCH, fan_out),
+            )
+        })
+        .collect();
+    let mut work = work;
+    let mut samples = Vec::with_capacity(iters as usize);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let pass = Instant::now();
+        for (x, w, out) in &mut work {
+            x.matmul_transpose_b_into(w, out);
+        }
+        samples.push(pass.elapsed().as_micros() as u64);
     }
+    std::hint::black_box(&work);
+    Stage::new(
+        "kernel_matmul_fwd",
+        start.elapsed().as_secs_f64(),
+        iters,
+        "passes",
+        samples,
+    )
+}
+
+/// Kernel stage: input gradients `dz·W` for every paper layer.
+fn kernel_matmul_bwd(iters: u64) -> Stage {
+    let mut rng = MlRng::new(8);
+    let work: Vec<(Matrix, Matrix, Matrix)> = paper_layer_shapes()
+        .into_iter()
+        .map(|(fan_in, fan_out)| {
+            (
+                masked_matrix(BATCH, fan_out, &mut rng),
+                random_matrix(fan_out, fan_in, &mut rng),
+                Matrix::zeros(BATCH, fan_in),
+            )
+        })
+        .collect();
+    let mut work = work;
+    let mut samples = Vec::with_capacity(iters as usize);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let pass = Instant::now();
+        for (dz, w, gin) in &mut work {
+            dz.matmul_into(w, gin);
+        }
+        samples.push(pass.elapsed().as_micros() as u64);
+    }
+    std::hint::black_box(&work);
+    Stage::new(
+        "kernel_matmul_bwd",
+        start.elapsed().as_secs_f64(),
+        iters,
+        "passes",
+        samples,
+    )
+}
+
+/// Kernel stage: weight/bias gradient accumulation (`dzᵀ·x` + column
+/// sums) for every paper layer.
+fn kernel_grad_acc(iters: u64) -> Stage {
+    let mut rng = MlRng::new(9);
+    let mut work: Vec<(Matrix, Matrix, Matrix, Vec<f64>)> = paper_layer_shapes()
+        .into_iter()
+        .map(|(fan_in, fan_out)| {
+            (
+                masked_matrix(BATCH, fan_out, &mut rng),
+                random_matrix(BATCH, fan_in, &mut rng),
+                Matrix::zeros(fan_out, fan_in),
+                vec![0.0; fan_out],
+            )
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(iters as usize);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let pass = Instant::now();
+        for (dz, x, grad_w, grad_b) in &mut work {
+            dz.transpose_matmul_acc(x, grad_w);
+            dz.col_sums_acc(grad_b);
+        }
+        samples.push(pass.elapsed().as_micros() as u64);
+    }
+    std::hint::black_box(&work);
+    Stage::new(
+        "kernel_grad_acc",
+        start.elapsed().as_secs_f64(),
+        iters,
+        "passes",
+        samples,
+    )
+}
+
+/// Kernel stage: the element-wise activation maps of one train step's
+/// forward passes — four hidden ReLUs and the actor's tanh output.
+/// Scratch is refreshed from pristine inputs outside the timed region,
+/// so the samples cover the maps alone.
+fn kernel_activations(iters: u64) -> Stage {
+    let mut rng = MlRng::new(10);
+    let shapes = [
+        (HIDDEN, Activation::Relu),
+        (HIDDEN, Activation::Relu),
+        (HIDDEN, Activation::Relu),
+        (HIDDEN, Activation::Relu),
+        (ACTION_DIM, Activation::Tanh),
+    ];
+    let sources: Vec<Matrix> = shapes
+        .iter()
+        .map(|&(cols, _)| random_matrix(BATCH, cols, &mut rng))
+        .collect();
+    let mut scratch: Vec<Matrix> = sources.clone();
+    let mut samples = Vec::with_capacity(iters as usize);
+    let start = Instant::now();
+    for _ in 0..iters {
+        for (dst, src) in scratch.iter_mut().zip(&sources) {
+            dst.copy_from(src);
+        }
+        let pass = Instant::now();
+        for (m, &(_, act)) in scratch.iter_mut().zip(&shapes) {
+            match act {
+                Activation::Relu => m.map_inplace(|v| v.max(0.0)),
+                Activation::Tanh => m.map_inplace(f64::tanh),
+                Activation::Identity => {}
+            }
+        }
+        samples.push(pass.elapsed().as_micros() as u64);
+    }
+    std::hint::black_box(&scratch);
+    Stage::new(
+        "kernel_activations",
+        start.elapsed().as_secs_f64(),
+        iters,
+        "passes",
+        samples,
+    )
+}
+
+/// Kernel stage: Algorithm 3's target-network soft updates — both
+/// target nets blended toward their online nets, as one train step does.
+fn kernel_soft_update(iters: u64) -> Stage {
+    let critic_in = STATE_DIM + ACTION_DIM;
+    let critic = Mlp::new(
+        &[critic_in, HIDDEN, HIDDEN, 1],
+        Activation::Relu,
+        Activation::Identity,
+        11,
+    );
+    let actor = Mlp::new(
+        &[ACTOR_STATE_DIM, HIDDEN, HIDDEN, ACTION_DIM],
+        Activation::Relu,
+        Activation::Tanh,
+        12,
+    );
+    let mut critic_target = critic.clone();
+    let mut actor_target = actor.clone();
+    let tau = DdpgConfig::paper(STATE_DIM, ACTOR_STATE_DIM, ACTION_DIM).tau;
+    let mut samples = Vec::with_capacity(iters as usize);
+    let start = Instant::now();
+    for _ in 0..iters {
+        let pass = Instant::now();
+        critic_target.soft_update_from(&critic, tau);
+        actor_target.soft_update_from(&actor, tau);
+        samples.push(pass.elapsed().as_micros() as u64);
+    }
+    std::hint::black_box((&critic_target, &actor_target));
+    Stage::new(
+        "kernel_soft_update",
+        start.elapsed().as_secs_f64(),
+        iters,
+        "passes",
+        samples,
+    )
 }
 
 /// A synthetic 12-scenario fleet report for the codec stages.
@@ -204,55 +467,56 @@ fn synthetic_report() -> FleetReport {
 /// Stage 5: fleet-report wire encoding.
 fn wire_encode(iters: u64) -> Stage {
     let report = synthetic_report();
-    let hist = Histogram::default();
+    let mut samples = Vec::with_capacity(iters as usize);
     let start = Instant::now();
     let mut bytes = 0usize;
     for _ in 0..iters {
         let doc = Instant::now();
         bytes += encode_string(std::hint::black_box(&report)).len();
-        hist.record(doc.elapsed().as_micros() as u64);
+        samples.push(doc.elapsed().as_micros() as u64);
     }
     assert!(bytes > 0);
-    Stage {
-        name: "wire_encode",
-        wall_secs: start.elapsed().as_secs_f64(),
-        units: iters,
-        unit: "documents",
-        hist: hist.snapshot(),
-    }
+    Stage::new(
+        "wire_encode",
+        start.elapsed().as_secs_f64(),
+        iters,
+        "documents",
+        samples,
+    )
 }
 
 /// Stage 6: fleet-report wire decoding.
 fn wire_decode(iters: u64) -> Stage {
     let report = synthetic_report();
     let json = encode_string(&report);
-    let hist = Histogram::default();
+    let mut samples = Vec::with_capacity(iters as usize);
     let start = Instant::now();
     for _ in 0..iters {
         let doc = Instant::now();
         let back: FleetReport = decode_string(std::hint::black_box(&json)).expect("report decodes");
         std::hint::black_box(&back);
-        hist.record(doc.elapsed().as_micros() as u64);
+        samples.push(doc.elapsed().as_micros() as u64);
     }
-    Stage {
-        name: "wire_decode",
-        wall_secs: start.elapsed().as_secs_f64(),
-        units: iters,
-        unit: "documents",
-        hist: hist.snapshot(),
-    }
+    Stage::new(
+        "wire_decode",
+        start.elapsed().as_secs_f64(),
+        iters,
+        "documents",
+        samples,
+    )
 }
 
 fn main() {
     let args = Args::from_env();
     let seconds = args.u64("seconds", 10);
     let train_steps = args.u64("train-steps", 500);
+    let kernel_iters = args.u64("kernel-iters", 2_000);
     let codec_iters = args.u64("codec-iters", 2_000);
     let out_path = args.get("out").unwrap_or("BENCH_hotpaths.json").to_string();
 
     banner(
         "BENCH hot_paths",
-        "per-stage hot-path timings: sim / ingest / extract / train / codec",
+        "per-stage hot-path timings: sim / ingest / extract / train / kernels / codec",
     );
 
     let stages = vec![
@@ -260,13 +524,18 @@ fn main() {
         sim_ingest(seconds),
         sim_extract(seconds),
         ddpg_train(train_steps),
+        kernel_matmul_fwd(kernel_iters),
+        kernel_matmul_bwd(kernel_iters),
+        kernel_grad_acc(kernel_iters),
+        kernel_activations(kernel_iters),
+        kernel_soft_update(kernel_iters),
         wire_encode(codec_iters),
         wire_decode(codec_iters),
     ];
 
     for s in &stages {
         println!(
-            "{:<12} wall={:>8.3}s {:>12.0} {}/s ({:>9.2} us/{})  \
+            "{:<20} wall={:>8.3}s {:>12.0} {}/s ({:>9.2} us/{})  \
              iter p50={} p95={} p99={} max={} us",
             s.name,
             s.wall_secs,
@@ -274,10 +543,10 @@ fn main() {
             s.unit,
             s.us_per_unit(),
             s.unit.trim_end_matches('s'),
-            s.hist.p50(),
-            s.hist.p95(),
-            s.hist.p99(),
-            s.hist.max,
+            s.percentile(0.50),
+            s.percentile(0.95),
+            s.percentile(0.99),
+            s.max(),
         );
     }
     // The layer costs the fleet actually pays: ingest and extract
@@ -301,10 +570,10 @@ fn main() {
                 .field("unit", s.unit)
                 .field("per_sec", round3(s.per_sec()))
                 .field("us_per_unit", round3(s.us_per_unit()))
-                .field("iter_p50_us", s.hist.p50())
-                .field("iter_p95_us", s.hist.p95())
-                .field("iter_p99_us", s.hist.p99())
-                .field("iter_max_us", s.hist.max)
+                .field("iter_p50_us", s.percentile(0.50))
+                .field("iter_p95_us", s.percentile(0.95))
+                .field("iter_p99_us", s.percentile(0.99))
+                .field("iter_max_us", s.max())
                 .build()
         })
         .collect();
@@ -315,6 +584,7 @@ fn main() {
         .field("bench", "hot_paths")
         .field("sim_seconds", seconds)
         .field("train_steps", train_steps)
+        .field("kernel_iters", kernel_iters)
         .field("codec_iters", codec_iters)
         .field("host_cores", host_cores)
         .field("stages", rows)

@@ -50,6 +50,12 @@ pub struct FirmConfig {
     pub alpha: f64,
     /// RNG seed for the ML components.
     pub seed: u64,
+    /// Intra-scenario fan-out: the number of shards the trace-ingest
+    /// and extract stages spread over per control tick. Results are
+    /// bit-identical at any value (the sharded stages are pure per-item
+    /// computations merged in input order); `1` runs everything on the
+    /// scenario's own thread.
+    pub intra_shards: usize,
 }
 
 impl Default for FirmConfig {
@@ -64,6 +70,7 @@ impl Default for FirmConfig {
             record_experience: false,
             alpha: 0.5,
             seed: 7,
+            intra_shards: 1,
         }
     }
 }
@@ -135,6 +142,8 @@ pub struct FirmManager {
     last_telemetry: Option<TelemetryWindow>,
     experience: ExperienceLog,
     timers: StageTimers,
+    /// Intra-scenario fan-out for the ingest/extract stages.
+    pool: firm_par::ShardPool,
 }
 
 /// Cached handles into the process-wide `firm_obs` registry, resolved
@@ -177,6 +186,7 @@ impl FirmManager {
             last_telemetry: None,
             experience: ExperienceLog::default(),
             timers: StageTimers::new(),
+            pool: firm_par::ShardPool::new(config.intra_shards),
             config,
         }
     }
@@ -280,9 +290,11 @@ impl FirmManager {
         self.last_tick = sim.now();
         self.stats.ticks += 1;
 
-        // ① Ingest traces and telemetry.
+        // ① Ingest traces and telemetry. Graph/critical-path builds fan
+        // out over the shard pool; the merge is input-ordered, so the
+        // store is byte-identical at any shard count.
         let ingest_started = std::time::Instant::now();
-        self.coordinator.ingest(completed);
+        self.coordinator.ingest_sharded(completed, &self.pool);
         self.collector.collect(&telemetry);
         self.timers
             .ingest
@@ -317,9 +329,14 @@ impl FirmManager {
             // The extractor consumes the coordinator's stored traces by
             // reference — the window is never copied out of the store.
             let extract_started = std::time::Instant::now();
-            let features = self
-                .extractor
-                .features(self.coordinator.traces_since(window_start));
+            let features = if self.pool.is_sequential() {
+                self.extractor
+                    .features(self.coordinator.traces_since(window_start))
+            } else {
+                let window: Vec<&firm_trace::store::StoredTrace> =
+                    self.coordinator.traces_since(window_start).collect();
+                self.extractor.features_sharded(&window, &self.pool)
+            };
             self.timers
                 .extract
                 .record(extract_started.elapsed().as_micros() as u64);
@@ -571,6 +588,42 @@ mod tests {
             est.shared_agent().export_weights()
         };
         assert_eq!(train(&log), train(&log));
+    }
+
+    /// The control loop's output — learned weights, counters, recorded
+    /// experience — must not move when the ingest/extract stages fan
+    /// out. Arrival rate is set high enough that windows cross the
+    /// sharded paths' sequential-fallback thresholds.
+    #[test]
+    fn intra_sharded_control_loop_is_bit_identical() {
+        let run = |shards: usize| {
+            let mut sim = Simulation::builder(ClusterSpec::small(2), tight_app(), 86)
+                .arrivals(Box::new(PoissonArrivals::new(120.0)))
+                .build();
+            let mut mgr = FirmManager::new(FirmConfig {
+                training: true,
+                record_experience: true,
+                intra_shards: shards,
+                ..FirmConfig::default()
+            });
+            sim.inject(AnomalySpec::new(
+                AnomalyKind::MemBwStress,
+                NodeId(0),
+                1.0,
+                SimDuration::from_secs(10),
+            ));
+            run_managed(&mut sim, &mut mgr, SimDuration::from_secs(8));
+            (
+                mgr.shared_weights(),
+                format!("{:?}", mgr.stats()),
+                mgr.drain_experience(),
+            )
+        };
+        let base = run(1);
+        assert!(!base.2.is_empty(), "run harvested no experience");
+        for shards in [2, 4] {
+            assert_eq!(base, run(shards), "intra_shards={shards} moved the output");
+        }
     }
 
     #[test]

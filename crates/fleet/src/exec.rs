@@ -12,6 +12,12 @@
 //! FIRM scenarios then run the shared agent in pure inference mode
 //! (no training, no exploration, no experience tap) — the deployment
 //! half of [`crate::runner::FleetRunner::run_round_trip`].
+//!
+//! [`run_one_sharded`] additionally accepts an intra-scenario shard
+//! count, fanned into the FIRM manager's ingest/extract stages. It is
+//! purely a latency knob: results stay bit-identical at any shard
+//! count, so `(scenario, seed, policy)` remains the full determinism
+//! domain.
 
 use firm_core::baselines::{AimdController, K8sHpaController};
 use firm_core::controller::{run_episode, Controller, EpisodeSpec, PolicyCheckpoint, Unmanaged};
@@ -26,12 +32,15 @@ use crate::scenario::{FleetController, Scenario};
 
 /// Builds the live controller for a scenario. With `policy` set, a FIRM
 /// scenario deploys the frozen shared agent (inference mode) instead of
-/// training a fresh one.
+/// training a fresh one. `intra_shards` sets the FIRM manager's
+/// intra-scenario stage fan-out; it changes wall-clock time only, never
+/// a result byte (the property `tests/fleet_determinism.rs` pins).
 fn build_controller(
     scenario: &Scenario,
     seed: u64,
     services: usize,
     policy: Option<&PolicyCheckpoint>,
+    intra_shards: usize,
 ) -> Box<dyn Controller> {
     match scenario.controller {
         FleetController::Unmanaged => Box::new(Unmanaged),
@@ -43,6 +52,7 @@ fn build_controller(
                 explore: !deployed,
                 record_experience: !deployed,
                 seed: seed ^ 0xF12A,
+                intra_shards,
                 ..FirmConfig::default()
             }));
             if let Some(p) = policy {
@@ -58,7 +68,7 @@ fn build_controller(
 /// Runs one scenario to completion; returns its measurements and the
 /// experience log (empty for non-FIRM controllers).
 pub fn run_one(scenario: &Scenario, seed: u64) -> (ScenarioOutcome, ExperienceLog) {
-    run_one_with(scenario, seed, None)
+    run_one_sharded(scenario, seed, None, 1)
 }
 
 /// Runs one scenario, optionally deploying a frozen policy into its
@@ -67,6 +77,20 @@ pub fn run_one_with(
     scenario: &Scenario,
     seed: u64,
     policy: Option<&PolicyCheckpoint>,
+) -> (ScenarioOutcome, ExperienceLog) {
+    run_one_sharded(scenario, seed, policy, 1)
+}
+
+/// [`run_one_with`] plus intra-scenario parallelism: the FIRM manager's
+/// ingest and feature-extraction stages fan out over `intra_shards`
+/// threads inside each control window. Sharding is a pure speed knob —
+/// the outcome and experience are bit-identical at any shard count, so
+/// the fleet's determinism contract is untouched.
+pub fn run_one_sharded(
+    scenario: &Scenario,
+    seed: u64,
+    policy: Option<&PolicyCheckpoint>,
+    intra_shards: usize,
 ) -> (ScenarioOutcome, ExperienceLog) {
     let wall = std::time::Instant::now();
     let cluster = ClusterSpec::small(scenario.nodes.max(1));
@@ -85,7 +109,7 @@ pub fn run_one_with(
         .build();
     let services = sim.app().services.len();
 
-    let mut controller = build_controller(scenario, seed, services, policy);
+    let mut controller = build_controller(scenario, seed, services, policy, intra_shards);
     let mut injector = scenario
         .campaign
         .clone()
@@ -201,6 +225,24 @@ mod tests {
         // The deploy pass itself is deterministic.
         let (again, _) = run_one_with(&scenario, 9, Some(&frozen));
         assert_eq!(deployed, again);
+    }
+
+    #[test]
+    fn intra_shards_change_nothing_but_wall_clock() {
+        let scenario = builtin_catalog()
+            .remove(0)
+            .with_duration(SimDuration::from_secs(8));
+        assert_eq!(scenario.controller, FleetController::Firm);
+        let (outcome_1, log_1) = run_one_sharded(&scenario, 7, None, 1);
+        for shards in [2, 4] {
+            let (outcome_n, log_n) = run_one_sharded(&scenario, 7, None, shards);
+            assert_eq!(outcome_1, outcome_n, "outcome moved at {shards} shards");
+            assert_eq!(
+                format!("{log_1:?}"),
+                format!("{log_n:?}"),
+                "experience moved at {shards} shards"
+            );
+        }
     }
 
     #[test]

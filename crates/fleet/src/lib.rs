@@ -94,7 +94,7 @@ pub mod transport;
 pub mod wire;
 pub mod worker;
 
-pub use exec::{run_one, run_one_with};
+pub use exec::{run_one, run_one_sharded, run_one_with};
 pub use ops::{OpsReport, WorkerOps};
 pub use protocol::{
     WorkerHeartbeat, WorkerHello, WorkerMessage, WorkerRequest, WorkerResponse, PROTOCOL_VERSION,

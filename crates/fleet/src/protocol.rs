@@ -43,8 +43,9 @@ use crate::scenario::Scenario;
 /// supervisor refuses to run against a worker that speaks a different
 /// version.
 ///
-/// v2 added the [`WorkerMessage::Metrics`] session-end frame.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// v2 added the [`WorkerMessage::Metrics`] session-end frame. v3 added
+/// [`WorkerRequest::intra_shards`].
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// One unit of work shipped to a subprocess worker.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +65,12 @@ pub struct WorkerRequest {
     /// so a deployment pass ships the weights `workers` times, not
     /// `scenarios` times.
     pub reuse_policy: bool,
+    /// Intra-scenario stage fan-out on the worker (see
+    /// [`crate::exec::run_one_sharded`]); 0 and 1 both mean sequential.
+    /// A latency knob only — the response is bit-identical at any
+    /// value, so a retry dispatched with a different shard count would
+    /// still be byte-identical. Added in protocol v3.
+    pub intra_shards: u64,
 }
 
 impl WireEncode for WorkerRequest {
@@ -74,6 +81,7 @@ impl WireEncode for WorkerRequest {
             .field("scenario", &self.scenario)
             .field("policy", &self.policy)
             .field("reuse_policy", self.reuse_policy)
+            .field("intra_shards", self.intra_shards)
             .build()
     }
 }
@@ -86,6 +94,7 @@ impl WireDecode for WorkerRequest {
             scenario: v.field("scenario")?,
             policy: v.field("policy")?,
             reuse_policy: v.field("reuse_policy")?,
+            intra_shards: v.field("intra_shards")?,
         })
     }
 }
@@ -228,6 +237,7 @@ mod tests {
             scenario: scenario.clone(),
             policy: None,
             reuse_policy: false,
+            intra_shards: 1,
         });
         assert_round_trip(&WorkerRequest {
             index: 0,
@@ -238,6 +248,7 @@ mod tests {
                 critic: vec![1.0 / 3.0],
             }),
             reuse_policy: false,
+            intra_shards: 4,
         });
         assert_round_trip(&WorkerRequest {
             index: 1,
@@ -245,6 +256,7 @@ mod tests {
             scenario,
             policy: None,
             reuse_policy: true,
+            intra_shards: 0,
         });
     }
 

@@ -14,6 +14,14 @@
 //! are identical whether the fleet ran on 1 thread or 64. Thread count
 //! changes wall-clock time, nothing else.
 //!
+//! [`FleetConfig::intra_shards`] adds a second, *intra*-scenario axis:
+//! each FIRM control loop fans its trace-ingest and feature-extraction
+//! stages over that many threads between deterministic barriers. Like
+//! the thread count, it is a pure latency knob — every sharded stage is
+//! bit-identical to its sequential form — so the two axes compose
+//! freely against one core budget (the thread path divides its worker
+//! count by the shard count).
+//!
 //! # Multi-process and multi-node sharding
 //!
 //! With [`FleetConfig::workers`] set, the runner spawns that many
@@ -44,7 +52,7 @@ use firm_core::extractor::CriticalComponentExtractor;
 use firm_core::manager::ExperienceLog;
 use firm_core::training::replay_experience;
 
-use crate::exec::run_one_with;
+use crate::exec::run_one_sharded;
 use crate::ops::{OpsReport, WorkerOps};
 use crate::report::{FleetReport, RoundTripReport, ScenarioOutcome};
 use crate::scenario::Scenario;
@@ -82,6 +90,13 @@ pub struct FleetConfig {
     /// Minibatch updates to run on the shared agent after pooling
     /// (§4.3 one-for-all training from the fleet's experience).
     pub train_steps: usize,
+    /// Intra-scenario parallelism: threads each FIRM control loop fans
+    /// its ingest/extract stages over (1, the default, keeps scenarios
+    /// single-threaded). A pure latency knob — results are bit-identical
+    /// at any value — that trades scenario-level for stage-level
+    /// parallelism: the thread path divides its worker budget by this,
+    /// so `threads` stays the total core budget.
+    pub intra_shards: usize,
 }
 
 impl Default for FleetConfig {
@@ -95,6 +110,7 @@ impl Default for FleetConfig {
             max_attempts: 3,
             seed: 1,
             train_steps: 256,
+            intra_shards: 1,
         }
     }
 }
@@ -118,6 +134,13 @@ impl FleetConfig {
     /// Sets the per-scenario request timeout (0 disables).
     pub fn request_timeout_ms(mut self, ms: u64) -> Self {
         self.request_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the intra-scenario shard count (0 and 1 both mean
+    /// sequential). Results are bit-identical at any value.
+    pub fn intra_shards(mut self, n: usize) -> Self {
+        self.intra_shards = n.max(1);
         self
     }
 
@@ -333,12 +356,24 @@ impl FleetRunner {
 
     /// The in-process path: OS threads claiming catalog indices from an
     /// atomic counter.
+    ///
+    /// With [`FleetConfig::intra_shards`] above 1, scenario workers and
+    /// intra-scenario shards are co-scheduled against one core budget:
+    /// each scenario runner spawns `intra_shards` stage threads at its
+    /// barriers, so the scenario-worker count is the thread budget
+    /// divided by the shard count (floor 1). Total concurrency stays
+    /// ≈ `effective_threads` whichever way the product is split, and
+    /// because sharded results are bit-identical, the split is
+    /// invisible in the report.
     fn execute_threads(
         &self,
         scenarios: &[Scenario],
         policy: Option<&PolicyCheckpoint>,
     ) -> Vec<(ScenarioOutcome, ExperienceLog)> {
-        let threads = self.config.effective_threads().min(scenarios.len());
+        let intra_shards = self.config.intra_shards.max(1);
+        let threads = (self.config.effective_threads() / intra_shards)
+            .max(1)
+            .min(scenarios.len());
         let fleet_seed = self.config.seed;
 
         let next = AtomicUsize::new(0);
@@ -356,7 +391,7 @@ impl FleetRunner {
                         break;
                     };
                     let seed = scenario_seed(fleet_seed, i);
-                    let (outcome, log) = run_one_with(scenario, seed, policy);
+                    let (outcome, log) = run_one_sharded(scenario, seed, policy, intra_shards);
                     // The collector hanging up is impossible while the
                     // scope lives; a send error would mean a collector
                     // bug, so surface it.
@@ -417,6 +452,7 @@ impl FleetRunner {
             request_timeout: (self.config.request_timeout_ms > 0)
                 .then(|| Duration::from_millis(self.config.request_timeout_ms)),
             max_attempts: self.config.max_attempts.max(1),
+            intra_shards: self.config.intra_shards.max(1),
         };
         supervise(transports, scenarios, self.config.seed, policy, &config)
     }
@@ -519,6 +555,30 @@ mod tests {
             one.estimator.shared_agent().export_weights(),
             four.estimator.shared_agent().export_weights(),
             "pooled training diverged across thread counts"
+        );
+    }
+
+    #[test]
+    fn intra_shards_do_not_change_results() {
+        let scenarios = short_catalog(3, 6);
+        let run = |intra_shards| {
+            FleetRunner::new(FleetConfig {
+                threads: 2,
+                seed: 5,
+                train_steps: 32,
+                intra_shards,
+                ..FleetConfig::default()
+            })
+            .run(&scenarios)
+        };
+        let sequential = run(1);
+        let sharded = run(3);
+        assert_eq!(sequential.report.to_json(), sharded.report.to_json());
+        assert_eq!(sequential.report.digest(), sharded.report.digest());
+        assert_eq!(
+            sequential.estimator.shared_agent().export_weights(),
+            sharded.estimator.shared_agent().export_weights(),
+            "pooled training diverged across intra-shard counts"
         );
     }
 

@@ -66,6 +66,10 @@ pub struct SupervisorConfig {
     /// the budget is exhausted it panics, because a report missing a
     /// scenario would silently break the determinism contract.
     pub max_attempts: usize,
+    /// Intra-scenario stage fan-out shipped on every request frame
+    /// ([`WorkerRequest::intra_shards`]); 1 keeps workers sequential.
+    /// A latency knob only — responses are bit-identical at any value.
+    pub intra_shards: usize,
 }
 
 impl Default for SupervisorConfig {
@@ -73,6 +77,7 @@ impl Default for SupervisorConfig {
         SupervisorConfig {
             request_timeout: Some(Duration::from_secs(300)),
             max_attempts: 3,
+            intra_shards: 1,
         }
     }
 }
@@ -377,6 +382,7 @@ impl<'a> Supervisor<'a> {
             scenario: self.scenarios[job].clone(),
             policy: first_policy_frame.then(|| self.policy.expect("checked").clone()),
             reuse_policy: self.policy.is_some() && !first_policy_frame,
+            intra_shards: self.config.intra_shards.max(1) as u64,
         });
         let slot = &mut self.slots[slot_id];
         let live = slot.live.as_ref().expect("dispatch checked live");

@@ -2,9 +2,9 @@
 //! ends.
 //!
 //! [`serve_session`] is the entire worker: write a [`WorkerHello`],
-//! start a heartbeat ticker, then `decode → run_one_with → encode` each
-//! [`WorkerRequest`] until the input stream ends. The `firm-fleet-worker`
-//! binary wraps it twice:
+//! start a heartbeat ticker, then `decode → run_one_sharded → encode`
+//! each [`WorkerRequest`] until the input stream ends. The
+//! `firm-fleet-worker` binary wraps it twice:
 //!
 //! * **stdio mode** (default) — one session over stdin/stdout, spawned
 //!   and owned by a coordinator's [`crate::transport::PipeTransport`];
@@ -16,8 +16,10 @@
 //! The worker is deliberately dumb: no seed derivation, no ordering, no
 //! training, no retries. All of that stays at the coordinator, which is
 //! what lets the multi-node fleet stay bit-identical to the in-process
-//! one — a worker can only compute `run_one_with(scenario, seed,
-//! policy)`, and that function is a pure function of its frame.
+//! one — a worker can only compute `run_one_sharded(scenario, seed,
+//! policy, intra_shards)`, and that function's results are a pure
+//! function of the frame's first three fields (the shard count moves
+//! wall-clock time only).
 
 use std::io::{BufRead, Write};
 use std::net::{TcpListener, TcpStream};
@@ -27,7 +29,7 @@ use std::time::Duration;
 
 use firm_obs::Level;
 
-use crate::exec::run_one_with;
+use crate::exec::run_one_sharded;
 use crate::protocol::{
     WorkerHeartbeat, WorkerHello, WorkerMessage, WorkerRequest, WorkerResponse, PROTOCOL_VERSION,
 };
@@ -196,7 +198,8 @@ fn serve_jobs<R: BufRead, W: Write>(
             .field("deploy", policy.is_some())
             .emit();
         busy.store(req.index as i64, Ordering::Relaxed);
-        let (outcome, experience) = run_one_with(&req.scenario, req.seed, policy);
+        let (outcome, experience) =
+            run_one_sharded(&req.scenario, req.seed, policy, req.intra_shards as usize);
         busy.store(-1, Ordering::Relaxed);
 
         write_frame(
@@ -361,6 +364,7 @@ mod tests {
                     scenario: scenario.clone(),
                     policy: None,
                     reuse_policy: false,
+                    intra_shards: 2,
                 })
             })
             .collect();
@@ -426,6 +430,7 @@ mod tests {
             scenario,
             policy: None,
             reuse_policy: true,
+            intra_shards: 1,
         });
         let err = serve_session(
             frame.as_bytes(),

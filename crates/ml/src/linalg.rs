@@ -125,21 +125,62 @@ impl Matrix {
 
     /// `self · other` written into a caller-provided buffer (no
     /// allocation once `out` has warmed up to the right capacity).
+    ///
+    /// The kernel fuses four `k` steps per pass over the destination
+    /// row, quartering destination-row traffic. Each output element
+    /// still receives its `k` contributions one `+=` at a time in
+    /// strictly ascending `k` order — fusing batches the *passes*, not
+    /// the adds — and a zero `self[r][k]` skips its term exactly as the
+    /// naive kernel does (the backward pass feeds ReLU-masked `dz`
+    /// matrices through here, so the sparsity skip is load-bearing).
+    /// Results are bit-identical to the naive kernel.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        out.resize(self.rows, other.cols);
+        let n = other.cols;
+        out.resize(self.rows, n);
         out.fill(0.0);
         for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[r * self.cols + k];
-                if a == 0.0 {
-                    continue;
+            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
+            let dst = &mut out.data[r * n..(r + 1) * n];
+            let mut k = 0;
+            while k + 4 <= self.cols {
+                let (a0, a1, a2, a3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+                if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                    let (b0, tail) = other.data[k * n..(k + 4) * n].split_at(n);
+                    let (b1, tail) = tail.split_at(n);
+                    let (b2, b3) = tail.split_at(n);
+                    for (c, d) in dst.iter_mut().enumerate() {
+                        let mut v = *d;
+                        v += a0 * b0[c];
+                        v += a1 * b1[c];
+                        v += a2 * b2[c];
+                        v += a3 * b3[c];
+                        *d = v;
+                    }
+                } else {
+                    // A zero in the block: fall back to one pass per
+                    // non-zero `k` so skipped terms stay skipped.
+                    for (t, &a) in arow[k..k + 4].iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let brow = &other.data[(k + t) * n..(k + t + 1) * n];
+                        for (d, &b) in dst.iter_mut().zip(brow) {
+                            *d += a * b;
+                        }
+                    }
                 }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let dst = &mut out.data[r * other.cols..(r + 1) * other.cols];
-                for (d, &b) in dst.iter_mut().zip(orow) {
-                    *d += a * b;
+                k += 4;
+            }
+            while k < self.cols {
+                let a = arow[k];
+                if a != 0.0 {
+                    let brow = &other.data[k * n..(k + 1) * n];
+                    for (d, &b) in dst.iter_mut().zip(brow) {
+                        *d += a * b;
+                    }
                 }
+                k += 1;
             }
         }
     }
@@ -153,12 +194,19 @@ impl Matrix {
 
     /// `self · otherᵀ` written into a caller-provided buffer.
     ///
-    /// The kernel is register-blocked: four rows of `other` (four
-    /// output columns) share one streaming pass over the `self` row,
-    /// which quarters the traffic on the hot operand. Each output
-    /// element still folds its dot product strictly in `k` order with
-    /// its own accumulator, so results are bit-identical to the naive
-    /// kernel — blocking changes locality, never summation order.
+    /// The kernel is register-blocked eight wide: eight rows of `other`
+    /// (eight output columns) share one streaming pass over the `self`
+    /// row, cutting traffic on the hot operand 8× and — more
+    /// importantly on the all-forward-passes path — giving the core
+    /// eight *independent* accumulator chains. A single dot product is
+    /// one serial float-add dependency chain (f64 adds cannot be
+    /// reassociated without changing bits); eight interleaved chains
+    /// keep the FMA pipeline full instead of waiting out each add's
+    /// latency. Each output element still folds its dot product
+    /// strictly in `k` order with its own accumulator, so results are
+    /// bit-identical to the naive kernel — blocking changes locality
+    /// and ILP, never summation order. A four-wide step and a scalar
+    /// loop sweep the sub-8 remainder columns.
     pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_transpose_b shape mismatch");
         let k = self.cols;
@@ -168,11 +216,40 @@ impl Matrix {
             let arow = &self.data[r * k..(r + 1) * k];
             let orow = &mut out.data[r * n..(r + 1) * n];
             let mut j = 0;
-            while j + 4 <= n {
-                let b0 = &other.data[j * k..(j + 1) * k];
-                let b1 = &other.data[(j + 1) * k..(j + 2) * k];
-                let b2 = &other.data[(j + 2) * k..(j + 3) * k];
-                let b3 = &other.data[(j + 3) * k..(j + 4) * k];
+            while j + 8 <= n {
+                let (b0, tail) = other.data[j * k..(j + 8) * k].split_at(k);
+                let (b1, tail) = tail.split_at(k);
+                let (b2, tail) = tail.split_at(k);
+                let (b3, tail) = tail.split_at(k);
+                let (b4, tail) = tail.split_at(k);
+                let (b5, tail) = tail.split_at(k);
+                let (b6, b7) = tail.split_at(k);
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+                let (mut a4, mut a5, mut a6, mut a7) = (0.0, 0.0, 0.0, 0.0);
+                for (i, &a) in arow.iter().enumerate() {
+                    a0 += a * b0[i];
+                    a1 += a * b1[i];
+                    a2 += a * b2[i];
+                    a3 += a * b3[i];
+                    a4 += a * b4[i];
+                    a5 += a * b5[i];
+                    a6 += a * b6[i];
+                    a7 += a * b7[i];
+                }
+                orow[j] = a0;
+                orow[j + 1] = a1;
+                orow[j + 2] = a2;
+                orow[j + 3] = a3;
+                orow[j + 4] = a4;
+                orow[j + 5] = a5;
+                orow[j + 6] = a6;
+                orow[j + 7] = a7;
+                j += 8;
+            }
+            if j + 4 <= n {
+                let (b0, tail) = other.data[j * k..(j + 4) * k].split_at(k);
+                let (b1, tail) = tail.split_at(k);
+                let (b2, b3) = tail.split_at(k);
                 let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
                 for (i, &a) in arow.iter().enumerate() {
                     a0 += a * b0[i];
@@ -211,6 +288,13 @@ impl Matrix {
     /// When `acc` starts zeroed the per-element fold order is identical
     /// to [`Matrix::transpose_matmul`] followed by an element-wise add.
     ///
+    /// Four sample rows (`m`) are fused per pass over each gradient
+    /// row, so the hot `acc` row is read and written once per four
+    /// samples instead of once per sample. Per output element the
+    /// contributions still land one `+=` at a time in ascending `m`
+    /// order, and a zero `self[m][k]` (ReLU-masked `dz`) skips its term
+    /// exactly as before — bit-identical to the unfused kernel.
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
@@ -218,18 +302,59 @@ impl Matrix {
         assert_eq!(self.rows, other.rows, "transpose_matmul shape mismatch");
         assert_eq!(acc.rows, self.cols, "transpose_matmul acc shape mismatch");
         assert_eq!(acc.cols, other.cols, "transpose_matmul acc shape mismatch");
-        for m in 0..self.rows {
-            let arow = self.row(m);
-            let brow = other.row(m);
+        let n = other.cols;
+        let mut m = 0;
+        while m + 4 <= self.rows {
+            let a0row = &self.data[m * self.cols..(m + 1) * self.cols];
+            let a1row = &self.data[(m + 1) * self.cols..(m + 2) * self.cols];
+            let a2row = &self.data[(m + 2) * self.cols..(m + 3) * self.cols];
+            let a3row = &self.data[(m + 3) * self.cols..(m + 4) * self.cols];
+            let (b0, tail) = other.data[m * n..(m + 4) * n].split_at(n);
+            let (b1, tail) = tail.split_at(n);
+            let (b2, b3) = tail.split_at(n);
+            for k in 0..self.cols {
+                let (a0, a1, a2, a3) = (a0row[k], a1row[k], a2row[k], a3row[k]);
+                if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                    continue;
+                }
+                let dst = &mut acc.data[k * n..(k + 1) * n];
+                if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                    for (c, d) in dst.iter_mut().enumerate() {
+                        let mut v = *d;
+                        v += a0 * b0[c];
+                        v += a1 * b1[c];
+                        v += a2 * b2[c];
+                        v += a3 * b3[c];
+                        *d = v;
+                    }
+                } else {
+                    // Mixed zero/non-zero block: one pass per non-zero
+                    // sample, in `m` order, so skips stay skips.
+                    for (a, brow) in [(a0, b0), (a1, b1), (a2, b2), (a3, b3)] {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (d, &b) in dst.iter_mut().zip(brow) {
+                            *d += a * b;
+                        }
+                    }
+                }
+            }
+            m += 4;
+        }
+        while m < self.rows {
+            let arow = &self.data[m * self.cols..(m + 1) * self.cols];
+            let brow = &other.data[m * n..(m + 1) * n];
             for (k, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let dst = &mut acc.data[k * other.cols..(k + 1) * other.cols];
+                let dst = &mut acc.data[k * n..(k + 1) * n];
                 for (d, &b) in dst.iter_mut().zip(brow) {
                     *d += a * b;
                 }
             }
+            m += 1;
         }
     }
 
@@ -418,9 +543,24 @@ mod tests {
 
     #[test]
     fn blocked_matmul_transpose_b_is_bit_identical_to_naive() {
-        // Odd output widths exercise both the 4-wide blocks and the
-        // remainder loop; irrational-ish values make float order matter.
-        for (m, n, k) in [(1, 1, 1), (3, 7, 5), (5, 40, 23), (2, 9, 64), (4, 4, 0)] {
+        // The sweep covers degenerate rows/columns (1×N, N×1, k = 0),
+        // exact 8-wide blocks, widths hitting the 8-, 4-, and
+        // scalar-remainder paths, and the paper's training shapes;
+        // irrational-ish values make float order matter.
+        for (m, n, k) in [
+            (1, 1, 1),
+            (3, 7, 5),
+            (5, 40, 23),
+            (2, 9, 64),
+            (4, 4, 0),
+            (1, 17, 9),
+            (7, 1, 13),
+            (9, 8, 8),
+            (2, 15, 31),
+            (1, 1, 0),
+            (64, 40, 23),
+            (64, 40, 48),
+        ] {
             let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17) as f64).sin() * 3.7);
             let b = Matrix::from_fn(n, k, |r, c| ((r * 13 + c * 7) as f64).cos() / 1.3);
             let blocked = a.matmul_transpose_b(&b);
@@ -429,6 +569,94 @@ mod tests {
             assert_eq!(blocked.cols(), naive.cols());
             for (x, y) in blocked.data().iter().zip(naive.data()) {
                 assert_eq!(x.to_bits(), y.to_bits(), "{m}x{n}x{k}");
+            }
+        }
+    }
+
+    /// Sequential reference for `matmul_into`: ascending-`k` axpy with
+    /// the zero-skip, exactly the pre-blocking formulation.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows());
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for k in 0..a.cols() {
+                let av = a.get(r, k);
+                if av == 0.0 {
+                    continue;
+                }
+                for c in 0..b.cols() {
+                    let v = out.get(r, c) + av * b.get(k, c);
+                    out.set(r, c, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// ReLU-like mask: zero out a scattered subset so the fused kernels
+    /// exercise their mixed zero/non-zero fallback paths.
+    fn masked(mut m: Matrix) -> Matrix {
+        for (i, x) in m.data_mut().iter_mut().enumerate() {
+            if (i * 2_654_435_761) % 7 < 3 {
+                *x = 0.0;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn fused_matmul_into_is_bit_identical_to_naive() {
+        // Dense and ReLU-masked operands, over shapes hitting the
+        // 4-wide fused blocks, the mixed-zero fallback, and the
+        // sub-4 k remainder.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (64, 40, 40),
+            (64, 41, 23),
+            (2, 3, 9),
+            (1, 8, 1),
+            (5, 0, 4),
+        ] {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 29 + c * 11) as f64).sin() * 2.1);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 19 + c * 3) as f64).cos() * 1.7);
+            for a in [a.clone(), masked(a)] {
+                let mut fused = Matrix::zeros(0, 0);
+                a.matmul_into(&b, &mut fused);
+                let naive = naive_matmul(&a, &b);
+                assert_eq!((fused.rows(), fused.cols()), (naive.rows(), naive.cols()));
+                for (x, y) in fused.data().iter().zip(naive.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_transpose_matmul_acc_is_bit_identical_to_naive() {
+        // Reference: ascending-m axpy with the zero-skip (the unfused
+        // kernel), against dense and ReLU-masked `dz`.
+        for (rows, k, n) in [(1, 1, 1), (6, 3, 4), (64, 40, 23), (65, 7, 9), (3, 2, 8)] {
+            let dz = Matrix::from_fn(rows, k, |r, c| ((r * 23 + c * 13) as f64).sin() * 1.9);
+            let x = Matrix::from_fn(rows, n, |r, c| ((r * 17 + c * 5) as f64).cos() * 0.8);
+            for dz in [dz.clone(), masked(dz)] {
+                let mut fused = Matrix::zeros(k, n);
+                dz.transpose_matmul_acc(&x, &mut fused);
+                let mut naive = Matrix::zeros(k, n);
+                for m in 0..rows {
+                    for (kk, &a) in dz.row(m).iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for c in 0..n {
+                            let v = naive.get(kk, c) + a * x.get(m, c);
+                            naive.set(kk, c, v);
+                        }
+                    }
+                }
+                for (a, b) in fused.data().iter().zip(naive.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{rows}x{k}x{n}");
+                }
             }
         }
     }

@@ -119,13 +119,17 @@ impl Linear {
             output,
             dz,
         } = self;
-        // dz = grad_out ⊙ act'(output).
+        // dz = grad_out ⊙ act'(output) — one pass over the flat
+        // buffers (same element order as the nested row/column loops,
+        // so the products are unchanged bit for bit).
         dz.resize(grad_out.rows(), grad_out.cols());
-        for r in 0..dz.rows() {
-            for c in 0..dz.cols() {
-                let d = act.derivative_from_output(output.get(r, c));
-                dz.set(r, c, grad_out.get(r, c) * d);
-            }
+        for ((d, &g), &y) in dz
+            .data_mut()
+            .iter_mut()
+            .zip(grad_out.data())
+            .zip(output.data())
+        {
+            *d = g * act.derivative_from_output(y);
         }
         // dW += dzᵀ · x; db += colsum(dz); dx = dz · W. The gradient
         // products accumulate straight into the gradient buffers — no
@@ -318,6 +322,20 @@ impl Mlp {
             for (b, g) in layer.b.iter_mut().zip(&layer.grad_b) {
                 f(b, *g);
             }
+        }
+    }
+
+    /// Visits each contiguous `(params, grads)` buffer pair — every
+    /// layer's weight matrix then its bias vector, covering exactly the
+    /// parameters [`Mlp::visit_params`] visits, in the same order.
+    /// Optimizers that keep flat per-parameter state (Adam's moments)
+    /// walk these slices in lockstep instead of dispatching a closure
+    /// per scalar, which lets their element-wise update loops
+    /// autovectorize.
+    pub fn visit_param_slices(&mut self, mut f: impl FnMut(&mut [f64], &[f64])) {
+        for layer in &mut self.layers {
+            f(layer.w.data_mut(), layer.grad_w.data());
+            f(&mut layer.b, &layer.grad_b);
         }
     }
 

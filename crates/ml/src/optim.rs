@@ -72,15 +72,24 @@ impl Optimizer for Adam {
         let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
         let bc1 = 1.0 - b1.powi(self.t as i32);
         let bc2 = 1.0 - b2.powi(self.t as i32);
-        let mut i = 0;
-        let (m, v) = (&mut self.m, &mut self.v);
-        net.visit_params(|w, g| {
-            m[i] = b1 * m[i] + (1.0 - b1) * g;
-            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
-            let mhat = m[i] / bc1;
-            let vhat = v[i] / bc2;
-            *w -= lr * mhat / (vhat.sqrt() + eps);
-            i += 1;
+        // Walk whole parameter buffers in lockstep with the flat moment
+        // vectors: each parameter's update is independent (no
+        // cross-parameter accumulation), so this slice loop is
+        // bit-identical to the per-scalar closure form while letting
+        // the divides and sqrts vectorize.
+        let mut offset = 0;
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        net.visit_param_slices(|ws, gs| {
+            let end = offset + ws.len();
+            let (ms, vs) = (&mut ms[offset..end], &mut vs[offset..end]);
+            offset = end;
+            for (((w, &g), m), v) in ws.iter_mut().zip(gs).zip(ms).zip(vs) {
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + eps);
+            }
         });
         net.zero_grads();
     }

@@ -1,0 +1,244 @@
+//! Deterministic intra-scenario fan-out.
+//!
+//! The fleet already scales *across* scenarios; this crate is the
+//! primitive for scaling *inside* one. A [`ShardPool`] runs a closure
+//! once per shard over disjoint working sets and joins at a barrier
+//! before returning — the caller owns the merge, which happens in
+//! shard-index order and therefore cannot depend on thread timing.
+//!
+//! The contract that keeps the fleet's bit-identity guarantee intact:
+//! shards may only compute values that are a pure function of their own
+//! inputs (plus shared read-only state), and every merge is ordered by
+//! `(shard, in-shard index)`. Under that contract the number of shards
+//! is unobservable in the output — `intra_shards = 1` and `= 8` produce
+//! the same bytes, which is what `tests/fleet_determinism.rs` pins.
+//!
+//! Implementation note: shards run on scoped threads spawned per call
+//! rather than on a persistent worker pool. Scoped spawning is the only
+//! zero-`unsafe` way in std to let shards borrow the caller's buffers
+//! (a persistent pool requires `'static` closures or lifetime
+//! transmutation), and a spawn costs microseconds against control
+//! windows that simulate a full second each. The calling thread always
+//! participates as shard 0, so `n` shards use `n - 1` extra threads and
+//! a 1-shard pool never spawns at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A fixed-width fan-out: runs per-shard work on `shards` threads
+/// (including the caller) and joins before returning.
+#[derive(Debug, Clone)]
+pub struct ShardPool {
+    shards: usize,
+}
+
+impl ShardPool {
+    /// Creates a pool of `shards` shards; zero is clamped to one.
+    pub fn new(shards: usize) -> Self {
+        ShardPool {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// True when the pool runs everything on the calling thread.
+    pub fn is_sequential(&self) -> bool {
+        self.shards == 1
+    }
+
+    /// Runs `f(shard)` once for every shard index in `0..shards`,
+    /// returning after all shards finish (the tick barrier). Shard 0
+    /// runs on the calling thread.
+    pub fn run(&self, f: impl Fn(usize) + Sync) {
+        if self.shards == 1 {
+            f(0);
+            return;
+        }
+        std::thread::scope(|s| {
+            for shard in 1..self.shards {
+                let f = &f;
+                s.spawn(move || f(shard));
+            }
+            f(0);
+        });
+    }
+
+    /// Runs `f(shard, &mut items[shard])` in parallel — one exclusively
+    /// owned state per shard (per-shard scratch, accumulators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != shards`.
+    pub fn each_mut<T: Send>(&self, items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        assert_eq!(items.len(), self.shards, "one state per shard");
+        if self.shards == 1 {
+            f(0, &mut items[0]);
+            return;
+        }
+        std::thread::scope(|s| {
+            let mut rest = items;
+            let (head, tail) = rest.split_at_mut(1);
+            rest = tail;
+            for shard in 1..self.shards {
+                let (item, tail) = rest.split_at_mut(1);
+                rest = tail;
+                let f = &f;
+                s.spawn(move || f(shard, &mut item[0]));
+            }
+            f(0, &mut head[0]);
+        });
+    }
+
+    /// Runs `f(shard, a_chunk, b_chunk)` over aligned contiguous
+    /// partitions of two equal-length slices: shard `i` owns the same
+    /// index range of both, so element `a[j]` is always processed next
+    /// to `b[j]`. This is the map-in/merge-out shape: consume from `a`,
+    /// write results to `b`, then read `b` back in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices' lengths differ.
+    pub fn zip_chunks<A: Send, B: Send>(
+        &self,
+        a: &mut [A],
+        b: &mut [B],
+        f: impl Fn(usize, &mut [A], &mut [B]) + Sync,
+    ) {
+        assert_eq!(a.len(), b.len(), "zip_chunks length mismatch");
+        let ranges = partition(a.len(), self.shards);
+        if self.shards == 1 {
+            f(0, a, b);
+            return;
+        }
+        std::thread::scope(|s| {
+            let mut rest_a = a;
+            let mut rest_b = b;
+            let mut taken = 0usize;
+            let mut shard0 = None;
+            for (shard, range) in ranges.iter().enumerate() {
+                let len = range.end - range.start;
+                debug_assert_eq!(range.start, taken);
+                let (ca, ta) = rest_a.split_at_mut(len);
+                let (cb, tb) = rest_b.split_at_mut(len);
+                rest_a = ta;
+                rest_b = tb;
+                taken += len;
+                if shard == 0 {
+                    shard0 = Some((ca, cb));
+                } else {
+                    let f = &f;
+                    s.spawn(move || f(shard, ca, cb));
+                }
+            }
+            let (ca, cb) = shard0.expect("at least one shard");
+            f(0, ca, cb);
+        });
+    }
+}
+
+/// Splits `0..len` into `shards` contiguous balanced ranges (the first
+/// `len % shards` ranges hold one extra element). Purely arithmetic, so
+/// the partition — and any merge ordered by it — is identical on every
+/// host and at every thread count.
+pub fn partition(len: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for shard in 0..shards {
+        let size = base + usize::from(shard < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_visits_every_shard_exactly_once() {
+        for shards in [1, 2, 3, 8] {
+            let pool = ShardPool::new(shards);
+            let hits: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(|s| {
+                hits[s].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let pool = ShardPool::new(0);
+        assert_eq!(pool.shards(), 1);
+        assert!(pool.is_sequential());
+    }
+
+    #[test]
+    fn each_mut_gives_every_shard_its_own_state() {
+        let pool = ShardPool::new(4);
+        let mut states = vec![0usize; 4];
+        pool.each_mut(&mut states, |shard, state| *state = shard + 10);
+        assert_eq!(states, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn zip_chunks_is_order_preserving_at_any_shard_count() {
+        // The sharded map must equal the sequential map element for
+        // element — the exact property the trace-ingest path relies on.
+        let input: Vec<u64> = (0..103).collect();
+        let reference: Vec<u64> = input.iter().map(|x| x * x + 1).collect();
+        for shards in [1, 2, 3, 4, 7, 103, 200] {
+            let pool = ShardPool::new(shards);
+            let mut a = input.clone();
+            let mut b = vec![0u64; input.len()];
+            pool.zip_chunks(&mut a, &mut b, |_, xs, ys| {
+                for (x, y) in xs.iter().zip(ys.iter_mut()) {
+                    *y = x * x + 1;
+                }
+            });
+            assert_eq!(b, reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced_and_exhaustive() {
+        for (len, shards) in [(0, 1), (0, 4), (5, 2), (103, 4), (4, 8), (12, 12)] {
+            let ranges = partition(len, shards);
+            assert_eq!(ranges.len(), shards.max(1));
+            let mut covered = 0;
+            for (i, r) in ranges.iter().enumerate() {
+                assert_eq!(r.start, covered, "gap before shard {i}");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn run_propagates_worker_panics() {
+        let pool = ShardPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|shard| {
+                if shard == 1 {
+                    panic!("shard 1 failed");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker panic was swallowed");
+    }
+}

@@ -8,11 +8,12 @@
 //! In the paper the coordinator also handles clock drift (via Jaeger);
 //! the simulator has a global clock, so that concern disappears.
 
+use firm_par::ShardPool;
 use firm_sim::{CompletedRequest, InstanceId, RequestTypeId, SimTime};
 
 use crate::critical_path::CriticalPath;
 use crate::depgraph::ServiceDependencyGraph;
-use crate::store::{StoredTrace, TraceStore};
+use crate::store::{build_stored, StoredTrace, TraceStore};
 
 /// Span-collection and query front-end.
 #[derive(Debug)]
@@ -44,21 +45,72 @@ impl TracingCoordinator {
     /// Ingests a batch of completed requests.
     pub fn ingest(&mut self, requests: Vec<CompletedRequest>) {
         for r in requests {
-            if self.sampling < 1.0 {
-                // Cheap splitmix-style hash of the trace id.
-                let mut x = r.trace_id.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
-                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                x ^= x >> 31;
-                let u = (x >> 11) as f64 / (1u64 << 53) as f64;
-                if u >= self.sampling {
-                    self.skipped += 1;
-                    continue;
-                }
+            if !self.accept(&r) {
+                continue;
             }
             self.depgraph.observe(&r);
             self.store.ingest(r);
         }
+    }
+
+    /// Ingests a batch with the graph/critical-path construction fanned
+    /// out over `pool`'s shards.
+    ///
+    /// Ingestion splits into three phases: a sequential pre-pass
+    /// (sampling decision + dependency-graph observation, both
+    /// order-sensitive), a parallel build of each accepted trace's
+    /// graph and critical path ([`build_stored`] is pure, and each
+    /// shard owns a disjoint contiguous index range), and a sequential
+    /// merge that inserts the built traces in input order. Because the
+    /// build is pure and the merge is index-ordered, the store ends up
+    /// byte-identical to [`TracingCoordinator::ingest`] at any shard
+    /// count — the property `tests/fleet_determinism.rs` pins.
+    ///
+    /// Small windows fall back to the sequential path: below a few
+    /// dozen traces, spawn-and-join overhead exceeds the build work.
+    pub fn ingest_sharded(&mut self, requests: Vec<CompletedRequest>, pool: &ShardPool) {
+        /// Fan-out pays for itself only when each shard gets a real
+        /// chunk of graph builds.
+        const MIN_PARALLEL: usize = 64;
+        if pool.is_sequential() || requests.len() < MIN_PARALLEL {
+            return self.ingest(requests);
+        }
+        let mut accepted: Vec<Option<CompletedRequest>> = Vec::with_capacity(requests.len());
+        for r in requests {
+            if !self.accept(&r) {
+                continue;
+            }
+            self.depgraph.observe(&r);
+            accepted.push(Some(r));
+        }
+        let mut built: Vec<Option<StoredTrace>> = Vec::new();
+        built.resize_with(accepted.len(), || None);
+        pool.zip_chunks(&mut accepted, &mut built, |_, reqs, outs| {
+            for (r, out) in reqs.iter_mut().zip(outs) {
+                *out = build_stored(r.take().expect("each request consumed once"));
+            }
+        });
+        for b in built {
+            self.store.insert_built(b);
+        }
+    }
+
+    /// The head-based sampling decision for one request; counts skips.
+    fn accept(&mut self, r: &CompletedRequest) -> bool {
+        if self.sampling >= 1.0 {
+            return true;
+        }
+        // Cheap splitmix-style hash of the trace id.
+        let mut x = r.trace_id.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.sampling {
+            self.skipped += 1;
+            return false;
+        }
+        true
     }
 
     /// The underlying store.
@@ -158,6 +210,41 @@ mod tests {
         assert!(a.store().len() < n);
         assert!(a.store().len() > n / 5);
         assert_eq!(a.skipped() + a.store().total_ingested(), n as u64);
+    }
+
+    #[test]
+    fn sharded_ingest_matches_sequential_at_any_shard_count() {
+        let mut sim =
+            Simulation::builder(ClusterSpec::small(2), AppSpec::three_tier_demo(), 11).build();
+        sim.run_for(SimDuration::from_secs(3));
+        let rs = sim.drain_completed();
+        assert!(rs.len() >= 64, "need enough traces to cross MIN_PARALLEL");
+
+        let fingerprint = |c: &TracingCoordinator| {
+            let traces: Vec<String> = c.store().all().map(|t| format!("{t:?}")).collect();
+            (
+                traces,
+                c.skipped(),
+                c.store().total_ingested(),
+                format!("{:?}", c.dependency_graph()),
+            )
+        };
+
+        for sampling in [1.0, 0.5] {
+            let mut seq = TracingCoordinator::new(10_000);
+            seq.set_sampling(sampling);
+            seq.ingest(rs.clone());
+            for shards in [1, 2, 3, 4] {
+                let mut par = TracingCoordinator::new(10_000);
+                par.set_sampling(sampling);
+                par.ingest_sharded(rs.clone(), &firm_par::ShardPool::new(shards));
+                assert_eq!(
+                    fingerprint(&seq),
+                    fingerprint(&par),
+                    "shards={shards} sampling={sampling}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,40 @@ pub struct StoredTrace {
     pub cp: CriticalPath,
 }
 
+/// Builds one [`StoredTrace`] from a completed request — graph
+/// construction plus Algorithm 1 critical-path extraction, the
+/// compute-heavy half of ingestion. Returns `None` for malformed traces
+/// (no root / dangling parent).
+///
+/// This is a pure function of its input: no store state, no RNG, no
+/// clocks. That is what makes it safe to evaluate on shard threads —
+/// any schedule of calls produces the same per-trace values, and a
+/// merge ordered by input index reproduces sequential ingestion bit for
+/// bit.
+pub fn build_stored(request: CompletedRequest) -> Option<StoredTrace> {
+    let CompletedRequest {
+        trace_id,
+        request_type,
+        started,
+        finished,
+        latency,
+        dropped,
+        spans,
+    } = request;
+    let graph = ExecutionHistoryGraph::from_spans(spans)?;
+    let cp = critical_path(&graph);
+    Some(StoredTrace {
+        trace_id,
+        request_type,
+        started,
+        finished,
+        latency,
+        dropped,
+        graph,
+        cp,
+    })
+}
+
 /// Bounded trace store with time-windowed queries.
 #[derive(Debug)]
 pub struct TraceStore {
@@ -67,33 +101,23 @@ impl TraceStore {
     /// trace is materialized exactly once between the simulator and the
     /// store.
     pub fn ingest(&mut self, request: CompletedRequest) -> bool {
-        let CompletedRequest {
-            trace_id,
-            request_type,
-            started,
-            finished,
-            latency,
-            dropped,
-            spans,
-        } = request;
-        let Some(graph) = ExecutionHistoryGraph::from_spans(spans) else {
+        self.insert_built(build_stored(request))
+    }
+
+    /// Inserts the result of [`build_stored`]: the sequential,
+    /// order-sensitive half of ingestion (rejection accounting,
+    /// capacity eviction, deque append). Callers that build traces on
+    /// shard threads feed the results back through here in input order,
+    /// which keeps the store byte-identical to sequential ingestion.
+    pub fn insert_built(&mut self, built: Option<StoredTrace>) -> bool {
+        let Some(trace) = built else {
             self.rejected += 1;
             return false;
         };
-        let cp = critical_path(&graph);
         if self.traces.len() == self.capacity {
             self.traces.pop_front();
         }
-        self.traces.push_back(StoredTrace {
-            trace_id,
-            request_type,
-            started,
-            finished,
-            latency,
-            dropped,
-            graph,
-            cp,
-        });
+        self.traces.push_back(trace);
         self.ingested += 1;
         true
     }
