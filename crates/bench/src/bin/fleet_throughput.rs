@@ -21,7 +21,11 @@
 //! determinism contract). `--remote addr1,addr2,...` does the same over
 //! already-running `firm-fleet-worker --listen` processes — the
 //! multi-node transport's digest-parity check (see README "Deploying
-//! multi-node"). `--intra-shards N` ladders the *intra*-scenario stage
+//! multi-node"). `--serve addr` submits the catalog to an
+//! already-running `firm-fleet serve` coordinator as a client and
+//! asserts the served report digest is bit-identical to the in-process
+//! run — the resident service's end-to-end determinism contract.
+//! `--intra-shards N` ladders the *intra*-scenario stage
 //! fan-out (2, 4, … up to N) on one scenario thread and asserts every
 //! rung reproduces the unsharded digest — the barrier-stepped
 //! parallelism's bit-identity contract.
@@ -91,6 +95,7 @@ fn main() {
         .get("remote")
         .map(|v| v.split(',').map(str::to_string).collect())
         .unwrap_or_default();
+    let serve_addr = args.get("serve").map(str::to_string);
     let seed = args.u64("seed", 7);
     let take = args.u64("scenarios", u64::MAX) as usize;
     let out_path = args.get("out").unwrap_or("BENCH_fleet.json").to_string();
@@ -230,6 +235,35 @@ fn main() {
         m
     });
 
+    // Resident-service contract: submitting the same catalog to a
+    // running `firm-fleet serve` coordinator streams every outcome back
+    // and reproduces the in-process digest bit for bit.
+    let serve = serve_addr.as_deref().map(|addr| {
+        let mut client = firm_serve::ServeClient::connect(addr)
+            .unwrap_or_else(|e| panic!("--serve {addr}: {e}"));
+        let mut streamed = 0u64;
+        let start = Instant::now();
+        let report = client
+            .submit(seed, 0, scenarios.clone(), &mut |_, _| streamed += 1)
+            .unwrap_or_else(|e| panic!("--serve {addr} submission: {e}"));
+        let wall_secs = start.elapsed().as_secs_f64();
+        let served = report.report.digest();
+        assert_eq!(
+            served, digest,
+            "served fleet report diverged from the in-process digest"
+        );
+        assert_eq!(
+            streamed,
+            scenarios.len() as u64,
+            "the coordinator streamed {streamed} outcomes for {} scenarios",
+            scenarios.len()
+        );
+        println!(
+            "serve={addr} wall={wall_secs:>7.2}s streamed={streamed} digest matches in-process"
+        );
+        (wall_secs, streamed, report)
+    });
+
     let base = measurements[0].wall_secs;
     let round3 = |x: f64| (x * 1_000.0).round() / 1_000.0;
     let row = |m: &Measurement| {
@@ -279,6 +313,18 @@ fn main() {
             .field("remote_workers", remote.len())
             .field("remote_wall_secs", round3(m.wall_secs))
             .field("remote_digest_matches", true);
+    }
+    if let Some((wall_secs, streamed, report)) = &serve {
+        doc = doc
+            .field("serve_addr", serve_addr.clone().expect("serve mode"))
+            .field("serve_wall_secs", round3(*wall_secs))
+            .field("serve_streamed_outcomes", *streamed)
+            .field("serve_digest_matches", true)
+            .field(
+                "serve_policy_digest",
+                format!("{:016x}", report.policy.digest()),
+            )
+            .field("serve_pooled_transitions", report.pooled_transitions);
     }
     let mut json = doc.build().render();
     json.push('\n');

@@ -248,6 +248,26 @@ impl ResourceEstimator {
         self.agent_mut(service).observe(transition);
     }
 
+    /// Like [`ResourceEstimator::observe`], but with an explicit replay
+    /// priority: the responsible agent's minibatch sampling becomes
+    /// priority-proportional (prioritized experience replay). Feeding
+    /// any priority at all switches that agent's buffer to weighted
+    /// draws; estimators fed only through [`ResourceEstimator::observe`]
+    /// keep the original uniform scheme bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priority` is not finite and positive.
+    pub fn observe_with_priority(
+        &mut self,
+        service: ServiceId,
+        transition: Transition,
+        priority: f64,
+    ) {
+        self.agent_mut(service)
+            .observe_with_priority(transition, priority);
+    }
+
     /// Runs up to `steps` minibatch updates on the shared agent and
     /// returns how many actually trained (the agent skips steps until
     /// its replay buffer warms up).

@@ -39,7 +39,9 @@
 //!   byte-identical frame streams either way;
 //! * [`supervisor`] — worker-pool supervision over any transport:
 //!   idle-queue (JIQ-style) dispatch, per-request timeouts, dead-worker
-//!   detection, and restart-and-replay that cannot move a report byte;
+//!   detection, and restart-and-replay that cannot move a report byte —
+//!   available as the batch [`supervise`] call or the resident
+//!   [`WorkerPool`] that `firm-serve` keeps running across submissions;
 //! * [`worker`] — the worker-side serve loop behind both modes of the
 //!   `firm-fleet-worker` binary;
 //! * [`ops`] — the [`OpsReport`]: runtime self-metrics (dispatch
@@ -102,5 +104,5 @@ pub use protocol::{
 pub use report::{FleetReport, FleetTotals, RoundTripReport, ScenarioDelta, ScenarioOutcome};
 pub use runner::{scenario_seed, FleetConfig, FleetResult, FleetRunner, RoundTripResult};
 pub use scenario::{builtin_catalog, FleetController, Scenario};
-pub use supervisor::{supervise, SupervisorConfig};
+pub use supervisor::{supervise, JobDone, PoolJob, SupervisorConfig, WorkerPool};
 pub use transport::{Connection, ConnectionControl, PipeTransport, TcpTransport, Transport};

@@ -44,8 +44,11 @@ use crate::scenario::Scenario;
 /// version.
 ///
 /// v2 added the [`WorkerMessage::Metrics`] session-end frame. v3 added
-/// [`WorkerRequest::intra_shards`].
-pub const PROTOCOL_VERSION: u64 = 3;
+/// [`WorkerRequest::intra_shards`]. v4 added the client-side serve
+/// vocabulary (`firm-serve`'s `ClientRequest`/`ServerMessage` frames,
+/// which share this version so a mixed-version fleet fails loudly at
+/// either boundary).
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// One unit of work shipped to a subprocess worker.
 #[derive(Debug, Clone, PartialEq)]

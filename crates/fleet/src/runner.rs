@@ -50,7 +50,7 @@ use firm_core::controller::PolicyCheckpoint;
 use firm_core::estimator::{AgentRegime, ResourceEstimator};
 use firm_core::extractor::CriticalComponentExtractor;
 use firm_core::manager::ExperienceLog;
-use firm_core::training::replay_experience;
+use firm_core::training::{replay_experience, replay_experience_prioritized};
 
 use crate::exec::run_one_sharded;
 use crate::ops::{OpsReport, WorkerOps};
@@ -97,6 +97,14 @@ pub struct FleetConfig {
     /// parallelism: the thread path divides its worker budget by this,
     /// so `threads` stays the total core budget.
     pub intra_shards: usize,
+    /// Prioritized one-for-all replay: weight the central trainer's
+    /// minibatch sampling by seeded violation severity
+    /// ([`firm_core::training::replay_priorities`]) instead of drawing
+    /// uniformly. Changes the trained shared-agent weights (a different
+    /// deterministic function of the same pooled experience), never a
+    /// report byte — the digest covers scenario outcomes only, which are
+    /// produced before central training begins.
+    pub replay_priority: bool,
 }
 
 impl Default for FleetConfig {
@@ -111,6 +119,7 @@ impl Default for FleetConfig {
             seed: 1,
             train_steps: 256,
             intra_shards: 1,
+            replay_priority: false,
         }
     }
 }
@@ -144,6 +153,13 @@ impl FleetConfig {
         self
     }
 
+    /// Enables seeded prioritized experience replay for the central
+    /// shared-agent training (see [`FleetConfig::replay_priority`]).
+    pub fn replay_priority(mut self, on: bool) -> Self {
+        self.replay_priority = on;
+        self
+    }
+
     /// The effective worker count.
     pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
@@ -162,15 +178,27 @@ impl FleetConfig {
     /// # Panics
     ///
     /// Panics when no candidate exists — a subprocess fleet cannot run
-    /// without its worker.
+    /// without its worker. Long-running callers (the resident
+    /// `firm-fleet serve` coordinator) that want to refuse a bad
+    /// configuration at startup instead of dying mid-submission use
+    /// [`FleetConfig::try_resolve_worker_bin`].
     pub fn resolve_worker_bin(&self) -> PathBuf {
+        self.try_resolve_worker_bin()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`FleetConfig::resolve_worker_bin`]: the same
+    /// candidate search, returning a descriptive error instead of
+    /// panicking when no worker binary exists.
+    pub fn try_resolve_worker_bin(&self) -> Result<PathBuf, String> {
         if let Some(path) = &self.worker_bin {
-            return path.clone();
+            return Ok(path.clone());
         }
         if let Some(path) = std::env::var_os("FIRM_FLEET_WORKER") {
-            return path.into();
+            return Ok(path.into());
         }
-        let exe = std::env::current_exe().expect("current executable path");
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("cannot locate the current executable: {e}"))?;
         let name = format!("firm-fleet-worker{}", std::env::consts::EXE_SUFFIX);
         let mut candidates = Vec::new();
         if let Some(dir) = exe.parent() {
@@ -181,15 +209,15 @@ impl FleetConfig {
         }
         for candidate in &candidates {
             if candidate.exists() {
-                return candidate.clone();
+                return Ok(candidate.clone());
             }
         }
-        panic!(
+        Err(format!(
             "firm-fleet-worker binary not found (searched {:?}); build it with \
              `cargo build -p firm-fleet --bin firm-fleet-worker`, set \
              FleetConfig::worker_bin, or export FIRM_FLEET_WORKER",
             candidates
-        );
+        ))
     }
 }
 
@@ -281,7 +309,16 @@ impl FleetRunner {
         // experience (the paper's one-for-all regime, fed by
         // heterogeneous tenants instead of one app).
         let mut estimator = ResourceEstimator::new(AgentRegime::Shared, fleet_seed ^ 0x0A11);
-        let trained_updates = replay_experience(&mut estimator, &pooled, self.config.train_steps);
+        let trained_updates = if self.config.replay_priority {
+            replay_experience_prioritized(
+                &mut estimator,
+                &pooled,
+                self.config.train_steps,
+                fleet_seed,
+            )
+        } else {
+            replay_experience(&mut estimator, &pooled, self.config.train_steps)
+        };
         let mut extractor = CriticalComponentExtractor::new(fleet_seed ^ 0x51FE);
         for (features, label) in &pooled.svm_examples {
             extractor.train(features, *label);

@@ -1,0 +1,240 @@
+//! The client side of the serving protocol: connect, submit, stream.
+//!
+//! [`ServeClient`] is what `firm-fleet-client` (and the serve tests)
+//! are built on. One client holds one connection and may issue any
+//! number of sequential requests on it; run several clients for
+//! concurrent submissions.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use firm_fleet::report::ScenarioOutcome;
+use firm_fleet::scenario::Scenario;
+
+use crate::protocol::{
+    ClientRequest, ServerMessage, SubmissionReport, SubmitRequest, PROTOCOL_VERSION,
+};
+
+/// Why a client request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, or write).
+    Io(std::io::Error),
+    /// The server's byte stream was not a valid frame sequence, or a
+    /// frame arrived out of protocol order — version skew or a bug;
+    /// the connection cannot safely continue.
+    Protocol(String),
+    /// The server answered with an error frame; the connection is
+    /// still usable.
+    Rejected {
+        /// The submission the rejection belongs to (0 if the request
+        /// never became one).
+        submission: u64,
+        /// The server's explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Rejected {
+                submission,
+                message,
+            } => write!(f, "rejected (submission {submission}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a resident fleet server.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a `firm-fleet serve` coordinator at `addr`
+    /// (`host:port`).
+    pub fn connect(addr: &str) -> Result<ServeClient, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(ServeClient { reader, writer })
+    }
+
+    /// Submits a catalog and streams its results: `on_outcome` fires
+    /// per scenario in completion order, and the returned
+    /// [`SubmissionReport`] carries the submission's deterministic
+    /// fleet report plus the server's resident policy after the fold.
+    /// See [`SubmitRequest`] for how `seed` and `base_index` anchor
+    /// bit-parity with batch runs.
+    pub fn submit(
+        &mut self,
+        seed: u64,
+        base_index: u64,
+        scenarios: Vec<Scenario>,
+        on_outcome: &mut dyn FnMut(u64, ScenarioOutcome),
+    ) -> Result<SubmissionReport, ClientError> {
+        let expected = scenarios.len() as u64;
+        self.send(&ClientRequest::Submit(SubmitRequest {
+            protocol: PROTOCOL_VERSION,
+            seed,
+            base_index,
+            scenarios,
+        }))?;
+        let id = match self.read_msg()? {
+            ServerMessage::Accepted {
+                protocol,
+                submission,
+                scenarios,
+            } => {
+                if protocol != PROTOCOL_VERSION {
+                    return Err(ClientError::Protocol(format!(
+                        "protocol skew: server speaks fleet protocol v{protocol}, this \
+                         client speaks v{PROTOCOL_VERSION} — upgrade the older side"
+                    )));
+                }
+                if scenarios != expected {
+                    return Err(ClientError::Protocol(format!(
+                        "server accepted {scenarios} scenarios, {expected} were submitted"
+                    )));
+                }
+                submission
+            }
+            ServerMessage::Error {
+                submission,
+                message,
+            } => {
+                return Err(ClientError::Rejected {
+                    submission,
+                    message,
+                })
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected an accepted frame, got {}",
+                    frame_name(&other)
+                )))
+            }
+        };
+        loop {
+            match self.read_msg()? {
+                ServerMessage::Outcome {
+                    submission,
+                    index,
+                    outcome,
+                } => {
+                    if submission != id {
+                        return Err(ClientError::Protocol(format!(
+                            "outcome for submission {submission} on a stream serving {id}"
+                        )));
+                    }
+                    on_outcome(index, *outcome);
+                }
+                ServerMessage::Report(report) => {
+                    if report.submission != id || report.cumulative {
+                        return Err(ClientError::Protocol(format!(
+                            "expected the report for submission {id}, got {} (cumulative: {})",
+                            report.submission, report.cumulative
+                        )));
+                    }
+                    return Ok(*report);
+                }
+                ServerMessage::Error {
+                    submission,
+                    message,
+                } => {
+                    return Err(ClientError::Rejected {
+                        submission,
+                        message,
+                    })
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected an outcome or report frame, got {}",
+                        frame_name(&other)
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Waits for the server to finish every outstanding submission and
+    /// returns its cumulative report.
+    pub fn drain(&mut self) -> Result<SubmissionReport, ClientError> {
+        self.send(&ClientRequest::Drain {
+            protocol: PROTOCOL_VERSION,
+        })?;
+        self.read_cumulative_report()
+    }
+
+    /// Asks the server to drain and stop, returning its final
+    /// cumulative report.
+    pub fn shutdown(&mut self) -> Result<SubmissionReport, ClientError> {
+        self.send(&ClientRequest::Shutdown {
+            protocol: PROTOCOL_VERSION,
+        })?;
+        self.read_cumulative_report()
+    }
+
+    fn read_cumulative_report(&mut self) -> Result<SubmissionReport, ClientError> {
+        match self.read_msg()? {
+            ServerMessage::Report(report) if report.cumulative => Ok(*report),
+            ServerMessage::Error {
+                submission,
+                message,
+            } => Err(ClientError::Rejected {
+                submission,
+                message,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a cumulative report frame, got {}",
+                frame_name(&other)
+            ))),
+        }
+    }
+
+    fn send(&mut self, request: &ClientRequest) -> Result<(), ClientError> {
+        let frame = firm_wire::encode_line(request);
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_msg(&mut self) -> Result<ServerMessage, ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Protocol(
+                    "server closed the connection mid-request".to_string(),
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return firm_wire::decode_line(&line)
+                .map_err(|e| ClientError::Protocol(format!("bad server frame: {e}")));
+        }
+    }
+}
+
+fn frame_name(msg: &ServerMessage) -> &'static str {
+    match msg {
+        ServerMessage::Accepted { .. } => "an accepted frame",
+        ServerMessage::Outcome { .. } => "an outcome frame",
+        ServerMessage::Report(_) => "a report frame",
+        ServerMessage::Error { .. } => "an error frame",
+    }
+}

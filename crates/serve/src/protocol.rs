@@ -1,0 +1,399 @@
+//! The client↔coordinator frame vocabulary for the resident fleet
+//! service — the *other* side of the wire from
+//! [`firm_fleet::protocol`], sharing its newline-delimited firm-wire
+//! JSON framing and its [`PROTOCOL_VERSION`].
+//!
+//! A serving session is strictly request/response at the submission
+//! granularity, but *streaming* inside one: a [`ClientRequest::Submit`]
+//! is answered by one [`ServerMessage::Accepted`], then one
+//! [`ServerMessage::Outcome`] per scenario **in completion order** as
+//! workers finish (the client sees progress the moment it exists), and
+//! finally one [`ServerMessage::Report`] carrying the submission's
+//! deterministic [`FleetReport`] — whose bytes are aggregated in
+//! submission order, so the streaming order is invisible in the digest.
+//!
+//! Version skew fails loudly at both boundaries: every request carries
+//! the client's protocol version and is rejected with a
+//! [`ServerMessage::Error`] on mismatch, and every
+//! [`ServerMessage::Accepted`] carries the server's so a newer client
+//! refuses an older server instead of misreading its frames.
+
+use firm_core::controller::PolicyCheckpoint;
+use firm_fleet::report::{FleetReport, ScenarioOutcome};
+use firm_fleet::scenario::Scenario;
+use firm_wire::{Context, DecodeError, JsonValue, Obj, WireDecode, WireEncode};
+
+pub use firm_fleet::PROTOCOL_VERSION;
+
+/// One catalog of scenarios submitted for execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// The protocol version the client speaks; must equal
+    /// [`PROTOCOL_VERSION`] or the server rejects the submission.
+    pub protocol: u64,
+    /// The submission's fleet seed: per-scenario seeds derive from
+    /// `(seed, base_index + i)` exactly as a batch run derives them
+    /// from `(fleet seed, catalog index)`.
+    pub seed: u64,
+    /// The global index of the submission's first scenario. Submitting
+    /// a catalog in slices with continuous base indices (and one seed)
+    /// reproduces the single batch run bit for bit; independent clients
+    /// just use 0.
+    pub base_index: u64,
+    /// The scenarios to run, as plain data, in submission order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl WireEncode for SubmitRequest {
+    fn encode(&self) -> JsonValue {
+        Obj::tagged("submit")
+            .field("protocol", self.protocol)
+            .field("seed", self.seed)
+            .field("base_index", self.base_index)
+            .field(
+                "scenarios",
+                JsonValue::Array(self.scenarios.iter().map(|s| s.encode()).collect()),
+            )
+            .build()
+    }
+}
+
+impl WireDecode for SubmitRequest {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        let scenarios_doc: JsonValue = v.field("scenarios")?;
+        let scenarios = scenarios_doc
+            .as_array()
+            .context("scenarios")?
+            .iter()
+            .map(Scenario::decode)
+            .collect::<Result<Vec<_>, _>>()
+            .context("scenarios")?;
+        Ok(SubmitRequest {
+            protocol: v.field("protocol")?,
+            seed: v.field("seed")?,
+            base_index: v.field("base_index")?,
+            scenarios,
+        })
+    }
+}
+
+/// Every frame a client can write, as a tagged union
+/// (`{"type":"submit"|"drain"|"shutdown", ...}`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientRequest {
+    /// Run a catalog; answered by `accepted`, streamed `outcome`s, and
+    /// a final per-submission `report`.
+    Submit(SubmitRequest),
+    /// Wait until every outstanding submission (from *any* client) has
+    /// finished, then answer with the cumulative `report`.
+    Drain {
+        /// Must equal [`PROTOCOL_VERSION`].
+        protocol: u64,
+    },
+    /// Drain, answer with the cumulative `report`, then stop the
+    /// service (workers are torn down gracefully).
+    Shutdown {
+        /// Must equal [`PROTOCOL_VERSION`].
+        protocol: u64,
+    },
+}
+
+impl ClientRequest {
+    /// The protocol version the request claims to speak.
+    pub fn protocol(&self) -> u64 {
+        match self {
+            ClientRequest::Submit(s) => s.protocol,
+            ClientRequest::Drain { protocol } | ClientRequest::Shutdown { protocol } => *protocol,
+        }
+    }
+}
+
+impl WireEncode for ClientRequest {
+    fn encode(&self) -> JsonValue {
+        match self {
+            ClientRequest::Submit(s) => s.encode(),
+            ClientRequest::Drain { protocol } => {
+                Obj::tagged("drain").field("protocol", *protocol).build()
+            }
+            ClientRequest::Shutdown { protocol } => {
+                Obj::tagged("shutdown").field("protocol", *protocol).build()
+            }
+        }
+    }
+}
+
+impl WireDecode for ClientRequest {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        match v.tag()? {
+            "submit" => Ok(ClientRequest::Submit(SubmitRequest::decode(v)?)),
+            "drain" => Ok(ClientRequest::Drain {
+                protocol: v.field("protocol")?,
+            }),
+            "shutdown" => Ok(ClientRequest::Shutdown {
+                protocol: v.field("protocol")?,
+            }),
+            other => Err(DecodeError::new(format!(
+                "unknown client frame type `{other}`"
+            ))),
+        }
+    }
+}
+
+/// The deterministic result of one submission (or, with
+/// [`SubmissionReport::cumulative`] set, of everything the service has
+/// run so far).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmissionReport {
+    /// The submission this report answers; for a cumulative report,
+    /// the number of submissions folded in so far.
+    pub submission: u64,
+    /// `false`: this submission's scenarios only (seeded by the
+    /// submission's own seed). `true`: every outcome the service has
+    /// folded, in submission-completion order, seeded by the service's
+    /// fleet seed.
+    pub cumulative: bool,
+    /// The aggregated fleet report — bit-identical to a batch
+    /// [`firm_fleet::FleetRunner`] run over the same scenarios with
+    /// the same seed and (base) indices.
+    pub report: FleetReport,
+    /// The resident shared agent, retrained from scratch on the
+    /// cumulative experience pool after this submission folded in —
+    /// the §4.3 one-for-all policy, continuously updated across
+    /// submissions yet still a pure function of what was submitted.
+    pub policy: PolicyCheckpoint,
+    /// Transitions in the cumulative experience pool.
+    pub pooled_transitions: u64,
+    /// SVM ground-truth examples in the cumulative pool.
+    pub pooled_svm: u64,
+    /// Shared-agent minibatch updates that actually trained in the
+    /// latest retrain.
+    pub trained_updates: u64,
+}
+
+impl WireEncode for SubmissionReport {
+    fn encode(&self) -> JsonValue {
+        Obj::tagged("report")
+            .field("submission", self.submission)
+            .field("cumulative", self.cumulative)
+            .field("report", &self.report)
+            .field("policy", &self.policy)
+            .field("pooled_transitions", self.pooled_transitions)
+            .field("pooled_svm", self.pooled_svm)
+            .field("trained_updates", self.trained_updates)
+            .build()
+    }
+}
+
+impl WireDecode for SubmissionReport {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        Ok(SubmissionReport {
+            submission: v.field("submission")?,
+            cumulative: v.field("cumulative")?,
+            report: v.field("report")?,
+            policy: v.field("policy")?,
+            pooled_transitions: v.field("pooled_transitions")?,
+            pooled_svm: v.field("pooled_svm")?,
+            trained_updates: v.field("trained_updates")?,
+        })
+    }
+}
+
+/// Every frame the server can write, as a tagged union
+/// (`{"type":"accepted"|"outcome"|"report"|"error", ...}`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMessage {
+    /// The submission was admitted; outcomes will stream next.
+    Accepted {
+        /// The protocol version the *server* speaks — the client's half
+        /// of the skew check.
+        protocol: u64,
+        /// The service-assigned submission id the coming frames carry.
+        submission: u64,
+        /// How many scenarios were admitted (echo of the request's
+        /// count).
+        scenarios: u64,
+    },
+    /// One scenario finished — streamed in completion order, the
+    /// moment the worker's response lands.
+    Outcome {
+        /// The submission this outcome belongs to.
+        submission: u64,
+        /// The scenario's global index (`base_index + position`).
+        index: u64,
+        /// The scenario's deterministic measurements (boxed: an outcome
+        /// dwarfs the control frames).
+        outcome: Box<ScenarioOutcome>,
+    },
+    /// The submission's (or the service's cumulative) final result.
+    Report(Box<SubmissionReport>),
+    /// The request failed; the session may continue with a new request
+    /// unless the transport itself is broken.
+    Error {
+        /// The submission the error belongs to, 0 if the request never
+        /// became one.
+        submission: u64,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl WireEncode for ServerMessage {
+    fn encode(&self) -> JsonValue {
+        match self {
+            ServerMessage::Accepted {
+                protocol,
+                submission,
+                scenarios,
+            } => Obj::tagged("accepted")
+                .field("protocol", *protocol)
+                .field("submission", *submission)
+                .field("scenarios", *scenarios)
+                .build(),
+            ServerMessage::Outcome {
+                submission,
+                index,
+                outcome,
+            } => Obj::tagged("outcome")
+                .field("submission", *submission)
+                .field("index", *index)
+                .field("outcome", outcome.as_ref())
+                .build(),
+            ServerMessage::Report(r) => r.encode(),
+            ServerMessage::Error {
+                submission,
+                message,
+            } => Obj::tagged("error")
+                .field("submission", *submission)
+                .field("message", message.as_str())
+                .build(),
+        }
+    }
+}
+
+impl WireDecode for ServerMessage {
+    fn decode(v: &JsonValue) -> Result<Self, DecodeError> {
+        match v.tag()? {
+            "accepted" => Ok(ServerMessage::Accepted {
+                protocol: v.field("protocol")?,
+                submission: v.field("submission")?,
+                scenarios: v.field("scenarios")?,
+            }),
+            "outcome" => Ok(ServerMessage::Outcome {
+                submission: v.field("submission")?,
+                index: v.field("index")?,
+                outcome: Box::new(v.field("outcome")?),
+            }),
+            "report" => Ok(ServerMessage::Report(Box::new(SubmissionReport::decode(
+                v,
+            )?))),
+            "error" => Ok(ServerMessage::Error {
+                submission: v.field("submission")?,
+                message: v.field("message")?,
+            }),
+            other => Err(DecodeError::new(format!(
+                "unknown server frame type `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firm_fleet::builtin_catalog;
+    use firm_wire::{assert_round_trip, decode_line, encode_line};
+
+    fn outcome(name: &str) -> ScenarioOutcome {
+        ScenarioOutcome {
+            name: name.into(),
+            benchmark: "Social Network",
+            controller: "FIRM",
+            load: "steady@100".into(),
+            seed: 7,
+            ticks: 30,
+            arrivals: 110,
+            completions: 100,
+            drops: 1,
+            slo_violations: 10,
+            p50_us: 1_500,
+            p99_us: 5_000,
+            mean_latency_us: 2_000.0,
+            anomalies_injected: 4,
+            mitigations: 3,
+            mean_mitigation_secs: 2.5,
+            transitions: 20,
+            svm_examples: 200,
+        }
+    }
+
+    #[test]
+    fn client_frames_round_trip() {
+        assert_round_trip(&ClientRequest::Submit(SubmitRequest {
+            protocol: PROTOCOL_VERSION,
+            seed: 7,
+            base_index: 3,
+            scenarios: builtin_catalog().into_iter().take(2).collect(),
+        }));
+        assert_round_trip(&ClientRequest::Drain {
+            protocol: PROTOCOL_VERSION,
+        });
+        assert_round_trip(&ClientRequest::Shutdown {
+            protocol: PROTOCOL_VERSION,
+        });
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        assert_round_trip(&ServerMessage::Accepted {
+            protocol: PROTOCOL_VERSION,
+            submission: 4,
+            scenarios: 12,
+        });
+        assert_round_trip(&ServerMessage::Outcome {
+            submission: 4,
+            index: 9,
+            outcome: Box::new(outcome("a")),
+        });
+        assert_round_trip(&ServerMessage::Report(Box::new(SubmissionReport {
+            submission: 4,
+            cumulative: true,
+            report: FleetReport::new(7, vec![outcome("a"), outcome("b")]),
+            policy: PolicyCheckpoint {
+                actor: vec![0.5, -0.25],
+                critic: vec![1.0 / 3.0],
+            },
+            pooled_transitions: 40,
+            pooled_svm: 400,
+            trained_updates: 128,
+        })));
+        assert_round_trip(&ServerMessage::Error {
+            submission: 0,
+            message: "protocol skew: client v3, server v4".into(),
+        });
+    }
+
+    #[test]
+    fn frames_are_single_lines_and_dispatch_by_tag() {
+        let frame = encode_line(&ClientRequest::Drain {
+            protocol: PROTOCOL_VERSION,
+        });
+        assert_eq!(frame.matches('\n').count(), 1, "frame is not one line");
+        match decode_line::<ClientRequest>(&frame).expect("frame decodes") {
+            ClientRequest::Drain { protocol } => assert_eq!(protocol, PROTOCOL_VERSION),
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_frame_types_fail_loudly() {
+        let doc = firm_wire::parse(r#"{"type":"reboot"}"#).unwrap();
+        assert!(ClientRequest::decode(&doc)
+            .unwrap_err()
+            .msg
+            .contains("unknown client frame type"));
+        assert!(ServerMessage::decode(&doc)
+            .unwrap_err()
+            .msg
+            .contains("unknown server frame type"));
+    }
+}

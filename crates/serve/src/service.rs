@@ -1,0 +1,382 @@
+//! The resident fleet service: one supervised [`WorkerPool`] shared by
+//! every submission, plus the cumulative one-for-all learning state.
+//!
+//! [`FleetService`] is transport-free — the TCP front end lives in
+//! [`crate::server`]; tests (and embedders) drive submissions directly.
+//! Any number of threads may run submissions concurrently: their jobs
+//! interleave freely on the pool (idle-queue dispatch, one outstanding
+//! job per worker), while the learning state folds under one lock in
+//! submission-completion order.
+//!
+//! # Determinism across submissions
+//!
+//! Scenario outcomes are pure functions of `(scenario, seed, policy)`,
+//! and every submission runs training-mode (`policy: None`) — the
+//! resident policy is a *product* of the service, never an input to
+//! execution, so concurrent submissions cannot observe each other. The
+//! cumulative shared agent is retrained **from scratch** on the whole
+//! experience pool after each submission folds in (seeded replay,
+//! optionally prioritized). That costs `train_steps` minibatches per
+//! submission, and buys the headline guarantee: the resident state is a
+//! pure function of *what was submitted in which completion order*, not
+//! of when — so submitting a catalog in sequential slices (one seed,
+//! continuous base indices) leaves report bytes, pooled experience, and
+//! policy weights bit-identical to the single batch
+//! [`firm_fleet::FleetRunner`] run.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use firm_core::controller::PolicyCheckpoint;
+use firm_core::estimator::{AgentRegime, ResourceEstimator};
+use firm_core::manager::ExperienceLog;
+use firm_core::training::{replay_experience, replay_experience_prioritized, replay_priorities};
+use firm_fleet::report::{FleetReport, ScenarioOutcome};
+use firm_fleet::scenario::Scenario;
+use firm_fleet::supervisor::{PoolJob, SupervisorConfig, WorkerPool};
+use firm_fleet::transport::{PipeTransport, TcpTransport, Transport};
+use firm_fleet::{scenario_seed, FleetConfig, WorkerOps};
+use firm_obs::{Counter, Gauge, Histogram, Level};
+
+use crate::protocol::SubmissionReport;
+
+/// Event target for everything the service emits.
+const TARGET: &str = "firm-serve";
+
+/// The serve-side metrics, resolved once per service.
+struct ServeMetrics {
+    submissions_total: Arc<Counter>,
+    scenarios_submitted: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    /// Replay priorities of newly pooled transitions, ×1000 (the
+    /// registry's histograms hold integers); recorded at fold time
+    /// when prioritized replay is on.
+    replay_priority: Arc<Histogram>,
+}
+
+/// The cumulative learning state — everything a submission folds into.
+struct ServiceState {
+    /// Submission ids handed out so far.
+    next_submission: u64,
+    /// Submissions admitted but not yet folded (or failed).
+    outstanding: usize,
+    /// Every outcome the service has folded, in submission-completion
+    /// order (within a submission: submission order).
+    outcomes: Vec<ScenarioOutcome>,
+    /// The cumulative experience pool, same order.
+    pooled: ExperienceLog,
+    /// The resident one-for-all policy (empty until the first fold).
+    policy: PolicyCheckpoint,
+    /// Updates that trained in the latest retrain.
+    trained_updates: u64,
+    /// Set when the service stops admitting submissions (shutdown, or
+    /// the pool lost every worker).
+    retired: Option<String>,
+}
+
+/// A resident fleet coordinator: accepts scenario submissions from many
+/// threads, schedules them onto one supervised [`WorkerPool`], and
+/// keeps the shared agent learning across submissions. See the module
+/// docs for the determinism contract.
+pub struct FleetService {
+    pool: WorkerPool,
+    config: FleetConfig,
+    state: Mutex<ServiceState>,
+    /// Signaled whenever `outstanding` drops; [`FleetService::drain`]
+    /// waits on it.
+    quiesced: Condvar,
+    /// Scenarios submitted but not yet delivered (mirrors the pool's
+    /// queue plus in-flight jobs), backing the `serve.queue.depth`
+    /// gauge.
+    depth: AtomicI64,
+    obs: ServeMetrics,
+}
+
+impl FleetService {
+    /// Builds the worker pool from the config's `workers` subprocess
+    /// count and `remote_workers` addresses and connects every slot.
+    /// `threads` is ignored: a resident service always runs supervised
+    /// workers (in-process threads would die with a panicking
+    /// scenario; workers are restartable).
+    pub fn new(config: FleetConfig) -> Result<FleetService, String> {
+        let mut transports: Vec<Box<dyn Transport>> = Vec::new();
+        if config.workers > 0 {
+            let bin = config.try_resolve_worker_bin()?;
+            transports.extend(
+                (0..config.workers)
+                    .map(|_| Box::new(PipeTransport::new(bin.clone())) as Box<dyn Transport>),
+            );
+        }
+        transports.extend(
+            config
+                .remote_workers
+                .iter()
+                .map(|addr| Box::new(TcpTransport::new(addr.clone())) as Box<dyn Transport>),
+        );
+        if transports.is_empty() {
+            return Err(
+                "a resident fleet needs at least one worker (subprocess or remote)".to_string(),
+            );
+        }
+        let sup = SupervisorConfig {
+            request_timeout: (config.request_timeout_ms > 0)
+                .then(|| std::time::Duration::from_millis(config.request_timeout_ms)),
+            max_attempts: config.max_attempts.max(1),
+            intra_shards: config.intra_shards.max(1),
+        };
+        let pool = WorkerPool::start(transports, sup)?;
+        let m = firm_obs::metrics();
+        Ok(FleetService {
+            pool,
+            config,
+            state: Mutex::new(ServiceState {
+                next_submission: 0,
+                outstanding: 0,
+                outcomes: Vec::new(),
+                pooled: ExperienceLog::default(),
+                policy: PolicyCheckpoint {
+                    actor: Vec::new(),
+                    critic: Vec::new(),
+                },
+                trained_updates: 0,
+                retired: None,
+            }),
+            quiesced: Condvar::new(),
+            depth: AtomicI64::new(0),
+            obs: ServeMetrics {
+                submissions_total: m.counter("serve.submissions.total"),
+                scenarios_submitted: m.counter("serve.scenarios.submitted"),
+                queue_depth: m.gauge("serve.queue.depth"),
+                replay_priority: m.histogram("serve.replay.priority_x1000"),
+            },
+        })
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Admits a submission of `scenarios` scenarios, returning its id.
+    /// Call [`FleetService::run`] with the id next; every successful
+    /// `begin` must be paired with exactly one `run`.
+    pub fn begin(&self, scenarios: usize) -> Result<u64, String> {
+        if scenarios == 0 {
+            return Err("a submission needs at least one scenario".to_string());
+        }
+        let mut st = self.state.lock().expect("service state lock");
+        if let Some(why) = &st.retired {
+            return Err(format!("submission rejected: {why}"));
+        }
+        let id = st.next_submission;
+        st.next_submission += 1;
+        st.outstanding += 1;
+        self.obs.submissions_total.inc();
+        self.obs.scenarios_submitted.add(scenarios as u64);
+        Ok(id)
+    }
+
+    /// Runs one admitted submission to completion: schedules every
+    /// scenario onto the pool, calls `on_outcome` the moment each
+    /// result lands (completion order — this is the streaming hook),
+    /// then folds the submission into the cumulative state, retrains
+    /// the resident agent, and returns the submission's deterministic
+    /// report.
+    ///
+    /// On failure (a scenario exhausted its attempts, the pool lost
+    /// every worker) the error describes the first casualty; the
+    /// remaining results are still drained — the cumulative state
+    /// simply does not fold a failed submission in, and the service
+    /// keeps serving others.
+    pub fn run(
+        &self,
+        submission: u64,
+        seed: u64,
+        base_index: u64,
+        scenarios: &[Scenario],
+        on_outcome: &mut dyn FnMut(u64, &ScenarioOutcome),
+    ) -> Result<SubmissionReport, String> {
+        let n = scenarios.len();
+        firm_obs::event(Level::Info, TARGET)
+            .msg("submission started")
+            .field("submission", submission)
+            .field("scenarios", n)
+            .field("seed", seed)
+            .field("base_index", base_index)
+            .emit();
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        for (i, scenario) in scenarios.iter().enumerate() {
+            let index = base_index + i as u64;
+            self.pool.submit(PoolJob {
+                index,
+                seed: scenario_seed(seed, index as usize),
+                scenario: scenario.clone(),
+                // Always training-mode: the resident policy is a
+                // product, never an input (see the module docs).
+                policy: None,
+                reply: reply_tx.clone(),
+            });
+        }
+        drop(reply_tx);
+        self.bump_depth(n as i64);
+
+        let mut slots: Vec<Option<(ScenarioOutcome, ExperienceLog)>> =
+            (0..n).map(|_| None).collect();
+        let mut failure: Option<String> = None;
+        let mut received = 0usize;
+        for _ in 0..n {
+            let Ok(done) = reply_rx.recv() else {
+                failure.get_or_insert_with(|| "the worker pool died mid-submission".to_string());
+                break;
+            };
+            received += 1;
+            self.bump_depth(-1);
+            match done.result {
+                Ok((outcome, log)) => {
+                    on_outcome(done.index, &outcome);
+                    let i = (done.index - base_index) as usize;
+                    slots[i] = Some((outcome, log));
+                }
+                // Keep draining: the pool delivers every sibling job
+                // too, and leaving them in the channel would leak.
+                Err(e) => {
+                    failure.get_or_insert(e);
+                }
+            }
+        }
+        self.bump_depth(received as i64 - n as i64);
+
+        if let Some(e) = failure {
+            let mut st = self.state.lock().expect("service state lock");
+            st.outstanding -= 1;
+            self.quiesced.notify_all();
+            drop(st);
+            firm_obs::event(Level::Error, TARGET)
+                .msg("submission failed")
+                .field("submission", submission)
+                .field("error", e.as_str())
+                .emit();
+            return Err(e);
+        }
+
+        // Fold + retrain under the state lock: concurrent submissions
+        // serialize here, in completion order.
+        let mut st = self.state.lock().expect("service state lock");
+        let mut sub_outcomes = Vec::with_capacity(n);
+        let pooled_before = st.pooled.transitions.len();
+        for slot in slots {
+            let (outcome, log) = slot.expect("every scenario delivered");
+            st.outcomes.push(outcome.clone());
+            st.pooled.merge(log);
+            sub_outcomes.push(outcome);
+        }
+        let trained = self.retrain(&mut st);
+        if self.config.replay_priority {
+            // Diagnostics for the weighting itself: the histogram shows
+            // whether violation-heavy transitions are actually getting
+            // the intended extra mass.
+            let priorities = replay_priorities(&st.pooled, self.config.seed);
+            for p in &priorities[pooled_before..] {
+                self.obs.replay_priority.record((p * 1000.0) as u64);
+            }
+        }
+        let report = SubmissionReport {
+            submission,
+            cumulative: false,
+            report: FleetReport::new(seed, sub_outcomes),
+            policy: st.policy.clone(),
+            pooled_transitions: st.pooled.transitions.len() as u64,
+            pooled_svm: st.pooled.svm_examples.len() as u64,
+            trained_updates: trained,
+        };
+        st.outstanding -= 1;
+        self.quiesced.notify_all();
+        drop(st);
+        firm_obs::event(Level::Info, TARGET)
+            .msg("submission folded")
+            .field("submission", submission)
+            .field("report_digest", format!("{:016x}", report.report.digest()))
+            .field("pooled_transitions", report.pooled_transitions)
+            .field("trained_updates", trained)
+            .emit();
+        Ok(report)
+    }
+
+    /// [`FleetService::begin`] + [`FleetService::run`] in one call, for
+    /// embedders that do not need the admission/streaming split.
+    pub fn run_submission(
+        &self,
+        seed: u64,
+        base_index: u64,
+        scenarios: &[Scenario],
+        on_outcome: &mut dyn FnMut(u64, &ScenarioOutcome),
+    ) -> Result<SubmissionReport, String> {
+        let id = self.begin(scenarios.len())?;
+        self.run(id, seed, base_index, scenarios, on_outcome)
+    }
+
+    /// Retrains the resident shared agent from scratch on the whole
+    /// cumulative pool (the determinism anchor — see the module docs)
+    /// and refreshes the resident policy. Returns the updates that
+    /// trained.
+    fn retrain(&self, st: &mut ServiceState) -> u64 {
+        let mut estimator = ResourceEstimator::new(AgentRegime::Shared, self.config.seed ^ 0x0A11);
+        let trained = if self.config.replay_priority {
+            replay_experience_prioritized(
+                &mut estimator,
+                &st.pooled,
+                self.config.train_steps,
+                self.config.seed,
+            )
+        } else {
+            replay_experience(&mut estimator, &st.pooled, self.config.train_steps)
+        };
+        let (actor, critic) = estimator.shared_agent().export_weights();
+        st.policy = PolicyCheckpoint { actor, critic };
+        st.trained_updates = trained as u64;
+        trained as u64
+    }
+
+    /// Blocks until every outstanding submission has finished, then
+    /// returns the cumulative report: every folded outcome (in
+    /// submission-completion order) under the *service's* fleet seed,
+    /// plus the current resident policy.
+    pub fn drain(&self) -> SubmissionReport {
+        let mut st = self.state.lock().expect("service state lock");
+        while st.outstanding > 0 {
+            st = self.quiesced.wait(st).expect("service state lock");
+        }
+        SubmissionReport {
+            submission: st.next_submission,
+            cumulative: true,
+            report: FleetReport::new(self.config.seed, st.outcomes.clone()),
+            policy: st.policy.clone(),
+            pooled_transitions: st.pooled.transitions.len() as u64,
+            pooled_svm: st.pooled.svm_examples.len() as u64,
+            trained_updates: st.trained_updates,
+        }
+    }
+
+    /// Stops admitting new submissions (in-flight ones finish
+    /// normally). Idempotent; the first reason wins.
+    pub fn retire(&self, reason: &str) {
+        let mut st = self.state.lock().expect("service state lock");
+        if st.retired.is_none() {
+            st.retired = Some(reason.to_string());
+        }
+    }
+
+    /// Graceful end of service: stop admitting, wait for every
+    /// in-flight submission, tear down the worker pool, and return the
+    /// workers' session-end metrics snapshots.
+    pub fn shutdown(&self) -> Vec<WorkerOps> {
+        self.retire("the service is shutting down");
+        let _ = self.drain();
+        self.pool.shutdown()
+    }
+
+    fn bump_depth(&self, delta: i64) {
+        let now = self.depth.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.obs.queue_depth.set(now);
+    }
+}

@@ -1,0 +1,300 @@
+//! End-to-end tests for the resident fleet service: concurrent client
+//! submissions over real TCP, bit-parity with batch runs, protocol
+//! skew, and the disconnect-mid-catalog regression.
+//!
+//! Workers are in-process TCP sessions (a thread running
+//! [`firm_fleet::worker::serve_session`] per connection) so the tests
+//! are self-contained — the supervised subprocess path is covered by
+//! the fleet crate's own integration tests and the workspace-root
+//! determinism suite.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use firm_fleet::worker::{serve_session, ServeOptions};
+use firm_fleet::{builtin_catalog, FleetConfig, FleetRunner, Scenario};
+use firm_serve::protocol::{ClientRequest, ServerMessage, SubmitRequest};
+use firm_serve::{FleetServer, ServeClient, PROTOCOL_VERSION};
+use firm_sim::SimDuration;
+
+/// Spawns an in-process TCP worker (accept loop + one serve_session
+/// per connection) and returns its `host:port`. The threads live for
+/// the test process's lifetime.
+fn spawn_tcp_worker() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind worker listener");
+    let addr = listener
+        .local_addr()
+        .expect("worker local addr")
+        .to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            std::thread::spawn(move || {
+                stream.set_nodelay(true).ok();
+                let Ok(read_half) = stream.try_clone() else {
+                    return;
+                };
+                let _ = serve_session(BufReader::new(read_half), stream, &ServeOptions::default());
+            });
+        }
+    });
+    addr
+}
+
+fn short_catalog(n: usize, secs: u64) -> Vec<Scenario> {
+    builtin_catalog()
+        .into_iter()
+        .take(n)
+        .map(|s| s.with_duration(SimDuration::from_secs(secs)))
+        .collect()
+}
+
+fn start_server(workers: usize, seed: u64, train_steps: usize, priority: bool) -> FleetServer {
+    let config = FleetConfig {
+        workers: 0,
+        remote_workers: (0..workers).map(|_| spawn_tcp_worker()).collect(),
+        seed,
+        train_steps,
+        replay_priority: priority,
+        ..FleetConfig::default()
+    };
+    FleetServer::start("127.0.0.1:0", config).expect("server starts")
+}
+
+/// Two clients submit different catalogs concurrently; each streamed
+/// submission must be bit-identical to its own in-process batch run,
+/// and the service must have pooled both.
+#[test]
+fn concurrent_clients_get_batch_identical_reports() {
+    let server = start_server(2, 99, 16, false);
+    let addr = server.local_addr().to_string();
+
+    let submit = |seed: u64, catalog: Vec<Scenario>| {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = ServeClient::connect(&addr).expect("client connects");
+            let mut streamed = Vec::new();
+            let report = client
+                .submit(seed, 0, catalog, &mut |index, outcome| {
+                    streamed.push((index, outcome));
+                })
+                .expect("submission succeeds");
+            (streamed, report)
+        })
+    };
+    let a = submit(7, short_catalog(2, 6));
+    let b = submit(11, short_catalog(3, 6).split_off(1));
+    let (streamed_a, report_a) = a.join().expect("client a");
+    let (streamed_b, report_b) = b.join().expect("client b");
+
+    // Streaming delivered every scenario exactly once, indices intact.
+    assert_eq!(streamed_a.len(), 2);
+    assert_eq!(streamed_b.len(), 2);
+    let mut idx_a: Vec<u64> = streamed_a.iter().map(|(i, _)| *i).collect();
+    idx_a.sort_unstable();
+    assert_eq!(idx_a, vec![0, 1]);
+
+    // Each submission is bit-identical to its own batch run, no matter
+    // what else was interleaving on the shared pool.
+    let batch = |seed: u64, catalog: &[Scenario]| {
+        FleetRunner::new(FleetConfig {
+            threads: 2,
+            seed,
+            train_steps: 0,
+            ..FleetConfig::default()
+        })
+        .run(catalog)
+        .report
+    };
+    assert_eq!(
+        report_a.report.digest(),
+        batch(7, &short_catalog(2, 6)).digest(),
+        "client a's served report diverged from batch"
+    );
+    assert_eq!(
+        report_b.report.digest(),
+        batch(11, &short_catalog(3, 6).split_off(1)).digest(),
+        "client b's served report diverged from batch"
+    );
+
+    // Both submissions folded into the resident pool.
+    let mut client = ServeClient::connect(&addr).expect("drain client connects");
+    let cumulative = client.drain().expect("drain succeeds");
+    assert!(cumulative.cumulative);
+    assert_eq!(cumulative.submission, 2, "two submissions folded");
+    assert_eq!(cumulative.report.scenarios.len(), 4);
+    assert_eq!(
+        cumulative.pooled_transitions,
+        report_a.pooled_transitions.max(report_b.pooled_transitions),
+        "the later fold's pool must contain both submissions"
+    );
+
+    let _ = client.shutdown().expect("shutdown succeeds");
+    server.join();
+}
+
+/// The headline parity guarantee: a catalog submitted in two
+/// sequential slices (one seed, continuous base indices) leaves the
+/// service's cumulative report, pooled experience, policy weights, and
+/// trained-update count bit-identical to the single batch run — with
+/// prioritized replay on both sides.
+#[test]
+fn sequential_slices_reproduce_the_batch_run_exactly() {
+    let catalog = short_catalog(4, 6);
+    let server = start_server(2, 7, 24, true);
+    let addr = server.local_addr().to_string();
+
+    let mut client = ServeClient::connect(&addr).expect("client connects");
+    let first = client
+        .submit(7, 0, catalog[..2].to_vec(), &mut |_, _| {})
+        .expect("first slice");
+    let second = client
+        .submit(7, 2, catalog[2..].to_vec(), &mut |_, _| {})
+        .expect("second slice");
+    assert!(second.pooled_transitions >= first.pooled_transitions);
+    let cumulative = client.shutdown().expect("shutdown");
+    let worker_ops = server.join();
+    assert_eq!(worker_ops.len(), 2, "both workers shipped session metrics");
+
+    let batch = FleetRunner::new(FleetConfig {
+        threads: 2,
+        seed: 7,
+        train_steps: 24,
+        replay_priority: true,
+        ..FleetConfig::default()
+    })
+    .run(&catalog);
+
+    assert_eq!(
+        cumulative.report.to_json(),
+        batch.report.to_json(),
+        "cumulative report bytes diverged from the batch run"
+    );
+    assert_eq!(cumulative.report.digest(), batch.report.digest());
+    assert_eq!(
+        cumulative.pooled_transitions,
+        batch.pooled.transitions.len() as u64
+    );
+    assert_eq!(
+        cumulative.pooled_svm,
+        batch.pooled.svm_examples.len() as u64
+    );
+    assert_eq!(cumulative.trained_updates, batch.trained_updates as u64);
+    let (actor, critic) = batch.estimator.shared_agent().export_weights();
+    assert_eq!(
+        cumulative.policy.actor, actor,
+        "resident actor weights diverged from the batch-trained agent"
+    );
+    assert_eq!(cumulative.policy.critic, critic);
+}
+
+/// Satellite regression: a client that vanishes mid-catalog (drops the
+/// connection right after acceptance) must not wedge or corrupt the
+/// service — its submission still runs, still folds into the resident
+/// state, and the next client is served normally.
+#[test]
+fn client_disconnect_mid_catalog_still_folds_and_serves_others() {
+    let catalog = short_catalog(2, 6);
+    let server = start_server(1, 5, 8, false);
+    let addr = server.local_addr().to_string();
+
+    // A raw client that submits and immediately hangs up.
+    {
+        let mut stream = TcpStream::connect(&addr).expect("raw client connects");
+        let frame = firm_wire::encode_line(&ClientRequest::Submit(SubmitRequest {
+            protocol: PROTOCOL_VERSION,
+            seed: 5,
+            base_index: 0,
+            scenarios: catalog.clone(),
+        }));
+        stream.write_all(frame.as_bytes()).expect("submit frame");
+        stream.flush().expect("flush");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read accepted");
+        match firm_wire::decode_line::<ServerMessage>(&line).expect("accepted decodes") {
+            ServerMessage::Accepted { submission, .. } => assert_eq!(submission, 0),
+            other => panic!("expected accepted, got {other:?}"),
+        }
+        // Drop both halves: the server's outcome writes will hit EPIPE.
+    }
+
+    // A well-behaved client: drain blocks until the orphaned
+    // submission folded, then a fresh submission proves the service
+    // is still healthy.
+    let mut client = ServeClient::connect(&addr).expect("second client connects");
+    let cumulative = client.drain().expect("drain succeeds");
+    assert_eq!(
+        cumulative.report.scenarios.len(),
+        2,
+        "the orphaned submission did not fold into the resident state"
+    );
+    let batch = FleetRunner::new(FleetConfig {
+        threads: 1,
+        seed: 5,
+        train_steps: 0,
+        ..FleetConfig::default()
+    })
+    .run(&catalog);
+    assert_eq!(
+        cumulative.report.digest(),
+        batch.report.digest(),
+        "a vanished client changed the folded bytes"
+    );
+
+    let after = client
+        .submit(6, 0, short_catalog(1, 6), &mut |_, _| {})
+        .expect("the service keeps serving after a client vanished");
+    assert_eq!(after.report.scenarios.len(), 1);
+    let _ = client.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// Version skew fails loudly instead of mis-running work.
+#[test]
+fn protocol_skew_is_rejected_with_an_error_frame() {
+    let server = start_server(1, 3, 4, false);
+    let addr = server.local_addr().to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("client connects");
+    let frame = firm_wire::encode_line(&ClientRequest::Drain {
+        protocol: PROTOCOL_VERSION - 1,
+    });
+    stream.write_all(frame.as_bytes()).expect("drain frame");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read error frame");
+    match firm_wire::decode_line::<ServerMessage>(&line).expect("error decodes") {
+        ServerMessage::Error { message, .. } => {
+            assert!(message.contains("protocol skew"), "{message}");
+            assert!(message.contains("upgrade the older side"), "{message}");
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+
+    // The skewed session is dead, but the server is not.
+    let mut client = ServeClient::connect(&addr).expect("healthy client connects");
+    let _ = client.shutdown().expect("shutdown succeeds");
+    server.join();
+}
+
+/// Submissions after shutdown are refused cleanly (no panic, no hang).
+#[test]
+fn submissions_after_retire_are_rejected() {
+    let server = start_server(1, 2, 4, false);
+    let addr = server.local_addr().to_string();
+    server.service().retire("test retirement");
+
+    let mut client = ServeClient::connect(&addr).expect("client connects");
+    let err = client
+        .submit(2, 0, short_catalog(1, 6), &mut |_, _| {})
+        .expect_err("retired service must reject submissions");
+    assert!(
+        err.to_string().contains("test retirement"),
+        "unexpected rejection: {err}"
+    );
+
+    server.request_stop();
+    server.join();
+}

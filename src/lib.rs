@@ -38,7 +38,14 @@
 //!   subprocesses with bit-identical results either way, cross-
 //!   simulation experience aggregation into one shared agent (§4.3
 //!   one-for-all), and round-trip deployment of the frozen agent with
-//!   train-vs-deploy deltas.
+//!   train-vs-deploy deltas;
+//! * [`serve`] — the resident fleet service: a `firm-fleet serve`
+//!   coordinator that keeps the supervised worker pool alive across
+//!   scenario submissions from many concurrent clients, streams
+//!   per-scenario outcomes as they complete, and continuously retrains
+//!   the shared agent on the growing experience pool with seeded
+//!   (optionally violation-severity-prioritized) replay — all of it
+//!   bit-identical to the equivalent batch runs.
 //!
 //! # Examples
 //!
@@ -58,6 +65,7 @@ pub use firm_core as core;
 pub use firm_fleet as fleet;
 pub use firm_ml as ml;
 pub use firm_obs as obs;
+pub use firm_serve as serve;
 pub use firm_sim as sim;
 pub use firm_telemetry as telemetry;
 pub use firm_trace as trace;

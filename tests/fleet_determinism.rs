@@ -291,6 +291,210 @@ fn seed7_catalog_digest_is_pinned() {
     );
 }
 
+/// The full catalog at 10 simulated seconds: long enough to pool more
+/// transitions than the shared agent's minibatch size, so the central
+/// replay pass actually trains (6-second runs pool just under one
+/// minibatch and train zero updates, which would make weight-parity
+/// assertions vacuous).
+fn training_catalog() -> Vec<Scenario> {
+    builtin_catalog()
+        .into_iter()
+        .map(|s| s.with_duration(SimDuration::from_secs(10)))
+        .collect()
+}
+
+/// Prioritized (violation-severity-weighted) experience replay is held
+/// to the same standard as every other knob: seeded draws only, so the
+/// trained weights are bit-identical at 1, 2, and 4 threads — and the
+/// report bytes never move at all, because central training happens
+/// strictly after every outcome is final.
+#[test]
+fn prioritized_replay_is_bit_identical_across_thread_counts() {
+    let scenarios = training_catalog();
+    let run = |threads: usize, replay_priority: bool| {
+        FleetRunner::new(FleetConfig {
+            threads,
+            seed: 20_26,
+            train_steps: 48,
+            replay_priority,
+            ..FleetConfig::default()
+        })
+        .run(&scenarios)
+    };
+
+    let base = run(1, true);
+    let base_json = base.report.to_json();
+    let base_weights = base.estimator.shared_agent().export_weights();
+    let base_pooled = firm::wire::encode_string(&base.pooled);
+    assert!(
+        base.trained_updates > 0,
+        "the pool never warmed the shared agent up — the weight assertions are vacuous"
+    );
+
+    for threads in [2, 4] {
+        let r = run(threads, true);
+        assert_eq!(
+            base_json,
+            r.report.to_json(),
+            "report bytes diverged at {threads} threads under prioritized replay"
+        );
+        assert_eq!(
+            base_pooled,
+            firm::wire::encode_string(&r.pooled),
+            "pooled experience diverged at {threads} threads under prioritized replay"
+        );
+        assert_eq!(
+            base_weights,
+            r.estimator.shared_agent().export_weights(),
+            "prioritized-replay weights diverged at {threads} threads"
+        );
+    }
+
+    // Whatever the weighting does to training, it can never touch the
+    // report bytes: the digest covers outcomes, not the central trainer.
+    let uniform = run(1, false);
+    assert_eq!(
+        base_json,
+        uniform.report.to_json(),
+        "replay weighting moved the report bytes — training leaked into outcomes"
+    );
+    // The weighting itself is severity-driven (1 + max(0, −reward)): a
+    // pool with violations must train different weights than uniform
+    // replay, and a violation-free pool must degenerate to the *exact*
+    // uniform draws (all priorities ~1.0 sample the same indices) —
+    // prioritization is a pure function of the pool, never noise.
+    // (The divergent case is pinned with synthetic violations in
+    // crates/core/src/training.rs.)
+    let violations = base
+        .pooled
+        .transitions
+        .iter()
+        .filter(|(_, t)| t.reward < 0.0)
+        .count();
+    let uniform_weights = uniform.estimator.shared_agent().export_weights();
+    if violations == 0 {
+        assert_eq!(
+            base_weights, uniform_weights,
+            "a violation-free pool must make prioritized replay degenerate to uniform"
+        );
+    } else {
+        assert_ne!(
+            base_weights, uniform_weights,
+            "prioritized replay ignored {violations} violation transitions"
+        );
+    }
+}
+
+/// The same guarantee across the process boundary: two supervised
+/// `firm-fleet-worker` subprocesses must reproduce the single-threaded
+/// in-process run bit for bit — report bytes, pooled experience, and
+/// prioritized-replay weights alike.
+#[test]
+fn prioritized_replay_is_bit_identical_with_subprocess_workers() {
+    let scenarios = training_catalog();
+    let base = FleetRunner::new(FleetConfig {
+        threads: 1,
+        seed: 909,
+        train_steps: 32,
+        replay_priority: true,
+        ..FleetConfig::default()
+    })
+    .run(&scenarios);
+    assert!(
+        base.trained_updates > 0,
+        "the pool never warmed the shared agent up — the weight assertions are vacuous"
+    );
+
+    let workers = FleetRunner::new(FleetConfig {
+        workers: 2,
+        seed: 909,
+        train_steps: 32,
+        replay_priority: true,
+        ..FleetConfig::default()
+    })
+    .run(&scenarios);
+    assert_eq!(
+        base.report.to_json(),
+        workers.report.to_json(),
+        "report bytes diverged across the subprocess boundary"
+    );
+    assert_eq!(base.report.digest(), workers.report.digest());
+    assert_eq!(
+        firm::wire::encode_string(&base.pooled),
+        firm::wire::encode_string(&workers.pooled),
+        "pooled experience diverged across the subprocess boundary"
+    );
+    assert_eq!(
+        base.estimator.shared_agent().export_weights(),
+        workers.estimator.shared_agent().export_weights(),
+        "prioritized-replay weights diverged across the subprocess boundary"
+    );
+}
+
+/// The resident service's headline guarantee, exercised end to end with
+/// real subprocess workers: a catalog submitted to a `FleetService` in
+/// two sequential slices (one seed, continuous base indices) leaves the
+/// cumulative report bytes, pooled experience, and resident policy
+/// weights bit-identical to the single batch `FleetRunner` run.
+#[test]
+fn sequential_serve_submissions_reproduce_the_batch_run() {
+    let scenarios = training_catalog();
+    let config = FleetConfig {
+        workers: 2,
+        seed: 7,
+        train_steps: 32,
+        replay_priority: true,
+        ..FleetConfig::default()
+    };
+
+    let service = firm::serve::FleetService::new(config).expect("service starts");
+    let first = service
+        .run_submission(7, 0, &scenarios[..6], &mut |_, _| {})
+        .expect("first slice");
+    let second = service
+        .run_submission(7, 6, &scenarios[6..], &mut |_, _| {})
+        .expect("second slice");
+    assert!(second.pooled_transitions >= first.pooled_transitions);
+    let cumulative = service.drain();
+    service.shutdown();
+    assert!(
+        cumulative.trained_updates > 0,
+        "the pool never warmed the shared agent up — the policy assertions are vacuous"
+    );
+
+    // The control run executes on in-process threads: the backend is
+    // irrelevant to the bytes, only the (seed, catalog, replay) inputs
+    // matter.
+    let batch = FleetRunner::new(FleetConfig {
+        threads: 2,
+        seed: 7,
+        train_steps: 32,
+        replay_priority: true,
+        ..FleetConfig::default()
+    })
+    .run(&scenarios);
+    assert_eq!(
+        cumulative.report.to_json(),
+        batch.report.to_json(),
+        "served cumulative report bytes diverged from the batch run"
+    );
+    assert_eq!(cumulative.report.digest(), batch.report.digest());
+    assert_eq!(
+        cumulative.pooled_transitions,
+        batch.pooled.transitions.len() as u64
+    );
+    assert_eq!(cumulative.trained_updates, batch.trained_updates as u64);
+    let (actor, critic) = batch.estimator.shared_agent().export_weights();
+    assert_eq!(
+        cumulative.policy.actor, actor,
+        "resident actor weights diverged from the batch-trained agent"
+    );
+    assert_eq!(
+        cumulative.policy.critic, critic,
+        "resident critic weights diverged from the batch-trained agent"
+    );
+}
+
 #[test]
 fn catalog_covers_every_benchmark_in_one_fleet_run() {
     let scenarios = short_catalog();
