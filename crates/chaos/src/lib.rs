@@ -1,0 +1,37 @@
+//! # firm-chaos — deterministic fault injection for the fleet runtime
+//!
+//! The fleet's standing invariant is that injected worker failures
+//! cannot move a single report byte: the supervisor recycles the
+//! failed connection, replays the in-flight scenario elsewhere, and
+//! catalog-index aggregation erases the detour. This crate turns that
+//! invariant into an executable property by injecting faults *on
+//! purpose*, deterministically:
+//!
+//! * [`FaultPlan`] — a pure function of `(chaos_seed, slot)` over the
+//!   in-tree RNG that schedules which fault (if any) each connection
+//!   generation of a worker slot suffers. No wall clock, no OS
+//!   entropy: the same seed always plans the same faults.
+//! * [`ChaosTransport`] — a [`firm_fleet::transport::Transport`]
+//!   wrapper that delivers the plan by shimming the connection's
+//!   writer, reader, and control handles around any inner transport
+//!   (`PipeTransport`, `TcpTransport`, or a test double).
+//!
+//! The plan is deterministic; the fault *effects* are not (they race
+//! against dispatch and heartbeats), which is exactly the point — the
+//! fleet's outputs must be invariant to both. The `chaos_soak` harness
+//! (workspace `tests/chaos_soak.rs`, `chaos_soak` bench binary) runs
+//! the catalog under many seeded plans and asserts bit-identity with
+//! the fault-free run.
+//!
+//! Every fault that actually fires bumps a `chaos.injected.<kind>`
+//! counter in the [`firm_obs`] registry and emits a `firm-chaos` event
+//! — out-of-band diagnostics, never part of any digest-covered byte.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod plan;
+mod transport;
+
+pub use plan::{FaultKind, FaultPlan};
+pub use transport::ChaosTransport;

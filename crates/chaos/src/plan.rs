@@ -1,0 +1,293 @@
+//! Seeded fault schedules: what breaks, where, and when.
+
+use firm_rng::{mix64, Xoshiro256};
+
+/// One injectable fault, parameterized by *frame counts* rather than
+/// time: frames are the only clock the fleet protocol itself advances,
+/// so a plan stays meaningful at any host speed.
+///
+/// Directions are named from the coordinator's point of view: `Tx` is
+/// coordinator→worker (request frames), `Rx` is worker→coordinator
+/// (hello/heartbeat/response frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The connection dies when the coordinator writes its
+    /// `after_frames + 1`-th request frame — the "worker crashed
+    /// before/after frame N" family. The supervisor's reader sees EOF,
+    /// recycles the slot, and replays the in-flight scenario.
+    CrashTx {
+        /// Request frames delivered intact before the crash (0 = the
+        /// worker dies before its first request).
+        after_frames: u64,
+    },
+    /// The read stream ends after `after_frames` worker frames — a
+    /// connection drop / network partition as the coordinator
+    /// experiences it. Recovered exactly like a crash.
+    DropRx {
+        /// Worker frames (hello, heartbeats, responses) delivered
+        /// before the drop.
+        after_frames: u64,
+    },
+    /// The `frame`-th worker frame (1-based) arrives as a proper
+    /// prefix with no newline, then EOF — a mid-frame connection loss.
+    /// The coordinator's decode fails (`fleet.bad_frames`) and the
+    /// slot recycles.
+    TruncateRx {
+        /// Which worker frame gets truncated.
+        frame: u64,
+    },
+    /// One byte of the `frame`-th worker frame gets its high bit set —
+    /// bit-flip corruption. A lone `>= 0x80` byte in otherwise-ASCII
+    /// JSON can never form valid UTF-8, so the corruption is *always*
+    /// detected at the read layer (never silently decoded into a
+    /// plausible frame) and the slot recycles.
+    CorruptRx {
+        /// Which worker frame gets corrupted.
+        frame: u64,
+    },
+    /// Request frames from `after_frames` on are silently swallowed —
+    /// the worker never sees them, yet its heartbeats keep flowing.
+    /// This is the wedge/partition the heartbeat cannot catch; the
+    /// supervisor's per-request timeout reaps it.
+    BlackholeTx {
+        /// Request frames delivered before the blackhole opens.
+        after_frames: u64,
+    },
+    /// Every request write from `after_frames` on is delayed by
+    /// `stall_ms` — a slow link. Benign: latency only, no recovery
+    /// path should trigger.
+    StallTx {
+        /// Request frames delivered at full speed first.
+        after_frames: u64,
+        /// Per-write delay, milliseconds.
+        stall_ms: u64,
+    },
+    /// Heartbeat frames after the first `after_frames` worker frames
+    /// are dropped from the read stream. Benign in short runs (the
+    /// supervisor's quiet window floors at 10 s); under a long enough
+    /// silence it degrades into a recycle, which is also recovered.
+    SuppressHeartbeats {
+        /// Worker frames delivered before heartbeats start vanishing.
+        after_frames: u64,
+    },
+    /// A serve-layer fault: the client hangs up after reading
+    /// `after_outcomes` streamed outcome frames. Scheduled by
+    /// [`FaultPlan::client_disconnect_after`] and enacted by the soak
+    /// harness at the client socket — [`crate::ChaosTransport`] never
+    /// sees it (it wraps worker links, not client sessions).
+    ClientDisconnect {
+        /// Outcome frames the client consumes before vanishing.
+        after_outcomes: u64,
+    },
+}
+
+impl FaultKind {
+    /// The stable snake_case name used in `chaos.injected.<name>`
+    /// metric keys and plan descriptions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::CrashTx { .. } => "crash_tx",
+            FaultKind::DropRx { .. } => "drop_rx",
+            FaultKind::TruncateRx { .. } => "truncate_rx",
+            FaultKind::CorruptRx { .. } => "corrupt_rx",
+            FaultKind::BlackholeTx { .. } => "blackhole_tx",
+            FaultKind::StallTx { .. } => "stall_tx",
+            FaultKind::SuppressHeartbeats { .. } => "suppress_heartbeats",
+            FaultKind::ClientDisconnect { .. } => "client_disconnect",
+        }
+    }
+
+    /// Whether the fault forces the supervisor down a recovery path
+    /// (recycle + replay). Benign faults only add latency.
+    pub fn is_lethal(&self) -> bool {
+        !matches!(
+            self,
+            FaultKind::StallTx { .. } | FaultKind::SuppressHeartbeats { .. }
+        )
+    }
+}
+
+/// The fault schedule for one worker slot: which fault each connection
+/// *generation* suffers (generation 0 is the initial connect, each
+/// recycle bumps it).
+///
+/// A plan is a pure function of `(chaos_seed, slot)` — see
+/// [`FaultPlan::derive`] — and schedules **at most one lethal fault**,
+/// always on generation 0. With the supervisor's default three
+/// attempts per scenario, any worker count survives every plan, so a
+/// chaos run always terminates; what the soak then checks is that it
+/// terminates with bit-identical bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Option<FaultKind>>,
+}
+
+impl FaultPlan {
+    /// Derives the schedule for `slot` under `chaos_seed`. Pure: no
+    /// wall clock, no OS entropy — calling this twice always yields
+    /// the same plan.
+    ///
+    /// Generation 0 gets one lethal fault (crash, drop, truncation,
+    /// corruption, or blackhole — which one, and at which frame, is
+    /// seeded). Generation 1 — the replacement connection — gets a
+    /// benign fault (write stall or heartbeat suppression) half the
+    /// time, so recovery itself runs under adversity. Generations
+    /// beyond that are clean.
+    pub fn derive(chaos_seed: u64, slot: usize) -> FaultPlan {
+        let mut rng = Xoshiro256::new(mix64(chaos_seed ^ 0xC4A0_57A6, slot as u64));
+        let lethal = match rng.next_below(5) {
+            0 => FaultKind::CrashTx {
+                after_frames: rng.next_below(4),
+            },
+            1 => FaultKind::DropRx {
+                after_frames: 1 + rng.next_below(6),
+            },
+            2 => FaultKind::TruncateRx {
+                frame: 2 + rng.next_below(6),
+            },
+            3 => FaultKind::CorruptRx {
+                frame: 2 + rng.next_below(6),
+            },
+            _ => FaultKind::BlackholeTx {
+                after_frames: rng.next_below(3),
+            },
+        };
+        let benign = (rng.next_below(2) == 0).then(|| {
+            if rng.next_below(2) == 0 {
+                FaultKind::StallTx {
+                    after_frames: rng.next_below(3),
+                    stall_ms: 10 + rng.next_below(40),
+                }
+            } else {
+                FaultKind::SuppressHeartbeats {
+                    after_frames: 1 + rng.next_below(4),
+                }
+            }
+        });
+        FaultPlan {
+            faults: vec![Some(lethal), benign],
+        }
+    }
+
+    /// A hand-written schedule: `faults[g]` is generation `g`'s fault,
+    /// generations past the end are clean. For targeted tests; the
+    /// soak uses [`FaultPlan::derive`].
+    pub fn from_faults(faults: Vec<Option<FaultKind>>) -> FaultPlan {
+        FaultPlan { faults }
+    }
+
+    /// A plan that injects nothing (the fault-free control).
+    pub fn clean() -> FaultPlan {
+        FaultPlan { faults: Vec::new() }
+    }
+
+    /// The fault scheduled for connection generation `generation`, if
+    /// any.
+    pub fn fault_for_generation(&self, generation: u64) -> Option<FaultKind> {
+        usize::try_from(generation)
+            .ok()
+            .and_then(|g| self.faults.get(g).copied())
+            .flatten()
+    }
+
+    /// Every scheduled fault, in generation order (skipping clean
+    /// generations) — for coverage assertions and logging.
+    pub fn scheduled(&self) -> impl Iterator<Item = FaultKind> + '_ {
+        self.faults.iter().filter_map(|f| *f)
+    }
+
+    /// The serve-layer companion schedule: whether (and after how many
+    /// streamed outcome frames) client number `client` of a chaos run
+    /// hangs up mid-stream. Pure in `(chaos_seed, client)`, like
+    /// [`FaultPlan::derive`]; roughly half of all clients disconnect.
+    pub fn client_disconnect_after(chaos_seed: u64, client: u64) -> Option<FaultKind> {
+        let mut rng = Xoshiro256::new(mix64(chaos_seed ^ 0x0D15_C0C7, client));
+        (rng.next_below(2) == 0).then(|| FaultKind::ClientDisconnect {
+            after_outcomes: rng.next_below(3),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn plans_are_pure_functions_of_seed_and_slot() {
+        for seed in 0..32 {
+            for slot in 0..4 {
+                assert_eq!(
+                    FaultPlan::derive(seed, slot),
+                    FaultPlan::derive(seed, slot),
+                    "plan for ({seed}, {slot}) is not stable"
+                );
+            }
+        }
+        assert_ne!(
+            FaultPlan::derive(1, 0),
+            FaultPlan::derive(2, 0),
+            "different seeds should (here) plan different faults"
+        );
+    }
+
+    #[test]
+    fn every_plan_schedules_exactly_one_lethal_fault_on_generation_zero() {
+        for seed in 0..64 {
+            for slot in 0..4 {
+                let plan = FaultPlan::derive(seed, slot);
+                let lethal: Vec<FaultKind> = plan.scheduled().filter(|f| f.is_lethal()).collect();
+                assert_eq!(lethal.len(), 1, "plan ({seed}, {slot}): {plan:?}");
+                assert_eq!(
+                    plan.fault_for_generation(0).map(|f| f.is_lethal()),
+                    Some(true),
+                    "the lethal fault must hit generation 0"
+                );
+                for generation in 2..8 {
+                    assert_eq!(plan.fault_for_generation(generation), None);
+                }
+            }
+        }
+    }
+
+    /// The soak's seed range must exercise the whole lethal taxonomy.
+    /// The plan is pure, so this coverage is a fixed fact about the
+    /// derivation, not a flaky sample.
+    #[test]
+    fn soak_seed_range_covers_every_lethal_kind() {
+        let mut kinds = BTreeSet::new();
+        for seed in 1..=8 {
+            for slot in 0..2 {
+                for fault in FaultPlan::derive(seed, slot).scheduled() {
+                    kinds.insert(fault.name());
+                }
+            }
+        }
+        for required in [
+            "crash_tx",
+            "drop_rx",
+            "truncate_rx",
+            "corrupt_rx",
+            "blackhole_tx",
+        ] {
+            assert!(
+                kinds.contains(required),
+                "seeds 1..=8 x slots 0..2 never plan `{required}` (got {kinds:?}) — \
+                 widen the soak's seed range"
+            );
+        }
+    }
+
+    #[test]
+    fn client_disconnects_are_pure_and_sometimes_scheduled() {
+        let mut any = false;
+        for client in 0..8 {
+            assert_eq!(
+                FaultPlan::client_disconnect_after(7, client),
+                FaultPlan::client_disconnect_after(7, client)
+            );
+            any |= FaultPlan::client_disconnect_after(7, client).is_some();
+        }
+        assert!(any, "no client in 0..8 ever disconnects under seed 7");
+    }
+}

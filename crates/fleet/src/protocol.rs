@@ -47,8 +47,10 @@ use crate::scenario::Scenario;
 /// [`WorkerRequest::intra_shards`]. v4 added the client-side serve
 /// vocabulary (`firm-serve`'s `ClientRequest`/`ServerMessage` frames,
 /// which share this version so a mixed-version fleet fails loudly at
-/// either boundary).
-pub const PROTOCOL_VERSION: u64 = 4;
+/// either boundary). v5 added the `retryable` field to the serve
+/// `error` frame, so clients can tell transient refusals
+/// (backpressure, shutdown drain) from permanent ones.
+pub const PROTOCOL_VERSION: u64 = 5;
 
 /// One unit of work shipped to a subprocess worker.
 #[derive(Debug, Clone, PartialEq)]

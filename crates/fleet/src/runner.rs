@@ -292,12 +292,47 @@ impl FleetRunner {
     /// Panics if a worker thread panics (a scenario run itself panicked)
     /// or if `scenarios` is empty.
     pub fn run(&self, scenarios: &[Scenario]) -> FleetResult {
-        let fleet_seed = self.config.seed;
         let (slots, worker_ops) = self.execute(scenarios, None);
+        self.aggregate(slots, worker_ops)
+    }
+
+    /// Runs the catalog over caller-supplied transports instead of the
+    /// config's `workers`/`remote_workers` — the injection point for
+    /// fault harnesses (`firm-chaos` wraps the stock transports) and
+    /// custom deployments. Dispatch, liveness, and restart-and-replay
+    /// behave exactly as in the supervised path of [`FleetRunner::run`];
+    /// aggregation is shared, so a run over wrapped transports is held
+    /// to the same bit-identity contract as any other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenarios` or `transports` is empty, an initial
+    /// connection fails, or a scenario exhausts
+    /// [`FleetConfig::max_attempts`].
+    pub fn run_with_transports(
+        &self,
+        scenarios: &[Scenario],
+        transports: Vec<Box<dyn Transport>>,
+    ) -> FleetResult {
+        assert!(!scenarios.is_empty(), "fleet needs at least one scenario");
+        assert!(!transports.is_empty(), "fleet needs at least one transport");
+        let config = self.supervisor_config();
+        let (slots, worker_ops) = supervise(transports, scenarios, self.config.seed, None, &config);
+        self.aggregate(slots, worker_ops)
+    }
+
+    /// Folds per-scenario results into the final [`FleetResult`]: the
+    /// aggregation tail shared by every execution path.
+    fn aggregate(
+        &self,
+        slots: Vec<(ScenarioOutcome, ExperienceLog)>,
+        worker_ops: Vec<WorkerOps>,
+    ) -> FleetResult {
+        let fleet_seed = self.config.seed;
 
         // Catalog-order aggregation: the only ordering the results ever
         // see, regardless of which worker finished first.
-        let mut outcomes = Vec::with_capacity(scenarios.len());
+        let mut outcomes = Vec::with_capacity(slots.len());
         let mut pooled = ExperienceLog::default();
         for (outcome, log) in slots {
             outcomes.push(outcome);
@@ -485,13 +520,19 @@ impl FleetRunner {
                 .map(|addr| Box::new(TcpTransport::new(addr.clone())) as Box<dyn Transport>),
         );
 
-        let config = SupervisorConfig {
+        let config = self.supervisor_config();
+        supervise(transports, scenarios, self.config.seed, policy, &config)
+    }
+
+    /// The supervisor knobs derived from the fleet config, shared by
+    /// the stock supervised path and [`FleetRunner::run_with_transports`].
+    fn supervisor_config(&self) -> SupervisorConfig {
+        SupervisorConfig {
             request_timeout: (self.config.request_timeout_ms > 0)
                 .then(|| Duration::from_millis(self.config.request_timeout_ms)),
             max_attempts: self.config.max_attempts.max(1),
             intra_shards: self.config.intra_shards.max(1),
-        };
-        supervise(transports, scenarios, self.config.seed, policy, &config)
+        }
     }
 }
 

@@ -11,9 +11,12 @@
 //!   the supervisor's restart-and-replay works out of the box.
 //! * [`TcpTransport`] — connects to a `firm-fleet-worker --listen addr`
 //!   on any host and speaks the *same* frames over the socket. The
-//!   initial connect retries briefly (workers are often still binding
-//!   when the runner starts); a *re*connect after a failure tries once,
-//!   because a worker that just died is usually gone for good.
+//!   initial connect retries patiently (workers are often still binding
+//!   when the runner starts); a *re*connect after a failure retries
+//!   with bounded exponential backoff inside a shorter window — long
+//!   enough to ride out a worker restart or a transient partition,
+//!   short enough that a worker that is gone for good does not stall
+//!   redistribution of its work.
 //!
 //! The codec does not change between transports — a frame captured from
 //! a pipe byte-for-byte equals the same frame on a socket — which is
@@ -140,6 +143,7 @@ impl Transport for PipeTransport {
 pub struct TcpTransport {
     addr: String,
     connect_window: Duration,
+    reconnect_window: Duration,
     connected_before: bool,
 }
 
@@ -149,11 +153,24 @@ impl TcpTransport {
     /// the worker may not have bound its listener yet.
     pub const DEFAULT_CONNECT_WINDOW: Duration = Duration::from_secs(10);
 
+    /// How long a *re*connect after a failure keeps retrying. Shorter
+    /// than the initial window: a reconnect blocks the supervisor's
+    /// recycle of this slot, and a worker that does not come back
+    /// within a couple of seconds should have its work redistributed.
+    pub const DEFAULT_RECONNECT_WINDOW: Duration = Duration::from_secs(2);
+
+    /// The first backoff sleep; doubles per failed dial attempt.
+    const BACKOFF_FLOOR: Duration = Duration::from_millis(25);
+
+    /// Backoff sleeps never exceed this.
+    const BACKOFF_CAP: Duration = Duration::from_millis(400);
+
     /// A transport that dials `addr` (e.g. `127.0.0.1:7401`).
     pub fn new(addr: impl Into<String>) -> Self {
         TcpTransport {
             addr: addr.into(),
             connect_window: Self::DEFAULT_CONNECT_WINDOW,
+            reconnect_window: Self::DEFAULT_RECONNECT_WINDOW,
             connected_before: false,
         }
     }
@@ -161,6 +178,12 @@ impl TcpTransport {
     /// Overrides the initial-connect retry window.
     pub fn connect_window(mut self, window: Duration) -> Self {
         self.connect_window = window;
+        self
+    }
+
+    /// Overrides the reconnect-after-failure retry window.
+    pub fn reconnect_window(mut self, window: Duration) -> Self {
+        self.reconnect_window = window;
         self
     }
 }
@@ -217,17 +240,33 @@ impl Transport for TcpTransport {
     }
 
     fn connect(&mut self) -> io::Result<Connection> {
-        let deadline = Instant::now() + self.connect_window;
+        // A reconnect-after-failure gets the same retry treatment as
+        // the initial connect, just inside a tighter window: bounded
+        // exponential backoff until the deadline, then the slot is
+        // declared dead and its work redistributed. Each backoff sleep
+        // lands in the `fleet.reconnect.backoff_us` histogram.
+        let reconnect = self.connected_before;
+        let window = if reconnect {
+            self.reconnect_window
+        } else {
+            self.connect_window
+        };
+        let deadline = Instant::now() + window;
+        let backoff_hist =
+            reconnect.then(|| firm_obs::metrics().histogram("fleet.reconnect.backoff_us"));
+        let mut backoff = Self::BACKOFF_FLOOR;
         let stream = loop {
             match TcpStream::connect(&self.addr) {
                 Ok(stream) => break stream,
-                // After a worker failure a reconnect gets one shot: a
-                // freshly dead worker does not come back by itself, and
-                // retrying would stall redistribution of its work.
-                Err(e) if self.connected_before || Instant::now() >= deadline => {
-                    return Err(e);
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => {
+                    let sleep = backoff.min(deadline.saturating_duration_since(Instant::now()));
+                    if let Some(hist) = &backoff_hist {
+                        hist.record(sleep.as_micros() as u64);
+                    }
+                    std::thread::sleep(sleep);
+                    backoff = (backoff * 2).min(Self::BACKOFF_CAP);
                 }
-                Err(_) => std::thread::sleep(Duration::from_millis(50)),
             }
         };
         self.connected_before = true;
@@ -290,24 +329,68 @@ mod tests {
     }
 
     #[test]
-    fn tcp_reconnect_after_success_fails_fast_when_the_peer_is_gone() {
+    fn tcp_reconnect_retries_with_backoff_until_the_worker_returns() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let first = std::thread::spawn(move || {
+            let _ = listener.accept();
+            // Dropping the listener takes the worker "down"; the
+            // restart below brings it back on the same port.
+        });
+
+        let mut transport = TcpTransport::new(addr.clone())
+            .connect_window(Duration::from_secs(5))
+            .reconnect_window(Duration::from_secs(5));
+        let conn = transport.connect().expect("first connect");
+        drop(conn);
+        first.join().expect("first server thread");
+
+        // The worker restarts ~200 ms later; the reconnect's backoff
+        // retries must ride out the gap instead of failing on the
+        // first refused dial.
+        let addr2 = addr.clone();
+        let restarted = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            let listener = loop {
+                match TcpListener::bind(&addr2) {
+                    Ok(l) => break l,
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            };
+            let (mut sock, _) = listener.accept().expect("accept");
+            sock.write_all(b"{\"back\":true}\n").expect("write");
+        });
+        let mut conn = transport
+            .connect()
+            .expect("reconnect retried until restart");
+        let mut line = String::new();
+        conn.reader.read_line(&mut line).expect("read");
+        assert_eq!(line, "{\"back\":true}\n");
+        restarted.join().expect("restarted server thread");
+    }
+
+    #[test]
+    fn tcp_reconnect_gives_up_after_its_bounded_window() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr").to_string();
         let server = std::thread::spawn(move || {
             let _ = listener.accept();
         });
 
-        let mut transport = TcpTransport::new(addr).connect_window(Duration::from_secs(5));
+        let mut transport = TcpTransport::new(addr)
+            .connect_window(Duration::from_secs(5))
+            .reconnect_window(Duration::from_millis(300));
         let conn = transport.connect().expect("first connect");
         drop(conn);
         server.join().expect("server thread");
-        // The listener is gone; a reconnect must not burn the whole
-        // retry window.
+        // The worker is gone for good: the reconnect must retry only
+        // within its own bounded window, never the full initial one.
         let start = Instant::now();
         assert!(transport.connect().is_err());
+        let elapsed = start.elapsed();
         assert!(
-            start.elapsed() < Duration::from_secs(4),
-            "reconnect retried instead of failing fast"
+            elapsed < Duration::from_secs(3),
+            "reconnect overshot its bounded window: {elapsed:?}"
         );
     }
 

@@ -189,7 +189,6 @@ fn serve_jobs<R: BufRead, W: Write>(
             cached_policy.as_ref()
         };
 
-        test_hooks(req.index);
         requests.inc();
         firm_obs::event(Level::Debug, TARGET)
             .msg("running scenario")
@@ -224,59 +223,6 @@ fn write_frame<W: Write>(writer: &Mutex<W>, msg: &WorkerMessage) -> Result<(), S
     let mut w = writer.lock().expect("writer lock");
     w.write_all(frame.as_bytes()).map_err(ServeError::Io)?;
     w.flush().map_err(ServeError::Io)
-}
-
-/// Failure-injection hooks for the supervision tests, inert unless the
-/// corresponding environment variable is set. Both are "once" hooks
-/// latched through exclusive file creation, so exactly one worker
-/// process in a pool fires them no matter how jobs get dispatched or
-/// how many times the supervisor restarts a worker:
-///
-/// * `FIRM_FLEET_TEST_CRASH_ONCE=<latch-path>:<index>` — the first
-///   worker to *receive* the given catalog index exits with code 3
-///   before running it (a crash mid-catalog);
-/// * `FIRM_FLEET_TEST_WEDGE_ONCE=<latch-path>:<index>:<millis>` — the
-///   first worker to receive the index sleeps that long before running
-///   it, while its heartbeat ticker keeps beating (a wedged-but-alive
-///   worker, the per-request-timeout case).
-fn test_hooks(index: u64) {
-    fn parse(var: &str) -> Option<(String, u64, Vec<u64>)> {
-        let raw = std::env::var(var).ok()?;
-        let mut parts = raw.split(':');
-        let latch = parts.next()?.to_string();
-        let index = parts.next()?.parse().ok()?;
-        let rest = parts.filter_map(|p| p.parse().ok()).collect();
-        Some((latch, index, rest))
-    }
-    /// True the first time any process claims the latch path.
-    fn claim(latch: &str) -> bool {
-        std::fs::OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(latch)
-            .is_ok()
-    }
-
-    if let Some((latch, at, _)) = parse("FIRM_FLEET_TEST_CRASH_ONCE") {
-        if index == at && claim(&latch) {
-            firm_obs::event(Level::Warn, TARGET)
-                .msg("test hook crashing")
-                .field("index", index)
-                .emit();
-            std::process::exit(3);
-        }
-    }
-    if let Some((latch, at, rest)) = parse("FIRM_FLEET_TEST_WEDGE_ONCE") {
-        if index == at && claim(&latch) {
-            let ms = rest.first().copied().unwrap_or(3_600_000);
-            firm_obs::event(Level::Warn, TARGET)
-                .msg("test hook wedging")
-                .field("index", index)
-                .field("ms", ms)
-                .emit();
-            std::thread::sleep(Duration::from_millis(ms));
-        }
-    }
 }
 
 /// Binds `addr` and serves one session per inbound connection, each on

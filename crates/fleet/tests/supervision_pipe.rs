@@ -1,20 +1,23 @@
-//! Restart-and-replay on the subprocess transport: a pipe worker that
-//! crashes mid-catalog is *respawned* by the supervisor (the pipe
-//! transport's reconnect spawns a fresh `firm-fleet-worker`), its
-//! in-flight scenario replays on another worker, and the fleet's output
-//! stays bit-identical.
+//! Restart-and-replay on the subprocess transport: a pipe worker whose
+//! connection crashes mid-catalog is *respawned* by the supervisor (the
+//! pipe transport's reconnect spawns a fresh `firm-fleet-worker`), its
+//! in-flight scenario replays, and the fleet's output stays
+//! bit-identical.
 //!
-//! This lives in its own integration-test binary because the crash hook
-//! must travel to supervisor-spawned subprocesses through the ambient
-//! environment (`std::env::set_var`), which would race with any other
-//! test spawning workers in the same process.
+//! The fault is injected with `firm_chaos::ChaosTransport` wrapping a
+//! real [`PipeTransport`]: every slot's connection generation 0 crashes
+//! at its second request frame, generation 1 (the respawned worker) is
+//! clean. At least one injection is guaranteed by pigeonhole — the
+//! catalog's request frames outnumber the slots.
 
 mod util;
 
-use std::path::Path;
+use std::sync::atomic::Ordering;
 
+use firm_chaos::{ChaosTransport, FaultKind, FaultPlan};
+use firm_fleet::transport::{PipeTransport, Transport};
 use firm_fleet::{FleetConfig, FleetRunner};
-use util::{full_catalog, latch_path};
+use util::full_catalog;
 
 #[test]
 fn pipe_worker_crash_is_respawned_and_its_scenario_replays_identically() {
@@ -28,18 +31,22 @@ fn pipe_worker_crash_is_respawned_and_its_scenario_replays_identically() {
     };
     let baseline = FleetRunner::new(config(123)).run(&scenarios);
 
-    // Every spawned worker inherits the hook; the latch fires it once,
-    // in whichever subprocess receives catalog index 4 first. That
-    // worker exits 3, the supervisor respawns the slot, and index 4
-    // replays on the other worker (the failed slot is excluded).
-    let latch = latch_path("pipe-crash");
-    std::env::set_var("FIRM_FLEET_TEST_CRASH_ONCE", format!("{latch}:4"));
-    let supervised = FleetRunner::new(config(123).workers(2)).run(&scenarios);
-    std::env::remove_var("FIRM_FLEET_TEST_CRASH_ONCE");
+    let mut transports: Vec<Box<dyn Transport>> = Vec::new();
+    let mut counters = Vec::new();
+    for _ in 0..2 {
+        let chaos = ChaosTransport::new(
+            Box::new(PipeTransport::new(util::worker_bin())),
+            FaultPlan::from_faults(vec![Some(FaultKind::CrashTx { after_frames: 1 })]),
+        );
+        counters.push(chaos.injection_counter());
+        transports.push(Box::new(chaos));
+    }
+    let supervised = FleetRunner::new(config(123)).run_with_transports(&scenarios, transports);
 
+    let injected: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
     assert!(
-        Path::new(&latch).exists(),
-        "the crash hook never fired — this run exercised nothing"
+        injected >= 1,
+        "no crash was injected — this run exercised nothing"
     );
     assert_eq!(
         baseline.report.to_json(),
@@ -56,5 +63,4 @@ fn pipe_worker_crash_is_respawned_and_its_scenario_replays_identically() {
         supervised.estimator.shared_agent().export_weights(),
         "trained weights changed after a pipe worker crashed mid-catalog"
     );
-    let _ = std::fs::remove_file(&latch);
 }

@@ -1,6 +1,5 @@
 //! Shared plumbing for the supervision/subprocess integration tests:
-//! spawning real `firm-fleet-worker` processes (TCP mode) and building
-//! failure-hook latch paths.
+//! spawning real `firm-fleet-worker` processes (TCP mode).
 
 // Each integration-test binary compiles its own copy of this module
 // and uses a different subset of it.
@@ -26,17 +25,6 @@ pub fn full_catalog(secs: u64) -> Vec<Scenario> {
         .collect()
 }
 
-/// A fresh latch path for the worker failure hooks (`*_ONCE` env
-/// vars): unique per test, guaranteed not to exist yet.
-pub fn latch_path(name: &str) -> String {
-    let path = std::env::temp_dir().join(format!(
-        "firm-fleet-test-{}-{name}.latch",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_file(&path);
-    path.to_string_lossy().into_owned()
-}
-
 /// One spawned `firm-fleet-worker --listen` process. Killed on drop.
 pub struct TcpWorker {
     child: Child,
@@ -45,18 +33,14 @@ pub struct TcpWorker {
 }
 
 impl TcpWorker {
-    /// Spawns a TCP worker on an OS-assigned port with extra
-    /// environment (the failure hooks), and reads the bound address
-    /// back from its startup line.
-    pub fn spawn(envs: &[(&str, &str)]) -> TcpWorker {
+    /// Spawns a TCP worker on an OS-assigned port and reads the bound
+    /// address back from its startup line.
+    pub fn spawn() -> TcpWorker {
         let mut cmd = Command::new(worker_bin());
         cmd.args(["--listen", "127.0.0.1:0"])
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::piped());
-        for (k, v) in envs {
-            cmd.env(k, v);
-        }
         let mut child = cmd.spawn().expect("spawn firm-fleet-worker --listen");
         let stderr = child.stderr.take().expect("worker stderr piped");
         let mut lines = BufReader::new(stderr);

@@ -15,9 +15,11 @@
 
 use std::io::Write;
 
+use std::sync::Arc;
+
 use firm_fleet::{FleetConfig, OpsReport};
 use firm_obs::Level;
-use firm_serve::FleetServer;
+use firm_serve::{FleetServer, FleetService, ServiceLimits};
 
 const TARGET: &str = "firm-fleet";
 
@@ -34,6 +36,7 @@ fn main() {
 fn serve(mut args: impl Iterator<Item = String>) {
     let mut listen: Option<String> = None;
     let mut obs_out: Option<String> = None;
+    let mut limits = ServiceLimits::default();
     let mut config = FleetConfig {
         workers: 2,
         train_steps: 128,
@@ -59,6 +62,9 @@ fn serve(mut args: impl Iterator<Item = String>) {
             "--max-attempts" => {
                 config.max_attempts = (need_u64(&mut args, "--max-attempts") as usize).max(1)
             }
+            "--max-pending" => {
+                limits.max_pending_scenarios = need_u64(&mut args, "--max-pending") as usize
+            }
             "--obs-out" => obs_out = Some(need(&mut args, "--obs-out")),
             "--log-level" => {
                 let raw = need(&mut args, "--log-level");
@@ -75,7 +81,10 @@ fn serve(mut args: impl Iterator<Item = String>) {
         usage("--listen is required");
     };
 
-    let server = match FleetServer::start(&listen, config) {
+    let server = match FleetService::with_limits(config, limits)
+        .map(Arc::new)
+        .and_then(|service| FleetServer::start_with(&listen, service))
+    {
         Ok(s) => s,
         Err(e) => {
             firm_obs::event(Level::Error, TARGET)
@@ -153,6 +162,9 @@ fn usage(problem: &str) -> ! {
          --priority               prioritized (violation-severity) experience replay.\n\
          --request-timeout-ms N   per-scenario timeout (default 300000, 0 disables).\n\
          --max-attempts N         worker failures tolerated per scenario (default 3).\n\
+         --max-pending N          backpressure bound: scenarios admitted but not yet\n\
+         \x20                        folded (default 1024, 0 disables); beyond it new\n\
+         \x20                        submissions get a retryable error frame.\n\
          --obs-out PATH           write events + ops_report JSONL on exit.\n\
          --log-level LEVEL        off|error|warn|info|debug|trace (overrides FIRM_LOG).\n",
     );

@@ -27,7 +27,7 @@ use std::io::Write;
 
 use firm_fleet::{builtin_catalog, FleetConfig, FleetRunner, Scenario};
 use firm_obs::Level;
-use firm_serve::ServeClient;
+use firm_serve::{BackoffPolicy, ClientError, ServeClient};
 use firm_sim::SimDuration;
 
 const TARGET: &str = "firm-fleet-client";
@@ -89,6 +89,30 @@ fn main() {
                     .emit();
             }) {
                 Ok(r) => r,
+                // A transport that died mid-stream (or a desynchronized
+                // frame sequence after one) does not lose the work: the
+                // server folds the submission without us. Reconnect with
+                // seeded backoff and drain the cumulative state instead.
+                Err(e @ (ClientError::Io(_) | ClientError::Protocol(_))) => {
+                    firm_obs::event(Level::Warn, TARGET)
+                        .msg("connection lost mid-submission; reconnecting to recover via drain")
+                        .field("server", connect.as_str())
+                        .field("error", e.to_string())
+                        .emit();
+                    let policy = BackoffPolicy {
+                        seed: seed ^ base_index,
+                        ..BackoffPolicy::default()
+                    };
+                    match client.recover_via_drain(&policy) {
+                        Ok(report) => {
+                            print_cumulative(&report);
+                            return;
+                        }
+                        Err(e) => {
+                            fail("recovery after disconnect failed", &connect, &e.to_string())
+                        }
+                    }
+                }
                 Err(e) => fail("submit failed", &connect, &e.to_string()),
             };
         let served_digest = report.report.digest();
@@ -142,13 +166,7 @@ fn main() {
             client.drain()
         };
         match result {
-            Ok(report) => println!(
-                "cumulative submissions {} scenarios {} report_digest {:016x} policy_digest {:016x}",
-                report.submission,
-                report.report.scenarios.len(),
-                report.report.digest(),
-                report.policy.digest(),
-            ),
+            Ok(report) => print_cumulative(&report),
             Err(e) => fail(
                 if shutdown {
                     "shutdown failed"
@@ -160,6 +178,16 @@ fn main() {
             ),
         }
     }
+}
+
+fn print_cumulative(report: &firm_serve::SubmissionReport) {
+    println!(
+        "cumulative submissions {} scenarios {} report_digest {:016x} policy_digest {:016x}",
+        report.submission,
+        report.report.scenarios.len(),
+        report.report.digest(),
+        report.policy.digest(),
+    );
 }
 
 /// The first `n` builtin-catalog scenarios, shortened to `seconds`.

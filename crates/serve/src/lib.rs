@@ -41,9 +41,9 @@ pub mod protocol;
 pub mod server;
 pub mod service;
 
-pub use client::{ClientError, ServeClient};
+pub use client::{BackoffPolicy, ClientError, ServeClient};
 pub use protocol::{
     ClientRequest, ServerMessage, SubmissionReport, SubmitRequest, PROTOCOL_VERSION,
 };
 pub use server::FleetServer;
-pub use service::FleetService;
+pub use service::{FleetService, Rejection, ServiceLimits};

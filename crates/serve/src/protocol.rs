@@ -234,6 +234,13 @@ pub enum ServerMessage {
         submission: u64,
         /// What went wrong.
         message: String,
+        /// `true` when the condition is transient — the service is
+        /// draining for shutdown or shedding load under backpressure —
+        /// and the same request may succeed if retried (with backoff)
+        /// against this or a replacement server. `false` for permanent
+        /// refusals: malformed frames, protocol skew, a submission
+        /// that actually failed.
+        retryable: bool,
     },
 }
 
@@ -262,9 +269,11 @@ impl WireEncode for ServerMessage {
             ServerMessage::Error {
                 submission,
                 message,
+                retryable,
             } => Obj::tagged("error")
                 .field("submission", *submission)
                 .field("message", message.as_str())
+                .field("retryable", *retryable)
                 .build(),
         }
     }
@@ -289,6 +298,7 @@ impl WireDecode for ServerMessage {
             "error" => Ok(ServerMessage::Error {
                 submission: v.field("submission")?,
                 message: v.field("message")?,
+                retryable: v.field("retryable")?,
             }),
             other => Err(DecodeError::new(format!(
                 "unknown server frame type `{other}`"
@@ -368,7 +378,13 @@ mod tests {
         })));
         assert_round_trip(&ServerMessage::Error {
             submission: 0,
-            message: "protocol skew: client v3, server v4".into(),
+            message: "protocol skew: client v4, server v5".into(),
+            retryable: false,
+        });
+        assert_round_trip(&ServerMessage::Error {
+            submission: 3,
+            message: "submission rejected: the service is draining for shutdown".into(),
+            retryable: true,
         });
     }
 

@@ -46,7 +46,13 @@ impl FleetServer {
     /// accepting clients on `addr` (use port 0 for an ephemeral port;
     /// [`FleetServer::local_addr`] reports the bound one).
     pub fn start(addr: &str, config: FleetConfig) -> Result<FleetServer, String> {
-        let service = Arc::new(FleetService::new(config)?);
+        Self::start_with(addr, Arc::new(FleetService::new(config)?))
+    }
+
+    /// Starts the front end over a pre-built service — for custom
+    /// admission limits ([`crate::service::ServiceLimits`]) or
+    /// injected transports (the chaos harness).
+    pub fn start_with(addr: &str, service: Arc<FleetService>) -> Result<FleetServer, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
         let local_addr = listener
             .local_addr()
@@ -86,10 +92,12 @@ impl FleetServer {
         &self.service
     }
 
-    /// Asks the accept loop to stop (idempotent). In-flight sessions
-    /// finish their current submissions; [`FleetServer::join`] then
-    /// completes the teardown.
+    /// Begins a graceful drain (idempotent): the service stops
+    /// admitting submissions — new ones get a *retryable* error frame
+    /// — while in-flight ones finish and fold, and the accept loop
+    /// stops. [`FleetServer::join`] then completes the teardown.
     pub fn request_stop(&self) {
+        self.service.retire("the service is draining for shutdown");
         request_stop(&self.stop, self.local_addr);
     }
 
@@ -191,13 +199,15 @@ fn serve_client_session(
             Ok(r) => r,
             Err(e) => {
                 // A client bug or version skew below the version field;
-                // tell the client and give up on the session (the
-                // stream may be desynchronized).
+                // tell the client and give up on *this* session only —
+                // its stream may be desynchronized, but the pool and
+                // every other session are untouched.
                 let _ = write_msg(
                     &mut writer,
                     &ServerMessage::Error {
                         submission: 0,
                         message: format!("bad request frame: {e}"),
+                        retryable: false,
                     },
                 );
                 break;
@@ -213,6 +223,7 @@ fn serve_client_session(
                          speaks v{PROTOCOL_VERSION} — upgrade the older side",
                         request.protocol()
                     ),
+                    retryable: false,
                 },
             );
             break;
@@ -221,12 +232,13 @@ fn serve_client_session(
             ClientRequest::Submit(submit) => {
                 let id = match service.begin(submit.scenarios.len()) {
                     Ok(id) => id,
-                    Err(e) => {
+                    Err(rejection) => {
                         let _ = write_msg(
                             &mut writer,
                             &ServerMessage::Error {
                                 submission: 0,
-                                message: e,
+                                message: rejection.message,
+                                retryable: rejection.retryable,
                             },
                         );
                         continue;
@@ -277,6 +289,7 @@ fn serve_client_session(
                     Err(message) => ServerMessage::Error {
                         submission: id,
                         message,
+                        retryable: false,
                     },
                 };
                 if write_msg(&mut writer, &response).is_err() {

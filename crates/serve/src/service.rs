@@ -43,6 +43,56 @@ use crate::protocol::SubmissionReport;
 /// Event target for everything the service emits.
 const TARGET: &str = "firm-serve";
 
+/// Why the service refused a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// The operator-readable explanation (becomes the error frame's
+    /// message).
+    pub message: String,
+    /// `true` when the refusal is transient (backpressure, shutdown
+    /// drain) and the same submission may be retried with backoff;
+    /// `false` when retrying can never help (e.g. an empty catalog).
+    pub retryable: bool,
+}
+
+impl Rejection {
+    fn permanent(message: impl Into<String>) -> Rejection {
+        Rejection {
+            message: message.into(),
+            retryable: false,
+        }
+    }
+
+    fn transient(message: impl Into<String>) -> Rejection {
+        Rejection {
+            message: message.into(),
+            retryable: true,
+        }
+    }
+}
+
+/// Admission limits for a resident service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceLimits {
+    /// The backpressure bound: the most scenarios that may be admitted
+    /// but not yet folded, across all concurrent submissions. A
+    /// submission that would push the pending count past this is
+    /// refused with a *retryable* rejection instead of growing the
+    /// pool's queue without bound. `0` disables the bound.
+    pub max_pending_scenarios: usize,
+}
+
+impl Default for ServiceLimits {
+    fn default() -> ServiceLimits {
+        ServiceLimits {
+            // Roomy enough that no sane catalog ever notices, small
+            // enough that a runaway submitter cannot queue unbounded
+            // work (and memory) behind a slow pool.
+            max_pending_scenarios: 1024,
+        }
+    }
+}
+
 /// The serve-side metrics, resolved once per service.
 struct ServeMetrics {
     submissions_total: Arc<Counter>,
@@ -52,6 +102,9 @@ struct ServeMetrics {
     /// registry's histograms hold integers); recorded at fold time
     /// when prioritized replay is on.
     replay_priority: Arc<Histogram>,
+    /// Submissions refused because they would exceed
+    /// [`ServiceLimits::max_pending_scenarios`].
+    backpressure_rejections: Arc<Counter>,
 }
 
 /// The cumulative learning state — everything a submission folds into.
@@ -60,6 +113,9 @@ struct ServiceState {
     next_submission: u64,
     /// Submissions admitted but not yet folded (or failed).
     outstanding: usize,
+    /// Scenarios admitted but not yet folded (or failed) — what the
+    /// backpressure bound meters.
+    pending_scenarios: usize,
     /// Every outcome the service has folded, in submission-completion
     /// order (within a submission: submission order).
     outcomes: Vec<ScenarioOutcome>,
@@ -81,6 +137,7 @@ struct ServiceState {
 pub struct FleetService {
     pool: WorkerPool,
     config: FleetConfig,
+    limits: ServiceLimits,
     state: Mutex<ServiceState>,
     /// Signaled whenever `outstanding` drops; [`FleetService::drain`]
     /// waits on it.
@@ -99,6 +156,11 @@ impl FleetService {
     /// workers (in-process threads would die with a panicking
     /// scenario; workers are restartable).
     pub fn new(config: FleetConfig) -> Result<FleetService, String> {
+        Self::with_limits(config, ServiceLimits::default())
+    }
+
+    /// [`FleetService::new`] with explicit admission limits.
+    pub fn with_limits(config: FleetConfig, limits: ServiceLimits) -> Result<FleetService, String> {
         let mut transports: Vec<Box<dyn Transport>> = Vec::new();
         if config.workers > 0 {
             let bin = config.try_resolve_worker_bin()?;
@@ -113,6 +175,18 @@ impl FleetService {
                 .iter()
                 .map(|addr| Box::new(TcpTransport::new(addr.clone())) as Box<dyn Transport>),
         );
+        Self::with_transports(config, limits, transports)
+    }
+
+    /// Builds the service over caller-supplied transports instead of
+    /// the config's worker counts — the injection point for fault
+    /// harnesses (`firm-chaos` wraps the stock transports) and custom
+    /// deployments.
+    pub fn with_transports(
+        config: FleetConfig,
+        limits: ServiceLimits,
+        transports: Vec<Box<dyn Transport>>,
+    ) -> Result<FleetService, String> {
         if transports.is_empty() {
             return Err(
                 "a resident fleet needs at least one worker (subprocess or remote)".to_string(),
@@ -129,9 +203,11 @@ impl FleetService {
         Ok(FleetService {
             pool,
             config,
+            limits,
             state: Mutex::new(ServiceState {
                 next_submission: 0,
                 outstanding: 0,
+                pending_scenarios: 0,
                 outcomes: Vec::new(),
                 pooled: ExperienceLog::default(),
                 policy: PolicyCheckpoint {
@@ -148,6 +224,7 @@ impl FleetService {
                 scenarios_submitted: m.counter("serve.scenarios.submitted"),
                 queue_depth: m.gauge("serve.queue.depth"),
                 replay_priority: m.histogram("serve.replay.priority_x1000"),
+                backpressure_rejections: m.counter("serve.backpressure.rejections"),
             },
         })
     }
@@ -157,17 +234,47 @@ impl FleetService {
         &self.config
     }
 
+    /// The admission limits in force.
+    pub fn limits(&self) -> &ServiceLimits {
+        &self.limits
+    }
+
     /// Admits a submission of `scenarios` scenarios, returning its id.
     /// Call [`FleetService::run`] with the id next; every successful
     /// `begin` must be paired with exactly one `run`.
-    pub fn begin(&self, scenarios: usize) -> Result<u64, String> {
+    ///
+    /// Refusals carry a [`Rejection`]: *retryable* for transient
+    /// conditions (the service is draining for shutdown, or admitting
+    /// the scenarios would exceed the
+    /// [`ServiceLimits::max_pending_scenarios`] backpressure bound) and
+    /// permanent for requests that can never succeed.
+    pub fn begin(&self, scenarios: usize) -> Result<u64, Rejection> {
         if scenarios == 0 {
-            return Err("a submission needs at least one scenario".to_string());
+            return Err(Rejection::permanent(
+                "a submission needs at least one scenario",
+            ));
         }
         let mut st = self.state.lock().expect("service state lock");
         if let Some(why) = &st.retired {
-            return Err(format!("submission rejected: {why}"));
+            return Err(Rejection::transient(format!("submission rejected: {why}")));
         }
+        let max = self.limits.max_pending_scenarios;
+        if max > 0 && st.pending_scenarios + scenarios > max {
+            self.obs.backpressure_rejections.inc();
+            firm_obs::event(Level::Warn, TARGET)
+                .msg("submission shed under backpressure")
+                .field("scenarios", scenarios)
+                .field("pending", st.pending_scenarios)
+                .field("max_pending", max)
+                .emit();
+            return Err(Rejection::transient(format!(
+                "submission rejected: {scenarios} scenario(s) would exceed the \
+                 max-pending bound ({} of {max} already pending) — retry after \
+                 the backlog drains",
+                st.pending_scenarios
+            )));
+        }
+        st.pending_scenarios += scenarios;
         let id = st.next_submission;
         st.next_submission += 1;
         st.outstanding += 1;
@@ -249,6 +356,7 @@ impl FleetService {
         if let Some(e) = failure {
             let mut st = self.state.lock().expect("service state lock");
             st.outstanding -= 1;
+            st.pending_scenarios = st.pending_scenarios.saturating_sub(n);
             self.quiesced.notify_all();
             drop(st);
             firm_obs::event(Level::Error, TARGET)
@@ -290,6 +398,7 @@ impl FleetService {
             trained_updates: trained,
         };
         st.outstanding -= 1;
+        st.pending_scenarios = st.pending_scenarios.saturating_sub(n);
         self.quiesced.notify_all();
         drop(st);
         firm_obs::event(Level::Info, TARGET)
@@ -311,7 +420,7 @@ impl FleetService {
         scenarios: &[Scenario],
         on_outcome: &mut dyn FnMut(u64, &ScenarioOutcome),
     ) -> Result<SubmissionReport, String> {
-        let id = self.begin(scenarios.len())?;
+        let id = self.begin(scenarios.len()).map_err(|r| r.message)?;
         self.run(id, seed, base_index, scenarios, on_outcome)
     }
 

@@ -9,12 +9,15 @@
 //! determinism suite.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 
 use firm_fleet::worker::{serve_session, ServeOptions};
 use firm_fleet::{builtin_catalog, FleetConfig, FleetRunner, Scenario};
 use firm_serve::protocol::{ClientRequest, ServerMessage, SubmitRequest};
-use firm_serve::{FleetServer, ServeClient, PROTOCOL_VERSION};
+use firm_serve::{
+    BackoffPolicy, ClientError, FleetServer, FleetService, ServeClient, ServiceLimits,
+    PROTOCOL_VERSION,
+};
 use firm_sim::SimDuration;
 
 /// Spawns an in-process TCP worker (accept loop + one serve_session
@@ -279,9 +282,11 @@ fn protocol_skew_is_rejected_with_an_error_frame() {
     server.join();
 }
 
-/// Submissions after shutdown are refused cleanly (no panic, no hang).
+/// Submissions after shutdown are refused cleanly (no panic, no hang)
+/// — and the error frame marks the refusal *retryable*, since a drain
+/// is transient from the protocol's point of view.
 #[test]
-fn submissions_after_retire_are_rejected() {
+fn submissions_after_retire_are_rejected_retryably() {
     let server = start_server(1, 2, 4, false);
     let addr = server.local_addr().to_string();
     server.service().retire("test retirement");
@@ -290,11 +295,204 @@ fn submissions_after_retire_are_rejected() {
     let err = client
         .submit(2, 0, short_catalog(1, 6), &mut |_, _| {})
         .expect_err("retired service must reject submissions");
-    assert!(
-        err.to_string().contains("test retirement"),
-        "unexpected rejection: {err}"
-    );
+    match &err {
+        ClientError::Rejected {
+            message, retryable, ..
+        } => {
+            assert!(message.contains("test retirement"), "{message}");
+            assert!(retryable, "a drain refusal must be marked retryable");
+        }
+        other => panic!("expected a rejection, got {other}"),
+    }
 
     server.request_stop();
     server.join();
+}
+
+/// A malformed frame mid-session gets an error frame and closes only
+/// *that* session: the worker pool and every other session keep
+/// working.
+#[test]
+fn malformed_frame_closes_only_its_own_session() {
+    let server = start_server(1, 13, 4, false);
+    let addr = server.local_addr().to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("raw client connects");
+    stream
+        .write_all(b"this is not a frame\n")
+        .expect("malformed line");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read error frame");
+    match firm_wire::decode_line::<ServerMessage>(&line).expect("error decodes") {
+        ServerMessage::Error {
+            message, retryable, ..
+        } => {
+            assert!(message.contains("bad request frame"), "{message}");
+            assert!(!retryable, "a malformed frame is not retryable as-is");
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    // The poisoned session is closed (EOF), not wedged.
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).expect("session EOF"),
+        0,
+        "the server must close a desynchronized session"
+    );
+
+    // The pool and a fresh session are untouched.
+    let mut client = ServeClient::connect(&addr).expect("healthy client connects");
+    let report = client
+        .submit(13, 0, short_catalog(1, 6), &mut |_, _| {})
+        .expect("the service keeps serving after a malformed frame");
+    assert_eq!(report.report.scenarios.len(), 1);
+    let _ = client.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// A proxy that forwards its first connection until one server→client
+/// line has been relayed, then severs it; every later connection is
+/// forwarded transparently. Returns the proxy's `host:port`.
+fn severing_proxy(upstream: String) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let addr = listener.local_addr().expect("proxy addr").to_string();
+    std::thread::spawn(move || {
+        for (conn, stream) in listener.incoming().enumerate() {
+            let Ok(client) = stream else { continue };
+            let upstream = upstream.clone();
+            std::thread::spawn(move || {
+                let server = TcpStream::connect(&upstream).expect("proxy dials upstream");
+                let mut up_r = client.try_clone().expect("clone client");
+                let mut up_w = server.try_clone().expect("clone server");
+                let down_r = server;
+                let mut down_w = client;
+                let up = std::thread::spawn(move || {
+                    let _ = std::io::copy(&mut up_r, &mut up_w);
+                    let _ = up_w.shutdown(Shutdown::Write);
+                });
+                if conn == 0 {
+                    // Relay exactly one downstream line (the accepted
+                    // frame), then cut both directions mid-stream.
+                    let mut reader = BufReader::new(down_r);
+                    let mut line = String::new();
+                    let _ = reader.read_line(&mut line);
+                    let _ = down_w.write_all(line.as_bytes());
+                    let _ = down_w.flush();
+                    let _ = down_w.shutdown(Shutdown::Both);
+                    let _ = reader.into_inner().shutdown(Shutdown::Both);
+                } else {
+                    let mut down_r = down_r;
+                    let _ = std::io::copy(&mut down_r, &mut down_w);
+                    let _ = down_w.shutdown(Shutdown::Write);
+                }
+                let _ = up.join();
+            });
+        }
+    });
+    addr
+}
+
+/// The recovery round trip: a connection severed mid-stream fails the
+/// submit, but `recover_via_drain` (seeded-backoff reconnect + drain)
+/// returns a cumulative report that contains the submission that
+/// folded while the client was gone — bit-identical to the batch run.
+#[test]
+fn severed_connection_recovers_the_folded_report_via_drain() {
+    let catalog = short_catalog(2, 6);
+    let server = start_server(1, 21, 8, false);
+    let proxy = severing_proxy(server.local_addr().to_string());
+
+    let mut client = ServeClient::connect(&proxy).expect("client connects via proxy");
+    let err = client
+        .submit(21, 0, catalog.clone(), &mut |_, _| {})
+        .expect_err("the proxy severs the stream after acceptance");
+    assert!(
+        matches!(err, ClientError::Io(_) | ClientError::Protocol(_)),
+        "expected a transport-level failure, got {err}"
+    );
+
+    // Same client object, same address: reconnect rides the backoff,
+    // the drain blocks until the orphaned submission folded.
+    let cumulative = client
+        .recover_via_drain(&BackoffPolicy {
+            seed: 21,
+            ..BackoffPolicy::default()
+        })
+        .expect("recovery succeeds");
+    assert!(cumulative.cumulative);
+    assert_eq!(
+        cumulative.report.scenarios.len(),
+        2,
+        "the severed submission did not fold while the client was gone"
+    );
+    let batch = FleetRunner::new(FleetConfig {
+        threads: 1,
+        seed: 21,
+        train_steps: 0,
+        ..FleetConfig::default()
+    })
+    .run(&catalog);
+    assert_eq!(
+        cumulative.report.digest(),
+        batch.report.digest(),
+        "a severed connection changed the folded bytes"
+    );
+
+    let _ = client.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// The backpressure bound: a submission that would push the pending
+/// scenario count past `max_pending_scenarios` is refused with a
+/// retryable rejection (and counted), and admission reopens once the
+/// backlog drains.
+#[test]
+fn backpressure_sheds_submissions_retryably_until_the_backlog_drains() {
+    let config = FleetConfig {
+        workers: 0,
+        remote_workers: vec![spawn_tcp_worker()],
+        seed: 3,
+        train_steps: 0,
+        ..FleetConfig::default()
+    };
+    let service = FleetService::with_limits(
+        config,
+        ServiceLimits {
+            max_pending_scenarios: 2,
+        },
+    )
+    .expect("service starts");
+    let rejections_before = firm_obs::metrics()
+        .counter("serve.backpressure.rejections")
+        .get();
+
+    let catalog = short_catalog(2, 6);
+    let id = service.begin(catalog.len()).expect("within the bound");
+    let shed = service
+        .begin(1)
+        .expect_err("one more scenario must exceed the bound");
+    assert!(shed.retryable, "backpressure must be retryable");
+    assert!(shed.message.contains("max-pending"), "{}", shed.message);
+    assert_eq!(
+        firm_obs::metrics()
+            .counter("serve.backpressure.rejections")
+            .get(),
+        rejections_before + 1,
+        "the shed submission must be counted"
+    );
+
+    // Folding the admitted submission reopens admission.
+    let report = service
+        .run(id, 3, 0, &catalog, &mut |_, _| {})
+        .expect("the admitted submission still runs");
+    assert_eq!(report.report.scenarios.len(), 2);
+    let id = service
+        .begin(1)
+        .expect("admission reopens once the backlog drained");
+    let _ = service
+        .run(id, 3, 2, &catalog[..1], &mut |_, _| {})
+        .expect("the retried submission runs");
+    service.shutdown();
 }

@@ -45,7 +45,13 @@
 //!   per-scenario outcomes as they complete, and continuously retrains
 //!   the shared agent on the growing experience pool with seeded
 //!   (optionally violation-severity-prioritized) replay — all of it
-//!   bit-identical to the equivalent batch runs.
+//!   bit-identical to the equivalent batch runs;
+//! * [`chaos`] — deterministic fault injection: seeded `FaultPlan`s
+//!   (crash, drop, truncation, corruption, blackhole, stall, heartbeat
+//!   suppression, client disconnect) delivered through a
+//!   `ChaosTransport` wrapper, so the fleet's recovery machinery is
+//!   exercised under a reproducible adversary and checked for
+//!   bit-identical output.
 //!
 //! # Examples
 //!
@@ -61,6 +67,7 @@
 //! assert!(manager.stats().ticks >= 3);
 //! ```
 
+pub use firm_chaos as chaos;
 pub use firm_core as core;
 pub use firm_fleet as fleet;
 pub use firm_ml as ml;
