@@ -28,7 +28,13 @@
 //! `--intra-shards N` ladders the *intra*-scenario stage
 //! fan-out (2, 4, … up to N) on one scenario thread and asserts every
 //! rung reproduces the unsharded digest — the barrier-stepped
-//! parallelism's bit-identity contract.
+//! parallelism's bit-identity contract. `--scale-factor N` swaps the
+//! hand-written catalog for a generated one
+//! (`generate_catalog(CatalogSpec::new(seed, N))`) so the same
+//! digest-parity checks run against scale-factor catalogs; the
+//! dedicated sf=1/10/100 ladder lives in the `scale_ladder` binary.
+//! The JSON also records the process's peak RSS (`VmHWM`), the memory
+//! baseline for the streaming-statistics roadmap item.
 //!
 //! Observability riders: `--log-level LEVEL` filters the `firm_obs`
 //! event stream (overrides `FIRM_LOG`), and `--obs-out PATH` writes the
@@ -43,8 +49,10 @@
 
 use std::time::Instant;
 
-use firm_bench::{banner, Args};
-use firm_fleet::{builtin_catalog, FleetConfig, FleetRunner, OpsReport, Scenario};
+use firm_bench::{banner, peak_rss_kb, Args};
+use firm_fleet::{
+    builtin_catalog, generate_catalog, CatalogSpec, FleetConfig, FleetRunner, OpsReport, Scenario,
+};
 use firm_sim::SimDuration;
 use firm_wire::{JsonValue, Obj};
 
@@ -107,7 +115,17 @@ fn main() {
         }
     }
 
-    let scenarios: Vec<Scenario> = builtin_catalog()
+    // `--scale-factor N` swaps the hand-written catalog for a generated
+    // one (catalog seed = the fleet seed): the scale ladder's
+    // throughput path. 0 (the default) keeps the legacy catalog and
+    // its pinned digest trajectory.
+    let scale_factor = args.u64("scale-factor", 0);
+    let base_catalog = if scale_factor > 0 {
+        generate_catalog(&CatalogSpec::new(seed, scale_factor))
+    } else {
+        builtin_catalog()
+    };
+    let scenarios: Vec<Scenario> = base_catalog
         .into_iter()
         .take(take.max(1))
         .map(|s| s.with_duration(SimDuration::from_secs(seconds)))
@@ -286,7 +304,11 @@ fn main() {
         .field("seed", seed)
         .field("host_cores", host_cores)
         .field("report_digest", format!("{digest:016x}"))
+        .field("peak_rss_kb", peak_rss_kb())
         .field("runs", runs);
+    if scale_factor > 0 {
+        doc = doc.field("scale_factor", scale_factor);
+    }
     if !intra_runs.is_empty() {
         let rows: Vec<JsonValue> = intra_counts
             .iter()

@@ -1,0 +1,164 @@
+//! The scale ladder: runs generated catalogs at a series of scale
+//! factors and emits `BENCH_scale.json` — throughput and peak RSS per
+//! rung, so scale regressions are visible per PR (the clickgraph-table
+//! convention: one committed row per sf).
+//!
+//! ```sh
+//! cargo run --release -p firm-bench --bin scale_ladder -- \
+//!     --sf 1,10,100 --threads 4 --out BENCH_scale.json
+//! ```
+//!
+//! `--workers N` re-runs the *first* rung through N
+//! `firm-fleet-worker` subprocesses and `--intra-shards K` re-runs it
+//! with intra-scenario fan-out, asserting both reproduce the
+//! in-process digest — the CI scale smoke. Generated catalogs are a
+//! pure function of `(--seed, sf)`, so the digests recorded here are
+//! as reproducible as the hand-written catalog's.
+//!
+//! Peak RSS is the kernel's `VmHWM` high-water mark for the whole
+//! process, sampled after each rung: rung `i`'s number includes every
+//! rung before it, so only the first rung and the final (largest) rung
+//! are clean per-scale baselines; the ladder runs smallest-first to
+//! keep the tail honest.
+
+use std::time::Instant;
+
+use firm_bench::{banner, peak_rss_kb, Args};
+use firm_fleet::{generate_catalog, CatalogSpec, FleetConfig, FleetRunner};
+use firm_wire::{JsonValue, Obj};
+
+fn main() {
+    let args = Args::from_env();
+    let seed = args.u64("seed", 7);
+    let threads = args.u64("threads", 4) as usize;
+    let workers = args.u64("workers", 0) as usize;
+    let intra = args.u64("intra-shards", 1) as usize;
+    let train_steps = args.u64("train-steps", 128) as usize;
+    let out_path = args.get("out").unwrap_or("BENCH_scale.json").to_string();
+    let mut sfs: Vec<u64> = args
+        .get("sf")
+        .unwrap_or("1,10,100")
+        .split(',')
+        .map(|s| s.trim().parse().expect("--sf takes a comma list of u64"))
+        .collect();
+    sfs.sort_unstable();
+
+    banner(
+        "BENCH scale_ladder",
+        "generated catalogs: throughput and peak RSS per scale factor",
+    );
+
+    let mut rungs: Vec<JsonValue> = Vec::new();
+    let round3 = |x: f64| (x * 1_000.0).round() / 1_000.0;
+    let mut first_digest: Option<(u64, u64)> = None;
+    for &sf in &sfs {
+        let spec = CatalogSpec::new(seed, sf);
+        let catalog = generate_catalog(&spec);
+        let total_rate: f64 = catalog.iter().map(|s| s.load.mean_rate()).sum();
+        let start = Instant::now();
+        let result = FleetRunner::new(FleetConfig {
+            threads,
+            seed,
+            train_steps,
+            ..FleetConfig::default()
+        })
+        .run(&catalog);
+        let wall_secs = start.elapsed().as_secs_f64();
+        let digest = result.report.digest();
+        if first_digest.is_none() {
+            first_digest = Some((sf, digest));
+        }
+        let rss_kb = peak_rss_kb();
+        println!(
+            "sf={sf:<4} users={:<9} tenants={:<3} rate={:>8.0} req/s  wall={wall_secs:>7.2}s \
+             req/s={:>9.0}  peak-rss={} MiB  digest {digest:016x}",
+            spec.users(),
+            catalog.len(),
+            total_rate,
+            result.report.totals.completions as f64 / wall_secs,
+            rss_kb / 1024,
+        );
+        rungs.push(
+            Obj::new()
+                .field("scale_factor", sf)
+                .field("users", spec.users())
+                .field("tenants", catalog.len())
+                .field("replica_factor", spec.replica_factor())
+                .field("offered_req_per_sec", round3(total_rate))
+                .field("completions", result.report.totals.completions)
+                .field("wall_secs", round3(wall_secs))
+                .field(
+                    "requests_per_sec",
+                    round3(result.report.totals.completions as f64 / wall_secs),
+                )
+                .field("peak_rss_kb", rss_kb)
+                .field("report_digest", format!("{digest:016x}"))
+                .build(),
+        );
+    }
+
+    // Parity checks (the CI scale smoke): the first — smallest — rung
+    // re-run through subprocess workers and intra-scenario sharding
+    // must reproduce the in-process digest bit for bit.
+    let (parity_sf, expect) = first_digest.expect("--sf was empty");
+    let parity_catalog = generate_catalog(&CatalogSpec::new(seed, parity_sf));
+    let mut doc = Obj::new()
+        .field("bench", "scale_ladder")
+        .field("seed", seed)
+        .field("threads", threads)
+        .field("train_steps", train_steps)
+        .field(
+            "host_cores",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .field("rungs", rungs);
+    if workers > 0 {
+        let result = FleetRunner::new(
+            FleetConfig {
+                seed,
+                train_steps,
+                ..FleetConfig::default()
+            }
+            .workers(workers),
+        )
+        .run(&parity_catalog);
+        assert_eq!(
+            result.report.digest(),
+            expect,
+            "sf={parity_sf} over {workers} subprocess workers diverged from in-process"
+        );
+        println!("sf={parity_sf} x {workers} subprocess workers: digest matches in-process");
+        doc = doc
+            .field("parity_sf", parity_sf)
+            .field("parity_workers", workers)
+            .field("parity_workers_digest_matches", true);
+    }
+    if intra > 1 {
+        let result = FleetRunner::new(
+            FleetConfig {
+                threads: 1,
+                seed,
+                train_steps,
+                ..FleetConfig::default()
+            }
+            .intra_shards(intra),
+        )
+        .run(&parity_catalog);
+        assert_eq!(
+            result.report.digest(),
+            expect,
+            "sf={parity_sf} at intra_shards={intra} diverged from in-process"
+        );
+        println!("sf={parity_sf} at intra-shards {intra}: digest matches in-process");
+        doc = doc
+            .field("parity_intra_shards", intra)
+            .field("parity_intra_digest_matches", true);
+    }
+
+    let mut json = doc.build().render();
+    json.push('\n');
+    std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
+    println!("wrote {out_path}");
+}

@@ -71,6 +71,30 @@ impl Args {
     }
 }
 
+/// Peak resident-set size of this process in KiB, read from
+/// `/proc/self/status` `VmHWM` (the kernel's high-water mark, so it
+/// captures the whole run regardless of when it is sampled). Returns 0
+/// on platforms without procfs — bench JSON then records the absence
+/// honestly instead of a fabricated number.
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+    }
+    0
+}
+
 /// Prints a figure/table banner.
 pub fn banner(id: &str, caption: &str) {
     println!("{}", "=".repeat(74));
@@ -191,5 +215,13 @@ mod tests {
     fn factor_formats() {
         assert_eq!(factor(10.0, 2.0), "5.0x");
         assert_eq!(factor(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let kb = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(kb > 0, "VmHWM parsed as {kb}");
+        }
     }
 }

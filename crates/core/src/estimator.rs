@@ -146,6 +146,18 @@ pub fn reward(sv: f64, utilizations: &[f64; 5], alpha: f64) -> f64 {
     alpha * sv.clamp(0.0, 2.0) * 5.0 + (1.0 - alpha) * util_sum
 }
 
+/// SLO-penalized reward variant: the violation term is centred on
+/// `SV = 1` (exact SLO compliance), so deep violations (`SV < 1`)
+/// yield genuinely negative rewards instead of merely small positive
+/// ones. Opt-in via [`crate::manager::FirmConfig::slo_penalty`] —
+/// the legacy [`reward`] is structurally non-negative (`SV` and the
+/// utilizations are clamped to non-negative ranges), which starves
+/// severity-prioritized replay of any signal.
+pub fn reward_penalized(sv: f64, utilizations: &[f64; 5], alpha: f64) -> f64 {
+    let util_sum: f64 = utilizations.iter().map(|u| u.clamp(0.0, 1.0)).sum();
+    alpha * (sv.clamp(0.0, 2.0) - 1.0) * 5.0 + (1.0 - alpha) * util_sum
+}
+
 /// Which agent serves a given service (§4.3's three regimes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AgentRegime {

@@ -48,6 +48,13 @@ pub struct FirmConfig {
     pub record_experience: bool,
     /// Reward trade-off α.
     pub alpha: f64,
+    /// Use the SLO-penalized reward variant
+    /// ([`crate::estimator::reward_penalized`]): violations below the
+    /// SLO line earn *negative* rewards, so severity-prioritized
+    /// replay has real signal. Off by default — the legacy reward is
+    /// non-negative by construction and changing it would move every
+    /// pinned digest.
+    pub slo_penalty: bool,
     /// RNG seed for the ML components.
     pub seed: u64,
     /// Intra-scenario fan-out: the number of shards the trace-ingest
@@ -69,6 +76,7 @@ impl Default for FirmConfig {
             svm_filter: true,
             record_experience: false,
             alpha: 0.5,
+            slo_penalty: false,
             seed: 7,
             intra_shards: 1,
         }
@@ -462,7 +470,11 @@ impl FirmManager {
         for kind in RESOURCE_KINDS {
             utils[kind.index()] = snap.utilization.get(kind);
         }
-        let r = reward(sv, &utils, self.config.alpha);
+        let r = if self.config.slo_penalty {
+            crate::estimator::reward_penalized(sv, &utils, self.config.alpha)
+        } else {
+            reward(sv, &utils, self.config.alpha)
+        };
         self.episode_reward += r;
         let next_state = self.state_builder.build(snap, sv, wc, mix);
         let transition = Transition {

@@ -51,6 +51,7 @@ fn build_controller(
                 training: !deployed,
                 explore: !deployed,
                 record_experience: !deployed,
+                slo_penalty: scenario.slo_penalty,
                 seed: seed ^ 0xF12A,
                 intra_shards,
                 ..FirmConfig::default()
@@ -95,6 +96,11 @@ pub fn run_one_sharded(
     let wall = std::time::Instant::now();
     let cluster = ClusterSpec::small(scenario.nodes.max(1));
     let mut app = scenario.benchmark.build();
+    if scenario.replica_factor > 1 {
+        // Scale fan-out before SLO calibration so calibrated targets
+        // reflect the topology that actually serves the run.
+        firm_workload::builder::scale_replicas(&mut app, scenario.replica_factor);
+    }
     if let Some(factor) = scenario.slo_factor {
         calibrate_slos(
             &mut app,

@@ -13,6 +13,11 @@
 //!   flash-crowd incident replayed under three controllers
 //!   (`LoadShape::Replay`), the seven anomaly kinds, and all four
 //!   controllers;
+//! * [`catalog`] — scale-factor catalog generation: [`CatalogSpec`] +
+//!   [`generate_catalog`], a seeded sampler over the same cross
+//!   product whose single `scale_factor` knob jointly scales arrival
+//!   rates, replica fan-out, cluster sizes, and tenant count, as a
+//!   pure function of `(seed, scale_factor)`;
 //! * [`exec`] — deterministic execution of one scenario from plain data
 //!   and a derived seed, through the workspace's single
 //!   [`firm_core::controller::run_episode`] driver;
@@ -85,6 +90,7 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod exec;
 pub mod ops;
 pub mod protocol;
@@ -96,6 +102,7 @@ pub mod transport;
 pub mod wire;
 pub mod worker;
 
+pub use catalog::{generate_catalog, CatalogSpec};
 pub use exec::{run_one, run_one_sharded, run_one_with};
 pub use ops::{OpsReport, WorkerOps};
 pub use protocol::{

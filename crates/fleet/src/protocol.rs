@@ -49,8 +49,10 @@ use crate::scenario::Scenario;
 /// which share this version so a mixed-version fleet fails loudly at
 /// either boundary). v5 added the `retryable` field to the serve
 /// `error` frame, so clients can tell transient refusals
-/// (backpressure, shutdown drain) from permanent ones.
-pub const PROTOCOL_VERSION: u64 = 5;
+/// (backpressure, shutdown drain) from permanent ones. v6 added the
+/// `replica_factor` and `slo_penalty` scenario fields (scale-factor
+/// catalog generation).
+pub const PROTOCOL_VERSION: u64 = 6;
 
 /// One unit of work shipped to a subprocess worker.
 #[derive(Debug, Clone, PartialEq)]

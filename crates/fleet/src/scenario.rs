@@ -96,6 +96,16 @@ pub struct Scenario {
     pub k8s: K8sConfig,
     /// AIMD parameters (used when `controller` is `Aimd`).
     pub aimd: AimdConfig,
+    /// Multiplies every service's initial replica count — the
+    /// replica-fan-out half of the catalog `scale_factor` knob.
+    /// `1` (the default) leaves the benchmark topology untouched.
+    pub replica_factor: u32,
+    /// Use the SLO-penalized reward in FIRM scenarios (deep SLO
+    /// violations earn negative rewards; see
+    /// [`firm_core::estimator::reward_penalized`]). Defaults to
+    /// `false`: the hand-written catalog keeps the legacy non-negative
+    /// reward and its pinned digests.
+    pub slo_penalty: bool,
 }
 
 impl Scenario {
@@ -123,6 +133,8 @@ impl Scenario {
             slo_factor: Some(1.4),
             k8s: K8sConfig::default(),
             aimd: AimdConfig::default(),
+            replica_factor: 1,
+            slo_penalty: false,
         }
     }
 

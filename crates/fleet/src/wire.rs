@@ -46,6 +46,8 @@ impl WireEncode for Scenario {
             .field("slo_factor", self.slo_factor)
             .field("k8s", &self.k8s)
             .field("aimd", &self.aimd)
+            .field("replica_factor", self.replica_factor)
+            .field("slo_penalty", self.slo_penalty)
             .build()
     }
 }
@@ -65,6 +67,8 @@ impl WireDecode for Scenario {
             slo_factor: v.field("slo_factor")?,
             k8s: v.field("k8s")?,
             aimd: v.field("aimd")?,
+            replica_factor: v.field("replica_factor")?,
+            slo_penalty: v.field("slo_penalty")?,
         })
     }
 }

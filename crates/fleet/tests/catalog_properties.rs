@@ -1,0 +1,199 @@
+//! Property sweep for the scale-factor catalog sampler: structural
+//! validity and monotone scaling over many seeded `(catalog_seed, sf)`
+//! pairs, without running a single simulation.
+//!
+//! The sampler's contract (see `crates/fleet/src/catalog.rs`): every
+//! per-tenant draw derives only from `(seed, tenant index)` — never
+//! from `scale_factor` — so totals scale structurally, not by luck.
+//! These properties are what the pinned digests in
+//! `tests/scale_determinism.rs` rest on; the sweep catches a sampler
+//! regression at the cheapest possible layer.
+
+use std::collections::BTreeSet;
+
+use firm_fleet::{generate_catalog, CatalogSpec, FleetController, Scenario};
+use firm_workload::LoadShape;
+
+/// The ~64 seeded pairs under sweep: 8 seeds × 8 scale factors
+/// spanning four decades.
+fn sweep_pairs() -> Vec<(u64, u64)> {
+    let seeds = [1u64, 2, 7, 11, 42, 0xDEAD_BEEF, u64::MAX / 3, u64::MAX];
+    let sfs = [1u64, 2, 5, 10, 42, 100, 500, 1000];
+    seeds
+        .iter()
+        .flat_map(|&seed| sfs.iter().map(move |&sf| (seed, sf)))
+        .collect()
+}
+
+fn offered_rate(catalog: &[Scenario]) -> f64 {
+    catalog.iter().map(|s| s.load.mean_rate()).sum()
+}
+
+#[test]
+fn generated_catalogs_are_structurally_valid() {
+    for (seed, sf) in sweep_pairs() {
+        let spec = CatalogSpec::new(seed, sf);
+        let catalog = generate_catalog(&spec);
+        assert_eq!(
+            catalog.len(),
+            spec.tenants(),
+            "(seed {seed}, sf {sf}): tenant count mismatch"
+        );
+
+        // Unique scenario names.
+        let names: BTreeSet<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names.len(),
+            catalog.len(),
+            "(seed {seed}, sf {sf}): duplicate scenario names"
+        );
+
+        // Valid topologies: replicas ≥ 1, nodes ≥ 1, rates > 0,
+        // positive durations, warmup inside the run.
+        for s in &catalog {
+            assert!(
+                s.replica_factor >= 1,
+                "(seed {seed}, sf {sf}) {}: replica_factor 0",
+                s.name
+            );
+            assert!(s.nodes >= 1, "(seed {seed}, sf {sf}) {}: no nodes", s.name);
+            assert!(
+                s.load.mean_rate() > 0.0,
+                "(seed {seed}, sf {sf}) {}: non-positive rate",
+                s.name
+            );
+            assert!(
+                !matches!(s.load, LoadShape::Replay { .. }),
+                "(seed {seed}, sf {sf}) {}: sampler emitted a replay shape",
+                s.name
+            );
+            assert!(s.duration.as_micros() > 0);
+            assert!(s.warmup < s.duration, "{}: warmup swallows the run", s.name);
+            if let LoadShape::FlashCrowd {
+                every_secs,
+                crest_secs,
+                multiplier,
+                ..
+            } = s.load
+            {
+                assert!(crest_secs < every_secs, "{}: crest ≥ period", s.name);
+                assert!(multiplier >= 1.0, "{}: shrinking flash crowd", s.name);
+            }
+            if let LoadShape::Diurnal { amplitude, .. } = s.load {
+                assert!(
+                    (0.0..1.0).contains(&amplitude),
+                    "{}: amplitude {amplitude} outside [0, 1)",
+                    s.name
+                );
+            }
+        }
+
+        // All four controllers represented at every (seed, sf).
+        for ctl in [
+            FleetController::Unmanaged,
+            FleetController::Firm,
+            FleetController::K8sHpa,
+            FleetController::Aimd,
+        ] {
+            assert!(
+                catalog.iter().any(|s| s.controller == ctl),
+                "(seed {seed}, sf {sf}): {:?} missing",
+                ctl
+            );
+        }
+
+        // At least one harsh FIRM tenant (the negative-reward source).
+        assert!(
+            catalog
+                .iter()
+                .any(|s| s.name.ends_with("-harsh") && s.controller == FleetController::Firm),
+            "(seed {seed}, sf {sf}): no harsh FIRM tenant"
+        );
+
+        // Generation is pure: same spec, same bytes.
+        assert_eq!(
+            catalog,
+            generate_catalog(&spec),
+            "(seed {seed}, sf {sf}): generation is not a pure function"
+        );
+    }
+}
+
+#[test]
+fn population_rate_and_tenant_counts_are_monotone_in_sf() {
+    let seeds = [1u64, 7, 42, 0xDEAD_BEEF];
+    let ladder = [1u64, 2, 5, 9, 10, 42, 99, 100, 500, 1000];
+    for seed in seeds {
+        let mut prev: Option<(u64, usize, f64, f64, u64)> = None;
+        for sf in ladder {
+            let spec = CatalogSpec::new(seed, sf);
+            let catalog = generate_catalog(&spec);
+            let tenants = catalog.len();
+            let rate = offered_rate(&catalog);
+            // Population: offered requests over the catalog's runtime.
+            let population: f64 = catalog
+                .iter()
+                .map(|s| s.load.mean_rate() * s.duration.as_secs_f64())
+                .sum();
+            let users = spec.users();
+            if let Some((psf, pt, pr, pp, pu)) = prev {
+                assert!(
+                    tenants >= pt,
+                    "seed {seed}: tenants shrank from {pt} (sf {psf}) to {tenants} (sf {sf})"
+                );
+                assert!(
+                    rate >= pr,
+                    "seed {seed}: offered rate shrank from {pr:.1} (sf {psf}) to {rate:.1} (sf {sf})"
+                );
+                assert!(
+                    population >= pp,
+                    "seed {seed}: population shrank from {pp:.0} (sf {psf}) to {population:.0} (sf {sf})"
+                );
+                assert!(users >= pu, "seed {seed}: users shrank at sf {sf}");
+            }
+            prev = Some((sf, tenants, rate, population, users));
+        }
+    }
+}
+
+#[test]
+fn tenants_keep_their_identity_as_the_catalog_grows() {
+    // Scaling up adds tenants and scales the knobs, but tenant i's
+    // sampled identity (benchmark, controller, shape kind, campaign
+    // shape) must not change — the per-tenant stream never reads sf.
+    let small = generate_catalog(&CatalogSpec::new(7, 1));
+    let large = generate_catalog(&CatalogSpec::new(7, 100));
+    assert!(large.len() > small.len());
+    for (i, (s, l)) in small.iter().zip(&large).enumerate() {
+        assert_eq!(s.benchmark, l.benchmark, "tenant {i} switched benchmark");
+        assert_eq!(s.controller, l.controller, "tenant {i} switched controller");
+        assert_eq!(
+            std::mem::discriminant(&s.load),
+            std::mem::discriminant(&l.load),
+            "tenant {i} switched load shape"
+        );
+        assert_eq!(
+            s.campaign.as_ref().map(|c| c.kinds.clone()),
+            l.campaign.as_ref().map(|c| c.kinds.clone()),
+            "tenant {i} switched anomaly kinds"
+        );
+        assert!(
+            l.load.mean_rate() >= s.load.mean_rate(),
+            "tenant {i}'s rate shrank under scale-up"
+        );
+        assert!(l.nodes >= s.nodes, "tenant {i}'s cluster shrank");
+        assert!(l.replica_factor >= s.replica_factor);
+    }
+}
+
+#[test]
+fn every_generated_scenario_round_trips_the_wire() {
+    // The v6 scenario codec (replica_factor, slo_penalty) must carry
+    // generated scenarios byte-perfectly — subprocess and TCP workers
+    // depend on it.
+    for (seed, sf) in [(7u64, 1u64), (7, 10), (11, 100)] {
+        for scenario in generate_catalog(&CatalogSpec::new(seed, sf)) {
+            firm_wire::assert_round_trip(&scenario);
+        }
+    }
+}

@@ -10,7 +10,11 @@
 //! The client submits the first `--scenarios` entries of the builtin
 //! catalog (shortened to `--seconds`), logs each streamed outcome as
 //! it arrives, and prints the submission's report digest to stdout as
-//! a stable, grep-able line:
+//! a stable, grep-able line. With `--scale-factor N` it submits the
+//! generated catalog `generate_catalog(CatalogSpec::new(seed, N))`
+//! instead — the same seeded sampler the batch runner and bench
+//! ladder use — so a resident coordinator can be driven at any scale
+//! without hand-writing scenarios:
 //!
 //! ```text
 //! submission 0 scenarios 4 report_digest 69bd598896dd3318 policy_digest 1f...
@@ -25,7 +29,9 @@
 
 use std::io::Write;
 
-use firm_fleet::{builtin_catalog, FleetConfig, FleetRunner, Scenario};
+use firm_fleet::{
+    builtin_catalog, generate_catalog, CatalogSpec, FleetConfig, FleetRunner, Scenario,
+};
 use firm_obs::Level;
 use firm_serve::{BackoffPolicy, ClientError, ServeClient};
 use firm_sim::SimDuration;
@@ -36,6 +42,7 @@ fn main() {
     let mut connect: Option<String> = None;
     let mut seed = 7u64;
     let mut scenarios = 0usize;
+    let mut scale_factor = 0u64;
     let mut seconds = 6u64;
     let mut base_index = 0u64;
     let mut verify_batch = false;
@@ -48,6 +55,7 @@ fn main() {
             "--connect" => connect = Some(need(&mut args, "--connect")),
             "--seed" => seed = need_u64(&mut args, "--seed"),
             "--scenarios" => scenarios = need_u64(&mut args, "--scenarios") as usize,
+            "--scale-factor" => scale_factor = need_u64(&mut args, "--scale-factor"),
             "--seconds" => seconds = need_u64(&mut args, "--seconds"),
             "--base-index" => base_index = need_u64(&mut args, "--base-index"),
             "--verify-batch" => verify_batch = true,
@@ -67,8 +75,8 @@ fn main() {
     let Some(connect) = connect else {
         usage("--connect is required");
     };
-    if scenarios == 0 && !drain && !shutdown {
-        usage("nothing to do: give --scenarios N, --drain, or --shutdown");
+    if scenarios == 0 && scale_factor == 0 && !drain && !shutdown {
+        usage("nothing to do: give --scenarios N, --scale-factor N, --drain, or --shutdown");
     }
 
     let mut client = match ServeClient::connect(&connect) {
@@ -76,8 +84,12 @@ fn main() {
         Err(e) => fail("connect failed", &connect, &e.to_string()),
     };
 
-    if scenarios > 0 {
-        let catalog = catalog_slice(scenarios, seconds);
+    if scenarios > 0 || scale_factor > 0 {
+        let catalog = if scale_factor > 0 {
+            generated_slice(seed, scale_factor, scenarios, seconds)
+        } else {
+            catalog_slice(scenarios, seconds)
+        };
         let report =
             match client.submit(seed, base_index, catalog.clone(), &mut |index, outcome| {
                 firm_obs::event(Level::Info, TARGET)
@@ -190,6 +202,24 @@ fn print_cumulative(report: &firm_serve::SubmissionReport) {
     );
 }
 
+/// The generated `(seed, sf)` catalog — all of it when `n` is 0,
+/// otherwise its first `n` tenants — shortened to `seconds`.
+fn generated_slice(seed: u64, sf: u64, n: usize, seconds: u64) -> Vec<Scenario> {
+    let catalog = generate_catalog(&CatalogSpec::new(seed, sf));
+    if n > catalog.len() {
+        usage(&format!(
+            "--scenarios {n} exceeds the {}-tenant generated catalog",
+            catalog.len()
+        ));
+    }
+    let take = if n == 0 { catalog.len() } else { n };
+    catalog
+        .into_iter()
+        .take(take)
+        .map(|s| s.with_duration(SimDuration::from_secs(seconds)))
+        .collect()
+}
+
 /// The first `n` builtin-catalog scenarios, shortened to `seconds`.
 fn catalog_slice(n: usize, seconds: u64) -> Vec<Scenario> {
     let catalog = builtin_catalog();
@@ -239,6 +269,8 @@ fn usage(problem: &str) -> ! {
          \n\
          --connect host:port   the coordinator's --listen address (required).\n\
          --scenarios N         submit the first N builtin scenarios (0: no submit).\n\
+         --scale-factor N      submit the generated (seed, N) catalog instead of\n\
+         \x20                    builtin slices; --scenarios trims it (0: all).\n\
          --seconds N           per-scenario simulated duration (default 6).\n\
          --seed N              the submission's fleet seed (default 7).\n\
          --base-index N        global index of the first scenario (default 0);\n\

@@ -12,7 +12,9 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 
 use firm_fleet::worker::{serve_session, ServeOptions};
-use firm_fleet::{builtin_catalog, FleetConfig, FleetRunner, Scenario};
+use firm_fleet::{
+    builtin_catalog, generate_catalog, CatalogSpec, FleetConfig, FleetRunner, Scenario,
+};
 use firm_serve::protocol::{ClientRequest, ServerMessage, SubmitRequest};
 use firm_serve::{
     BackoffPolicy, ClientError, FleetServer, FleetService, ServeClient, ServiceLimits,
@@ -495,4 +497,40 @@ fn backpressure_sheds_submissions_retryably_until_the_backlog_drains() {
         .run(id, 3, 2, &catalog[..1], &mut |_, _| {})
         .expect("the retried submission runs");
     service.shutdown();
+}
+
+/// Generated catalogs flow through the resident serve path unchanged:
+/// submitting `generate_catalog(CatalogSpec::new(7, 1))` (shortened)
+/// streams every tenant once and returns a report bit-identical to the
+/// in-process batch run — the serve-side proof that the v6 scenario
+/// codec carries `replica_factor` and `slo_penalty` end to end.
+#[test]
+fn generated_catalog_served_report_matches_batch() {
+    let catalog: Vec<Scenario> = generate_catalog(&CatalogSpec::new(7, 1))
+        .into_iter()
+        .map(|s| s.with_duration(SimDuration::from_secs(4)))
+        .collect();
+    let server = start_server(2, 7, 0, false);
+    let mut client =
+        ServeClient::connect(&server.local_addr().to_string()).expect("client connects");
+    let mut streamed = 0usize;
+    let served = client
+        .submit(7, 0, catalog.clone(), &mut |_, _| streamed += 1)
+        .expect("generated submission succeeds");
+    assert_eq!(streamed, catalog.len(), "a streamed outcome per tenant");
+
+    let batch = FleetRunner::new(FleetConfig {
+        threads: 2,
+        seed: 7,
+        train_steps: 0,
+        ..FleetConfig::default()
+    })
+    .run(&catalog);
+    assert_eq!(
+        served.report.digest(),
+        batch.report.digest(),
+        "served generated-catalog digest diverged from the batch run"
+    );
+    let _ = client.shutdown().expect("shutdown");
+    server.join();
 }

@@ -234,6 +234,17 @@ impl AppBuilder {
     }
 }
 
+/// Multiplies every service's initial replica count by `factor` — the
+/// replica-fan-out half of the catalog `scale_factor` knob. `factor`
+/// is clamped to ≥ 1, so the result always satisfies the
+/// replicas-≥-1 topology invariant.
+pub fn scale_replicas(app: &mut AppSpec, factor: u32) {
+    let factor = factor.max(1);
+    for svc in &mut app.services {
+        svc.initial_replicas = svc.initial_replicas.max(1).saturating_mul(factor);
+    }
+}
+
 /// Shorthand for a parallel stage.
 pub fn par(targets: &[ServiceId]) -> Stage {
     Stage::parallel(targets)

@@ -422,6 +422,41 @@ impl LoadShape {
         }
     }
 
+    /// Returns the shape with its rate axis multiplied by `factor` —
+    /// the arrival-rate half of the catalog `scale_factor` knob.
+    /// Relative parameters (amplitude, multiplier, periods) and replay
+    /// recordings are untouched: a replayed incident is a fixed
+    /// arrival sequence, so scaling it would fabricate arrivals that
+    /// were never recorded.
+    pub fn scaled(self, factor: f64) -> LoadShape {
+        match self {
+            LoadShape::Steady { rate } => LoadShape::Steady {
+                rate: rate * factor,
+            },
+            LoadShape::Diurnal {
+                base,
+                amplitude,
+                period_secs,
+            } => LoadShape::Diurnal {
+                base: base * factor,
+                amplitude,
+                period_secs,
+            },
+            LoadShape::FlashCrowd {
+                base,
+                multiplier,
+                every_secs,
+                crest_secs,
+            } => LoadShape::FlashCrowd {
+                base: base * factor,
+                multiplier,
+                every_secs,
+                crest_secs,
+            },
+            replay @ LoadShape::Replay { .. } => replay,
+        }
+    }
+
     /// A short label for reports (`steady@100`, `diurnal@80±50%`,
     /// `flash@60x4`, `replay@105x7432`).
     pub fn label(&self) -> String {

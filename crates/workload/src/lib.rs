@@ -28,7 +28,7 @@ pub mod generator;
 pub mod wire;
 
 pub use apps::{fig2_compose_post, Benchmark};
-pub use builder::{AppBuilder, Tier};
+pub use builder::{scale_replicas, AppBuilder, Tier};
 pub use generator::{
     DiurnalArrivals, LoadShape, ReplayArrivals, ReplayTrace, SpikeArrivals, StepArrivals,
 };
